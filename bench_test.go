@@ -1,0 +1,317 @@
+package disttrack
+
+// The benchmark harness regenerates every evaluation artifact of the paper
+// (see DESIGN.md §4 for the experiment index E1–E12). Each benchmark runs
+// one full tracking experiment per iteration and reports the paper's cost
+// measures as custom metrics:
+//
+//	words/op      total communication volume (paper's word unit)
+//	msgs/op       total messages (a broadcast costs k)
+//	sitewords     high-water per-site space in words
+//	coverage      fraction of checkpoints inside the ε-band
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute numbers are machine-independent (they are protocol costs, not
+// wall-clock); ns/op only reflects the simulator's speed.
+
+import (
+	"math"
+	"testing"
+
+	"disttrack/internal/experiments"
+	"disttrack/internal/lowerbound"
+	"disttrack/internal/stats"
+)
+
+const (
+	benchN   = 100000
+	benchEps = 0.05
+	benchK   = 64
+)
+
+// reportRow runs one Table 1 row per iteration and reports its costs.
+func reportRow(b *testing.B, rc experiments.RowConfig) {
+	b.Helper()
+	var res experiments.RowResult
+	for i := 0; i < b.N; i++ {
+		rc.Seed = uint64(i + 1)
+		res = experiments.Run(rc)
+	}
+	b.ReportMetric(float64(res.Words), "words/op")
+	b.ReportMetric(float64(res.Messages), "msgs/op")
+	b.ReportMetric(float64(res.SiteSpace), "sitewords")
+	b.ReportMetric(1-res.BadFrac, "coverage")
+}
+
+// --- E1: Table 1, count rows ---
+
+func BenchmarkTable1CountDeterministic(b *testing.B) {
+	reportRow(b, experiments.RowConfig{Problem: experiments.Count,
+		Alg: experiments.Deterministic, K: benchK, Eps: benchEps, N: benchN, Rescale: 1})
+}
+
+func BenchmarkTable1CountRandomized(b *testing.B) {
+	reportRow(b, experiments.RowConfig{Problem: experiments.Count,
+		Alg: experiments.Randomized, K: benchK, Eps: benchEps, N: benchN, Rescale: 1})
+}
+
+// --- E3: Table 1, frequency rows ---
+
+func BenchmarkTable1FreqDeterministic(b *testing.B) {
+	reportRow(b, experiments.RowConfig{Problem: experiments.Freq,
+		Alg: experiments.Deterministic, K: benchK, Eps: benchEps, N: benchN, Rescale: 1})
+}
+
+func BenchmarkTable1FreqRandomized(b *testing.B) {
+	reportRow(b, experiments.RowConfig{Problem: experiments.Freq,
+		Alg: experiments.Randomized, K: benchK, Eps: benchEps, N: benchN, Rescale: 1})
+}
+
+// --- E4: Table 1, rank rows ---
+
+func BenchmarkTable1RankDeterministic(b *testing.B) {
+	reportRow(b, experiments.RowConfig{Problem: experiments.Rank,
+		Alg: experiments.Deterministic, K: benchK, Eps: benchEps, N: benchN / 2, Rescale: 1})
+}
+
+func BenchmarkTable1RankRandomized(b *testing.B) {
+	reportRow(b, experiments.RowConfig{Problem: experiments.Rank,
+		Alg: experiments.Randomized, K: benchK, Eps: benchEps, N: benchN / 2, Rescale: 1})
+}
+
+// --- E5: Table 1, sampling row + crossover ---
+
+func BenchmarkTable1Sampling(b *testing.B) {
+	reportRow(b, experiments.RowConfig{Problem: experiments.Count,
+		Alg: experiments.Sampling, K: benchK, Eps: benchEps, N: benchN, Rescale: 1})
+}
+
+func BenchmarkSamplingCrossover(b *testing.B) {
+	// ε = 0.1 so 1/ε² = 100; k sweeps across the crossover.
+	for _, k := range []int{16, 100, 400} {
+		k := k
+		b.Run(bname("k", k), func(b *testing.B) {
+			var rand, samp experiments.RowResult
+			for i := 0; i < b.N; i++ {
+				rand = experiments.Run(experiments.RowConfig{Problem: experiments.Count,
+					Alg: experiments.Randomized, K: k, Eps: 0.1, N: benchN, Seed: uint64(i + 1), Rescale: 1})
+				samp = experiments.Run(experiments.RowConfig{Problem: experiments.Count,
+					Alg: experiments.Sampling, K: k, Eps: 0.1, N: benchN, Seed: uint64(i + 1), Rescale: 1})
+			}
+			b.ReportMetric(float64(rand.Words), "randwords")
+			b.ReportMetric(float64(samp.Words), "sampwords")
+		})
+	}
+}
+
+// --- E2: scaling shapes ---
+
+func BenchmarkCountScalingK(b *testing.B) {
+	for _, k := range []int{4, 16, 64, 256} {
+		k := k
+		b.Run(bname("k", k), func(b *testing.B) {
+			var det, rnd experiments.RowResult
+			for i := 0; i < b.N; i++ {
+				det = experiments.Run(experiments.RowConfig{Problem: experiments.Count,
+					Alg: experiments.Deterministic, K: k, Eps: benchEps, N: benchN, Seed: uint64(i + 1)})
+				rnd = experiments.Run(experiments.RowConfig{Problem: experiments.Count,
+					Alg: experiments.Randomized, K: k, Eps: benchEps, N: benchN, Seed: uint64(i + 1), Rescale: 1})
+			}
+			b.ReportMetric(float64(det.Words), "detwords")
+			b.ReportMetric(float64(rnd.Words), "randwords")
+			b.ReportMetric(float64(det.Words)/float64(rnd.Words), "det/rand")
+		})
+	}
+}
+
+func BenchmarkCountScalingEps(b *testing.B) {
+	for _, eps := range []float64{0.1, 0.05, 0.025} {
+		eps := eps
+		b.Run(bnamef("eps", eps), func(b *testing.B) {
+			var rnd experiments.RowResult
+			for i := 0; i < b.N; i++ {
+				rnd = experiments.Run(experiments.RowConfig{Problem: experiments.Count,
+					Alg: experiments.Randomized, K: benchK, Eps: eps, N: benchN, Seed: uint64(i + 1), Rescale: 1})
+			}
+			b.ReportMetric(float64(rnd.Words), "words")
+			b.ReportMetric(float64(rnd.Words)*eps, "words*eps")
+		})
+	}
+}
+
+func BenchmarkCountScalingN(b *testing.B) {
+	for _, n := range []int{benchN / 4, benchN, benchN * 4} {
+		n := n
+		b.Run(bname("n", n), func(b *testing.B) {
+			var rnd experiments.RowResult
+			for i := 0; i < b.N; i++ {
+				rnd = experiments.Run(experiments.RowConfig{Problem: experiments.Count,
+					Alg: experiments.Randomized, K: benchK, Eps: benchEps, N: n, Seed: uint64(i + 1), Rescale: 1})
+			}
+			b.ReportMetric(float64(rnd.Words), "words")
+			b.ReportMetric(float64(rnd.Words)/math.Log2(float64(n)), "words/logN")
+		})
+	}
+}
+
+// --- E6: accuracy at the calibrated (paper-default) constants ---
+
+func BenchmarkAccuracy(b *testing.B) {
+	for _, p := range []experiments.Problem{experiments.Count, experiments.Freq, experiments.Rank} {
+		p := p
+		b.Run(string(p), func(b *testing.B) {
+			var res experiments.RowResult
+			for i := 0; i < b.N; i++ {
+				res = experiments.Run(experiments.RowConfig{Problem: p,
+					Alg: experiments.Randomized, K: 16, Eps: 0.1, N: benchN / 2, Seed: uint64(i + 1)})
+			}
+			b.ReportMetric(1-res.BadFrac, "coverage")
+		})
+	}
+}
+
+// --- E7: Theorem 2.2 hard distribution µ ---
+
+func BenchmarkOneWayHard(b *testing.B) {
+	var mu experiments.MuSummary
+	for i := 0; i < b.N; i++ {
+		mu = experiments.RunMu(benchK, 0.01, benchN, 4)
+	}
+	b.ReportMetric(mu.RobinDetMsgs, "detmsgs")
+	b.ReportMetric(mu.RobinRandMsgs, "randmsgs")
+}
+
+// --- E8: Theorem 2.4 subround adversary ---
+
+func BenchmarkTwoWayHard(b *testing.B) {
+	var res lowerbound.HardRunResult
+	for i := 0; i < b.N; i++ {
+		res = lowerbound.RunHardInstance(benchK, 0.1, benchN/2, uint64(i+1))
+	}
+	b.ReportMetric(float64(res.Messages), "msgs/op")
+	b.ReportMetric(float64(res.Messages)/float64(res.Subrounds*res.K), "msgs/subround/k")
+	b.ReportMetric(1-float64(res.BadSubrounds)/float64(res.Subrounds), "coverage")
+}
+
+// --- E9: Figure 1 / Claim A.1 ---
+
+func BenchmarkOneBit(b *testing.B) {
+	for _, z := range []int{16, 128, 1024} {
+		z := z
+		b.Run(bname("z", z), func(b *testing.B) {
+			rng := stats.New(42)
+			var success float64
+			for i := 0; i < b.N; i++ {
+				success = lowerbound.SuccessProbability(1024, z, 2000, rng)
+			}
+			b.ReportMetric(success, "success")
+			b.ReportMetric(1-lowerbound.AnalyticFailure(1024, z), "analytic")
+		})
+	}
+}
+
+// --- E10: Theorem 3.2 space-communication trade-off ---
+
+func BenchmarkSpaceCommTradeoff(b *testing.B) {
+	for _, alg := range []experiments.Alg{experiments.Randomized, experiments.Deterministic, experiments.Sampling} {
+		alg := alg
+		b.Run(string(alg), func(b *testing.B) {
+			var res experiments.RowResult
+			for i := 0; i < b.N; i++ {
+				res = experiments.Run(experiments.RowConfig{Problem: experiments.Freq,
+					Alg: alg, K: benchK, Eps: benchEps, N: benchN / 2, Seed: uint64(i + 1), Rescale: 1})
+			}
+			b.ReportMetric(float64(res.Words), "words")
+			b.ReportMetric(float64(res.SiteSpace), "sitewords")
+			b.ReportMetric(float64(res.Words)*float64(res.SiteSpace), "C*M")
+		})
+	}
+}
+
+// --- E11: estimator (2) vs (4) bias ablation ---
+
+func BenchmarkEstimatorBias(b *testing.B) {
+	var biased, unbiased float64
+	for i := 0; i < b.N; i++ {
+		biased, unbiased = experiments.BiasAblation(16, 20000, 50, 20, 0.1)
+	}
+	b.ReportMetric(biased, "eq2bias")
+	b.ReportMetric(unbiased, "eq4bias")
+}
+
+// --- E12: p-halving adjustment ablation ---
+
+func BenchmarkAdjustmentAblation(b *testing.B) {
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with, without = experiments.AdjustmentAblation(9, 10000, 40, 0.02)
+	}
+	b.ReportMetric(with, "adjusted")
+	b.ReportMetric(without, "unadjusted")
+}
+
+// --- E13: tracking vs one-shot (paper §1.3) ---
+
+func BenchmarkTrackingVsOneShot(b *testing.B) {
+	for _, p := range []experiments.Problem{experiments.Count, experiments.Freq, experiments.Rank} {
+		p := p
+		b.Run(string(p), func(b *testing.B) {
+			var c experiments.OneShotComparison
+			for i := 0; i < b.N; i++ {
+				c = experiments.TrackingVsOneShot(p, benchK, benchEps, benchN/2, uint64(i+1))
+			}
+			b.ReportMetric(float64(c.TrackingWords), "trackwords")
+			b.ReportMetric(float64(c.OneShotWords), "oneshotwords")
+			b.ReportMetric(c.RatioPerLogN, "ratio/logN")
+		})
+	}
+}
+
+// --- end-to-end throughput of the public API (not a paper artifact, but
+// what a downstream user will ask first) ---
+
+func BenchmarkObserveThroughput(b *testing.B) {
+	for _, alg := range []Algorithm{AlgorithmRandomized, AlgorithmDeterministic, AlgorithmSampling} {
+		alg := alg
+		b.Run(alg.String(), func(b *testing.B) {
+			tr := NewCountTracker(Options{K: 16, Epsilon: 0.05, Algorithm: alg, Seed: 1})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Observe(i % 16)
+			}
+		})
+	}
+}
+
+func bname(prefix string, v int) string {
+	return prefix + "=" + itoa(v)
+}
+
+func bnamef(prefix string, v float64) string {
+	switch v {
+	case 0.1:
+		return prefix + "=0.1"
+	case 0.05:
+		return prefix + "=0.05"
+	case 0.025:
+		return prefix + "=0.025"
+	}
+	return prefix
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,128 @@
+// table1 regenerates the paper's Table 1 empirically: for every
+// (problem, algorithm) row it measures total communication (messages and
+// words) and per-site space on a common workload, prints them next to the
+// paper's asymptotic formulas, and then sweeps k to exhibit the scaling
+// shapes (√k for the new randomized algorithms vs k for the deterministic
+// baselines, and the sampling baseline's k-independence).
+//
+//	go run ./cmd/table1 [-n 200000] [-eps 0.05] [-k 64] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"disttrack/internal/experiments"
+	"disttrack/internal/trace"
+)
+
+func main() {
+	n := flag.Int("n", 200000, "stream length N")
+	eps := flag.Float64("eps", 0.05, "error parameter ε")
+	k := flag.Int("k", 64, "number of sites for the headline table")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	fmt.Printf("== Table 1 (measured), k=%d, ε=%g, N=%d ==\n\n", *k, *eps, *n)
+	headline := trace.NewTable("problem", "algorithm", "space/site (words)",
+		"messages", "words", "bad checks", "paper words-bound")
+	rows := []experiments.RowConfig{
+		{Problem: experiments.Count, Alg: experiments.Deterministic},
+		{Problem: experiments.Count, Alg: experiments.Randomized},
+		{Problem: experiments.Freq, Alg: experiments.Deterministic},
+		{Problem: experiments.Freq, Alg: experiments.Randomized},
+		{Problem: experiments.Rank, Alg: experiments.Deterministic},
+		{Problem: experiments.Rank, Alg: experiments.Randomized},
+		{Problem: experiments.Count, Alg: experiments.Sampling},
+	}
+	for _, rc := range rows {
+		rc.K, rc.Eps, rc.N, rc.Seed, rc.Rescale = *k, *eps, *n, 1, 1
+		res := experiments.Run(rc)
+		bound := boundName(rc)
+		headline.AddRow(string(rc.Problem), string(rc.Alg),
+			fmt.Sprintf("%d", res.SiteSpace),
+			fmt.Sprintf("%d", res.Messages),
+			fmt.Sprintf("%d", res.Words),
+			fmt.Sprintf("%d/%d", res.Bad, res.Checks),
+			bound)
+	}
+	emit(headline, *csv)
+
+	fmt.Printf("\n== scaling in k (words; ε=%g, N=%d) ==\n\n", *eps, *n)
+	ks := []int{4, 16, 64, 256}
+	sweep := trace.NewTable("k", "count det", "count rand", "freq det", "freq rand",
+		"rank det", "rank rand", "sampling")
+	type cell struct {
+		p experiments.Problem
+		a experiments.Alg
+	}
+	cells := []cell{
+		{experiments.Count, experiments.Deterministic},
+		{experiments.Count, experiments.Randomized},
+		{experiments.Freq, experiments.Deterministic},
+		{experiments.Freq, experiments.Randomized},
+		{experiments.Rank, experiments.Deterministic},
+		{experiments.Rank, experiments.Randomized},
+		{experiments.Count, experiments.Sampling},
+	}
+	words := map[cell][]float64{}
+	for _, kk := range ks {
+		row := []string{fmt.Sprintf("%d", kk)}
+		for _, c := range cells {
+			rc := experiments.RowConfig{Problem: c.p, Alg: c.a, K: kk, Eps: *eps,
+				N: *n, Seed: 1, Rescale: 1}
+			res := experiments.Run(rc)
+			words[c] = append(words[c], float64(res.Words))
+			row = append(row, fmt.Sprintf("%d", res.Words))
+		}
+		sweep.AddRow(row...)
+	}
+	emit(sweep, *csv)
+
+	fmt.Println("\nfitted growth exponents over the k sweep (words ~ k^α):")
+	for i, c := range cells {
+		w := words[c]
+		alpha := math.Log(w[len(w)-1]/w[0]) / math.Log(float64(ks[len(ks)-1])/float64(ks[0]))
+		expect := expectAlpha(cells[i])
+		fmt.Printf("  %-18s α = %+.2f   (paper: %s)\n",
+			fmt.Sprintf("%s/%s", c.p, c.a), alpha, expect)
+	}
+}
+
+func boundName(rc experiments.RowConfig) string {
+	switch {
+	case rc.Alg == experiments.Sampling:
+		return "O(1/ε²·logN)"
+	case rc.Problem == experiments.Rank && rc.Alg == experiments.Deterministic:
+		return "O(k/ε²·logN) [6]"
+	case rc.Problem == experiments.Rank:
+		return "O(√k/ε·logN·log^1.5)"
+	case rc.Alg == experiments.Deterministic:
+		return "Θ(k/ε·logN)"
+	default:
+		return "Θ(√k/ε·logN)"
+	}
+}
+
+func expectAlpha(c struct {
+	p experiments.Problem
+	a experiments.Alg
+}) string {
+	switch {
+	case c.a == experiments.Sampling:
+		return "α ≈ 0 (+k·logN additive)"
+	case c.a == experiments.Deterministic:
+		return "α ≈ 1"
+	default:
+		return "α ≈ 0.5"
+	}
+}
+
+func emit(t *trace.Table, csv bool) {
+	if csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Print(t.String())
+	}
+}

@@ -1,0 +1,139 @@
+// tracksim runs one tracking protocol on one workload and reports accuracy
+// and cost, in the paper's units.
+//
+// Usage:
+//
+//	go run ./cmd/tracksim -problem count -alg randomized -k 16 -eps 0.05 -n 100000 -workload roundrobin
+//
+// Problems: count, freq, rank. Algorithms: randomized, deterministic,
+// sampling. Workloads: roundrobin, single, uniform, zipf.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"disttrack"
+	"disttrack/internal/stats"
+	"disttrack/internal/workload"
+)
+
+func main() {
+	problem := flag.String("problem", "count", "count | freq | rank")
+	alg := flag.String("alg", "randomized", "randomized | deterministic | sampling")
+	k := flag.Int("k", 16, "number of sites")
+	eps := flag.Float64("eps", 0.05, "target relative error")
+	n := flag.Int("n", 100000, "stream length")
+	wl := flag.String("workload", "roundrobin", "roundrobin | single | uniform | zipf")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	rescale := flag.Float64("rescale", 0, "internal eps rescale (0 = paper default 3)")
+	concurrent := flag.Bool("concurrent", false, "run sites as goroutines (netsim runtime)")
+	copies := flag.Int("copies", 0, "median-boost copies (randomized algorithms)")
+	flag.Parse()
+
+	var algorithm disttrack.Algorithm
+	switch *alg {
+	case "randomized":
+		algorithm = disttrack.AlgorithmRandomized
+	case "deterministic":
+		algorithm = disttrack.AlgorithmDeterministic
+	case "sampling":
+		algorithm = disttrack.AlgorithmSampling
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *alg)
+		os.Exit(2)
+	}
+
+	rng := stats.New(*seed ^ 0xabcdef)
+	var placement workload.Placement
+	switch *wl {
+	case "roundrobin":
+		placement = workload.RoundRobin(*k)
+	case "single":
+		placement = workload.SingleSite(0)
+	case "uniform":
+		placement = workload.UniformPlacement(*k, rng)
+	case "zipf":
+		placement = workload.ZipfPlacement(*k, 1.0, rng)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+
+	opt := disttrack.Options{K: *k, Epsilon: *eps, Algorithm: algorithm, Seed: *seed,
+		Rescale: *rescale, Concurrent: *concurrent, Copies: *copies}
+	fmt.Printf("problem=%s alg=%s k=%d eps=%g n=%d workload=%s concurrent=%v copies=%d\n\n",
+		*problem, algorithm, *k, *eps, *n, *wl, *concurrent, *copies)
+
+	checkEvery := *n / 200
+	if checkEvery < 1 {
+		checkEvery = 1
+	}
+	bad, checks := 0, 0
+	var metrics disttrack.Metrics
+
+	switch *problem {
+	case "count":
+		tr := disttrack.NewCountTracker(opt)
+		for i := 0; i < *n; i++ {
+			tr.Observe(placement(i))
+			if (i+1)%checkEvery == 0 {
+				checks++
+				if stats.RelErr(tr.Estimate(), float64(i+1)) > *eps {
+					bad++
+				}
+			}
+		}
+		metrics = tr.Metrics()
+		fmt.Printf("final estimate: %.0f (truth %d)\n", tr.Estimate(), *n)
+	case "freq":
+		items := workload.ZipfItems(1000, 1.1, rng.Split())
+		truth := map[int64]int64{}
+		tr := disttrack.NewFrequencyTracker(opt)
+		for i := 0; i < *n; i++ {
+			j := items(i)
+			truth[j]++
+			tr.Observe(placement(i), j)
+			if (i+1)%checkEvery == 0 {
+				checks++
+				if math.Abs(tr.Estimate(0)-float64(truth[0])) > *eps*float64(i+1) {
+					bad++
+				}
+			}
+		}
+		metrics = tr.Metrics()
+		fmt.Printf("hottest item: estimate %.0f (truth %d)\n", tr.Estimate(0), truth[0])
+	case "rank":
+		values := workload.PermValues(*n, rng.Split())
+		tr := disttrack.NewRankTracker(opt)
+		var below float64
+		q := float64(*n) / 2
+		for i := 0; i < *n; i++ {
+			v := values(i)
+			if v < q {
+				below++
+			}
+			tr.Observe(placement(i), v)
+			if (i+1)%checkEvery == 0 {
+				checks++
+				if math.Abs(tr.Rank(q)-below) > *eps*float64(i+1) {
+					bad++
+				}
+			}
+		}
+		metrics = tr.Metrics()
+		fmt.Printf("rank(median value): estimate %.0f (truth %.0f)\n", tr.Rank(q), below)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown problem %q\n", *problem)
+		os.Exit(2)
+	}
+
+	fmt.Printf("\naccuracy: %d/%d checkpoints outside the ε-band (%.1f%%)\n",
+		bad, checks, 100*float64(bad)/float64(checks))
+	fmt.Printf("messages:   %d\n", metrics.Messages)
+	fmt.Printf("words:      %d\n", metrics.Words)
+	fmt.Printf("broadcasts: %d\n", metrics.Broadcasts)
+	fmt.Printf("site space: %d words (high-water)\n", metrics.MaxSiteSpace)
+}

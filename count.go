@@ -1,0 +1,61 @@
+package disttrack
+
+import (
+	"disttrack/internal/count"
+	"disttrack/internal/sample"
+)
+
+// CountTracker continuously tracks n(t), the total number of elements
+// received across all sites (the paper's count-tracking problem, Section 2).
+type CountTracker struct {
+	opt Options
+	eng engine
+	est func() float64
+}
+
+// NewCountTracker builds a count tracker. It panics on invalid options.
+func NewCountTracker(opt Options) *CountTracker {
+	opt.validate()
+	t := &CountTracker{opt: opt}
+	switch opt.Algorithm {
+	case AlgorithmRandomized:
+		cfg := count.Config{K: opt.K, Eps: opt.Epsilon, Rescale: opt.Rescale}
+		if opt.Copies > 1 {
+			p, coord := count.NewMedianProtocol(cfg, opt.Copies, opt.Seed)
+			t.eng = mount(opt, p)
+			t.est = coord.Estimate
+		} else {
+			p, coord := count.NewProtocol(cfg, opt.Seed)
+			t.eng = mount(opt, p)
+			t.est = coord.Estimate
+		}
+	case AlgorithmDeterministic:
+		p, coord := count.NewDetProtocol(opt.K, opt.Epsilon)
+		t.eng = mount(opt, p)
+		t.est = coord.Estimate
+	case AlgorithmSampling:
+		p, coord := sample.NewProtocol(sample.Config{K: opt.K, Eps: opt.Epsilon}, opt.Seed)
+		t.eng = mount(opt, p)
+		t.est = coord.Count
+	default:
+		panic("disttrack: unknown Algorithm")
+	}
+	return t
+}
+
+// Observe records one element arriving at the given site (0-based).
+func (t *CountTracker) Observe(site int) {
+	if site < 0 || site >= t.opt.K {
+		panic("disttrack: site out of range")
+	}
+	t.eng.arrive(site, 0, 0)
+}
+
+// Estimate returns the coordinator's current estimate of n.
+func (t *CountTracker) Estimate() float64 { return t.est() }
+
+// Metrics returns the accumulated communication and space costs.
+func (t *CountTracker) Metrics() Metrics { return t.eng.metrics() }
+
+// Close stops the concurrent runtime's goroutines (no-op otherwise).
+func (t *CountTracker) Close() { t.eng.close() }

@@ -1,0 +1,190 @@
+// Package disttrack is a library for continuous tracking of aggregates over
+// distributed data streams, implementing the randomized algorithms of
+//
+//	Zengfeng Huang, Ke Yi, Qin Zhang.
+//	"Randomized Algorithms for Tracking Distributed Count, Frequencies,
+//	and Ranks." PODS 2012 (arXiv:1108.3413).
+//
+// The model: k sites each receive a stream of elements; a coordinator must
+// maintain, at ALL times, an ε-approximation of an aggregate of the union of
+// the streams, while minimizing communication. The package provides three
+// trackers:
+//
+//   - CountTracker  — n(t) = total number of elements (Section 2);
+//   - FrequencyTracker — per-item frequencies with ±εn error (Section 3);
+//   - RankTracker   — ranks/quantiles with ±εn error (Section 4);
+//
+// each in three interchangeable flavors (AlgorithmRandomized — the paper's
+// O(√k/ε·logN) protocols; AlgorithmDeterministic — the optimal deterministic
+// Θ(k/ε·logN) baselines; AlgorithmSampling — the continuous-sampling
+// baseline [9] with O(1/ε²·logN) cost), plus exact communication accounting
+// in the paper's message/word units.
+//
+// Randomized trackers guarantee, at any single time instant, an error of at
+// most ε·n with probability at least 0.9; CountTracker additionally offers
+// median boosting (Options.Copies) for an all-instants guarantee.
+// Deterministic trackers guarantee ε·n always.
+//
+// # Quick start
+//
+//	tr := disttrack.NewCountTracker(disttrack.Options{K: 8, Epsilon: 0.05})
+//	for i := 0; i < 100000; i++ {
+//		tr.Observe(i % 8) // element arrives at site i%8
+//	}
+//	fmt.Println(tr.Estimate(), tr.Metrics().Messages)
+//
+// By default trackers run on a deterministic sequential runtime with exact
+// cost accounting. Set Options.Concurrent to run each site as its own
+// goroutine connected by channels (Observe then blocks until the message
+// cascade quiesces, matching the paper's instant-communication model); call
+// Close when done to stop the goroutines.
+package disttrack
+
+import (
+	"disttrack/internal/netsim"
+	"disttrack/internal/proto"
+	"disttrack/internal/sim"
+)
+
+// Algorithm selects a protocol flavor.
+type Algorithm int
+
+const (
+	// AlgorithmRandomized is the paper's randomized protocol:
+	// O(√k/ε·logN) communication, per-instant 0.9 success probability.
+	AlgorithmRandomized Algorithm = iota
+	// AlgorithmDeterministic is the optimal deterministic baseline:
+	// Θ(k/ε·logN) communication, errors bounded always.
+	AlgorithmDeterministic
+	// AlgorithmSampling is continuous distributed sampling [9]:
+	// O(1/ε²·logN) communication independent of k; one sample answers
+	// count, frequency, and rank queries.
+	AlgorithmSampling
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgorithmRandomized:
+		return "randomized"
+	case AlgorithmDeterministic:
+		return "deterministic"
+	case AlgorithmSampling:
+		return "sampling"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures a tracker.
+type Options struct {
+	// K is the number of sites (required, >= 1).
+	K int
+	// Epsilon is the target relative error (required, in (0,1)).
+	Epsilon float64
+	// Algorithm selects the protocol; zero value is AlgorithmRandomized.
+	Algorithm Algorithm
+	// Seed makes randomized protocols reproducible; 0 is a valid seed.
+	Seed uint64
+	// Copies enables median boosting for CountTracker: that many
+	// independent protocol copies run side by side and queries return the
+	// median, upgrading the per-instant guarantee to all instants
+	// (Section 1.2). 0 or 1 means no boosting. Ignored by other trackers.
+	Copies int
+	// Rescale divides Epsilon inside randomized protocols to sharpen the
+	// success probability at proportional communication cost; 0 means the
+	// paper's constant (3). Set 1 for shape benchmarks where both
+	// algorithm families should run at the same nominal ε.
+	Rescale float64
+	// Concurrent mounts the protocol on the goroutine-per-site runtime
+	// instead of the sequential simulator.
+	Concurrent bool
+	// SpaceProbeEvery controls how often per-site space is sampled by the
+	// sequential runtime (0 = default 1024 arrivals; ignored when
+	// Concurrent).
+	SpaceProbeEvery int
+}
+
+func (o Options) validate() {
+	if o.K <= 0 {
+		panic("disttrack: Options.K must be >= 1")
+	}
+	if o.Epsilon <= 0 || o.Epsilon >= 1 {
+		panic("disttrack: Options.Epsilon must be in (0,1)")
+	}
+	if o.Copies < 0 {
+		panic("disttrack: negative Options.Copies")
+	}
+}
+
+// Metrics reports a tracker's accumulated cost in the paper's units.
+type Metrics struct {
+	// Messages is the total number of messages exchanged (a broadcast
+	// counts as K messages).
+	Messages int64
+	// Words is the total communication volume in words (any integer < N or
+	// one element = one word).
+	Words int64
+	// Broadcasts counts coordinator broadcast operations.
+	Broadcasts int64
+	// Arrivals is the number of elements observed.
+	Arrivals int64
+	// MaxSiteSpace is the high-water mark of per-site working space in
+	// words (sequential runtime only; 0 when Concurrent).
+	MaxSiteSpace int
+	// MaxCoordSpace is the coordinator's high-water space in words
+	// (sequential runtime only).
+	MaxCoordSpace int
+}
+
+// engine abstracts the two runtimes behind the facade.
+type engine interface {
+	arrive(site int, item int64, value float64)
+	metrics() Metrics
+	close()
+}
+
+type simEngine struct{ h *sim.Harness }
+
+func (e simEngine) arrive(site int, item int64, value float64) { e.h.Arrive(site, item, value) }
+func (e simEngine) close()                                     {}
+func (e simEngine) metrics() Metrics {
+	m := e.h.Metrics()
+	e.h.Probe()
+	m = e.h.Metrics()
+	return Metrics{
+		Messages:      m.Messages(),
+		Words:         m.Words(),
+		Broadcasts:    m.Broadcasts,
+		Arrivals:      m.Arrivals,
+		MaxSiteSpace:  m.MaxSiteSpace,
+		MaxCoordSpace: m.MaxCoordSpace,
+	}
+}
+
+type netEngine struct{ c *netsim.Cluster }
+
+func (e netEngine) arrive(site int, item int64, value float64) { e.c.Arrive(site, item, value) }
+func (e netEngine) close()                                     { e.c.Stop() }
+func (e netEngine) metrics() Metrics {
+	e.c.Quiesce()
+	m := e.c.Metrics()
+	return Metrics{
+		Messages:   m.Messages(),
+		Words:      m.Words(),
+		Broadcasts: m.Broadcasts,
+		Arrivals:   m.Arrivals,
+	}
+}
+
+// mount places a protocol on the runtime selected by the options.
+func mount(o Options, p proto.Protocol) engine {
+	if o.Concurrent {
+		return netEngine{c: netsim.Start(p)}
+	}
+	h := sim.New(p)
+	if o.SpaceProbeEvery > 0 {
+		h.SpaceProbeEvery = o.SpaceProbeEvery
+	}
+	return simEngine{h: h}
+}

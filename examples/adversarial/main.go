@@ -1,0 +1,74 @@
+// Adversarial: runs the count trackers on the hard input distribution µ
+// from the paper's Theorem 2.2 — with probability 1/2 every element arrives
+// at one random site, otherwise elements arrive round-robin — and shows why
+// one-way deterministic algorithms are stuck at Θ(k/ε·logN) while the
+// randomized two-way protocol escapes with O(√k/ε·logN).
+//
+//	go run ./examples/adversarial
+package main
+
+import (
+	"fmt"
+
+	"disttrack"
+	"disttrack/internal/stats"
+)
+
+func main() {
+	const k = 64
+	const eps = 0.01
+	const n = 300_000
+
+	fmt.Printf("hard distribution µ (Theorem 2.2), k=%d, ε=%g, N=%d\n\n", k, eps, n)
+
+	rng := stats.New(99)
+	for trial := 0; trial < 4; trial++ {
+		// Draw a branch of µ.
+		singleSite := rng.Bernoulli(0.5)
+		target := rng.Intn(k)
+		placement := func(i int) int {
+			if singleSite {
+				return target
+			}
+			return i % k
+		}
+
+		det := disttrack.NewCountTracker(disttrack.Options{
+			K: k, Epsilon: eps, Algorithm: disttrack.AlgorithmDeterministic,
+		})
+		rnd := disttrack.NewCountTracker(disttrack.Options{
+			K: k, Epsilon: eps, Seed: rng.Uint64(), Rescale: 1,
+		})
+		badDet, badRnd := 0, 0
+		for i := 0; i < n; i++ {
+			s := placement(i)
+			det.Observe(s)
+			rnd.Observe(s)
+			truth := float64(i + 1)
+			if e := det.Estimate(); e < (1-eps)*truth || e > (1+eps)*truth {
+				badDet++
+			}
+			if e := rnd.Estimate(); e < (1-2*eps)*truth || e > (1+2*eps)*truth {
+				badRnd++
+			}
+		}
+		branch := "round-robin"
+		if singleSite {
+			branch = fmt.Sprintf("all at site %d", target)
+		}
+		md, mr := det.Metrics(), rnd.Metrics()
+		fmt.Printf("µ draw %d (%s):\n", trial+1, branch)
+		fmt.Printf("  deterministic one-way: %7d msgs  (violations: %d)\n", md.Messages, badDet)
+		fmt.Printf("  randomized two-way:    %7d msgs  (out of 2ε band: %.1f%%)\n",
+			mr.Messages, 100*float64(badRnd)/float64(n))
+		if !singleSite {
+			fmt.Printf("  -> on this branch randomization saves %.1fx\n",
+				float64(md.Messages)/float64(mr.Messages))
+		} else {
+			fmt.Println("  -> the single-site branch is what FORCES one-way algorithms")
+			fmt.Println("     to keep dense thresholds at every site; the round-robin")
+			fmt.Println("     branch then makes all of them fire (Theorem 2.2)")
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,78 @@
+package disttrack
+
+import (
+	"disttrack/internal/boost"
+	"disttrack/internal/freq"
+	"disttrack/internal/proto"
+	"disttrack/internal/sample"
+	"disttrack/internal/stats"
+)
+
+// FrequencyTracker continuously tracks per-item frequencies with absolute
+// error ±ε·n(t) — the heavy-hitters tracking problem (Section 3).
+type FrequencyTracker struct {
+	opt Options
+	eng engine
+	est func(item int64) float64
+}
+
+// NewFrequencyTracker builds a frequency tracker. It panics on invalid
+// options.
+func NewFrequencyTracker(opt Options) *FrequencyTracker {
+	opt.validate()
+	t := &FrequencyTracker{opt: opt}
+	switch opt.Algorithm {
+	case AlgorithmRandomized:
+		cfg := freq.Config{K: opt.K, Eps: opt.Epsilon, Rescale: opt.Rescale}
+		if opt.Copies > 1 {
+			root := stats.New(opt.Seed)
+			ps := make([]proto.Protocol, opt.Copies)
+			coords := make([]*freq.Coordinator, opt.Copies)
+			for i := range ps {
+				ps[i], coords[i] = freq.NewProtocol(cfg, root.Uint64())
+			}
+			t.eng = mount(opt, boost.Wrap(ps))
+			t.est = func(item int64) float64 {
+				ests := make([]float64, len(coords))
+				for i, c := range coords {
+					ests[i] = c.Estimate(item)
+				}
+				return stats.Median(ests)
+			}
+			return t
+		}
+		p, coord := freq.NewProtocol(cfg, opt.Seed)
+		t.eng = mount(opt, p)
+		t.est = coord.Estimate
+	case AlgorithmDeterministic:
+		p, coord := freq.NewDetProtocol(opt.K, opt.Epsilon)
+		t.eng = mount(opt, p)
+		t.est = coord.Estimate
+	case AlgorithmSampling:
+		p, coord := sample.NewProtocol(sample.Config{K: opt.K, Eps: opt.Epsilon}, opt.Seed)
+		t.eng = mount(opt, p)
+		t.est = coord.Freq
+	default:
+		panic("disttrack: unknown Algorithm")
+	}
+	return t
+}
+
+// Observe records item arriving at the given site.
+func (t *FrequencyTracker) Observe(site int, item int64) {
+	if site < 0 || site >= t.opt.K {
+		panic("disttrack: site out of range")
+	}
+	t.eng.arrive(site, item, 0)
+}
+
+// Estimate returns the current frequency estimate for item. Randomized
+// estimates are unbiased and may be slightly negative for rare items; clamp
+// at zero if presenting to users.
+func (t *FrequencyTracker) Estimate(item int64) float64 { return t.est(item) }
+
+// Metrics returns the accumulated communication and space costs.
+func (t *FrequencyTracker) Metrics() Metrics { return t.eng.metrics() }
+
+// Close stops the concurrent runtime's goroutines (no-op otherwise).
+func (t *FrequencyTracker) Close() { t.eng.close() }

@@ -1,0 +1,113 @@
+// Package boost provides generic probability amplification for tracking
+// protocols: it multiplexes c independent copies of a protocol into a single
+// protocol, so a caller can take the median of the copies' estimates.
+//
+// This is the paper's Section 1.2 boosting argument in reusable form: each
+// copy is correct at any one instant with constant probability, so the
+// median of 2t+1 copies is correct except with probability exp(−Ω(t)), and
+// O(log(logN/(δε))) copies make the tracker correct at ALL of the
+// O(1/ε·logN) effective time instants with probability 1−δ.
+//
+// The copy index on each message is routing information (a port number);
+// Words charges only the inner message, matching the paper's accounting of
+// boosting as a multiplicative factor on communication.
+package boost
+
+import "disttrack/internal/proto"
+
+// Msg wraps an inner protocol message with its copy index.
+type Msg struct {
+	Copy  int
+	Inner proto.Message
+}
+
+// Words implements proto.Message.
+func (m Msg) Words() int { return m.Inner.Words() }
+
+// site multiplexes one site of every copy.
+type site struct {
+	copies []proto.Site
+}
+
+// Arrive implements proto.Site.
+func (s *site) Arrive(item int64, value float64, out func(proto.Message)) {
+	for idx, cp := range s.copies {
+		idx := idx
+		cp.Arrive(item, value, func(m proto.Message) { out(Msg{Copy: idx, Inner: m}) })
+	}
+}
+
+// Receive implements proto.Site.
+func (s *site) Receive(m proto.Message, out func(proto.Message)) {
+	bm, ok := m.(Msg)
+	if !ok {
+		return
+	}
+	idx := bm.Copy
+	s.copies[idx].Receive(bm.Inner, func(inner proto.Message) {
+		out(Msg{Copy: idx, Inner: inner})
+	})
+}
+
+// SpaceWords implements proto.Site.
+func (s *site) SpaceWords() int {
+	w := 0
+	for _, cp := range s.copies {
+		w += cp.SpaceWords()
+	}
+	return w
+}
+
+// coordinator multiplexes the copies' coordinators.
+type coordinator struct {
+	copies []proto.Coordinator
+}
+
+// Receive implements proto.Coordinator.
+func (c *coordinator) Receive(from int, m proto.Message, send func(int, proto.Message), broadcast func(proto.Message)) {
+	bm, ok := m.(Msg)
+	if !ok {
+		return
+	}
+	idx := bm.Copy
+	c.copies[idx].Receive(from, bm.Inner,
+		func(to int, inner proto.Message) { send(to, Msg{Copy: idx, Inner: inner}) },
+		func(inner proto.Message) { broadcast(Msg{Copy: idx, Inner: inner}) })
+}
+
+// SpaceWords implements proto.Coordinator.
+func (c *coordinator) SpaceWords() int {
+	w := 0
+	for _, cp := range c.copies {
+		w += cp.SpaceWords()
+	}
+	return w
+}
+
+// Wrap fuses c >= 1 protocol copies (same k) into one protocol. The caller
+// keeps the copies' concrete coordinators to combine their estimates
+// (typically via stats.Median).
+func Wrap(copies []proto.Protocol) proto.Protocol {
+	if len(copies) == 0 {
+		panic("boost: need at least one copy")
+	}
+	k := copies[0].K()
+	for _, p := range copies {
+		if p.K() != k {
+			panic("boost: copies disagree on k")
+		}
+	}
+	sites := make([]proto.Site, k)
+	for i := 0; i < k; i++ {
+		ms := &site{copies: make([]proto.Site, len(copies))}
+		for ci, p := range copies {
+			ms.copies[ci] = p.Sites[i]
+		}
+		sites[i] = ms
+	}
+	mc := &coordinator{copies: make([]proto.Coordinator, len(copies))}
+	for ci, p := range copies {
+		mc.copies[ci] = p.Coord
+	}
+	return proto.Protocol{Coord: mc, Sites: sites}
+}

@@ -1,0 +1,140 @@
+package boost
+
+import (
+	"math"
+	"testing"
+
+	"disttrack/internal/freq"
+	"disttrack/internal/proto"
+	"disttrack/internal/rank"
+	"disttrack/internal/sim"
+	"disttrack/internal/stats"
+	"disttrack/internal/workload"
+)
+
+func TestWrapValidation(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("empty Wrap did not panic")
+			}
+		}()
+		Wrap(nil)
+	}()
+	p1, _ := freq.NewProtocol(freq.Config{K: 2, Eps: 0.1}, 1)
+	p2, _ := freq.NewProtocol(freq.Config{K: 3, Eps: 0.1}, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched k did not panic")
+		}
+	}()
+	Wrap([]proto.Protocol{p1, p2})
+}
+
+func TestMsgWordsChargeInnerOnly(t *testing.T) {
+	m := Msg{Copy: 5, Inner: freq.CounterMsg{Item: 1, Count: 2}}
+	if m.Words() != 2 {
+		t.Fatalf("Msg.Words = %d, want 2", m.Words())
+	}
+}
+
+func TestBoostedFrequencyMedianCoverage(t *testing.T) {
+	// 7 copies of the randomized frequency tracker at Rescale 1; the median
+	// estimate must stay inside the ε-band at every checkpoint even though
+	// single copies at Rescale 1 only give ~1σ per instant.
+	const k = 8
+	const eps = 0.1
+	const n = 20000
+	const copies = 7
+	root := stats.New(555)
+	ps := make([]proto.Protocol, copies)
+	coords := make([]*freq.Coordinator, copies)
+	for i := range ps {
+		ps[i], coords[i] = freq.NewProtocol(freq.Config{K: k, Eps: eps, Rescale: 1}, root.Uint64())
+	}
+	h := sim.New(Wrap(ps))
+	itemF := workload.ZipfItems(200, 1.1, stats.New(556))
+	truth := map[int64]int64{}
+	median := func(j int64) float64 {
+		ests := make([]float64, copies)
+		for i, c := range coords {
+			ests[i] = c.Estimate(j)
+		}
+		return stats.Median(ests)
+	}
+	bad, checks := 0, 0
+	for i := 0; i < n; i++ {
+		j := itemF(i)
+		truth[j]++
+		h.Arrive(i%k, j, 0)
+		if i%101 != 0 || i == 0 {
+			continue
+		}
+		for _, q := range []int64{0, 1, 5} {
+			checks++
+			if math.Abs(median(q)-float64(truth[q])) > eps*float64(i+1) {
+				bad++
+			}
+		}
+	}
+	if bad > 0 {
+		t.Fatalf("boosted median failed %d/%d checks", bad, checks)
+	}
+}
+
+func TestBoostedCostScalesWithCopies(t *testing.T) {
+	const k = 4
+	const eps = 0.1
+	const n = 10000
+	run := func(copies int) int64 {
+		root := stats.New(77)
+		ps := make([]proto.Protocol, copies)
+		for i := range ps {
+			ps[i], _ = rank.NewProtocol(rank.Config{K: k, Eps: eps, Rescale: 1}, root.Uint64())
+		}
+		h := sim.New(Wrap(ps))
+		valueF := workload.PermValues(n, stats.New(78))
+		for i := 0; i < n; i++ {
+			h.Arrive(i%k, 0, valueF(i))
+		}
+		return h.Metrics().Words()
+	}
+	w1 := run(1)
+	w5 := run(5)
+	ratio := float64(w5) / float64(w1)
+	if ratio < 3.5 || ratio > 7 {
+		t.Fatalf("5-copy words ratio %v, want ~5", ratio)
+	}
+}
+
+func TestCopiesAreIndependent(t *testing.T) {
+	// Two copies with different seeds should produce different randomized
+	// estimates at Rescale 1 mid-stream (same estimates would indicate
+	// shared RNG state).
+	const k = 4
+	root := stats.New(91)
+	p1, c1 := freq.NewProtocol(freq.Config{K: k, Eps: 0.05, Rescale: 1}, root.Uint64())
+	p2, c2 := freq.NewProtocol(freq.Config{K: k, Eps: 0.05, Rescale: 1}, root.Uint64())
+	h := sim.New(Wrap([]proto.Protocol{p1, p2}))
+	for i := 0; i < 30000; i++ {
+		h.Arrive(i%k, int64(i%7), 0)
+	}
+	same := 0
+	for j := int64(0); j < 7; j++ {
+		if c1.Estimate(j) == c2.Estimate(j) {
+			same++
+		}
+	}
+	if same == 7 {
+		t.Fatal("both copies produced identical estimates for all items")
+	}
+}
+
+func TestUnknownMessageIgnored(t *testing.T) {
+	p1, _ := freq.NewProtocol(freq.Config{K: 1, Eps: 0.5}, 3)
+	w := Wrap([]proto.Protocol{p1})
+	// Deliver a non-boost message directly; must not panic.
+	w.Sites[0].Receive(freq.SampleMsg{Item: 1}, func(proto.Message) {})
+	w.Coord.Receive(0, freq.SampleMsg{Item: 1},
+		func(int, proto.Message) {}, func(proto.Message) {})
+}

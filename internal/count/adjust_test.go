@@ -1,0 +1,161 @@
+package count
+
+import (
+	"math"
+	"testing"
+
+	"disttrack/internal/proto"
+	"disttrack/internal/rounds"
+	"disttrack/internal/stats"
+)
+
+// fabricate a site that has sent an update, then deliver broadcasts that
+// halve or quarter p and inspect the adjustment behaviour directly.
+
+// driveSite feeds arrivals into a bare site, capturing outgoing messages.
+func driveSite(s *Site, arrivals int) (updates []int64) {
+	for i := 0; i < arrivals; i++ {
+		s.Arrive(0, 0, func(m proto.Message) {
+			if u, ok := m.(UpdateMsg); ok {
+				updates = append(updates, u.N)
+			}
+		})
+	}
+	return updates
+}
+
+func TestQuarteringAppliesTwoAdjustments(t *testing.T) {
+	// Force p to drop by a factor 4 in one broadcast and verify the site
+	// lands exactly on the scheduled p (two halving steps internally).
+	cfg := Config{K: 16, Eps: 0.4, Rescale: 1} // √k/ε = 10
+	const trials = 2000
+	rng := stats.New(314)
+	adjustMsgs := 0
+	for tr := 0; tr < trials; tr++ {
+		s := NewSite(cfg, rng.Split())
+		driveSite(s, 50) // p = 1 while no broadcast seen
+		if s.P() != 1 {
+			t.Fatal("p changed before any broadcast")
+		}
+		// n̄ = 400: p = 1/⌊0.4·400/4⌋₂ = 1/32... choose n̄ to force two steps
+		// from a previous p. First broadcast: n̄ = 100 -> εn̄/√k = 10 -> p=1/8.
+		s.Receive(rounds.BroadcastMsg{NBar: 100}, func(m proto.Message) {
+			if _, ok := m.(AdjustMsg); ok {
+				adjustMsgs++
+			}
+		})
+		if got := s.P(); got != 1.0/8 {
+			t.Fatalf("after first broadcast p = %v, want 1/8", got)
+		}
+		// Second broadcast: n̄ = 400 -> p = 1/32: a quartering (two steps).
+		s.Receive(rounds.BroadcastMsg{NBar: 400}, func(m proto.Message) {
+			if _, ok := m.(AdjustMsg); ok {
+				adjustMsgs++
+			}
+		})
+		if got := s.P(); got != 1.0/32 {
+			t.Fatalf("after quartering p = %v, want 1/32", got)
+		}
+	}
+	if adjustMsgs == 0 {
+		t.Fatal("no adjustment messages over many trials")
+	}
+}
+
+func TestAdjustmentKeepsEstimatorUnbiasedAcrossQuartering(t *testing.T) {
+	// Distributional check across the same quartering scenario: the
+	// coordinator-style estimate n̄_site − 1 + 1/p must average to the true
+	// count.
+	cfg := Config{K: 16, Eps: 0.4, Rescale: 1}
+	const arrivals = 200
+	const trials = 30000
+	rng := stats.New(278)
+	sum := 0.0
+	for tr := 0; tr < trials; tr++ {
+		s := NewSite(cfg, rng.Split())
+		var lastUpdate int64
+		out := func(m proto.Message) {
+			switch msg := m.(type) {
+			case UpdateMsg:
+				lastUpdate = msg.N
+			case AdjustMsg:
+				lastUpdate = msg.NBar
+			}
+		}
+		for i := 0; i < arrivals; i++ {
+			s.Arrive(0, 0, out)
+		}
+		s.Receive(rounds.BroadcastMsg{NBar: 400}, out) // p: 1 -> 1/32 (5 halvings)
+		if lastUpdate > 0 {
+			sum += float64(lastUpdate) - 1 + 1/s.P()
+		}
+	}
+	mean := sum / trials
+	// σ per trial ≈ 1/p = 32; standard error ≈ 32/√trials ≈ 0.18.
+	if math.Abs(mean-arrivals) > 1.5 {
+		t.Fatalf("post-quartering estimator mean %v, want %v", mean, arrivals)
+	}
+}
+
+func TestAdjustMessageOnlySentWhenValueChanges(t *testing.T) {
+	// If the thinning coin keeps n̄_i, no message is emitted.
+	cfg := Config{K: 4, Eps: 0.5, Rescale: 1}
+	rng := stats.New(999)
+	kept, changed, total := 0, 0, 0
+	for tr := 0; tr < 4000; tr++ {
+		s := NewSite(cfg, rng.Split())
+		driveSite(s, 100)
+		before := s.lastSent
+		if before == 0 {
+			continue
+		}
+		total++
+		gotMsg := false
+		// n̄ = 8: εn̄/√k = 2, so p = 1/2 — exactly one halving step.
+		s.Receive(rounds.BroadcastMsg{NBar: 8}, func(m proto.Message) {
+			if _, ok := m.(AdjustMsg); ok {
+				gotMsg = true
+			}
+		})
+		if gotMsg {
+			changed++
+			if s.lastSent == before {
+				// A re-randomization may land on the same value only by
+				// walking back to it; with a single halving step this is
+				// impossible (it starts at before-1).
+				t.Fatal("adjust message sent but value unchanged")
+			}
+		} else {
+			kept++
+			if s.lastSent != before {
+				t.Fatal("value changed silently")
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no trials with an existing update")
+	}
+	keepRate := float64(kept) / float64(total)
+	// One halving step keeps with probability 1/2.
+	if math.Abs(keepRate-0.5) > 0.05 {
+		t.Fatalf("keep rate %v, want ~0.5 (kept=%d changed=%d)", keepRate, kept, changed)
+	}
+}
+
+func TestDisableAdjustmentSkipsMessages(t *testing.T) {
+	cfg := Config{K: 4, Eps: 0.5, Rescale: 1, DisableAdjustment: true}
+	rng := stats.New(1001)
+	for tr := 0; tr < 200; tr++ {
+		s := NewSite(cfg, rng.Split())
+		driveSite(s, 100)
+		s.Receive(rounds.BroadcastMsg{NBar: 64}, func(m proto.Message) {
+			if _, ok := m.(AdjustMsg); ok {
+				t.Fatal("adjustment message sent despite DisableAdjustment")
+			}
+		})
+		// p must still follow the schedule.
+		if s.P() >= 1 {
+			t.Fatal("p did not decrease")
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package count
+
+import (
+	"math"
+
+	"disttrack/internal/proto"
+)
+
+// DetReportMsg is the deterministic tracker's counter report (1 word).
+type DetReportMsg struct {
+	N int64
+}
+
+// Words implements proto.Message.
+func (DetReportMsg) Words() int { return 1 }
+
+// DetSite is the per-site half of the trivial deterministic tracker
+// (paper introduction, used in [16] and optimal among deterministic
+// algorithms [29]): the site reports n_i whenever it has grown by a factor
+// 1+ε since the last report. O(1/ε·logN) messages per site, one-way only.
+type DetSite struct {
+	eps  float64
+	n    int64
+	next int64 // next reporting threshold
+}
+
+// NewDetSite returns a deterministic site with error parameter eps.
+func NewDetSite(eps float64) *DetSite {
+	if eps <= 0 || eps >= 1 {
+		panic("count: eps out of (0,1)")
+	}
+	return &DetSite{eps: eps, next: 1}
+}
+
+// Arrive implements proto.Site.
+func (s *DetSite) Arrive(item int64, value float64, out func(proto.Message)) {
+	s.n++
+	if s.n >= s.next {
+		out(DetReportMsg{N: s.n})
+		next := int64(math.Ceil(float64(s.n) * (1 + s.eps)))
+		if next <= s.n {
+			next = s.n + 1
+		}
+		s.next = next
+	}
+}
+
+// Receive implements proto.Site; the deterministic protocol is one-way, so
+// coordinator messages never arrive.
+func (s *DetSite) Receive(m proto.Message, out func(proto.Message)) {}
+
+// SpaceWords implements proto.Site.
+func (s *DetSite) SpaceWords() int { return 2 }
+
+// DetCoordinator sums the last reports; the truth lies in
+// [Σ reports, (1+ε)·Σ reports], so the midpoint estimate has relative error
+// at most ε/2.
+type DetCoordinator struct {
+	eps     float64
+	reports []int64
+	sum     int64
+}
+
+// NewDetCoordinator returns the deterministic coordinator for k sites.
+func NewDetCoordinator(k int, eps float64) *DetCoordinator {
+	if k <= 0 {
+		panic("count: K must be positive")
+	}
+	return &DetCoordinator{eps: eps, reports: make([]int64, k)}
+}
+
+// Receive implements proto.Coordinator.
+func (c *DetCoordinator) Receive(from int, m proto.Message, send func(int, proto.Message), broadcast func(proto.Message)) {
+	if r, ok := m.(DetReportMsg); ok {
+		c.sum += r.N - c.reports[from]
+		c.reports[from] = r.N
+	}
+}
+
+// Estimate returns the midpoint estimate (1+ε/2)·Σ n̄_i.
+func (c *DetCoordinator) Estimate() float64 {
+	return float64(c.sum) * (1 + c.eps/2)
+}
+
+// SpaceWords implements proto.Coordinator.
+func (c *DetCoordinator) SpaceWords() int { return len(c.reports) + 1 }
+
+// NewDetProtocol assembles the deterministic tracker for k sites.
+func NewDetProtocol(k int, eps float64) (proto.Protocol, *DetCoordinator) {
+	coord := NewDetCoordinator(k, eps)
+	sites := make([]proto.Site, k)
+	for i := range sites {
+		sites[i] = NewDetSite(eps)
+	}
+	return proto.Protocol{Coord: coord, Sites: sites}, coord
+}

@@ -1,0 +1,129 @@
+package count
+
+import (
+	"math"
+	"testing"
+
+	"disttrack/internal/stats"
+)
+
+// TestLemma21Moments verifies E[n̂_i] = n_i and Var[n̂_i] <= 1/p² for the
+// fixed-p estimator (paper Lemma 2.1), for n_i both large and small relative
+// to 1/p.
+func TestLemma21Moments(t *testing.T) {
+	root := stats.New(1001)
+	for _, tc := range []struct {
+		p  float64
+		ni int
+	}{
+		{0.05, 1000}, // n_i >> 1/p
+		{0.05, 20},   // n_i == 1/p: the case split in eq. (1) matters
+		{0.05, 5},    // n_i << 1/p: updates usually absent
+		{0.5, 100},
+		{1.0, 17}, // degenerate: exact
+	} {
+		const trials = 30000
+		ests := make([]float64, trials)
+		for tr := 0; tr < trials; tr++ {
+			f := NewFixedP(tc.p, root.Split())
+			for i := 0; i < tc.ni; i++ {
+				f.Increment()
+			}
+			ests[tr] = f.Estimate()
+		}
+		mean := stats.Mean(ests)
+		sd := stats.StdDev(ests)
+		// Mean within 5 standard errors of n_i.
+		se := sd/math.Sqrt(trials) + 1e-9
+		if math.Abs(mean-float64(tc.ni)) > 5*se+0.05 {
+			t.Errorf("p=%v n=%d: mean %v, want %d (se %v)", tc.p, tc.ni, mean, tc.ni, se)
+		}
+		if bound := 1 / tc.p; sd > 1.1*bound {
+			t.Errorf("p=%v n=%d: std-dev %v exceeds 1/p = %v", tc.p, tc.ni, sd, bound)
+		}
+	}
+}
+
+// TestBiasedAlternativeWouldFail demonstrates why the case split in eq. (1)
+// matters: the naive estimator that always adds 1/p−1 even when no update
+// exists is biased by Θ(1/p) when n_i is small.
+func TestBiasedAlternativeWouldFail(t *testing.T) {
+	const p = 0.05
+	const ni = 5 // << 1/p = 20
+	root := stats.New(1003)
+	const trials = 30000
+	var naive, correct float64
+	for tr := 0; tr < trials; tr++ {
+		f := NewFixedP(p, root.Split())
+		for i := 0; i < ni; i++ {
+			f.Increment()
+		}
+		correct += f.Estimate()
+		// naive: pretend n̄_i = 0 still contributes -1 + 1/p.
+		if f.NBar() == 0 {
+			naive += 0 - 1 + 1/p
+		} else {
+			naive += f.Estimate()
+		}
+	}
+	naiveMean := naive / trials
+	correctMean := correct / trials
+	if math.Abs(correctMean-ni) > 0.5 {
+		t.Fatalf("correct estimator biased: mean %v", correctMean)
+	}
+	// The naive estimator should be visibly biased upward (by roughly
+	// (1-p)^ni * (1/p - 1) ≈ 14.7 here).
+	if naiveMean-ni < 5 {
+		t.Fatalf("expected naive estimator to show large bias, got mean %v", naiveMean)
+	}
+}
+
+func TestFixedPExactWhenPIsOne(t *testing.T) {
+	f := NewFixedP(1, stats.New(7))
+	for i := 1; i <= 100; i++ {
+		send, v := f.Increment()
+		if !send || v != int64(i) {
+			t.Fatalf("p=1 increment %d: send=%v v=%d", i, send, v)
+		}
+		if f.Estimate() != float64(i) {
+			t.Fatalf("p=1 estimate %v at n=%d", f.Estimate(), i)
+		}
+	}
+}
+
+func TestFixedPZeroBeforeAnyUpdate(t *testing.T) {
+	f := NewFixedP(0.5, stats.New(11))
+	if f.Estimate() != 0 {
+		t.Fatal("estimate before any arrival must be 0")
+	}
+}
+
+func TestFixedPValidation(t *testing.T) {
+	for _, p := range []float64{0, -0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewFixedP(%v) did not panic", p)
+				}
+			}()
+			NewFixedP(p, stats.New(1))
+		}()
+	}
+}
+
+// TestMessageRate checks that the expected number of update messages is p·n.
+func TestMessageRate(t *testing.T) {
+	const p = 0.1
+	const n = 100000
+	f := NewFixedP(p, stats.New(13))
+	sent := 0
+	for i := 0; i < n; i++ {
+		if ok, _ := f.Increment(); ok {
+			sent++
+		}
+	}
+	want := p * n
+	if math.Abs(float64(sent)-want) > 6*math.Sqrt(want) {
+		t.Fatalf("sent %d updates, want ~%v", sent, want)
+	}
+}

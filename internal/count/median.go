@@ -1,0 +1,128 @@
+package count
+
+import (
+	"disttrack/internal/proto"
+	"disttrack/internal/stats"
+)
+
+// CopyMsg wraps an inner protocol message with the index of the independent
+// copy it belongs to. The copy index is routing information (a port number),
+// so Words is the inner message's size — consistent with the paper, which
+// accounts the O(log(logN/(δε))) copies as a multiplicative factor on
+// communication, not per-message overhead.
+type CopyMsg struct {
+	Copy  int
+	Inner proto.Message
+}
+
+// Words implements proto.Message.
+func (m CopyMsg) Words() int { return m.Inner.Words() }
+
+// MedianSite runs c independent copies of the randomized site and
+// multiplexes their messages (paper Section 1.2: running O(log(logN/δε))
+// copies and taking the median makes the tracker correct at all time
+// instances with probability 1−δ).
+type MedianSite struct {
+	copies []*Site
+}
+
+// NewMedianSite builds a site with c independent copies.
+func NewMedianSite(cfg Config, c int, rng *stats.RNG) *MedianSite {
+	if c < 1 {
+		panic("count: need at least one copy")
+	}
+	ms := &MedianSite{copies: make([]*Site, c)}
+	for i := range ms.copies {
+		ms.copies[i] = NewSite(cfg, rng.Split())
+	}
+	return ms
+}
+
+// Arrive implements proto.Site.
+func (s *MedianSite) Arrive(item int64, value float64, out func(proto.Message)) {
+	for idx, cp := range s.copies {
+		idx := idx
+		cp.Arrive(item, value, func(m proto.Message) { out(CopyMsg{Copy: idx, Inner: m}) })
+	}
+}
+
+// Receive implements proto.Site.
+func (s *MedianSite) Receive(m proto.Message, out func(proto.Message)) {
+	cm, ok := m.(CopyMsg)
+	if !ok {
+		return
+	}
+	idx := cm.Copy
+	s.copies[idx].Receive(cm.Inner, func(inner proto.Message) {
+		out(CopyMsg{Copy: idx, Inner: inner})
+	})
+}
+
+// SpaceWords implements proto.Site.
+func (s *MedianSite) SpaceWords() int {
+	w := 0
+	for _, cp := range s.copies {
+		w += cp.SpaceWords()
+	}
+	return w
+}
+
+// MedianCoordinator runs the matching coordinator copies and answers with
+// the median of their estimates.
+type MedianCoordinator struct {
+	copies []*Coordinator
+}
+
+// NewMedianCoordinator builds the coordinator with c copies.
+func NewMedianCoordinator(cfg Config, c int) *MedianCoordinator {
+	if c < 1 {
+		panic("count: need at least one copy")
+	}
+	mc := &MedianCoordinator{copies: make([]*Coordinator, c)}
+	for i := range mc.copies {
+		mc.copies[i] = NewCoordinator(cfg)
+	}
+	return mc
+}
+
+// Receive implements proto.Coordinator.
+func (c *MedianCoordinator) Receive(from int, m proto.Message, send func(int, proto.Message), broadcast func(proto.Message)) {
+	cm, ok := m.(CopyMsg)
+	if !ok {
+		return
+	}
+	idx := cm.Copy
+	c.copies[idx].Receive(from, cm.Inner,
+		func(to int, inner proto.Message) { send(to, CopyMsg{Copy: idx, Inner: inner}) },
+		func(inner proto.Message) { broadcast(CopyMsg{Copy: idx, Inner: inner}) })
+}
+
+// Estimate returns the median of the copies' estimates.
+func (c *MedianCoordinator) Estimate() float64 {
+	ests := make([]float64, len(c.copies))
+	for i, cp := range c.copies {
+		ests[i] = cp.Estimate()
+	}
+	return stats.Median(ests)
+}
+
+// SpaceWords implements proto.Coordinator.
+func (c *MedianCoordinator) SpaceWords() int {
+	w := 0
+	for _, cp := range c.copies {
+		w += cp.SpaceWords()
+	}
+	return w
+}
+
+// NewMedianProtocol assembles the boosted tracker with c copies.
+func NewMedianProtocol(cfg Config, c int, seed uint64) (proto.Protocol, *MedianCoordinator) {
+	cfg.validate()
+	root := stats.New(seed)
+	coord := NewMedianCoordinator(cfg, c)
+	sites := make([]proto.Site, cfg.K)
+	for i := range sites {
+		sites[i] = NewMedianSite(cfg, c, root.Split())
+	}
+	return proto.Protocol{Coord: coord, Sites: sites}, coord
+}

@@ -1,0 +1,203 @@
+package count
+
+import (
+	"disttrack/internal/proto"
+	"disttrack/internal/rounds"
+	"disttrack/internal/stats"
+)
+
+// UpdateMsg is a randomized counter report carrying the site's current n_i
+// (1 word).
+type UpdateMsg struct {
+	N int64
+}
+
+// Words implements proto.Message.
+func (UpdateMsg) Words() int { return 1 }
+
+// AdjustMsg carries a site's re-randomized n̄_i after p halved at a round
+// boundary (1 word). Zero means "treat as if no update was ever sent".
+type AdjustMsg struct {
+	NBar int64
+}
+
+// Words implements proto.Message.
+func (AdjustMsg) Words() int { return 1 }
+
+// Config carries the protocol parameters shared by site and coordinator.
+type Config struct {
+	K   int     // number of sites
+	Eps float64 // target relative error
+	// Rescale divides Eps internally so that Chebyshev at the smaller error
+	// parameter yields P[error > Eps·n] <= 1/Rescale². The paper's "rescale
+	// ε and p by a constant" step; 3 gives the 0.9 guarantee. Zero means 3.
+	Rescale float64
+	// DisableAdjustment is an ablation switch: skip the paper's
+	// re-randomization of n̄_i when p halves. The estimator then uses the
+	// new 1/p against reports generated at the old p, biasing it upward by
+	// up to k·(1/p_new − 1/p_old) right after each round boundary.
+	DisableAdjustment bool
+}
+
+// effEps returns the internal (rescaled) error parameter.
+func (c Config) effEps() float64 {
+	r := c.Rescale
+	if r == 0 {
+		r = 3
+	}
+	return c.Eps / r
+}
+
+func (c Config) validate() {
+	if c.K <= 0 {
+		panic("count: K must be positive")
+	}
+	if c.Eps <= 0 || c.Eps >= 1 {
+		panic("count: Eps out of (0,1)")
+	}
+	if c.Rescale < 0 {
+		panic("count: negative Rescale")
+	}
+}
+
+// Site is the per-site state machine of the randomized count-tracking
+// protocol (Theorem 2.1). O(1) words of state.
+type Site struct {
+	cfg      Config
+	rs       *rounds.Site
+	rng      *stats.RNG
+	p        float64
+	lastSent int64 // the site's copy of the coordinator's n̄_i (0 = none)
+}
+
+// NewSite returns site index i's state machine.
+func NewSite(cfg Config, rng *stats.RNG) *Site {
+	cfg.validate()
+	return &Site{cfg: cfg, rs: rounds.NewSite(), rng: rng, p: 1}
+}
+
+// Arrive implements proto.Site.
+func (s *Site) Arrive(item int64, value float64, out func(proto.Message)) {
+	s.rs.Arrive(out)
+	if s.rng.Bernoulli(s.p) {
+		s.lastSent = s.rs.N()
+		out(UpdateMsg{N: s.lastSent})
+	}
+}
+
+// Receive implements proto.Site. On a round broadcast the site recomputes p
+// and, for every halving step, re-randomizes its n̄_i so the system is
+// distributed exactly as if it had always run at the new p: the previous
+// report survives thinning with probability 1/2; otherwise the site walks
+// backward from n̄_i − 1 flipping coins at the new p (one geometric draw)
+// until a success or zero, then informs the coordinator.
+func (s *Site) Receive(m proto.Message, out func(proto.Message)) {
+	if !s.rs.Deliver(m) {
+		return
+	}
+	pNew := rounds.P(s.rs.NBar(), s.cfg.K, s.cfg.effEps())
+	if !s.cfg.DisableAdjustment {
+		steps := rounds.HalvingSteps(s.p, pNew)
+		for step := 0; step < steps; step++ {
+			s.p /= 2
+			s.adjust(out)
+		}
+	}
+	s.p = pNew // exact, in case of float drift
+}
+
+// adjust performs one halving-step re-randomization at the current
+// (already-halved) s.p.
+func (s *Site) adjust(out func(proto.Message)) {
+	if s.lastSent == 0 {
+		return // no update exists; nothing to re-randomize
+	}
+	if s.rng.Bernoulli(0.5) {
+		return // previous success survives thinning; nothing changes
+	}
+	// Fresh coins at the new p for positions lastSent-1, lastSent-2, ..., 1.
+	g := int64(s.rng.Geometric(s.p)) // failures before first success
+	newVal := s.lastSent - 1 - g
+	if newVal < 0 {
+		newVal = 0
+	}
+	s.lastSent = newVal
+	out(AdjustMsg{NBar: newVal})
+}
+
+// SpaceWords implements proto.Site: O(1) words.
+func (s *Site) SpaceWords() int { return s.rs.SpaceWords() + 2 }
+
+// P exposes the site's current sampling probability (tests, ablations).
+func (s *Site) P() float64 { return s.p }
+
+// LocalN returns the site's true local count (test oracle).
+func (s *Site) LocalN() int64 { return s.rs.N() }
+
+// Coordinator is the central state machine; it maintains the last reported
+// n̄_i per site and answers Estimate() at any quiescent instant.
+type Coordinator struct {
+	cfg  Config
+	rc   *rounds.Coordinator
+	nBar []int64 // last reported value per site (0 = none)
+	p    float64
+}
+
+// NewCoordinator returns the coordinator state machine.
+func NewCoordinator(cfg Config) *Coordinator {
+	cfg.validate()
+	return &Coordinator{
+		cfg:  cfg,
+		rc:   rounds.NewCoordinator(cfg.K),
+		nBar: make([]int64, cfg.K),
+		p:    1,
+	}
+}
+
+// Receive implements proto.Coordinator.
+func (c *Coordinator) Receive(from int, m proto.Message, send func(int, proto.Message), broadcast func(proto.Message)) {
+	if c.rc.Deliver(from, m, broadcast) {
+		c.p = rounds.P(c.rc.NBar(), c.cfg.K, c.cfg.effEps())
+		return
+	}
+	switch msg := m.(type) {
+	case UpdateMsg:
+		c.nBar[from] = msg.N
+	case AdjustMsg:
+		c.nBar[from] = msg.NBar
+	}
+}
+
+// Estimate returns n̂ = Σ_i n̂_i with n̂_i = n̄_i − 1 + 1/p (0 when n̄_i does
+// not exist). Unbiased with variance at most k/p² <= (ε_eff·n)².
+func (c *Coordinator) Estimate() float64 {
+	est := 0.0
+	for _, nb := range c.nBar {
+		if nb > 0 {
+			est += float64(nb) - 1 + 1/c.p
+		}
+	}
+	return est
+}
+
+// P exposes the coordinator's current sampling probability.
+func (c *Coordinator) P() float64 { return c.p }
+
+// Round returns the current round number.
+func (c *Coordinator) Round() int { return c.rc.Round() }
+
+// SpaceWords implements proto.Coordinator: O(k) words.
+func (c *Coordinator) SpaceWords() int { return c.rc.SpaceWords() + len(c.nBar) + 1 }
+
+// NewProtocol assembles the full randomized protocol with per-site RNGs
+// split from seed.
+func NewProtocol(cfg Config, seed uint64) (proto.Protocol, *Coordinator) {
+	cfg.validate()
+	root := stats.New(seed)
+	coord := NewCoordinator(cfg)
+	sites := make([]proto.Site, cfg.K)
+	for i := range sites {
+		sites[i] = NewSite(cfg, root.Split())
+	}
+	return proto.Protocol{Coord: coord, Sites: sites}, coord
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunEveryCell(t *testing.T) {
+	for _, p := range []Problem{Count, Freq, Rank} {
+		for _, a := range []Alg{Randomized, Deterministic, Sampling} {
+			rc := RowConfig{Problem: p, Alg: a, K: 8, Eps: 0.1, N: 5000, Seed: 1, Rescale: 1}
+			res := Run(rc)
+			if res.Words <= 0 || res.Messages <= 0 {
+				t.Errorf("%s: no communication recorded", rc.Describe())
+			}
+			if res.Checks == 0 {
+				t.Errorf("%s: no accuracy checks", rc.Describe())
+			}
+			// At Rescale 1 the ε-band is ~1σ (and the sampler's guarantee
+			// is constant-probability), so substantial miss rates are in
+			// spec; near-total failure would indicate a broken protocol.
+			if res.BadFrac > 0.65 {
+				t.Errorf("%s: %.0f%% checks failed", rc.Describe(), 100*res.BadFrac)
+			}
+			if a == Deterministic && res.Bad != 0 {
+				t.Errorf("%s: deterministic row failed %d checks", rc.Describe(), res.Bad)
+			}
+		}
+	}
+}
+
+func TestRunDeterministicInSeed(t *testing.T) {
+	rc := RowConfig{Problem: Freq, Alg: Randomized, K: 4, Eps: 0.1, N: 4000, Seed: 9, Rescale: 1}
+	a := Run(rc)
+	b := Run(rc)
+	if a != b {
+		t.Fatalf("same config produced different results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestIdenticalStreamsAcrossAlgorithms(t *testing.T) {
+	// The deterministic and randomized rows of the same (problem, seed)
+	// must see identical streams: their check counts agree and arrivals
+	// match by construction. Verify via equal Checks.
+	d := Run(RowConfig{Problem: Rank, Alg: Deterministic, K: 4, Eps: 0.1, N: 3000, Seed: 5})
+	r := Run(RowConfig{Problem: Rank, Alg: Randomized, K: 4, Eps: 0.1, N: 3000, Seed: 5, Rescale: 1})
+	if d.Checks != r.Checks {
+		t.Fatalf("check counts differ: %d vs %d", d.Checks, r.Checks)
+	}
+}
+
+func TestAnalyticFormulas(t *testing.T) {
+	for _, p := range []Problem{Count, Freq, Rank} {
+		for _, a := range []Alg{Randomized, Deterministic, Sampling} {
+			rc := RowConfig{Problem: p, Alg: a, K: 16, Eps: 0.05, N: 100000}
+			if w := AnalyticWords(rc); w <= 0 || math.IsNaN(w) {
+				t.Errorf("AnalyticWords(%s/%s) = %v", p, a, w)
+			}
+			if s := AnalyticSpace(rc); s <= 0 || math.IsNaN(s) {
+				t.Errorf("AnalyticSpace(%s/%s) = %v", p, a, s)
+			}
+		}
+	}
+	// Deterministic formulas must dominate randomized ones at large k.
+	det := AnalyticWords(RowConfig{Problem: Count, Alg: Deterministic, K: 256, Eps: 0.05, N: 100000})
+	rnd := AnalyticWords(RowConfig{Problem: Count, Alg: Randomized, K: 256, Eps: 0.05, N: 100000})
+	if det <= rnd {
+		t.Fatal("analytic deterministic bound not above randomized at k=256")
+	}
+}
+
+func TestRunMuSmall(t *testing.T) {
+	mu := RunMu(16, 0.1, 20000, 4)
+	if mu.Draws != 4 {
+		t.Fatalf("draws = %d", mu.Draws)
+	}
+	if mu.AvgDetMsgs <= 0 || mu.AvgRandMsgs <= 0 {
+		t.Fatal("no messages recorded under µ")
+	}
+}
+
+func TestTrackingVsOneShotAllProblems(t *testing.T) {
+	for _, p := range []Problem{Count, Freq, Rank} {
+		c := TrackingVsOneShot(p, 16, 0.1, 20000, 1)
+		if c.TrackingWords <= 0 || c.OneShotWords <= 0 {
+			t.Errorf("%s: missing costs: %+v", p, c)
+		}
+		if c.Ratio <= 1 {
+			t.Errorf("%s: tracking (%d words) not more expensive than one-shot (%d)",
+				p, c.TrackingWords, c.OneShotWords)
+		}
+	}
+	// Count's one-shot is exactly k words.
+	c := TrackingVsOneShot(Count, 16, 0.1, 20000, 1)
+	if c.OneShotWords != 16 {
+		t.Fatalf("count one-shot words = %d, want k", c.OneShotWords)
+	}
+}
+
+func TestBiasAblationDirection(t *testing.T) {
+	biased, unbiased := BiasAblation(16, 8000, 50, 40, 0.1)
+	if math.Abs(unbiased) >= math.Abs(biased) {
+		t.Fatalf("unbiased |%v| not below biased |%v|", unbiased, biased)
+	}
+	if biased <= 0 {
+		t.Fatalf("equation (2) bias should be positive, got %v", biased)
+	}
+}
+
+func TestAdjustmentAblationDirection(t *testing.T) {
+	with, without := AdjustmentAblation(9, 8000, 60, 0.02)
+	if math.Abs(with) >= math.Abs(without) {
+		t.Fatalf("adjusted |%v| not below unadjusted |%v|", with, without)
+	}
+	if without <= 0 {
+		t.Fatalf("skipping adjustment should bias upward, got %v", without)
+	}
+}
+
+func TestRunPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown problem did not panic")
+		}
+	}()
+	Run(RowConfig{Problem: "bogus", Alg: Randomized, K: 2, Eps: 0.1, N: 10})
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"math"
+
+	"disttrack/internal/oneshot"
+	"disttrack/internal/stats"
+	"disttrack/internal/workload"
+)
+
+// OneShotComparison records experiment E13: the cost of tracking a function
+// continuously versus computing it once at the end, on the same data. The
+// paper (§1.3): for frequencies and ranks, tracking is only a Θ(logN)
+// factor more expensive than the one-shot O(√k/ε) protocols of [13, 14];
+// for count, the one-shot version is trivial (k words) so the ratio is
+// unbounded — count tracking is "much harder than its one-shot version".
+type OneShotComparison struct {
+	Problem       Problem
+	K             int
+	Eps           float64
+	N             int
+	TrackingWords int64
+	OneShotWords  int64
+	Ratio         float64
+	LogN          float64
+	RatioPerLogN  float64
+}
+
+// TrackingVsOneShot runs the randomized tracker and the randomized one-shot
+// protocol on identical data and compares their word costs.
+func TrackingVsOneShot(problem Problem, k int, eps float64, n int, seed uint64) OneShotComparison {
+	track := Run(RowConfig{Problem: problem, Alg: Randomized, K: k, Eps: eps,
+		N: n, Seed: seed, Rescale: 1})
+
+	var osWords int64
+	rng := stats.New(seed + 1000)
+	switch problem {
+	case Count:
+		counts := make([]int64, k)
+		for i := 0; i < n; i++ {
+			counts[i%k]++
+		}
+		_, res := oneshot.Count(counts)
+		osWords = res.Words
+	case Freq:
+		itemF := workload.ZipfItems(1000, 1.1, stats.New(seed+77))
+		streams := make([][]int64, k)
+		for i := 0; i < n; i++ {
+			streams[i%k] = append(streams[i%k], itemF(i))
+		}
+		_, res := oneshot.FreqRand(streams, eps, rng)
+		osWords = res.Words
+	case Rank:
+		valueF := workload.PermValues(n, stats.New(seed+78))
+		streams := make([][]float64, k)
+		for i := 0; i < n; i++ {
+			streams[i%k] = append(streams[i%k], valueF(i))
+		}
+		_, res := oneshot.RankRand(streams, eps, rng)
+		osWords = res.Words
+	default:
+		panic("experiments: unknown problem " + string(problem))
+	}
+
+	c := OneShotComparison{
+		Problem:       problem,
+		K:             k,
+		Eps:           eps,
+		N:             n,
+		TrackingWords: track.Words,
+		OneShotWords:  osWords,
+		LogN:          math.Log2(float64(n)),
+	}
+	if osWords > 0 {
+		c.Ratio = float64(track.Words) / float64(osWords)
+		c.RatioPerLogN = c.Ratio / c.LogN
+	}
+	return c
+}

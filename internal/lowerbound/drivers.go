@@ -1,0 +1,120 @@
+package lowerbound
+
+import (
+	"disttrack/internal/count"
+	"disttrack/internal/sim"
+	"disttrack/internal/stats"
+	"disttrack/internal/workload"
+)
+
+// MuComparison is the outcome of running the deterministic one-way tracker
+// and the randomized two-way tracker on the same draw of the hard
+// distribution µ (Theorem 2.2).
+type MuComparison struct {
+	SingleSiteBranch bool // which branch of µ was drawn
+	DetMessages      int64
+	RandMessages     int64
+	DetMaxErr        float64 // max relative error over all instants
+	// RandBadFrac is the fraction of instants where the randomized tracker
+	// missed the 2ε band. At Rescale 1 the ε-band is one standard
+	// deviation, so 2ε is the meaningful Chebyshev check here.
+	RandBadFrac float64
+}
+
+// CompareUnderMu draws one µ instance and runs both trackers on it.
+// Theorem 2.2 says any one-way algorithm pays Ω(k/ε·logN) under µ; the
+// deterministic tracker is exactly such an algorithm, while the randomized
+// two-way tracker escapes with O(√k/ε·logN).
+func CompareUnderMu(k int, eps float64, n int, seed uint64) MuComparison {
+	rng := stats.New(seed)
+	placement := workload.HardMu(k, rng)
+	events := workload.Config{N: n, Placement: placement}.Events()
+	single := true
+	for i := 1; i < k && i < n; i++ {
+		if events[i].Site != events[0].Site {
+			single = false
+			break
+		}
+	}
+
+	var out MuComparison
+	out.SingleSiteBranch = single
+
+	dp, dcoord := count.NewDetProtocol(k, eps)
+	dh := sim.New(dp)
+	dh.Run(events, func(arrived int64) {
+		if e := stats.RelErr(dcoord.Estimate(), float64(arrived)); e > out.DetMaxErr {
+			out.DetMaxErr = e
+		}
+	})
+	out.DetMessages = dh.Metrics().Messages()
+
+	// Rescale 1: the comparison is between the message-count shapes of the
+	// two algorithms at the same ε parameter, as in Table 1.
+	rp, rcoord := count.NewProtocol(count.Config{K: k, Eps: eps, Rescale: 1}, rng.Uint64())
+	rh := sim.New(rp)
+	bad := 0
+	rh.Run(events, func(arrived int64) {
+		if stats.RelErr(rcoord.Estimate(), float64(arrived)) > 2*eps {
+			bad++
+		}
+	})
+	out.RandMessages = rh.Metrics().Messages()
+	out.RandBadFrac = float64(bad) / float64(n)
+	return out
+}
+
+// HardRunResult is the outcome of running the randomized tracker on the
+// Theorem 2.4 adversarial instance.
+type HardRunResult struct {
+	K         int
+	Eps       float64
+	N         int
+	Subrounds int   // number of completed subrounds (1-bit decision points)
+	Messages  int64 // total messages exchanged
+	// BadSubrounds counts decision points where the estimate missed εn —
+	// the tracker is allowed a constant fraction of these.
+	BadSubrounds int
+}
+
+// RunHardInstance feeds the subround adversary to the randomized tracker
+// and checks it at exactly the instants the lower-bound proof interrogates.
+// Any correct tracker must spend Ω(k) messages per subround there, i.e.
+// Ω(√k/ε·logN) in total.
+func RunHardInstance(k int, eps float64, maxEvents int, seed uint64) HardRunResult {
+	rng := stats.New(seed)
+	inst := workload.NewHardCountInstance(k, eps, maxEvents, rng)
+	p, coord := count.NewProtocol(count.Config{K: k, Eps: eps}, rng.Uint64())
+	h := sim.New(p)
+
+	res := HardRunResult{K: k, Eps: eps, N: inst.N()}
+	next := 0
+	for i, e := range inst.Events {
+		h.Arrive(e.Site, e.Item, e.Value)
+		if next < len(inst.SubroundEnds) && i+1 == inst.SubroundEnds[next] {
+			res.Subrounds++
+			if stats.RelErr(coord.Estimate(), float64(i+1)) > eps {
+				res.BadSubrounds++
+			}
+			next++
+		}
+	}
+	res.Messages = h.Metrics().Messages()
+	return res
+}
+
+// OneWayForcedMessages returns the analytic floor of Theorem 2.2 for a
+// deterministic one-way algorithm under µ: k/2 messages per (1+ε)-growth
+// round over 1/ε·log(εN/k) rounds.
+func OneWayForcedMessages(k int, eps float64, n int) float64 {
+	if n <= k {
+		return 0
+	}
+	rounds := 0.0
+	w := float64(k) / eps
+	for w < float64(n) {
+		w *= 1 + eps
+		rounds++
+	}
+	return rounds * float64(k) / 2
+}

@@ -1,0 +1,207 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"disttrack/internal/stats"
+)
+
+func TestOneBitInstanceShape(t *testing.T) {
+	rng := stats.New(901)
+	const k = 100
+	plusSeen, minusSeen := false, false
+	for i := 0; i < 50; i++ {
+		inst := NewOneBitInstance(k, rng)
+		ones := 0
+		for _, b := range inst.Bits {
+			if b {
+				ones++
+			}
+		}
+		if ones != inst.Freed {
+			t.Fatalf("bit count %d != declared s %d", ones, inst.Freed)
+		}
+		if inst.Plus {
+			plusSeen = true
+			if ones != k/2+10 {
+				t.Fatalf("plus instance has %d ones", ones)
+			}
+		} else {
+			minusSeen = true
+			if ones != k/2-10 {
+				t.Fatalf("minus instance has %d ones", ones)
+			}
+		}
+	}
+	if !plusSeen || !minusSeen {
+		t.Fatal("both hypotheses should appear over 50 draws")
+	}
+}
+
+func TestProbeBounds(t *testing.T) {
+	rng := stats.New(907)
+	inst := NewOneBitInstance(64, rng)
+	pr := inst.Probe(16, rng)
+	if pr.Ones < 0 || pr.Ones > 16 {
+		t.Fatalf("probe ones out of range: %d", pr.Ones)
+	}
+	full := inst.Probe(64, rng)
+	if full.Ones != inst.Freed {
+		t.Fatalf("full probe found %d ones, want %d", full.Ones, inst.Freed)
+	}
+}
+
+func TestFullProbeAlwaysSucceeds(t *testing.T) {
+	rng := stats.New(911)
+	const k = 64
+	for i := 0; i < 200; i++ {
+		inst := NewOneBitInstance(k, rng)
+		pr := inst.Probe(k, rng)
+		if DecidePlus(k, pr) != inst.Plus {
+			t.Fatal("full probe misclassified")
+		}
+	}
+}
+
+// TestClaimA1SmallProbesFail is the heart of Figure 1: with z = o(k) probes
+// the optimal distinguisher's success probability is close to 1/2, while
+// z = k succeeds almost always.
+func TestClaimA1SmallProbesFail(t *testing.T) {
+	rng := stats.New(913)
+	const k = 1024
+	const trials = 4000
+	small := SuccessProbability(k, 16, trials, rng) // z = k/64
+	large := SuccessProbability(k, k, trials, rng)
+	if small > 0.65 {
+		t.Fatalf("z=o(k) success %v; Claim A.1 predicts ~0.5", small)
+	}
+	if large < 0.95 {
+		t.Fatalf("z=k success %v; should be near certain", large)
+	}
+	// Monotonicity in z (coarse).
+	mid := SuccessProbability(k, 256, trials, rng)
+	if !(small-0.05 <= mid && mid <= large+0.05) {
+		t.Fatalf("success not increasing: %v, %v, %v", small, mid, large)
+	}
+}
+
+func TestAnalyticFailureMatchesMonteCarlo(t *testing.T) {
+	rng := stats.New(917)
+	const k = 1024
+	const trials = 6000
+	for _, z := range []int{32, 128, 512} {
+		mc := 1 - SuccessProbability(k, z, trials, rng)
+		an := AnalyticFailure(k, z)
+		// The normal approximation plus hypergeometric finiteness: allow a
+		// few percentage points.
+		if math.Abs(mc-an) > 0.05 {
+			t.Fatalf("z=%d: Monte-Carlo failure %v vs analytic %v", z, mc, an)
+		}
+	}
+}
+
+func TestAnalyticFailureLimits(t *testing.T) {
+	if AnalyticFailure(1024, 0) != 0.5 {
+		t.Fatal("zero probes should fail half the time")
+	}
+	if f := AnalyticFailure(1024, 1024); f > 0.05 {
+		t.Fatalf("full probe analytic failure %v too high", f)
+	}
+	// Failure decreases with z.
+	prev := 0.51
+	for _, z := range []int{1, 4, 16, 64, 256, 1024} {
+		f := AnalyticFailure(1024, z)
+		if f > prev {
+			t.Fatalf("failure not decreasing at z=%d: %v > %v", z, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestCompareUnderMu(t *testing.T) {
+	// Theorem 2.2's story: a one-way algorithm must keep dense reporting
+	// thresholds to survive the single-site branch, which the round-robin
+	// branch then exploits at cost Ω(k/ε·logN); the randomized two-way
+	// tracker escapes with ~√k/ε·logN. So on round-robin draws the
+	// randomized tracker must be cheaper, while on single-site draws the
+	// one-way tracker is legitimately cheap (one site does all reporting).
+	const k = 64
+	const eps = 0.1
+	const n = 60000
+	singles, robins := 0, 0
+	for seed := uint64(0); seed < 10 && (singles == 0 || robins == 0); seed++ {
+		res := CompareUnderMu(k, eps, n, seed)
+		if res.DetMaxErr > eps {
+			t.Fatalf("deterministic tracker violated its guarantee: %v", res.DetMaxErr)
+		}
+		if res.RandBadFrac > 0.15 {
+			t.Fatalf("randomized tracker failed %v of instants under µ", res.RandBadFrac)
+		}
+		if res.SingleSiteBranch {
+			singles++
+			continue
+		}
+		robins++
+		if res.RandMessages >= res.DetMessages {
+			t.Fatalf("round-robin branch: randomized (%d) not cheaper than one-way deterministic (%d)",
+				res.RandMessages, res.DetMessages)
+		}
+	}
+	if robins == 0 {
+		t.Fatal("round-robin branch never drawn over 10 seeds")
+	}
+}
+
+func TestRunHardInstanceCorrectAndCostly(t *testing.T) {
+	const k = 64
+	const eps = 0.1
+	res := RunHardInstance(k, eps, 60000, 5)
+	if res.Subrounds == 0 {
+		t.Fatal("no subrounds completed")
+	}
+	// The tracker must stay correct at the adversary's decision points for
+	// most subrounds (0.9 guarantee per instant).
+	if frac := float64(res.BadSubrounds) / float64(res.Subrounds); frac > 0.15 {
+		t.Fatalf("tracker failed %.0f%% of subround decisions", 100*frac)
+	}
+	if res.Messages == 0 {
+		t.Fatal("no communication recorded")
+	}
+}
+
+func TestOneWayForcedMessages(t *testing.T) {
+	f := OneWayForcedMessages(16, 0.1, 1<<20)
+	if f <= 0 {
+		t.Fatal("forced messages should be positive")
+	}
+	// Grows with N.
+	if OneWayForcedMessages(16, 0.1, 1<<22) <= f {
+		t.Fatal("forced messages should grow with N")
+	}
+	// Grows as 1/eps.
+	if OneWayForcedMessages(16, 0.05, 1<<20) <= f {
+		t.Fatal("forced messages should grow as eps shrinks")
+	}
+	if OneWayForcedMessages(16, 0.1, 8) != 0 {
+		t.Fatal("tiny n should force nothing")
+	}
+}
+
+func TestNewOneBitInstanceValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=2 did not panic")
+		}
+	}()
+	NewOneBitInstance(2, stats.New(1))
+}
+
+func TestSuccessProbabilityValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad z did not panic")
+		}
+	}()
+	SuccessProbability(16, 17, 10, stats.New(1))
+}

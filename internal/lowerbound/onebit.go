@@ -1,0 +1,108 @@
+// Package lowerbound implements the experimental side of the paper's lower
+// bounds (Section 2.2 and Appendix A): the 1-bit problem of Definition 2.1,
+// the sampling problem of Claim A.1 whose geometry Figure 1 illustrates, the
+// one-way threshold-player model of Theorem 2.2, and drivers that feed the
+// adversarial instances to the real trackers.
+package lowerbound
+
+import (
+	"math"
+
+	"disttrack/internal/stats"
+)
+
+// OneBitInstance is one draw of the 1-bit problem: s = k/2 ± √k of the k
+// sites hold bit 1, with the sign chosen uniformly.
+type OneBitInstance struct {
+	K     int
+	Plus  bool // true: s = k/2 + √k
+	Bits  []bool
+	Freed int // number of bits = 1 (the true s)
+}
+
+// NewOneBitInstance draws an instance.
+func NewOneBitInstance(k int, rng *stats.RNG) *OneBitInstance {
+	if k < 4 {
+		panic("lowerbound: k must be >= 4")
+	}
+	sq := int(math.Sqrt(float64(k)))
+	plus := rng.Bernoulli(0.5)
+	s := k/2 - sq
+	if plus {
+		s = k/2 + sq
+	}
+	bits := make([]bool, k)
+	for _, i := range rng.SampleK(k, s) {
+		bits[i] = true
+	}
+	return &OneBitInstance{K: k, Plus: plus, Bits: bits, Freed: s}
+}
+
+// ProbeResult is the outcome of probing z sites of an instance.
+type ProbeResult struct {
+	Z    int
+	Ones int
+}
+
+// Probe samples z sites uniformly without replacement and counts ones.
+func (inst *OneBitInstance) Probe(z int, rng *stats.RNG) ProbeResult {
+	ones := 0
+	for _, i := range rng.SampleK(inst.K, z) {
+		if inst.Bits[i] {
+			ones++
+		}
+	}
+	return ProbeResult{Z: z, Ones: ones}
+}
+
+// DecidePlus is the optimal likelihood decision rule for the probe: declare
+// "s = k/2 + √k" when the hypergeometric likelihood under the plus
+// hypothesis exceeds the minus one (Figure 1's threshold x₀ between the two
+// laws; for these symmetric parameters it reduces to comparing the observed
+// fraction of ones with 1/2, but we evaluate the exact likelihoods).
+func DecidePlus(k int, pr ProbeResult) bool {
+	sq := int(math.Sqrt(float64(k)))
+	lPlus := stats.HypergeometricLogPMF(k, k/2+sq, pr.Z, pr.Ones)
+	lMinus := stats.HypergeometricLogPMF(k, k/2-sq, pr.Z, pr.Ones)
+	return lPlus >= lMinus
+}
+
+// SuccessProbability estimates, by nTrials Monte-Carlo draws, the success
+// probability of the optimal distinguisher when probing z of k sites. The
+// paper's Claim A.1 shows it is 1/2 + o(1) whenever z = o(k), which forces
+// the Ω(k) communication per 1-bit instance.
+func SuccessProbability(k, z, nTrials int, rng *stats.RNG) float64 {
+	if z < 0 || z > k {
+		panic("lowerbound: z out of range")
+	}
+	wins := 0
+	for t := 0; t < nTrials; t++ {
+		inst := NewOneBitInstance(k, rng)
+		pr := inst.Probe(z, rng)
+		if DecidePlus(k, pr) == inst.Plus {
+			wins++
+		}
+	}
+	return float64(wins) / float64(nTrials)
+}
+
+// AnalyticFailure returns the analytic failure probability of the optimal
+// distinguisher from the paper's Appendix A normal approximation:
+// ½(Φ(−ℓ₁/σ₁) + Φ(−ℓ₂/σ₂)) with µ = z·p ± z·α, p = 1/2, α = 1/√k
+// (Figure 1's two-Gaussian picture). The paper takes σ² ≈ z·p(1−p) because
+// it only needs z = o(k); we include the hypergeometric finite-population
+// correction (k−z)/(k−1) so the curve is accurate for all z up to k.
+func AnalyticFailure(k, z int) float64 {
+	if z == 0 {
+		return 0.5
+	}
+	if z >= k {
+		return 0
+	}
+	p := 0.5
+	alpha := 1 / math.Sqrt(float64(k))
+	fpc := float64(k-z) / float64(k-1)
+	sigma := math.Sqrt(float64(z) * p * (1 - p) * fpc)
+	half := alpha * float64(z) // distance from each mean to the midpoint x0
+	return stats.NormalCDF(-half / sigma)
+}

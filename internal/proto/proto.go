@@ -1,0 +1,55 @@
+// Package proto defines the contracts between tracking protocols and the
+// runtimes that host them.
+//
+// A protocol is written as two passive state machines — a per-site machine
+// and a coordinator machine — that exchange Messages. The same protocol code
+// runs unchanged on the sequential exact-accounting simulator
+// (internal/sim) and on the concurrent goroutine runtime (internal/netsim);
+// both enforce the paper's "communication is instant" semantics by running
+// every message cascade to quiescence before the next element arrives.
+package proto
+
+// Message is one unit of communication. Words reports its size in the
+// paper's word-based accounting: any integer less than N, an element, a
+// counter value, or a level tag is one word. The envelope (sender identity)
+// is free. A broadcast costs k times the message.
+type Message interface {
+	Words() int
+}
+
+// Site is the per-site half of a protocol. Runtimes guarantee that calls on
+// one Site value are never concurrent.
+type Site interface {
+	// Arrive processes one element landing at this site: item is the
+	// identity used by frequency tracking, value the ordered key used by
+	// rank tracking (count tracking ignores both). out enqueues a message
+	// to the coordinator.
+	Arrive(item int64, value float64, out func(Message))
+
+	// Receive processes one message from the coordinator.
+	Receive(m Message, out func(Message))
+
+	// SpaceWords reports the site's current working space in words.
+	SpaceWords() int
+}
+
+// Coordinator is the central half of a protocol. Runtimes guarantee that
+// calls are never concurrent.
+type Coordinator interface {
+	// Receive processes a message from site from. send transmits to a single
+	// site; broadcast transmits to all k sites at k times the cost.
+	Receive(from int, m Message, send func(to int, m Message), broadcast func(Message))
+
+	// SpaceWords reports the coordinator's current state size in words.
+	SpaceWords() int
+}
+
+// Protocol bundles a coordinator with its k sites, ready to be mounted on a
+// runtime.
+type Protocol struct {
+	Coord Coordinator
+	Sites []Site
+}
+
+// K returns the number of sites.
+func (p Protocol) K() int { return len(p.Sites) }

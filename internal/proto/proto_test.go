@@ -1,0 +1,31 @@
+package proto
+
+import "testing"
+
+type nopSite struct{}
+
+func (nopSite) Arrive(item int64, value float64, out func(Message)) {}
+func (nopSite) Receive(m Message, out func(Message))                {}
+func (nopSite) SpaceWords() int                                     { return 0 }
+
+type nopCoord struct{}
+
+func (nopCoord) Receive(from int, m Message, send func(int, Message), broadcast func(Message)) {}
+func (nopCoord) SpaceWords() int                                                               { return 0 }
+
+func TestProtocolK(t *testing.T) {
+	p := Protocol{Coord: nopCoord{}, Sites: []Site{nopSite{}, nopSite{}, nopSite{}}}
+	if p.K() != 3 {
+		t.Fatalf("K = %d, want 3", p.K())
+	}
+	if (Protocol{}).K() != 0 {
+		t.Fatal("empty protocol K != 0")
+	}
+}
+
+// Compile-time checks that the nop types satisfy the interfaces (and
+// document the expected shapes).
+var (
+	_ Site        = nopSite{}
+	_ Coordinator = nopCoord{}
+)

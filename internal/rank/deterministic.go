@@ -1,0 +1,140 @@
+package rank
+
+import (
+	"math"
+
+	"disttrack/internal/proto"
+	"disttrack/internal/rounds"
+	"disttrack/internal/summary/gk"
+)
+
+// DetSnapshotMsg ships a site's full GK summary snapshot.
+type DetSnapshotMsg struct {
+	Snap gk.Snapshot
+}
+
+// Words implements proto.Message.
+func (m DetSnapshotMsg) Words() int { return m.Snap.Words() }
+
+// DetSite is the per-site half of the deterministic rank-tracking baseline
+// (Cormode et al. [6] style): a Greenwald–Khanna summary over the site's
+// whole stream, snapshotted to the coordinator every T = max(1, ⌊εn̄/(4k)⌋)
+// arrivals. Communication O(k/ε²·logN) words; error at most
+// εn/8 (GK) + k·T ≤ 3εn/8 at all times.
+//
+// The paper's own deterministic baseline [29] improves this to
+// O(k/ε·logN·log²(1/ε)); the experiment harness plots that analytic curve
+// alongside this implementation (see DESIGN.md §5).
+type DetSite struct {
+	k   int
+	eps float64
+	rs  *rounds.Site
+	g   *gk.Summary
+
+	sinceReport int64
+}
+
+// NewDetSite returns a deterministic site.
+func NewDetSite(k int, eps float64) *DetSite {
+	if k <= 0 {
+		panic("rank: K must be positive")
+	}
+	if eps <= 0 || eps >= 1 {
+		panic("rank: eps out of (0,1)")
+	}
+	return &DetSite{k: k, eps: eps, rs: rounds.NewSite(), g: gk.New(eps / 8)}
+}
+
+// threshold returns the snapshot period T.
+func (s *DetSite) threshold() int64 {
+	t := int64(s.eps * float64(s.rs.NBar()) / (4 * float64(s.k)))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Arrive implements proto.Site.
+func (s *DetSite) Arrive(item int64, value float64, out func(proto.Message)) {
+	s.g.Insert(value)
+	s.sinceReport++
+	if s.sinceReport >= s.threshold() {
+		out(DetSnapshotMsg{Snap: s.g.Snapshot()})
+		s.sinceReport = 0
+	}
+	s.rs.Arrive(out)
+}
+
+// Receive implements proto.Site.
+func (s *DetSite) Receive(m proto.Message, out func(proto.Message)) {
+	s.rs.Deliver(m)
+}
+
+// SpaceWords implements proto.Site.
+func (s *DetSite) SpaceWords() int {
+	return s.rs.SpaceWords() + s.g.SpaceWords() + 1
+}
+
+// DetCoordinator keeps each site's latest snapshot and sums rank estimates.
+type DetCoordinator struct {
+	rc    *rounds.Coordinator
+	snaps []gk.Snapshot
+}
+
+// NewDetCoordinator returns the deterministic coordinator.
+func NewDetCoordinator(k int) *DetCoordinator {
+	return &DetCoordinator{rc: rounds.NewCoordinator(k), snaps: make([]gk.Snapshot, k)}
+}
+
+// Receive implements proto.Coordinator.
+func (c *DetCoordinator) Receive(from int, m proto.Message, send func(int, proto.Message), broadcast func(proto.Message)) {
+	if c.rc.Deliver(from, m, broadcast) {
+		return
+	}
+	if sm, ok := m.(DetSnapshotMsg); ok {
+		c.snaps[from] = sm.Snap
+	}
+}
+
+// Rank returns the deterministic estimate of |{elements < x}|.
+func (c *DetCoordinator) Rank(x float64) float64 {
+	var est int64
+	for _, sn := range c.snaps {
+		est += sn.Rank(x)
+	}
+	return float64(est)
+}
+
+// Quantile locates a value of estimated rank q·n̂ by bisection over [lo, hi].
+func (c *DetCoordinator) Quantile(q float64, lo, hi float64) float64 {
+	total := c.Rank(math.Inf(1))
+	target := q * total
+	for i := 0; i < 64 && hi-lo > 1e-9*(1+math.Abs(hi)); i++ {
+		mid := (lo + hi) / 2
+		if c.Rank(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// SpaceWords implements proto.Coordinator.
+func (c *DetCoordinator) SpaceWords() int {
+	w := c.rc.SpaceWords()
+	for _, sn := range c.snaps {
+		w += sn.Words()
+	}
+	return w
+}
+
+// NewDetProtocol assembles the deterministic rank tracker.
+func NewDetProtocol(k int, eps float64) (proto.Protocol, *DetCoordinator) {
+	coord := NewDetCoordinator(k)
+	sites := make([]proto.Site, k)
+	for i := range sites {
+		sites[i] = NewDetSite(k, eps)
+	}
+	return proto.Protocol{Coord: coord, Sites: sites}, coord
+}

@@ -1,0 +1,364 @@
+// Package rank implements the rank/quantile-tracking protocols of Section 4
+// of the paper: the randomized algorithm built from per-chunk dyadic trees
+// of unbiased rank summaries ("algorithm C" over "algorithm A") with
+// residual sampling, and the deterministic baseline of Cormode et al. [6]
+// (periodic Greenwald–Khanna snapshots).
+package rank
+
+import (
+	"math"
+	"sort"
+
+	"disttrack/internal/proto"
+	"disttrack/internal/rounds"
+	"disttrack/internal/stats"
+	"disttrack/internal/summary/merge"
+)
+
+// SummaryMsg ships the summary of a full tree node. Its payload is the
+// snapshot plus level and node-position tags.
+type SummaryMsg struct {
+	Chunk int64 // per-site chunk sequence number
+	Level int
+	Pos   int // node index within its level
+	Snap  merge.Snapshot
+}
+
+// Words implements proto.Message.
+func (m SummaryMsg) Words() int { return m.Snap.Words() + 3 }
+
+// SampleMsg forwards one sampled element with its index within the chunk
+// (value + index + chunk tag).
+type SampleMsg struct {
+	Chunk int64
+	Index int64 // 1-based position within the chunk
+	Value float64
+}
+
+// Words implements proto.Message.
+func (SampleMsg) Words() int { return 3 }
+
+// Config carries the shared parameters of the randomized rank tracker.
+type Config struct {
+	K   int
+	Eps float64
+	// Rescale divides Eps internally; zero means 3 (constant-factor
+	// rescaling for the 0.9 success probability).
+	Rescale float64
+}
+
+func (c Config) effEps() float64 {
+	r := c.Rescale
+	if r == 0 {
+		r = 3
+	}
+	return c.Eps / r
+}
+
+func (c Config) validate() {
+	if c.K <= 0 {
+		panic("rank: K must be positive")
+	}
+	if c.Eps <= 0 || c.Eps >= 1 {
+		panic("rank: Eps out of (0,1)")
+	}
+	if c.Rescale < 0 {
+		panic("rank: negative Rescale")
+	}
+}
+
+// chunk is a site's in-progress instance of algorithm C.
+type chunk struct {
+	id      int64
+	cap     int64 // maximum number of elements (n̄/k at creation)
+	b       int64 // block size εn̄/√k
+	h       int   // tree height: levels 0..h
+	arrived int64
+	active  []*merge.Summary // one active node per level (nil = none)
+}
+
+// Site is the per-site state machine of the randomized rank tracker.
+type Site struct {
+	cfg Config
+	rs  *rounds.Site
+	rng *stats.RNG
+
+	p      float64
+	nextID int64
+	cur    *chunk
+}
+
+// NewSite returns a fresh site.
+func NewSite(cfg Config, rng *stats.RNG) *Site {
+	cfg.validate()
+	return &Site{cfg: cfg, rs: rounds.NewSite(), rng: rng, p: 1}
+}
+
+// newChunk starts a fresh instance of algorithm C sized by the current n̄.
+func (s *Site) newChunk() *chunk {
+	nBar := s.rs.NBar()
+	capacity := nBar / int64(s.cfg.K)
+	if capacity < 1 {
+		capacity = 1
+	}
+	b := int64(s.cfg.effEps() * float64(nBar) / math.Sqrt(float64(s.cfg.K)))
+	if b < 1 {
+		b = 1
+	}
+	numBlocks := (capacity + b - 1) / b
+	h := 0
+	for (int64(1) << uint(h)) < numBlocks {
+		h++
+	}
+	c := &chunk{
+		id:     s.nextID,
+		cap:    capacity,
+		b:      b,
+		h:      h,
+		active: make([]*merge.Summary, h+1),
+	}
+	s.nextID++
+	return c
+}
+
+// bufSize returns the buffer size for a level-ℓ node: ⌈2^ℓ·√h⌉, which gives
+// the node's rank estimator a standard deviation of at most b/(2√h) over its
+// 2^ℓ·b elements (the paper's per-level error parameter 2^−ℓ/√h).
+func (c *chunk) bufSize(level int) int {
+	h := float64(c.h)
+	if h < 1 {
+		h = 1
+	}
+	s := int(math.Ceil(float64(int64(1)<<uint(level)) * math.Sqrt(h)))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Arrive implements proto.Site.
+func (s *Site) Arrive(item int64, value float64, out func(proto.Message)) {
+	if s.cur == nil || s.cur.arrived >= s.cur.cap {
+		s.cur = s.newChunk()
+	}
+	c := s.cur
+	c.arrived++
+
+	// Feed every active node on the path (one per level), creating nodes
+	// lazily, and ship summaries of nodes that just became full.
+	for level := 0; level <= c.h; level++ {
+		if c.active[level] == nil {
+			c.active[level] = merge.New(c.bufSize(level), s.rng.Split())
+		}
+		c.active[level].Insert(value)
+		span := c.b << uint(level) // elements covered by a level-ℓ node
+		if c.arrived%span == 0 {
+			pos := int((c.arrived - 1) / span)
+			out(SummaryMsg{Chunk: c.id, Level: level, Pos: pos, Snap: c.active[level].Snapshot()})
+			c.active[level] = nil
+		}
+	}
+
+	// Residual sampling at rate p.
+	if s.rng.Bernoulli(s.p) {
+		out(SampleMsg{Chunk: c.id, Index: c.arrived, Value: value})
+	}
+
+	s.rs.Arrive(out)
+}
+
+// Receive implements proto.Site: a round broadcast abandons the current
+// chunk (its residual stays covered by the already-forwarded samples) and
+// updates p.
+func (s *Site) Receive(m proto.Message, out func(proto.Message)) {
+	if !s.rs.Deliver(m) {
+		return
+	}
+	s.p = rounds.P(s.rs.NBar(), s.cfg.K, s.cfg.effEps())
+	s.cur = nil
+}
+
+// SpaceWords implements proto.Site.
+func (s *Site) SpaceWords() int {
+	w := s.rs.SpaceWords() + 3
+	if s.cur != nil {
+		for _, a := range s.cur.active {
+			if a != nil {
+				w += a.SpaceWords()
+			}
+		}
+		w += 5
+	}
+	return w
+}
+
+// P exposes the site's sampling probability (tests).
+func (s *Site) P() float64 { return s.p }
+
+// chunkView is the coordinator's record of one chunk.
+type chunkView struct {
+	p         float64
+	b         int64
+	leaves    int // number of completed blocks (level-0 summaries seen)
+	summaries map[nodeKey]merge.Snapshot
+	samples   []sample // in index order (sites send them in order)
+}
+
+type nodeKey struct {
+	level int
+	pos   int
+}
+
+type sample struct {
+	index int64
+	value float64
+}
+
+// Coordinator accumulates chunk summaries and samples and answers rank
+// queries at any quiescent instant.
+type Coordinator struct {
+	cfg    Config
+	rc     *rounds.Coordinator
+	p      float64
+	chunks []map[int64]*chunkView // per site: chunk id -> view
+}
+
+// NewCoordinator returns the coordinator for the randomized rank tracker.
+func NewCoordinator(cfg Config) *Coordinator {
+	cfg.validate()
+	c := &Coordinator{
+		cfg:    cfg,
+		rc:     rounds.NewCoordinator(cfg.K),
+		p:      1,
+		chunks: make([]map[int64]*chunkView, cfg.K),
+	}
+	for i := range c.chunks {
+		c.chunks[i] = make(map[int64]*chunkView)
+	}
+	return c
+}
+
+// view returns (creating if needed) the record for a site's chunk.
+func (c *Coordinator) view(site int, id int64) *chunkView {
+	if v, ok := c.chunks[site][id]; ok {
+		return v
+	}
+	nBar := c.rc.NBar()
+	b := int64(c.cfg.effEps() * float64(nBar) / math.Sqrt(float64(c.cfg.K)))
+	if b < 1 {
+		b = 1
+	}
+	v := &chunkView{p: c.p, b: b, summaries: make(map[nodeKey]merge.Snapshot)}
+	c.chunks[site][id] = v
+	return v
+}
+
+// Receive implements proto.Coordinator.
+func (c *Coordinator) Receive(from int, m proto.Message, send func(int, proto.Message), broadcast func(proto.Message)) {
+	if c.rc.Deliver(from, m, broadcast) {
+		c.p = rounds.P(c.rc.NBar(), c.cfg.K, c.cfg.effEps())
+		return
+	}
+	switch msg := m.(type) {
+	case SummaryMsg:
+		v := c.view(from, msg.Chunk)
+		v.summaries[nodeKey{level: msg.Level, pos: msg.Pos}] = msg.Snap
+		if msg.Level == 0 && msg.Pos+1 > v.leaves {
+			v.leaves = msg.Pos + 1
+		}
+	case SampleMsg:
+		v := c.view(from, msg.Chunk)
+		v.samples = append(v.samples, sample{index: msg.Index, value: msg.Value})
+	}
+}
+
+// Rank returns the estimate of |{elements < x}| over everything received so
+// far: for each chunk, the binary decomposition of its completed-block
+// prefix is summed from node summaries and the residual tail is estimated
+// from forwarded samples at rate p.
+func (c *Coordinator) Rank(x float64) float64 {
+	est := 0.0
+	for _, siteChunks := range c.chunks {
+		for _, v := range siteChunks {
+			est += v.rank(x)
+		}
+	}
+	return est
+}
+
+func (v *chunkView) rank(x float64) float64 {
+	est := 0.0
+	// Binary decomposition of the q = v.leaves completed blocks.
+	q := v.leaves
+	start := 0
+	for level := 62; level >= 0; level-- {
+		bit := 1 << uint(level)
+		if q&bit == 0 {
+			continue
+		}
+		key := nodeKey{level: level, pos: start >> uint(level)}
+		if sn, ok := v.summaries[key]; ok {
+			est += float64(sn.Rank(x))
+		}
+		start += bit
+	}
+	// Residual: samples with index beyond the covered prefix.
+	covered := int64(v.leaves) * v.b
+	idx := sort.Search(len(v.samples), func(i int) bool { return v.samples[i].index > covered })
+	count := 0
+	for _, sm := range v.samples[idx:] {
+		if sm.value < x {
+			count++
+		}
+	}
+	est += float64(count) / v.p
+	return est
+}
+
+// Quantile returns a value whose estimated rank is closest to q·n̂ (n̂ =
+// Rank(+inf)), located by bisection over [lo, hi].
+func (c *Coordinator) Quantile(q float64, lo, hi float64) float64 {
+	total := c.Rank(math.Inf(1))
+	target := q * total
+	for i := 0; i < 64 && hi-lo > 1e-9*(1+math.Abs(hi)); i++ {
+		mid := (lo + hi) / 2
+		if c.Rank(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Round returns the number of round transitions so far.
+func (c *Coordinator) Round() int { return c.rc.Round() }
+
+// P returns the current sampling probability.
+func (c *Coordinator) P() float64 { return c.p }
+
+// SpaceWords implements proto.Coordinator.
+func (c *Coordinator) SpaceWords() int {
+	w := c.rc.SpaceWords() + 1
+	for _, siteChunks := range c.chunks {
+		for _, v := range siteChunks {
+			w += 3 + 2*len(v.samples)
+			for _, sn := range v.summaries {
+				w += sn.Words()
+			}
+		}
+	}
+	return w
+}
+
+// NewProtocol assembles the randomized rank tracker.
+func NewProtocol(cfg Config, seed uint64) (proto.Protocol, *Coordinator) {
+	cfg.validate()
+	root := stats.New(seed)
+	coord := NewCoordinator(cfg)
+	sites := make([]proto.Site, cfg.K)
+	for i := range sites {
+		sites[i] = NewSite(cfg, root.Split())
+	}
+	return proto.Protocol{Coord: coord, Sites: sites}, coord
+}

@@ -1,0 +1,161 @@
+// Package rounds implements the constant-factor tracking of the global count
+// n that all three protocols of the paper share (Section 2.1, "Dealing with
+// a decreasing p"):
+//
+//   - every site reports when its local counter doubles (1, 2, 4, ...);
+//   - the coordinator maintains n′ = Σ n′_i over the last reports and
+//     broadcasts n′ when it has grown by a factor in [2, 4) since the last
+//     broadcast, defining rounds;
+//   - n̄, the last broadcast value, is always a constant-factor
+//     approximation of the true n within a round.
+//
+// The package also provides the paper's sampling-probability schedule
+// p = 1 for n̄ ≤ √k/ε and p = 1/⌊εn̄/√k⌋₂ afterwards, which halves (or
+// quarters) across round boundaries.
+//
+// Total cost: O(k·logN) messages — each site reports O(logN) times and the
+// coordinator broadcasts O(logN) times at k messages each.
+package rounds
+
+import (
+	"math"
+
+	"disttrack/internal/proto"
+	"disttrack/internal/stats"
+)
+
+// UpMsg is a site's doubling report carrying its local counter (1 word).
+type UpMsg struct {
+	N int64
+}
+
+// Words implements proto.Message.
+func (UpMsg) Words() int { return 1 }
+
+// BroadcastMsg announces a new round with the coordinator's n′ (1 word).
+type BroadcastMsg struct {
+	NBar int64
+}
+
+// Words implements proto.Message.
+func (BroadcastMsg) Words() int { return 1 }
+
+// Site is the per-site half of the round machinery. Embed (or hold) one per
+// protocol site and call its hooks from the protocol's Arrive/Receive.
+type Site struct {
+	n          int64 // local arrivals
+	nextReport int64 // next doubling threshold
+	nBar       int64 // last broadcast heard (0 before the first)
+}
+
+// NewSite returns a fresh site component.
+func NewSite() *Site { return &Site{nextReport: 1} }
+
+// Arrive counts one local arrival, emitting a doubling report when due.
+func (s *Site) Arrive(out func(proto.Message)) {
+	s.n++
+	if s.n >= s.nextReport {
+		out(UpMsg{N: s.n})
+		for s.nextReport <= s.n {
+			s.nextReport *= 2
+		}
+	}
+}
+
+// Deliver inspects a coordinator message; if it is a round broadcast it
+// records n̄ and reports true. Other messages are ignored (false).
+func (s *Site) Deliver(m proto.Message) (newRound bool) {
+	b, ok := m.(BroadcastMsg)
+	if !ok {
+		return false
+	}
+	s.nBar = b.NBar
+	return true
+}
+
+// N returns the site's local arrival count.
+func (s *Site) N() int64 { return s.n }
+
+// NBar returns the last broadcast n̄ observed by this site (0 before any).
+func (s *Site) NBar() int64 { return s.nBar }
+
+// SpaceWords reports the component's space (three words).
+func (s *Site) SpaceWords() int { return 3 }
+
+// Coordinator is the central half of the round machinery.
+type Coordinator struct {
+	nPrime []int64 // last doubling report per site
+	sum    int64   // Σ nPrime
+	nBar   int64   // last broadcast value (0 before the first)
+	round  int     // number of broadcasts so far
+}
+
+// NewCoordinator returns the component for k sites.
+func NewCoordinator(k int) *Coordinator {
+	if k <= 0 {
+		panic("rounds: k must be positive")
+	}
+	return &Coordinator{nPrime: make([]int64, k)}
+}
+
+// Deliver inspects a site message; if it is a doubling report it updates n′
+// and, when n′ has at least doubled since the last broadcast, emits the
+// round broadcast and reports true.
+func (c *Coordinator) Deliver(from int, m proto.Message, broadcast func(proto.Message)) (newRound bool) {
+	up, ok := m.(UpMsg)
+	if !ok {
+		return false
+	}
+	c.sum += up.N - c.nPrime[from]
+	c.nPrime[from] = up.N
+	if c.sum > 0 && c.sum >= 2*c.nBar {
+		c.nBar = c.sum
+		c.round++
+		broadcast(BroadcastMsg{NBar: c.nBar})
+		return true
+	}
+	return false
+}
+
+// NBar returns the last broadcast value (the coordinator's n̄).
+func (c *Coordinator) NBar() int64 { return c.nBar }
+
+// Round returns the number of rounds started so far.
+func (c *Coordinator) Round() int { return c.round }
+
+// NPrimeSum returns the coordinator's n′ (a constant-factor approximation of
+// n from below, within a factor of 2 per site).
+func (c *Coordinator) NPrimeSum() int64 { return c.sum }
+
+// SpaceWords reports the component's space (k + 3 words).
+func (c *Coordinator) SpaceWords() int { return len(c.nPrime) + 3 }
+
+// P returns the paper's sampling probability for a given n̄:
+// p = 1 while n̄ ≤ √k/ε, else p = 1/⌊εn̄/√k⌋₂.
+func P(nBar int64, k int, eps float64) float64 {
+	if nBar <= 0 {
+		return 1
+	}
+	sqrtK := math.Sqrt(float64(k))
+	if float64(nBar) <= sqrtK/eps {
+		return 1
+	}
+	return 1 / stats.FloorPow2(eps*float64(nBar)/sqrtK)
+}
+
+// HalvingSteps returns how many times p halves going from pOld to pNew
+// (0 if equal; the schedule only ever decreases p by powers of two).
+func HalvingSteps(pOld, pNew float64) int {
+	if pNew >= pOld {
+		return 0
+	}
+	steps := 0
+	for pNew < pOld {
+		pOld /= 2
+		steps++
+		if steps > 62 {
+			break
+		}
+	}
+	return steps
+}

@@ -1,0 +1,216 @@
+package rounds
+
+import (
+	"math"
+	"testing"
+
+	"disttrack/internal/proto"
+)
+
+func TestSiteDoublingReports(t *testing.T) {
+	s := NewSite()
+	var reports []int64
+	out := func(m proto.Message) { reports = append(reports, m.(UpMsg).N) }
+	for i := 0; i < 1000; i++ {
+		s.Arrive(out)
+	}
+	want := []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+	if len(reports) != len(want) {
+		t.Fatalf("got %d reports %v, want %v", len(reports), reports, want)
+	}
+	for i := range want {
+		if reports[i] != want[i] {
+			t.Fatalf("report %d = %d, want %d", i, reports[i], want[i])
+		}
+	}
+	if s.N() != 1000 {
+		t.Fatalf("N = %d", s.N())
+	}
+}
+
+func TestSiteReportCountLogarithmic(t *testing.T) {
+	s := NewSite()
+	count := 0
+	out := func(proto.Message) { count++ }
+	const n = 1 << 20
+	for i := 0; i < n; i++ {
+		s.Arrive(out)
+	}
+	if count != 21 { // 1, 2, ..., 2^20
+		t.Fatalf("report count = %d, want 21", count)
+	}
+}
+
+func TestCoordinatorBroadcastFactor(t *testing.T) {
+	c := NewCoordinator(2)
+	var broadcasts []int64
+	bc := func(m proto.Message) { broadcasts = append(broadcasts, m.(BroadcastMsg).NBar) }
+
+	feed := func(from int, n int64) bool { return c.Deliver(from, UpMsg{N: n}, bc) }
+
+	if !feed(0, 1) {
+		t.Fatal("first report should trigger the first broadcast")
+	}
+	// Doubling reports from both sites; n̄ must grow by factor >= 2 each time.
+	for _, step := range []struct {
+		from int
+		n    int64
+	}{{1, 1}, {0, 2}, {1, 2}, {0, 4}, {1, 4}, {0, 8}, {1, 8}} {
+		feed(step.from, step.n)
+	}
+	for i := 1; i < len(broadcasts); i++ {
+		ratio := float64(broadcasts[i]) / float64(broadcasts[i-1])
+		if ratio < 2 || ratio > 4 {
+			t.Fatalf("broadcast ratio %v out of [2,4): %v", ratio, broadcasts)
+		}
+	}
+	if c.Round() != len(broadcasts) {
+		t.Fatalf("Round() = %d, broadcasts %d", c.Round(), len(broadcasts))
+	}
+}
+
+func TestNBarConstantFactorOfN(t *testing.T) {
+	// Simulate k sites with the real doubling reports and verify that n̄
+	// stays within a constant factor of the true n at all times once the
+	// first broadcast happened.
+	const k = 5
+	c := NewCoordinator(k)
+	sites := make([]*Site, k)
+	for i := range sites {
+		sites[i] = NewSite()
+	}
+	var nBarSeen int64
+	bcast := func(m proto.Message) {
+		nBarSeen = m.(BroadcastMsg).NBar
+		for _, s := range sites {
+			s.Deliver(m)
+		}
+	}
+	trueN := int64(0)
+	for i := 0; i < 100000; i++ {
+		site := i % k
+		trueN++
+		sites[site].Arrive(func(m proto.Message) {
+			c.Deliver(site, m, bcast)
+		})
+		if nBarSeen > 0 {
+			ratio := float64(trueN) / float64(nBarSeen)
+			if ratio < 0.25 || ratio > 8 {
+				t.Fatalf("n=%d n̄=%d ratio %v out of constant-factor band",
+					trueN, nBarSeen, ratio)
+			}
+		}
+	}
+	if nBarSeen == 0 {
+		t.Fatal("no broadcast ever happened")
+	}
+}
+
+func TestDeliverIgnoresOtherMessages(t *testing.T) {
+	s := NewSite()
+	if s.Deliver(UpMsg{N: 3}) {
+		t.Fatal("site treated UpMsg as a round broadcast")
+	}
+	c := NewCoordinator(1)
+	if c.Deliver(0, BroadcastMsg{NBar: 3}, func(proto.Message) {}) {
+		t.Fatal("coordinator treated BroadcastMsg as a doubling report")
+	}
+}
+
+func TestPSchedule(t *testing.T) {
+	const k = 16
+	const eps = 0.1
+	// While n̄ <= √k/ε = 40, p must be 1.
+	for _, n := range []int64{0, 1, 10, 40} {
+		if p := P(n, k, eps); p != 1 {
+			t.Fatalf("P(%d) = %v, want 1", n, p)
+		}
+	}
+	// Beyond: p = 1/⌊εn̄/√k⌋₂.
+	cases := []struct {
+		n    int64
+		want float64
+	}{
+		{80, 0.5},        // εn̄/√k = 2
+		{100, 0.5},       // 2.5 -> floor2 = 2
+		{160, 0.25},      // 4
+		{1000, 1.0 / 16}, // 25 -> 16
+	}
+	for _, c := range cases {
+		if p := P(c.n, k, eps); math.Abs(p-c.want) > 1e-12 {
+			t.Fatalf("P(%d) = %v, want %v", c.n, p, c.want)
+		}
+	}
+}
+
+func TestPMonotoneNonIncreasing(t *testing.T) {
+	const k = 9
+	const eps = 0.05
+	prev := 1.0
+	for n := int64(1); n < 1e7; n *= 2 {
+		p := P(n, k, eps)
+		if p > prev {
+			t.Fatalf("p increased: %v -> %v at n=%d", prev, p, n)
+		}
+		prev = p
+	}
+}
+
+func TestPIsInverseOfPowerOfTwo(t *testing.T) {
+	const k = 25
+	const eps = 0.03
+	for n := int64(1); n < 1e8; n = n*3 + 1 {
+		p := P(n, k, eps)
+		inv := 1 / p
+		if math.Abs(inv-math.Round(inv)) > 1e-9 {
+			t.Fatalf("1/p = %v not an integer at n=%d", inv, n)
+		}
+		ri := int64(math.Round(inv))
+		if ri&(ri-1) != 0 {
+			t.Fatalf("1/p = %d not a power of two at n=%d", ri, n)
+		}
+	}
+}
+
+func TestHalvingSteps(t *testing.T) {
+	cases := []struct {
+		old, new float64
+		want     int
+	}{
+		{1, 1, 0},
+		{1, 0.5, 1},
+		{0.5, 0.125, 2},
+		{1.0 / 4, 1.0 / 64, 4},
+		{0.5, 0.5, 0},
+		{0.25, 0.5, 0}, // p never increases; defensive
+	}
+	for _, c := range cases {
+		if got := HalvingSteps(c.old, c.new); got != c.want {
+			t.Fatalf("HalvingSteps(%v, %v) = %d, want %d", c.old, c.new, got, c.want)
+		}
+	}
+}
+
+func TestCoordinatorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCoordinator(0) did not panic")
+		}
+	}()
+	NewCoordinator(0)
+}
+
+func TestSpaceWords(t *testing.T) {
+	if NewSite().SpaceWords() != 3 {
+		t.Fatal("site space")
+	}
+	if NewCoordinator(7).SpaceWords() != 10 {
+		t.Fatal("coordinator space")
+	}
+}
+
+func TestMessageWords(t *testing.T) {
+	if (UpMsg{}).Words() != 1 || (BroadcastMsg{}).Words() != 1 {
+		t.Fatal("round messages must cost one word")
+	}
+}

@@ -1,0 +1,192 @@
+// Package sample implements continuous random sampling from distributed
+// streams (Cormode, Muthukrishnan, Yi, Zhang [9] — Table 1's "sampling"
+// row): the coordinator maintains a uniform sample of size Θ(1/ε²) of the
+// union of all streams at all times, with O((1/ε² + k)·logN) communication.
+//
+// Every element independently draws a geometric level ℓ (the number of
+// leading heads in fair coin flips, so P[ℓ >= L] = 2^−L). Sites forward
+// exactly the elements with ℓ >= L, where L is the coordinator's current
+// level; when the retained set grows past twice the target size the
+// coordinator increments L, discards the elements below the new level, and
+// broadcasts the new L.
+//
+// One sample answers all three tracking problems with εn error and constant
+// probability: n̂ = |S|·2^L, f̂_j = |S_j|·2^L, rank(x) = |S_{<x}|·2^L. This
+// is the baseline that beats the specialized trackers once k = Ω(1/ε²).
+package sample
+
+import (
+	"disttrack/internal/proto"
+	"disttrack/internal/stats"
+)
+
+// ElementMsg forwards one element with its level (item, value, level = 3
+// words; the paper counts an element as one word — we charge the level tag
+// too, which only inflates the baseline's constant).
+type ElementMsg struct {
+	Item  int64
+	Value float64
+	Level int
+}
+
+// Words implements proto.Message.
+func (ElementMsg) Words() int { return 3 }
+
+// LevelMsg broadcasts the coordinator's new level (1 word).
+type LevelMsg struct {
+	Level int
+}
+
+// Words implements proto.Message.
+func (LevelMsg) Words() int { return 1 }
+
+// Config parameterizes the sampler.
+type Config struct {
+	K   int
+	Eps float64
+	// SampleSize overrides the default target ⌈1/ε²⌉ (0 = default).
+	SampleSize int
+}
+
+func (c Config) target() int {
+	if c.SampleSize > 0 {
+		return c.SampleSize
+	}
+	return int(1/(c.Eps*c.Eps)) + 1
+}
+
+func (c Config) validate() {
+	if c.K <= 0 {
+		panic("sample: K must be positive")
+	}
+	if c.Eps <= 0 || c.Eps >= 1 {
+		panic("sample: Eps out of (0,1)")
+	}
+	if c.SampleSize < 0 {
+		panic("sample: negative SampleSize")
+	}
+}
+
+// Site is the per-site half of the sampler: O(1) state (the current level).
+type Site struct {
+	rng   *stats.RNG
+	level int
+}
+
+// NewSite returns a sampler site.
+func NewSite(rng *stats.RNG) *Site { return &Site{rng: rng} }
+
+// Arrive implements proto.Site.
+func (s *Site) Arrive(item int64, value float64, out func(proto.Message)) {
+	l := s.rng.GeometricLevel()
+	if l >= s.level {
+		out(ElementMsg{Item: item, Value: value, Level: l})
+	}
+}
+
+// Receive implements proto.Site.
+func (s *Site) Receive(m proto.Message, out func(proto.Message)) {
+	if lm, ok := m.(LevelMsg); ok {
+		s.level = lm.Level
+	}
+}
+
+// SpaceWords implements proto.Site.
+func (s *Site) SpaceWords() int { return 1 }
+
+// element is a retained sample element.
+type element struct {
+	item  int64
+	value float64
+	level int
+}
+
+// Coordinator retains the elements at or above the current level and
+// answers count, frequency, and rank queries.
+type Coordinator struct {
+	cfg    Config
+	level  int
+	sample []element
+}
+
+// NewCoordinator returns the sampler coordinator.
+func NewCoordinator(cfg Config) *Coordinator {
+	cfg.validate()
+	return &Coordinator{cfg: cfg}
+}
+
+// Receive implements proto.Coordinator.
+func (c *Coordinator) Receive(from int, m proto.Message, send func(int, proto.Message), broadcast func(proto.Message)) {
+	em, ok := m.(ElementMsg)
+	if !ok {
+		return
+	}
+	if em.Level < c.level {
+		return // stale: the site had not yet heard the new level
+	}
+	c.sample = append(c.sample, element{item: em.Item, value: em.Value, level: em.Level})
+	for len(c.sample) > 2*c.cfg.target() {
+		c.level++
+		kept := c.sample[:0]
+		for _, e := range c.sample {
+			if e.level >= c.level {
+				kept = append(kept, e)
+			}
+		}
+		c.sample = kept
+		broadcast(LevelMsg{Level: c.level})
+	}
+}
+
+// scale returns 2^level, the inverse sampling probability.
+func (c *Coordinator) scale() float64 {
+	return float64(int64(1) << uint(c.level))
+}
+
+// Count estimates n.
+func (c *Coordinator) Count() float64 {
+	return float64(len(c.sample)) * c.scale()
+}
+
+// Freq estimates the frequency of item j.
+func (c *Coordinator) Freq(j int64) float64 {
+	count := 0
+	for _, e := range c.sample {
+		if e.item == j {
+			count++
+		}
+	}
+	return float64(count) * c.scale()
+}
+
+// Rank estimates |{elements < x}|.
+func (c *Coordinator) Rank(x float64) float64 {
+	count := 0
+	for _, e := range c.sample {
+		if e.value < x {
+			count++
+		}
+	}
+	return float64(count) * c.scale()
+}
+
+// Level returns the current sampling level.
+func (c *Coordinator) Level() int { return c.level }
+
+// SampleLen returns the current retained-sample size.
+func (c *Coordinator) SampleLen() int { return len(c.sample) }
+
+// SpaceWords implements proto.Coordinator.
+func (c *Coordinator) SpaceWords() int { return 3*len(c.sample) + 1 }
+
+// NewProtocol assembles the sampling tracker.
+func NewProtocol(cfg Config, seed uint64) (proto.Protocol, *Coordinator) {
+	cfg.validate()
+	root := stats.New(seed)
+	coord := NewCoordinator(cfg)
+	sites := make([]proto.Site, cfg.K)
+	for i := range sites {
+		sites[i] = NewSite(root.Split())
+	}
+	return proto.Protocol{Coord: coord, Sites: sites}, coord
+}

@@ -1,0 +1,197 @@
+package sample
+
+import (
+	"math"
+	"testing"
+
+	"disttrack/internal/proto"
+	"disttrack/internal/sim"
+	"disttrack/internal/stats"
+	"disttrack/internal/workload"
+)
+
+func TestExactBeforeFirstLevelIncrease(t *testing.T) {
+	// While the sample is below 2·target, L = 0 and every element is
+	// retained: all answers are exact.
+	cfg := Config{K: 4, Eps: 0.5, SampleSize: 1000}
+	p, coord := NewProtocol(cfg, 1)
+	h := sim.New(p)
+	for i := 0; i < 100; i++ {
+		h.Arrive(i%4, int64(i%5), float64(i))
+	}
+	if coord.Level() != 0 {
+		t.Fatalf("level rose early: %d", coord.Level())
+	}
+	if coord.Count() != 100 {
+		t.Fatalf("Count = %v, want 100", coord.Count())
+	}
+	if coord.Freq(3) != 20 {
+		t.Fatalf("Freq(3) = %v, want 20", coord.Freq(3))
+	}
+	if coord.Rank(50) != 50 {
+		t.Fatalf("Rank(50) = %v, want 50", coord.Rank(50))
+	}
+}
+
+func TestSampleSizeBounded(t *testing.T) {
+	cfg := Config{K: 8, Eps: 0.1} // target 101
+	p, coord := NewProtocol(cfg, 3)
+	h := sim.New(p)
+	for i := 0; i < 100000; i++ {
+		h.Arrive(i%8, 0, 0)
+		if coord.SampleLen() > 2*cfg.target()+1 {
+			t.Fatalf("sample size %d exceeded bound at arrival %d", coord.SampleLen(), i)
+		}
+	}
+	if coord.Level() == 0 {
+		t.Fatal("level never increased over 100k arrivals")
+	}
+}
+
+func TestCountUnbiasedAndWithinEps(t *testing.T) {
+	cfg := Config{K: 4, Eps: 0.1}
+	const n = 50000
+	const trials = 120
+	ests := make([]float64, trials)
+	for tr := 0; tr < trials; tr++ {
+		p, coord := NewProtocol(cfg, uint64(100+tr))
+		h := sim.New(p)
+		for i := 0; i < n; i++ {
+			h.Arrive(i%4, 0, 0)
+		}
+		ests[tr] = coord.Count()
+	}
+	mean := stats.Mean(ests)
+	se := stats.StdDev(ests)/math.Sqrt(trials) + 1e-9
+	if math.Abs(mean-n) > 5*se+10 {
+		t.Fatalf("Count mean %v, want %d (se %v)", mean, n, se)
+	}
+	// Chebyshev-style: most estimates within ~3 eps n.
+	bad := 0
+	for _, e := range ests {
+		if math.Abs(e-n) > 3*cfg.Eps*n {
+			bad++
+		}
+	}
+	if float64(bad)/trials > 0.15 {
+		t.Fatalf("%d/%d estimates outside 3εn", bad, trials)
+	}
+}
+
+func TestFreqAndRankCoverage(t *testing.T) {
+	const k = 8
+	const eps = 0.1
+	const n = 40000
+	cfg := Config{K: k, Eps: eps}
+	rng := stats.New(505)
+	itemF := workload.ZipfItems(100, 1.1, rng)
+	valueF := workload.PermValues(n, rng.Split())
+	p, coord := NewProtocol(cfg, 7)
+	h := sim.New(p)
+	truth := map[int64]int64{}
+	bad, checks := 0, 0
+	for i := 0; i < n; i++ {
+		item := itemF(i)
+		truth[item]++
+		h.Arrive(i%k, item, valueF(i))
+		if i%211 != 0 || i == 0 {
+			continue
+		}
+		for _, q := range []int64{0, 1, 5, 50} {
+			checks++
+			if math.Abs(coord.Freq(q)-float64(truth[q])) > 3*eps*float64(i+1) {
+				bad++
+			}
+		}
+		checks++
+		// Values are a permutation of [0,n): rank of x among first i+1
+		// arrivals is unknown without an oracle; use total-count check via
+		// Rank(+inf) instead.
+		if math.Abs(coord.Rank(math.Inf(1))-float64(i+1)) > 3*eps*float64(i+1) {
+			bad++
+		}
+	}
+	if frac := float64(bad) / float64(checks); frac > 0.10 {
+		t.Fatalf("%.1f%% of sampling checks failed", 100*frac)
+	}
+}
+
+func TestCommunicationFlatInK(t *testing.T) {
+	// The sampler's word cost is O((1/ε² + k)·logN): for k << 1/ε² doubling
+	// k should barely move it (unlike the trackers whose cost scales with
+	// √k or k).
+	const eps = 0.05 // target ~400
+	const n = 60000
+	words := func(k int) float64 {
+		p, _ := NewProtocol(Config{K: k, Eps: eps}, 11)
+		h := sim.New(p)
+		h.Run(workload.Config{N: n, Placement: workload.RoundRobin(k)}.Events(), nil)
+		return float64(h.Metrics().Words())
+	}
+	w4 := words(4)
+	w64 := words(64)
+	if w64/w4 > 3 {
+		t.Fatalf("sampling cost grew %vx from k=4 to k=64; should be ~flat", w64/w4)
+	}
+}
+
+func TestLevelMonotone(t *testing.T) {
+	cfg := Config{K: 2, Eps: 0.2}
+	p, coord := NewProtocol(cfg, 13)
+	h := sim.New(p)
+	prev := 0
+	for i := 0; i < 30000; i++ {
+		h.Arrive(i%2, 0, 0)
+		if coord.Level() < prev {
+			t.Fatal("level decreased")
+		}
+		prev = coord.Level()
+	}
+}
+
+func TestStaleElementsDropped(t *testing.T) {
+	// An element with level below the coordinator's current level must be
+	// ignored (models a site that has not yet heard the broadcast; in the
+	// quiescent runtimes it can only happen transiently inside a cascade).
+	cfg := Config{K: 1, Eps: 0.5, SampleSize: 2}
+	coord := NewCoordinator(cfg)
+	send := func(int, proto.Message) {}
+	bcast := func(proto.Message) {}
+	// Fill past threshold to raise the level.
+	for i := 0; i < 6; i++ {
+		coord.Receive(0, ElementMsg{Level: 10}, send, bcast)
+	}
+	if coord.Level() == 0 {
+		t.Fatal("level did not rise")
+	}
+	before := coord.SampleLen()
+	coord.Receive(0, ElementMsg{Level: 0}, send, bcast)
+	if coord.SampleLen() != before {
+		t.Fatal("stale element was retained")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{K: 0, Eps: 0.1},
+		{K: 2, Eps: 0},
+		{K: 2, Eps: 1},
+		{K: 2, Eps: 0.1, SampleSize: -1},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("config %d did not panic", i)
+				}
+			}()
+			cfg.validate()
+		}()
+	}
+}
+
+func TestMessageWords(t *testing.T) {
+	if (ElementMsg{}).Words() != 3 || (LevelMsg{}).Words() != 1 {
+		t.Fatal("sampler message word sizes changed")
+	}
+}

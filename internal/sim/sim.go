@@ -1,0 +1,146 @@
+// Package sim is the sequential reference runtime: it delivers elements to
+// protocol sites one at a time, runs every resulting message cascade to
+// quiescence (the paper's instant-communication assumption), and keeps exact
+// message/word/space accounting.
+//
+// All experiment and benchmark numbers in this repository come from this
+// runtime, so they are deterministic given the protocol's RNG seeds.
+package sim
+
+import (
+	"disttrack/internal/proto"
+	"disttrack/internal/workload"
+)
+
+// Metrics is the cost ledger of one run, in the paper's units.
+type Metrics struct {
+	MessagesUp   int64 // site -> coordinator messages
+	MessagesDown int64 // coordinator -> site messages (a broadcast counts k)
+	WordsUp      int64
+	WordsDown    int64
+	Broadcasts   int64 // number of broadcast operations (before the k factor)
+	Arrivals     int64
+
+	// MaxSiteSpace is the high-water mark of the maximum per-site space
+	// observed at probe instants; MaxCoordSpace likewise for the
+	// coordinator. Probing happens every SpaceProbeEvery arrivals and at
+	// the end of the run.
+	MaxSiteSpace  int
+	MaxCoordSpace int
+}
+
+// Messages returns the total message count.
+func (m Metrics) Messages() int64 { return m.MessagesUp + m.MessagesDown }
+
+// Words returns the total word count.
+func (m Metrics) Words() int64 { return m.WordsUp + m.WordsDown }
+
+// Harness hosts one protocol instance.
+type Harness struct {
+	p proto.Protocol
+	// SpaceProbeEvery controls how often per-site space is sampled; 0
+	// disables periodic probing (a final probe still happens via Probe).
+	SpaceProbeEvery int
+
+	metrics Metrics
+	queue   []envelope
+}
+
+type envelope struct {
+	toCoord bool
+	from    int // valid when toCoord
+	to      int // valid when !toCoord
+	msg     proto.Message
+}
+
+// New returns a harness for the protocol. SpaceProbeEvery defaults to 1024.
+func New(p proto.Protocol) *Harness {
+	if p.Coord == nil || len(p.Sites) == 0 {
+		panic("sim: protocol needs a coordinator and at least one site")
+	}
+	return &Harness{p: p, SpaceProbeEvery: 1024}
+}
+
+// K returns the number of sites.
+func (h *Harness) K() int { return h.p.K() }
+
+// Metrics returns a copy of the current cost ledger.
+func (h *Harness) Metrics() Metrics { return h.metrics }
+
+// Arrive delivers one element to site and runs the protocol to quiescence.
+func (h *Harness) Arrive(site int, item int64, value float64) {
+	h.metrics.Arrivals++
+	h.p.Sites[site].Arrive(item, value, func(m proto.Message) {
+		h.queue = append(h.queue, envelope{toCoord: true, from: site, msg: m})
+	})
+	h.drain()
+	if h.SpaceProbeEvery > 0 && h.metrics.Arrivals%int64(h.SpaceProbeEvery) == 0 {
+		h.Probe()
+	}
+}
+
+// drain processes queued messages (and any messages they trigger) in FIFO
+// order until none remain.
+func (h *Harness) drain() {
+	for len(h.queue) > 0 {
+		env := h.queue[0]
+		h.queue = h.queue[1:]
+		if env.toCoord {
+			h.metrics.MessagesUp++
+			h.metrics.WordsUp += int64(env.msg.Words())
+			h.p.Coord.Receive(env.from, env.msg,
+				func(to int, m proto.Message) {
+					h.queue = append(h.queue, envelope{to: to, msg: m})
+				},
+				func(m proto.Message) {
+					h.metrics.Broadcasts++
+					for s := range h.p.Sites {
+						h.queue = append(h.queue, envelope{to: s, msg: m})
+					}
+				})
+		} else {
+			h.metrics.MessagesDown++
+			h.metrics.WordsDown += int64(env.msg.Words())
+			h.p.Sites[env.to].Receive(env.msg, func(m proto.Message) {
+				h.queue = append(h.queue, envelope{toCoord: true, from: env.to, msg: m})
+			})
+		}
+	}
+}
+
+// Probe samples current space usage into the high-water marks.
+func (h *Harness) Probe() {
+	for _, s := range h.p.Sites {
+		if w := s.SpaceWords(); w > h.metrics.MaxSiteSpace {
+			h.metrics.MaxSiteSpace = w
+		}
+	}
+	if w := h.p.Coord.SpaceWords(); w > h.metrics.MaxCoordSpace {
+		h.metrics.MaxCoordSpace = w
+	}
+}
+
+// Run feeds a whole event sequence; check, if non-nil, is invoked after
+// every arrival with the number of arrivals so far (1-based) — protocols'
+// concrete query methods are reached through the closure environment.
+func (h *Harness) Run(events []workload.Event, check func(arrived int64)) {
+	for _, e := range events {
+		h.Arrive(e.Site, e.Item, e.Value)
+		if check != nil {
+			check(h.metrics.Arrivals)
+		}
+	}
+	h.Probe()
+}
+
+// RunConfig feeds the events described by a workload.Config without
+// materializing them.
+func (h *Harness) RunConfig(cfg workload.Config, check func(arrived int64)) {
+	cfg.Each(func(e workload.Event) {
+		h.Arrive(e.Site, e.Item, e.Value)
+		if check != nil {
+			check(h.metrics.Arrivals)
+		}
+	})
+	h.Probe()
+}

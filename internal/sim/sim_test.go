@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"testing"
+
+	"disttrack/internal/proto"
+	"disttrack/internal/workload"
+)
+
+// --- toy protocol for accounting tests ---
+
+type wordMsg int
+
+func (w wordMsg) Words() int { return int(w) }
+
+// echoSite forwards every arrival as a 1-word message; it replies to any
+// coordinator message with nothing.
+type echoSite struct {
+	arrivals int
+	received int
+}
+
+func (s *echoSite) Arrive(item int64, value float64, out func(proto.Message)) {
+	s.arrivals++
+	out(wordMsg(1))
+}
+
+func (s *echoSite) Receive(m proto.Message, out func(proto.Message)) { s.received++ }
+
+func (s *echoSite) SpaceWords() int { return s.arrivals }
+
+// pulseCoord broadcasts a 2-word message every n-th upward message.
+type pulseCoord struct {
+	every    int
+	received int
+}
+
+func (c *pulseCoord) Receive(from int, m proto.Message, send func(int, proto.Message), broadcast func(proto.Message)) {
+	c.received++
+	if c.every > 0 && c.received%c.every == 0 {
+		broadcast(wordMsg(2))
+	}
+}
+
+func (c *pulseCoord) SpaceWords() int { return 1 }
+
+func toy(k, every int) (proto.Protocol, []*echoSite, *pulseCoord) {
+	sites := make([]*echoSite, k)
+	ps := make([]proto.Site, k)
+	for i := range sites {
+		sites[i] = &echoSite{}
+		ps[i] = sites[i]
+	}
+	coord := &pulseCoord{every: every}
+	return proto.Protocol{Coord: coord, Sites: ps}, sites, coord
+}
+
+func TestAccountingExact(t *testing.T) {
+	p, sites, coord := toy(4, 10)
+	h := New(p)
+	for i := 0; i < 100; i++ {
+		h.Arrive(i%4, 0, 0)
+	}
+	m := h.Metrics()
+	if m.Arrivals != 100 {
+		t.Fatalf("arrivals %d", m.Arrivals)
+	}
+	if m.MessagesUp != 100 || m.WordsUp != 100 {
+		t.Fatalf("up: %d msgs %d words, want 100/100", m.MessagesUp, m.WordsUp)
+	}
+	// 10 broadcasts x 4 sites, 2 words each.
+	if m.Broadcasts != 10 || m.MessagesDown != 40 || m.WordsDown != 80 {
+		t.Fatalf("down: bc=%d msgs=%d words=%d", m.Broadcasts, m.MessagesDown, m.WordsDown)
+	}
+	if m.Messages() != 140 || m.Words() != 180 {
+		t.Fatalf("totals: %d msgs %d words", m.Messages(), m.Words())
+	}
+	if coord.received != 100 {
+		t.Fatalf("coordinator received %d", coord.received)
+	}
+	for i, s := range sites {
+		if s.arrivals != 25 {
+			t.Fatalf("site %d arrivals %d", i, s.arrivals)
+		}
+		if s.received != 10 {
+			t.Fatalf("site %d received %d broadcasts", i, s.received)
+		}
+	}
+}
+
+func TestSpaceProbing(t *testing.T) {
+	p, _, _ := toy(2, 0)
+	h := New(p)
+	h.SpaceProbeEvery = 1
+	for i := 0; i < 10; i++ {
+		h.Arrive(0, 0, 0)
+	}
+	m := h.Metrics()
+	if m.MaxSiteSpace != 10 {
+		t.Fatalf("MaxSiteSpace = %d, want 10", m.MaxSiteSpace)
+	}
+	if m.MaxCoordSpace != 1 {
+		t.Fatalf("MaxCoordSpace = %d, want 1", m.MaxCoordSpace)
+	}
+}
+
+func TestRunAndCheckCallback(t *testing.T) {
+	p, _, _ := toy(3, 0)
+	h := New(p)
+	events := workload.Config{N: 30, Placement: workload.RoundRobin(3)}.Events()
+	var seen []int64
+	h.Run(events, func(arrived int64) { seen = append(seen, arrived) })
+	if len(seen) != 30 || seen[0] != 1 || seen[29] != 30 {
+		t.Fatalf("check callback sequence wrong: len=%d", len(seen))
+	}
+}
+
+func TestRunConfigStreams(t *testing.T) {
+	p, sites, _ := toy(2, 0)
+	h := New(p)
+	h.RunConfig(workload.Config{N: 7, Placement: workload.SingleSite(1)}, nil)
+	if sites[1].arrivals != 7 || sites[0].arrivals != 0 {
+		t.Fatal("RunConfig misrouted events")
+	}
+}
+
+func TestCascadeMessages(t *testing.T) {
+	// A site that replies to a broadcast with an ack; verifies multi-hop
+	// cascades drain fully within one Arrive call.
+	ack := &ackSite{}
+	coord := &broadcastOnceCoord{}
+	h := New(proto.Protocol{Coord: coord, Sites: []proto.Site{ack}})
+	h.Arrive(0, 0, 0)
+	m := h.Metrics()
+	// arrival msg up (1) -> broadcast down (1) -> ack up (1).
+	if m.MessagesUp != 2 || m.MessagesDown != 1 {
+		t.Fatalf("cascade: up=%d down=%d", m.MessagesUp, m.MessagesDown)
+	}
+	if coord.acks != 1 {
+		t.Fatalf("coordinator saw %d acks", coord.acks)
+	}
+}
+
+type ackSite struct{}
+
+func (s *ackSite) Arrive(item int64, value float64, out func(proto.Message)) { out(wordMsg(1)) }
+func (s *ackSite) Receive(m proto.Message, out func(proto.Message))          { out(wordMsg(1)) }
+func (s *ackSite) SpaceWords() int                                           { return 0 }
+
+type broadcastOnceCoord struct {
+	sent bool
+	acks int
+}
+
+func (c *broadcastOnceCoord) Receive(from int, m proto.Message, send func(int, proto.Message), broadcast func(proto.Message)) {
+	if !c.sent {
+		c.sent = true
+		broadcast(wordMsg(1))
+	} else {
+		c.acks++
+	}
+}
+
+func (c *broadcastOnceCoord) SpaceWords() int { return 0 }
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty protocol did not panic")
+		}
+	}()
+	New(proto.Protocol{})
+}

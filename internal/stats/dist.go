@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Zipf draws items from {0, ..., n-1} with P[i] proportional to
+// 1/(i+1)^alpha. It precomputes the CDF once, so sampling is O(log n).
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf builds a Zipf sampler over n items with skew alpha >= 0
+// (alpha = 0 is uniform). It panics if n <= 0.
+func NewZipf(rng *RNG, n int, alpha float64) *Zipf {
+	if n <= 0 {
+		panic("stats: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Pow(float64(i+1), -alpha)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Draw returns the next Zipf-distributed item.
+func (z *Zipf) Draw() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// N returns the size of the sampler's domain.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// NormalCDF is Φ, the standard normal cumulative distribution function.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// Hypergeometric samples the number of "successes" observed when drawing
+// sample draws without replacement from a population of size population
+// containing successes marked elements. Used by the 1-bit lower-bound
+// experiment (Appendix A).
+func Hypergeometric(rng *RNG, population, successes, draws int) int {
+	if draws < 0 || draws > population || successes < 0 || successes > population {
+		panic("stats: Hypergeometric parameters out of range")
+	}
+	// Direct simulation of sequential draws; all experiment sizes are small
+	// enough (k <= a few thousand) that O(draws) is fine.
+	got := 0
+	remainingPop := population
+	remainingSucc := successes
+	for i := 0; i < draws; i++ {
+		if rng.Intn(remainingPop) < remainingSucc {
+			got++
+			remainingSucc--
+		}
+		remainingPop--
+	}
+	return got
+}
+
+// LogChoose returns log(n choose k) via lgamma, tolerant of boundary values.
+func LogChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return ln - lk - lnk
+}
+
+// HypergeometricLogPMF returns log P[X = x] for the hypergeometric law with
+// the given parameters.
+func HypergeometricLogPMF(population, successes, draws, x int) float64 {
+	return LogChoose(successes, x) + LogChoose(population-successes, draws-x) - LogChoose(population, draws)
+}

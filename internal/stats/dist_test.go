@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfUniformWhenAlphaZero(t *testing.T) {
+	r := New(61)
+	z := NewZipf(r, 8, 0)
+	const n = 80000
+	counts := make([]int, 8)
+	for i := 0; i < n; i++ {
+		counts[z.Draw()]++
+	}
+	want := float64(n) / 8
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("alpha=0 bucket %d count %d not uniform (~%v)", i, c, want)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(67)
+	z := NewZipf(r, 100, 1.2)
+	const n = 100000
+	counts := make([]int, 100)
+	for i := 0; i < n; i++ {
+		counts[z.Draw()]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[50] {
+		t.Fatalf("zipf counts not decreasing: c0=%d c10=%d c50=%d",
+			counts[0], counts[10], counts[50])
+	}
+	// Item 0 should take roughly 1/H share; with alpha=1.2, n=100 it is
+	// substantial. Just check it dominates.
+	if float64(counts[0])/n < 0.1 {
+		t.Fatalf("zipf head too light: %v", float64(counts[0])/n)
+	}
+}
+
+func TestZipfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(0) did not panic")
+		}
+	}()
+	NewZipf(New(1), 0, 1)
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.959963985, 0.975},
+		{-1.959963985, 0.025},
+		{3, 0.99865},
+		{-3, 0.00135},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); math.Abs(got-c.want) > 1e-4 {
+			t.Fatalf("NormalCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestHypergeometricMoments(t *testing.T) {
+	r := New(71)
+	const pop, succ, draws = 200, 80, 50
+	const n = 40000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += float64(Hypergeometric(r, pop, succ, draws))
+	}
+	mean := sum / n
+	want := float64(draws) * float64(succ) / float64(pop)
+	if math.Abs(mean-want) > 0.1 {
+		t.Fatalf("hypergeometric mean %v, want ~%v", mean, want)
+	}
+}
+
+func TestHypergeometricBounds(t *testing.T) {
+	r := New(73)
+	for i := 0; i < 1000; i++ {
+		x := Hypergeometric(r, 20, 5, 10)
+		if x < 0 || x > 5 || x > 10 {
+			t.Fatalf("hypergeometric out of range: %d", x)
+		}
+	}
+	if x := Hypergeometric(r, 10, 10, 4); x != 4 {
+		t.Fatalf("all-success population gave %d, want 4", x)
+	}
+	if x := Hypergeometric(r, 10, 0, 4); x != 0 {
+		t.Fatalf("no-success population gave %d, want 0", x)
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	if got := LogChoose(5, 2); math.Abs(got-math.Log(10)) > 1e-9 {
+		t.Fatalf("LogChoose(5,2) = %v, want log 10", got)
+	}
+	if got := LogChoose(5, 0); math.Abs(got) > 1e-9 {
+		t.Fatalf("LogChoose(5,0) = %v, want 0", got)
+	}
+	if !math.IsInf(LogChoose(3, 5), -1) {
+		t.Fatal("LogChoose(3,5) should be -Inf")
+	}
+}
+
+func TestHypergeometricPMFSumsToOne(t *testing.T) {
+	const pop, succ, draws = 30, 12, 9
+	sum := 0.0
+	for x := 0; x <= draws; x++ {
+		sum += math.Exp(HypergeometricLogPMF(pop, succ, draws, x))
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("PMF sums to %v, want 1", sum)
+	}
+}

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Median returns the median of xs (the lower of the two middle elements for
+// even length). It panics on an empty slice. xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Median of empty slice")
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	return cp[(len(cp)-1)/2]
+}
+
+// MedianInt returns the median of integer samples, as for Median.
+func MedianInt(xs []int64) int64 {
+	if len(xs) == 0 {
+		panic("stats: MedianInt of empty slice")
+	}
+	cp := make([]int64, len(xs))
+	copy(cp, xs)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	return cp[(len(cp)-1)/2]
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (dividing by n), or 0 when
+// fewer than two samples are given.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs by the nearest-rank
+// method. It panics on an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	idx := int(q * float64(len(cp)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(cp) {
+		idx = len(cp) - 1
+	}
+	return cp[idx]
+}
+
+// MedianCopies returns the number of independent protocol copies needed so
+// that the median of per-copy estimates is within the error bound for all of
+// instances effective time instances with failure probability at most delta,
+// assuming each copy fails at any one instance with probability at most 1/4
+// (paper Section 1.2: O(log(instances/delta)) copies). The result is odd and
+// at least 1.
+func MedianCopies(instances float64, delta float64) int {
+	if delta <= 0 || delta >= 1 {
+		delta = 0.05
+	}
+	if instances < 1 {
+		instances = 1
+	}
+	// Chernoff: 2t+1 copies fail at one instance w.p. <= exp(-c t); using
+	// c = 1/8 (for per-copy failure 1/4) is conservative.
+	t := int(math.Ceil(8 * math.Log(instances/delta)))
+	if t < 1 {
+		t = 1
+	}
+	if t%2 == 0 {
+		t++
+	}
+	return t
+}
+
+// RelErr returns |est-truth|/truth; for truth == 0 it returns |est|
+// (absolute error, so that early-stream checks remain meaningful).
+func RelErr(est, truth float64) float64 {
+	if truth == 0 {
+		return math.Abs(est)
+	}
+	return math.Abs(est-truth) / math.Abs(truth)
+}
+
+// FloorPow2 returns the largest power of two <= x, written ⌊x⌋₂ in the paper.
+// It panics if x < 1.
+func FloorPow2(x float64) float64 {
+	if x < 1 {
+		panic("stats: FloorPow2 with x < 1")
+	}
+	return math.Pow(2, math.Floor(math.Log2(x)))
+}
+
+// CeilLog2 returns ⌈log₂ x⌉ for x >= 1 (0 for x <= 1).
+func CeilLog2(x float64) int {
+	if x <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(x)))
+}

@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3}, 3},
+		{[]float64{3, 1}, 1},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{5, 1, 4, 2}, 2},
+		{[]float64{-1, -5, 0, 10, 2}, 0},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Fatalf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("Median mutated input: %v", in)
+	}
+}
+
+func TestMedianInt(t *testing.T) {
+	if got := MedianInt([]int64{9, 4, 7}); got != 7 {
+		t.Fatalf("MedianInt = %d, want 7", got)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Fatalf("Variance = %v, want 4", v)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Fatalf("StdDev = %v, want 2", s)
+	}
+}
+
+func TestVarianceDegenerate(t *testing.T) {
+	if Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("Variance of <2 samples should be 0")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean of empty should be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	if q := Quantile(xs, 0); q != 10 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 50 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.5); q != 30 {
+		t.Fatalf("q0.5 = %v", q)
+	}
+}
+
+func TestMedianIsOrderStatistic(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		m := Median(raw)
+		cp := make([]float64, len(raw))
+		copy(cp, raw)
+		sort.Float64s(cp)
+		return m == cp[(len(cp)-1)/2]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedianCopies(t *testing.T) {
+	c := MedianCopies(1e6, 0.01)
+	if c < 3 || c%2 == 0 {
+		t.Fatalf("MedianCopies = %d, want odd >= 3", c)
+	}
+	// More instances or smaller delta should not decrease the count.
+	if MedianCopies(1e9, 0.01) < c {
+		t.Fatal("copies should grow with instances")
+	}
+	if MedianCopies(1e6, 0.001) < c {
+		t.Fatal("copies should grow as delta shrinks")
+	}
+	// Degenerate inputs should still produce a sane value.
+	if got := MedianCopies(0, 2); got < 1 || got%2 == 0 {
+		t.Fatalf("degenerate MedianCopies = %d", got)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(110, 100) != 0.1 {
+		t.Fatal("RelErr(110,100) != 0.1")
+	}
+	if RelErr(90, 100) != 0.1 {
+		t.Fatal("RelErr(90,100) != 0.1")
+	}
+	if RelErr(5, 0) != 5 {
+		t.Fatal("RelErr with zero truth should be absolute")
+	}
+}
+
+func TestFloorPow2(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{1, 1}, {1.5, 1}, {2, 2}, {3, 2}, {4, 4}, {1000, 512}, {1024, 1024},
+	}
+	for _, c := range cases {
+		if got := FloorPow2(c.in); got != c.want {
+			t.Fatalf("FloorPow2(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FloorPow2(0.5) did not panic")
+		}
+	}()
+	FloorPow2(0.5)
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int
+	}{
+		{0.5, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10},
+	}
+	for _, c := range cases {
+		if got := CeilLog2(c.in); got != c.want {
+			t.Fatalf("CeilLog2(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package stats provides the deterministic random-number streams,
+// distribution samplers, and statistical helpers shared by all tracking
+// protocols and experiments.
+//
+// Every source of randomness in the repository flows through an *RNG seeded
+// explicitly by the caller, so simulations are reproducible bit-for-bit and
+// statistical tests can use fixed seeds with generous tolerances.
+package stats
+
+import "math"
+
+// RNG is a small, fast deterministic generator (splitmix64 state update with
+// an xorshift-style output mix). It is not cryptographically secure; it is
+// designed for reproducible simulation. The zero value is usable but all
+// zero-seeded RNGs produce the same stream; prefer New with a distinct seed.
+type RNG struct {
+	state uint64
+}
+
+// New returns an RNG seeded with seed. Distinct seeds give streams that are
+// independent for all practical simulation purposes.
+func New(seed uint64) *RNG {
+	r := &RNG{state: seed}
+	// Warm up so that small seeds (0, 1, 2, ...) diverge immediately.
+	r.Uint64()
+	r.Uint64()
+	return r
+}
+
+// Split derives a child RNG from r. The child's stream is independent of the
+// parent's subsequent outputs. Used to hand independent randomness to each
+// site or each protocol copy.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ 0x9e3779b97f4a7c15)
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bernoulli reports true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Geometric returns the number of failures before the first success in
+// independent Bernoulli(p) trials; the support is {0, 1, 2, ...}.
+// For p >= 1 it returns 0. It panics if p <= 0.
+func (r *RNG) Geometric(p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		panic("stats: Geometric with non-positive p")
+	}
+	// Inversion: floor(log(U)/log(1-p)) has the right law. Guard against
+	// U == 0 which would give +Inf.
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	g := math.Floor(math.Log(u) / math.Log1p(-p))
+	if g < 0 {
+		return 0
+	}
+	if g > 1<<40 {
+		return 1 << 40
+	}
+	return int(g)
+}
+
+// GeometricLevel returns the number of leading successful fair coin flips,
+// i.e. a sample from the geometric(1/2) "level" distribution used by the
+// continuous sampling protocol: P[level >= l] = 2^-l.
+func (r *RNG) GeometricLevel() int {
+	level := 0
+	for {
+		bits := r.Uint64()
+		if bits != 0 {
+			// Count trailing one-bits of a random word by inspecting
+			// trailing zeros of its complement.
+			for bits&1 == 1 {
+				level++
+				bits >>= 1
+			}
+			return level
+		}
+		level += 64
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes xs uniformly at random in place.
+func (r *RNG) Shuffle(xs []int) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// SampleK picks a uniformly random subset of size k from [0, n) and returns
+// it in arbitrary order. It panics if k > n or k < 0.
+func (r *RNG) SampleK(n, k int) []int {
+	if k < 0 || k > n {
+		panic("stats: SampleK with k out of range")
+	}
+	// Partial Fisher-Yates over an index table.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	out := make([]int, k)
+	copy(out, idx[:k])
+	return out
+}

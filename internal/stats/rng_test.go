@@ -1,0 +1,255 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed RNGs diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(13)
+	const buckets = 10
+	const n = 100000
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d too far from %v", b, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestBernoulliEdgeCases(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if r.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !r.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(19)
+	const p = 0.3
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(p) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-p) > 0.01 {
+		t.Fatalf("Bernoulli rate %v, want ~%v", rate, p)
+	}
+}
+
+func TestGeometricMoments(t *testing.T) {
+	r := New(23)
+	const p = 0.2
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += float64(r.Geometric(p))
+	}
+	mean := sum / n
+	want := (1 - p) / p // failures before first success
+	if math.Abs(mean-want) > 0.1 {
+		t.Fatalf("Geometric mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestGeometricDegenerate(t *testing.T) {
+	r := New(29)
+	if g := r.Geometric(1); g != 0 {
+		t.Fatalf("Geometric(1) = %d, want 0", g)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Geometric(0) did not panic")
+		}
+	}()
+	r.Geometric(0)
+}
+
+func TestGeometricLevelDistribution(t *testing.T) {
+	r := New(31)
+	const n = 200000
+	counts := map[int]int{}
+	for i := 0; i < n; i++ {
+		counts[r.GeometricLevel()]++
+	}
+	// P[level >= l] = 2^-l; check the first few levels.
+	atLeast := func(l int) int {
+		s := 0
+		for lev, c := range counts {
+			if lev >= l {
+				s += c
+			}
+		}
+		return s
+	}
+	for l := 1; l <= 6; l++ {
+		got := float64(atLeast(l)) / n
+		want := math.Pow(0.5, float64(l))
+		if math.Abs(got-want) > 4*math.Sqrt(want/n)+0.002 {
+			t.Fatalf("P[level>=%d] = %v, want ~%v", l, got, want)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(37)
+	for _, n := range []int{0, 1, 2, 5, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleKProperties(t *testing.T) {
+	r := New(41)
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		k := int(kRaw) % (n + 1)
+		s := r.SampleK(n, k)
+		if len(s) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleKUniform(t *testing.T) {
+	// Each element of [0,6) should appear in a 3-subset w.p. 1/2.
+	r := New(43)
+	const trials = 60000
+	counts := make([]int, 6)
+	for i := 0; i < trials; i++ {
+		for _, v := range r.SampleK(6, 3) {
+			counts[v]++
+		}
+	}
+	for v, c := range counts {
+		rate := float64(c) / trials
+		if math.Abs(rate-0.5) > 0.01 {
+			t.Fatalf("element %d inclusion rate %v, want ~0.5", v, rate)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(47)
+	child := parent.Split()
+	// The child stream must not equal the parent's continued stream.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split child collided with parent %d times", same)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(53)
+	xs := []int{1, 2, 2, 3, 5, 8, 13}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(xs)
+	sum2 := 0
+	for _, x := range xs {
+		sum2 += x
+	}
+	if sum != sum2 {
+		t.Fatalf("shuffle changed contents: %v", xs)
+	}
+}

@@ -1,0 +1,208 @@
+// Package gk implements the Greenwald–Khanna quantile summary [SIGMOD 2001]
+// (paper reference [12]): a deterministic structure that answers rank queries
+// over a stream of n values with absolute error at most εn.
+//
+// The implementation is the standard tuple list (v_i, g_i, Δ_i) with the
+// invariant g_i + Δ_i <= ⌊2εn⌋ maintained by periodic compression. It omits
+// the "bands" refinement of the original paper; the size stays
+// O(1/ε·log(εn)) in practice, which is what the deterministic rank-tracking
+// baseline needs.
+package gk
+
+import (
+	"math"
+	"sort"
+)
+
+// tuple is one summary entry: value v covers g positions, with Δ slack.
+// If rmin(i) = Σ_{j<=i} g_j, the true (1-based) rank of v_i among the
+// inserted values lies in [rmin(i), rmin(i)+Δ_i].
+type tuple struct {
+	v float64
+	g int64
+	d int64
+}
+
+// Summary is a GK quantile summary. Construct with New.
+type Summary struct {
+	eps     float64
+	tuples  []tuple
+	n       int64
+	pending int // inserts since the last compress
+}
+
+// New returns a summary with error parameter eps in (0, 1).
+func New(eps float64) *Summary {
+	if eps <= 0 || eps >= 1 {
+		panic("gk: eps out of (0,1)")
+	}
+	return &Summary{eps: eps}
+}
+
+// Insert adds one value to the summary.
+func (s *Summary) Insert(v float64) {
+	s.n++
+	idx := sort.Search(len(s.tuples), func(i int) bool { return s.tuples[i].v >= v })
+	var d int64
+	if idx == 0 || idx == len(s.tuples) {
+		d = 0 // new minimum or maximum: exact rank
+	} else {
+		d = s.threshold() - 1
+		if d < 0 {
+			d = 0
+		}
+	}
+	s.tuples = append(s.tuples, tuple{})
+	copy(s.tuples[idx+1:], s.tuples[idx:])
+	s.tuples[idx] = tuple{v: v, g: 1, d: d}
+
+	s.pending++
+	if s.pending >= int(1/(2*s.eps))+1 {
+		s.compress()
+		s.pending = 0
+	}
+}
+
+// threshold returns ⌊2εn⌋, the invariant bound on g+Δ.
+func (s *Summary) threshold() int64 {
+	return int64(2 * s.eps * float64(s.n))
+}
+
+// compress merges adjacent tuples while preserving the invariant.
+func (s *Summary) compress() {
+	if len(s.tuples) < 3 {
+		return
+	}
+	thr := s.threshold()
+	out := s.tuples[:0]
+	out = append(out, s.tuples[0])
+	// Walk left to right, greedily merging each tuple into its successor
+	// when allowed; the first and last tuples are never removed.
+	for i := 1; i < len(s.tuples); i++ {
+		cur := s.tuples[i]
+		if i+1 < len(s.tuples) {
+			next := s.tuples[i+1]
+			if cur.g+next.g+next.d <= thr {
+				// Merge cur into next.
+				s.tuples[i+1].g += cur.g
+				continue
+			}
+		}
+		out = append(out, cur)
+	}
+	s.tuples = out
+}
+
+// Rank returns the summary's estimate of the number of inserted values
+// strictly smaller than x. The error is at most εn.
+func (s *Summary) Rank(x float64) int64 {
+	if len(s.tuples) == 0 {
+		return 0
+	}
+	// rmin of the last tuple with v < x, combined with the following
+	// tuple's rmax, brackets the true rank.
+	var rmin int64
+	i := 0
+	for ; i < len(s.tuples) && s.tuples[i].v < x; i++ {
+		rmin += s.tuples[i].g
+	}
+	if i == 0 {
+		return 0
+	}
+	if i == len(s.tuples) {
+		return s.n
+	}
+	// True #values < x lies in [rmin, rmin + g_i + d_i - 1].
+	hi := rmin + s.tuples[i].g + s.tuples[i].d - 1
+	if hi < rmin {
+		hi = rmin
+	}
+	return (rmin + hi) / 2
+}
+
+// Quantile returns a value whose rank is within εn of ⌊q·n⌋.
+func (s *Summary) Quantile(q float64) float64 {
+	if len(s.tuples) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := float64(q) * float64(s.n)
+	var rmin int64
+	best := s.tuples[0].v
+	bestDist := math.Inf(1)
+	for _, t := range s.tuples {
+		rmin += t.g
+		mid := float64(rmin) + float64(t.d)/2
+		if d := math.Abs(mid - target); d < bestDist {
+			bestDist = d
+			best = t.v
+		}
+	}
+	return best
+}
+
+// N returns the number of inserted values.
+func (s *Summary) N() int64 { return s.n }
+
+// Len returns the number of tuples.
+func (s *Summary) Len() int { return len(s.tuples) }
+
+// SpaceWords returns the size in words (three per tuple).
+func (s *Summary) SpaceWords() int { return 3 * len(s.tuples) }
+
+// Eps returns the summary's error parameter.
+func (s *Summary) Eps() float64 { return s.eps }
+
+// Snapshot serializes the summary into a Snapshot that can be shipped to the
+// coordinator and queried remotely.
+func (s *Summary) Snapshot() Snapshot {
+	ts := make([]SnapshotTuple, len(s.tuples))
+	for i, t := range s.tuples {
+		ts[i] = SnapshotTuple{V: t.v, G: t.g, D: t.d}
+	}
+	return Snapshot{N: s.n, Eps: s.eps, Tuples: ts}
+}
+
+// SnapshotTuple is the wire form of one GK tuple.
+type SnapshotTuple struct {
+	V float64
+	G int64
+	D int64
+}
+
+// Snapshot is an immutable, queryable copy of a summary, as shipped by the
+// deterministic rank-tracking baseline.
+type Snapshot struct {
+	N      int64
+	Eps    float64
+	Tuples []SnapshotTuple
+}
+
+// Rank estimates the number of values < x in the snapshotted stream.
+func (sn Snapshot) Rank(x float64) int64 {
+	var rmin int64
+	i := 0
+	for ; i < len(sn.Tuples) && sn.Tuples[i].V < x; i++ {
+		rmin += sn.Tuples[i].G
+	}
+	if i == 0 {
+		return 0
+	}
+	if i == len(sn.Tuples) {
+		return sn.N
+	}
+	hi := rmin + sn.Tuples[i].G + sn.Tuples[i].D - 1
+	if hi < rmin {
+		hi = rmin
+	}
+	return (rmin + hi) / 2
+}
+
+// Words returns the snapshot's transfer size in words (three per tuple plus
+// one for N).
+func (sn Snapshot) Words() int { return 3*len(sn.Tuples) + 1 }

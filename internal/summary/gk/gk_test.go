@@ -1,0 +1,242 @@
+package gk
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"disttrack/internal/stats"
+)
+
+// trueRank counts values in xs strictly smaller than x.
+func trueRank(xs []float64, x float64) int64 {
+	var r int64
+	for _, v := range xs {
+		if v < x {
+			r++
+		}
+	}
+	return r
+}
+
+func checkAllRanks(t *testing.T, s *Summary, xs []float64, eps float64) {
+	t.Helper()
+	n := float64(len(xs))
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	// Query at every stored value and between values.
+	queries := append([]float64{sorted[0] - 1, sorted[len(sorted)-1] + 1}, sorted...)
+	for _, q := range queries {
+		got := s.Rank(q)
+		want := trueRank(xs, q)
+		if math.Abs(float64(got-want)) > eps*n+1 {
+			t.Fatalf("Rank(%v) = %d, true %d, allowed error %v (n=%d)",
+				q, got, want, eps*n, len(xs))
+		}
+	}
+}
+
+func TestRankErrorSortedInput(t *testing.T) {
+	const eps = 0.05
+	const n = 5000
+	s := New(eps)
+	xs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = float64(i)
+		s.Insert(float64(i))
+	}
+	checkAllRanks(t, s, xs, eps)
+}
+
+func TestRankErrorReverseSorted(t *testing.T) {
+	const eps = 0.05
+	const n = 5000
+	s := New(eps)
+	xs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := float64(n - i)
+		xs[i] = v
+		s.Insert(v)
+	}
+	checkAllRanks(t, s, xs, eps)
+}
+
+func TestRankErrorRandomInput(t *testing.T) {
+	const eps = 0.02
+	const n = 20000
+	rng := stats.New(401)
+	s := New(eps)
+	xs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := rng.Float64()
+		xs[i] = v
+		s.Insert(v)
+	}
+	checkAllRanks(t, s, xs, eps)
+}
+
+func TestRankErrorAdversarialZigzag(t *testing.T) {
+	const eps = 0.05
+	const n = 4000
+	s := New(eps)
+	xs := make([]float64, 0, n)
+	for i := 0; i < n/2; i++ {
+		lo, hi := float64(i), float64(n-i)
+		s.Insert(lo)
+		s.Insert(hi)
+		xs = append(xs, lo, hi)
+	}
+	checkAllRanks(t, s, xs, eps)
+}
+
+func TestSpaceSublinear(t *testing.T) {
+	const eps = 0.01
+	const n = 100000
+	rng := stats.New(409)
+	s := New(eps)
+	for i := 0; i < n; i++ {
+		s.Insert(rng.Float64())
+	}
+	// O(1/eps * log(eps n)) with a generous constant.
+	limit := int(40 / eps * math.Log2(eps*n+2))
+	if s.Len() > limit {
+		t.Fatalf("summary has %d tuples, budget %d", s.Len(), limit)
+	}
+	if s.SpaceWords() != 3*s.Len() {
+		t.Fatal("SpaceWords inconsistent with Len")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	const eps = 0.02
+	const n = 10000
+	rng := stats.New(419)
+	s := New(eps)
+	xs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := rng.Float64()
+		xs[i] = v
+		s.Insert(v)
+	}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		v := s.Quantile(q)
+		r := trueRank(xs, v)
+		if math.Abs(float64(r)-q*n) > 2*eps*n+1 {
+			t.Fatalf("Quantile(%v) = %v has rank %d, want %v±%v", q, v, r, q*n, 2*eps*n)
+		}
+	}
+	// Clamping.
+	if s.Quantile(-1) > s.Quantile(2) {
+		t.Fatal("clamped quantiles out of order")
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	s := New(0.1)
+	if s.Rank(5) != 0 {
+		t.Fatal("empty Rank != 0")
+	}
+	if s.Quantile(0.5) != 0 {
+		t.Fatal("empty Quantile != 0")
+	}
+	if s.N() != 0 || s.Len() != 0 {
+		t.Fatal("empty summary has state")
+	}
+}
+
+func TestSingleElement(t *testing.T) {
+	s := New(0.1)
+	s.Insert(7)
+	if s.Rank(7) != 0 {
+		t.Fatalf("Rank(7) = %d, want 0 (strictly smaller)", s.Rank(7))
+	}
+	if s.Rank(8) != 1 {
+		t.Fatalf("Rank(8) = %d, want 1", s.Rank(8))
+	}
+	if s.Rank(6) != 0 {
+		t.Fatalf("Rank(6) = %d, want 0", s.Rank(6))
+	}
+}
+
+func TestDuplicateValues(t *testing.T) {
+	const eps = 0.05
+	s := New(eps)
+	xs := make([]float64, 0, 3000)
+	for i := 0; i < 1000; i++ {
+		for _, v := range []float64{1, 2, 3} {
+			s.Insert(v)
+			xs = append(xs, v)
+		}
+	}
+	checkAllRanks(t, s, xs, eps)
+}
+
+func TestSnapshotMatchesSummary(t *testing.T) {
+	const eps = 0.02
+	rng := stats.New(431)
+	s := New(eps)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		s.Insert(xs[i])
+	}
+	sn := s.Snapshot()
+	if sn.N != s.N() {
+		t.Fatal("snapshot N mismatch")
+	}
+	if sn.Words() != 3*s.Len()+1 {
+		t.Fatal("snapshot Words mismatch")
+	}
+	for _, q := range []float64{0.1, 0.37, 0.5, 0.93} {
+		x := stats.Quantile(xs, q)
+		if sn.Rank(x) != s.Rank(x) {
+			t.Fatalf("snapshot Rank(%v) = %d, summary %d", x, sn.Rank(x), s.Rank(x))
+		}
+	}
+}
+
+func TestSnapshotEdgeQueries(t *testing.T) {
+	s := New(0.1)
+	for i := 0; i < 100; i++ {
+		s.Insert(float64(i))
+	}
+	sn := s.Snapshot()
+	if sn.Rank(-5) != 0 {
+		t.Fatal("snapshot rank below min != 0")
+	}
+	if sn.Rank(1e9) != 100 {
+		t.Fatalf("snapshot rank above max = %d, want 100", sn.Rank(1e9))
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, e := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%v) did not panic", e)
+				}
+			}()
+			New(e)
+		}()
+	}
+}
+
+func TestInvariantAfterManyInserts(t *testing.T) {
+	const eps = 0.05
+	rng := stats.New(433)
+	s := New(eps)
+	for i := 0; i < 20000; i++ {
+		s.Insert(rng.Float64())
+	}
+	thr := s.threshold()
+	for i, tp := range s.tuples {
+		if i == 0 {
+			continue
+		}
+		if tp.g+tp.d > thr {
+			t.Fatalf("tuple %d violates invariant: g+d = %d > %d", i, tp.g+tp.d, thr)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package gk
+
+import (
+	"testing"
+	"testing/quick"
+
+	"disttrack/internal/stats"
+)
+
+// TestPropertyRankWithinEps: for random stream sizes, error parameters, and
+// input orders, every rank query stays within εn.
+func TestPropertyRankWithinEps(t *testing.T) {
+	f := func(seed uint64, sizeRaw uint16, epsRaw uint8) bool {
+		n := int(sizeRaw)%3000 + 10
+		eps := 0.01 + float64(epsRaw%20)/100 // 0.01 .. 0.20
+		rng := stats.New(seed)
+		s := New(eps)
+		xs := make([]float64, n)
+		switch seed % 3 {
+		case 0: // random
+			for i := range xs {
+				xs[i] = rng.Float64()
+			}
+		case 1: // sorted
+			for i := range xs {
+				xs[i] = float64(i)
+			}
+		default: // organ pipe
+			for i := range xs {
+				if i%2 == 0 {
+					xs[i] = float64(i)
+				} else {
+					xs[i] = float64(n - i)
+				}
+			}
+		}
+		for _, v := range xs {
+			s.Insert(v)
+		}
+		// Probe a handful of random queries plus the extremes.
+		queries := []float64{xs[0], xs[n/2], xs[n-1] + 1, -1e18, 1e18}
+		for i := 0; i < 5; i++ {
+			queries = append(queries, xs[rng.Intn(n)])
+		}
+		for _, q := range queries {
+			var truth int64
+			for _, v := range xs {
+				if v < q {
+					truth++
+				}
+			}
+			got := s.Rank(q)
+			diff := got - truth
+			if diff < 0 {
+				diff = -diff
+			}
+			if float64(diff) > eps*float64(n)+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+// Package merge implements a randomized quantile summary based on the
+// classical random-offset buffer-merging hierarchy (Munro–Paterson layout
+// with the randomized alternation of Suri–Tóth–Zhou [24] / Agarwal et
+// al. [1]). It is the repository's realization of the paper's "algorithm A"
+// black box (Section 4): an insertion-only summary producing, for every x,
+// an UNBIASED estimator of rank(x) = |{elements < x}| with
+//
+//	Var[Rank(x)] <= (m / (2·s))²
+//
+// over a stream of m elements with buffer size s, using O(s·log(m/s)) space.
+// Setting s = ⌈1/ε⌉ gives standard deviation at most εm/2.
+//
+// Mechanics: elements fill a level-0 buffer of size s. Two full buffers at
+// level ℓ merge into one at level ℓ+1 by sorting their union (2s values,
+// each of weight 2^ℓ) and keeping alternate values starting from a uniformly
+// random offset in {0,1}; kept values get weight 2^(ℓ+1). Each merge
+// perturbs any fixed rank by at most 2^ℓ with zero mean, independently of
+// all other merges, which yields the unbiasedness and the variance bound
+// (sum of (4^ℓ)/4 over the m/(s·2^(ℓ+1)) merges at each level ℓ).
+package merge
+
+import (
+	"sort"
+
+	"disttrack/internal/stats"
+)
+
+// Summary is the streaming structure. Construct with New.
+type Summary struct {
+	s      int // buffer size
+	rng    *stats.RNG
+	cur    []float64   // partial level-0 buffer, unsorted, weight 1
+	levels [][]float64 // levels[l]: nil or a sorted buffer of weight 2^l
+	n      int64
+}
+
+// New returns a summary with buffer size s (s >= 1) drawing merge offsets
+// from rng. It panics on invalid arguments.
+func New(s int, rng *stats.RNG) *Summary {
+	if s < 1 {
+		panic("merge: buffer size must be >= 1")
+	}
+	if rng == nil {
+		panic("merge: nil rng")
+	}
+	return &Summary{s: s, rng: rng}
+}
+
+// NewEps returns a summary whose rank estimates have standard deviation at
+// most eps·m over any stream of m elements (buffer size ⌈2/eps⌉... the
+// conservative ⌈1/eps⌉ already gives eps·m/2; we use that).
+func NewEps(eps float64, rng *stats.RNG) *Summary {
+	if eps <= 0 || eps > 1 {
+		panic("merge: eps out of (0,1]")
+	}
+	s := int(1/eps) + 1
+	return New(s, rng)
+}
+
+// Insert adds one value.
+func (m *Summary) Insert(v float64) {
+	m.n++
+	m.cur = append(m.cur, v)
+	if len(m.cur) < m.s {
+		return
+	}
+	buf := m.cur
+	m.cur = make([]float64, 0, m.s)
+	sort.Float64s(buf)
+	m.carry(0, buf)
+}
+
+// carry inserts a full sorted buffer at the given level, merging upward
+// binary-counter style while the level is occupied.
+func (m *Summary) carry(level int, buf []float64) {
+	for {
+		for level >= len(m.levels) {
+			m.levels = append(m.levels, nil)
+		}
+		if m.levels[level] == nil {
+			m.levels[level] = buf
+			return
+		}
+		buf = m.mergeBuffers(m.levels[level], buf)
+		m.levels[level] = nil
+		level++
+	}
+}
+
+// mergeBuffers merges two sorted buffers of equal size and keeps alternate
+// elements starting at a random offset.
+func (m *Summary) mergeBuffers(a, b []float64) []float64 {
+	combined := make([]float64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			combined = append(combined, a[i])
+			i++
+		} else {
+			combined = append(combined, b[j])
+			j++
+		}
+	}
+	combined = append(combined, a[i:]...)
+	combined = append(combined, b[j:]...)
+
+	offset := 0
+	if m.rng.Bernoulli(0.5) {
+		offset = 1
+	}
+	out := make([]float64, 0, (len(combined)+1)/2)
+	for k := offset; k < len(combined); k += 2 {
+		out = append(out, combined[k])
+	}
+	return out
+}
+
+// Rank returns the unbiased estimate of |{inserted values < x}|.
+func (m *Summary) Rank(x float64) int64 {
+	var r int64
+	for _, v := range m.cur {
+		if v < x {
+			r++
+		}
+	}
+	weight := int64(1)
+	for _, buf := range m.levels {
+		if buf != nil {
+			r += weight * int64(sort.SearchFloat64s(buf, x))
+		}
+		weight <<= 1
+	}
+	return r
+}
+
+// N returns the number of inserted values.
+func (m *Summary) N() int64 { return m.n }
+
+// BufferSize returns the configured buffer size s.
+func (m *Summary) BufferSize() int { return m.s }
+
+// StdDevBound returns the analytic upper bound m.n/(2s) on the standard
+// deviation of any rank estimate.
+func (m *Summary) StdDevBound() float64 {
+	return float64(m.n) / (2 * float64(m.s))
+}
+
+// Len returns the number of stored values across all buffers.
+func (m *Summary) Len() int {
+	total := len(m.cur)
+	for _, buf := range m.levels {
+		total += len(buf)
+	}
+	return total
+}
+
+// SpaceWords returns the in-memory size in words (one word per stored value
+// plus one level tag per allocated level).
+func (m *Summary) SpaceWords() int { return m.Len() + len(m.levels) }
+
+// Snapshot freezes the summary into an immutable, shippable form. The
+// partial level-0 buffer is included exactly (weight 1), so a snapshot's
+// Rank has the same distribution as the live summary's.
+func (m *Summary) Snapshot() Snapshot {
+	var bufs []WeightedBuffer
+	if len(m.cur) > 0 {
+		vals := make([]float64, len(m.cur))
+		copy(vals, m.cur)
+		sort.Float64s(vals)
+		bufs = append(bufs, WeightedBuffer{Weight: 1, Values: vals})
+	}
+	weight := int64(1)
+	for _, buf := range m.levels {
+		if buf != nil {
+			vals := make([]float64, len(buf))
+			copy(vals, buf)
+			bufs = append(bufs, WeightedBuffer{Weight: weight, Values: vals})
+		}
+		weight <<= 1
+	}
+	return Snapshot{N: m.n, Buffers: bufs}
+}
+
+// WeightedBuffer is a sorted run of values sharing one weight.
+type WeightedBuffer struct {
+	Weight int64
+	Values []float64
+}
+
+// Snapshot is the immutable wire form of a Summary.
+type Snapshot struct {
+	N       int64
+	Buffers []WeightedBuffer
+}
+
+// Rank estimates |{values < x}| in the snapshotted stream (unbiased).
+func (sn Snapshot) Rank(x float64) int64 {
+	var r int64
+	for _, b := range sn.Buffers {
+		r += b.Weight * int64(sort.SearchFloat64s(b.Values, x))
+	}
+	return r
+}
+
+// Words returns the transfer size in words: one per value plus two per
+// buffer (weight, length) plus one for N.
+func (sn Snapshot) Words() int {
+	w := 1
+	for _, b := range sn.Buffers {
+		w += 2 + len(b.Values)
+	}
+	return w
+}

@@ -1,0 +1,209 @@
+package merge
+
+import (
+	"math"
+	"testing"
+
+	"disttrack/internal/stats"
+)
+
+func TestExactWhileBufferPartial(t *testing.T) {
+	s := New(100, stats.New(1))
+	for i := 0; i < 50; i++ {
+		s.Insert(float64(i))
+	}
+	// No merge has happened; ranks are exact.
+	for _, q := range []float64{0, 10, 25.5, 50, 100} {
+		want := int64(math.Min(math.Ceil(q), 50))
+		if q > 50 {
+			want = 50
+		}
+		if got := s.Rank(q); got != want {
+			t.Fatalf("Rank(%v) = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestWeightConservation(t *testing.T) {
+	// Total weight (= Rank(+inf)) must always equal n exactly: merges keep
+	// exactly half of 2s elements at double weight.
+	s := New(8, stats.New(3))
+	for i := 1; i <= 10000; i++ {
+		s.Insert(float64(i % 97))
+		if i%997 == 0 || i <= 64 {
+			if got := s.Rank(math.Inf(1)); got != int64(i) {
+				t.Fatalf("after %d inserts total weight = %d", i, got)
+			}
+		}
+	}
+}
+
+func TestUnbiasedness(t *testing.T) {
+	// Mean of Rank over many independent summaries approaches the true rank.
+	const m = 4096
+	const bufSize = 16 // heavy merging
+	const trials = 400
+	rng := stats.New(5)
+	queries := []float64{0.1, 0.33, 0.5, 0.9}
+	sums := make([]float64, len(queries))
+	for tr := 0; tr < trials; tr++ {
+		s := New(bufSize, rng.Split())
+		elemRng := stats.New(12345) // same data every trial
+		for i := 0; i < m; i++ {
+			s.Insert(elemRng.Float64())
+		}
+		for qi, q := range queries {
+			sums[qi] += float64(s.Rank(q))
+		}
+	}
+	// True ranks for the fixed data.
+	elemRng := stats.New(12345)
+	data := make([]float64, m)
+	for i := range data {
+		data[i] = elemRng.Float64()
+	}
+	for qi, q := range queries {
+		var truth float64
+		for _, v := range data {
+			if v < q {
+				truth++
+			}
+		}
+		mean := sums[qi] / trials
+		// Std-dev of the mean is sigma/sqrt(trials) <= (m/2s)/sqrt(trials).
+		tol := 4 * (float64(m) / (2 * bufSize)) / math.Sqrt(trials)
+		if math.Abs(mean-truth) > tol {
+			t.Fatalf("Rank(%v): mean %v vs truth %v (tol %v)", q, mean, truth, tol)
+		}
+	}
+}
+
+func TestVarianceBound(t *testing.T) {
+	const m = 4096
+	const bufSize = 32
+	const trials = 300
+	rng := stats.New(7)
+	const q = 0.5
+	samples := make([]float64, trials)
+	for tr := 0; tr < trials; tr++ {
+		s := New(bufSize, rng.Split())
+		elemRng := stats.New(999)
+		for i := 0; i < m; i++ {
+			s.Insert(elemRng.Float64())
+		}
+		samples[tr] = float64(s.Rank(q))
+	}
+	sd := stats.StdDev(samples)
+	bound := float64(m) / (2 * bufSize)
+	if sd > 1.5*bound {
+		t.Fatalf("empirical std-dev %v exceeds bound %v", sd, bound)
+	}
+}
+
+func TestStdDevBoundAccessor(t *testing.T) {
+	s := New(10, stats.New(11))
+	for i := 0; i < 1000; i++ {
+		s.Insert(float64(i))
+	}
+	if got := s.StdDevBound(); got != 1000.0/20 {
+		t.Fatalf("StdDevBound = %v, want 50", got)
+	}
+}
+
+func TestSpaceLogarithmic(t *testing.T) {
+	const bufSize = 64
+	s := New(bufSize, stats.New(13))
+	const m = 1 << 17
+	for i := 0; i < m; i++ {
+		s.Insert(float64(i))
+	}
+	// Space should be O(s log(m/s)): one buffer per level.
+	maxLevels := int(math.Log2(float64(m)/bufSize)) + 2
+	if s.Len() > bufSize*(maxLevels+1) {
+		t.Fatalf("space %d values exceeds %d", s.Len(), bufSize*(maxLevels+1))
+	}
+	if s.SpaceWords() < s.Len() {
+		t.Fatal("SpaceWords < Len")
+	}
+}
+
+func TestSnapshotDistributionMatchesLive(t *testing.T) {
+	rng := stats.New(17)
+	s := New(8, rng.Split())
+	for i := 0; i < 1000; i++ {
+		s.Insert(rng.Float64())
+	}
+	sn := s.Snapshot()
+	if sn.N != s.N() {
+		t.Fatal("snapshot N mismatch")
+	}
+	for _, q := range []float64{0, 0.2, 0.5, 0.8, 1} {
+		if sn.Rank(q) != s.Rank(q) {
+			t.Fatalf("snapshot Rank(%v) = %d, live %d", q, sn.Rank(q), s.Rank(q))
+		}
+	}
+	if sn.Words() <= 0 {
+		t.Fatal("snapshot Words not positive")
+	}
+}
+
+func TestSnapshotIncludesPartialBuffer(t *testing.T) {
+	s := New(100, stats.New(19))
+	s.Insert(1)
+	s.Insert(2)
+	sn := s.Snapshot()
+	if got := sn.Rank(3); got != 2 {
+		t.Fatalf("partial-buffer snapshot Rank(3) = %d, want 2", got)
+	}
+}
+
+func TestBufferSizeOne(t *testing.T) {
+	// Degenerate buffer size must still conserve weight and stay unbiased
+	// in expectation (sanity: total weight).
+	s := New(1, stats.New(23))
+	for i := 0; i < 257; i++ {
+		s.Insert(float64(i))
+	}
+	if got := s.Rank(math.Inf(1)); got != 257 {
+		t.Fatalf("total weight %d, want 257", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []func(){
+		func() { New(0, stats.New(1)) },
+		func() { New(5, nil) },
+		func() { NewEps(0, stats.New(1)) },
+		func() { NewEps(1.5, stats.New(1)) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNewEpsVariance(t *testing.T) {
+	// NewEps(eps) must give std-dev <= eps*m.
+	const eps = 0.05
+	const m = 2000
+	const trials = 200
+	rng := stats.New(29)
+	samples := make([]float64, trials)
+	for tr := 0; tr < trials; tr++ {
+		s := NewEps(eps, rng.Split())
+		elemRng := stats.New(777)
+		for i := 0; i < m; i++ {
+			s.Insert(elemRng.Float64())
+		}
+		samples[tr] = float64(s.Rank(0.5))
+	}
+	if sd := stats.StdDev(samples); sd > eps*m {
+		t.Fatalf("std-dev %v exceeds eps*m = %v", sd, eps*m)
+	}
+}

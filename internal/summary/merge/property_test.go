@@ -1,0 +1,65 @@
+package merge
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"disttrack/internal/stats"
+)
+
+// TestPropertyWeightConservation: for any buffer size, stream length, and
+// seed, the total weight always equals the number of insertions, and the
+// snapshot agrees with the live summary on every query.
+func TestPropertyWeightConservation(t *testing.T) {
+	f := func(seed uint64, sizeRaw uint16, bufRaw uint8) bool {
+		n := int(sizeRaw)%4000 + 1
+		bufSize := int(bufRaw)%64 + 1
+		rng := stats.New(seed)
+		s := New(bufSize, rng.Split())
+		for i := 0; i < n; i++ {
+			s.Insert(rng.Float64())
+		}
+		if s.Rank(math.Inf(1)) != int64(n) {
+			return false
+		}
+		if s.Rank(math.Inf(-1)) != 0 {
+			return false
+		}
+		sn := s.Snapshot()
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			if sn.Rank(q) != s.Rank(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRankMonotone: rank estimates are monotone in the query point
+// for any realization of the merge randomness.
+func TestPropertyRankMonotone(t *testing.T) {
+	f := func(seed uint64, bufRaw uint8) bool {
+		bufSize := int(bufRaw)%32 + 1
+		rng := stats.New(seed)
+		s := New(bufSize, rng.Split())
+		for i := 0; i < 2000; i++ {
+			s.Insert(rng.Float64())
+		}
+		prev := int64(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			r := s.Rank(q)
+			if r < prev {
+				return false
+			}
+			prev = r
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

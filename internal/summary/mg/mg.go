@@ -1,0 +1,154 @@
+// Package mg implements the Misra–Gries frequent-items summary [Misra &
+// Gries 1982], the classical deterministic heavy-hitters algorithm with the
+// optimal O(1/ε) space. It is one of the streaming substrates the paper's
+// frequency-tracking discussion builds on (reference [20]).
+//
+// A summary with m counters processed over a stream of n items guarantees,
+// for every item j with true frequency f_j:
+//
+//	f_j - n/(m+1) <= Estimate(j) <= f_j
+//
+// so m = ⌈1/ε⌉ counters give absolute error at most εn.
+package mg
+
+// Summary is a Misra–Gries sketch. The zero value is not usable; construct
+// with New.
+type Summary struct {
+	capacity int
+	counters map[int64]int64
+	n        int64
+}
+
+// New returns a summary with m counters. It panics if m <= 0.
+func New(m int) *Summary {
+	if m <= 0 {
+		panic("mg: New with non-positive capacity")
+	}
+	return &Summary{
+		capacity: m,
+		counters: make(map[int64]int64, m+1),
+	}
+}
+
+// Add processes one occurrence of item j.
+func (s *Summary) Add(j int64) {
+	s.n++
+	if _, ok := s.counters[j]; ok {
+		s.counters[j]++
+		return
+	}
+	if len(s.counters) < s.capacity {
+		s.counters[j] = 1
+		return
+	}
+	// Decrement every counter; drop the ones that reach zero. This is the
+	// classic MG step: the new item and one unit of every tracked item are
+	// discarded together.
+	for key, c := range s.counters {
+		if c == 1 {
+			delete(s.counters, key)
+		} else {
+			s.counters[key] = c - 1
+		}
+	}
+}
+
+// Estimate returns the summary's lower-bound estimate of item j's frequency
+// (0 if j is not tracked).
+func (s *Summary) Estimate(j int64) int64 {
+	return s.counters[j]
+}
+
+// N returns the number of items processed.
+func (s *Summary) N() int64 { return s.n }
+
+// ErrorBound returns the maximum possible underestimate, n/(m+1).
+func (s *Summary) ErrorBound() int64 {
+	return s.n / int64(s.capacity+1)
+}
+
+// Counters returns a copy of the tracked (item, count) pairs.
+func (s *Summary) Counters() map[int64]int64 {
+	out := make(map[int64]int64, len(s.counters))
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Len returns the number of live counters (always <= capacity).
+func (s *Summary) Len() int { return len(s.counters) }
+
+// SpaceWords returns the summary's current size in words (two words per
+// counter: item and count).
+func (s *Summary) SpaceWords() int { return 2 * len(s.counters) }
+
+// Merge folds other into s. The merged summary has the combined stream's
+// guarantee with the same capacity: it adds counter maps, then reduces back
+// to the capacity by subtracting the (capacity+1)-th largest count from all
+// counters (Agarwal et al.'s mergeability result for MG).
+func (s *Summary) Merge(other *Summary) {
+	for k, v := range other.counters {
+		s.counters[k] += v
+	}
+	s.n += other.n
+	if len(s.counters) <= s.capacity {
+		return
+	}
+	// Find the (capacity+1)-th largest counter value.
+	vals := make([]int64, 0, len(s.counters))
+	for _, v := range s.counters {
+		vals = append(vals, v)
+	}
+	pivot := kthLargest(vals, s.capacity+1)
+	for k, v := range s.counters {
+		if v <= pivot {
+			delete(s.counters, k)
+		} else {
+			s.counters[k] = v - pivot
+		}
+	}
+}
+
+// kthLargest returns the k-th largest value of vs (1-based) using an
+// in-place quickselect. It panics if k is out of range.
+func kthLargest(vs []int64, k int) int64 {
+	if k < 1 || k > len(vs) {
+		panic("mg: kthLargest out of range")
+	}
+	lo, hi := 0, len(vs)-1
+	target := k - 1 // index in descending order
+	for {
+		if lo == hi {
+			return vs[lo]
+		}
+		// Median-of-three pivot for robustness on sorted inputs.
+		mid := lo + (hi-lo)/2
+		if vs[mid] > vs[lo] {
+			vs[mid], vs[lo] = vs[lo], vs[mid]
+		}
+		if vs[hi] > vs[lo] {
+			vs[hi], vs[lo] = vs[lo], vs[hi]
+		}
+		if vs[mid] > vs[hi] {
+			vs[mid], vs[hi] = vs[hi], vs[mid]
+		}
+		pivot := vs[hi]
+		i := lo
+		for j := lo; j < hi; j++ {
+			if vs[j] > pivot { // descending partition
+				vs[i], vs[j] = vs[j], vs[i]
+				i++
+			}
+		}
+		vs[i], vs[hi] = vs[hi], vs[i]
+		switch {
+		case target == i:
+			return vs[i]
+		case target < i:
+			hi = i - 1
+		default:
+			lo = i + 1
+		}
+	}
+}

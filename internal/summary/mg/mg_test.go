@@ -1,0 +1,169 @@
+package mg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"disttrack/internal/stats"
+)
+
+func TestExactWhenUnderCapacity(t *testing.T) {
+	s := New(10)
+	for i := 0; i < 5; i++ {
+		s.Add(int64(i))
+		s.Add(int64(i))
+	}
+	for i := int64(0); i < 5; i++ {
+		if got := s.Estimate(i); got != 2 {
+			t.Fatalf("Estimate(%d) = %d, want 2", i, got)
+		}
+	}
+	if s.N() != 10 {
+		t.Fatalf("N = %d, want 10", s.N())
+	}
+}
+
+func TestErrorBoundHolds(t *testing.T) {
+	const m = 9 // error <= n/10
+	s := New(m)
+	rng := stats.New(101)
+	z := stats.NewZipf(rng, 1000, 1.0)
+	truth := map[int64]int64{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		j := int64(z.Draw())
+		truth[j]++
+		s.Add(j)
+	}
+	bound := s.ErrorBound()
+	if bound > n/(m+1) {
+		t.Fatalf("ErrorBound %d exceeds n/(m+1)", bound)
+	}
+	for j, f := range truth {
+		est := s.Estimate(j)
+		if est > f {
+			t.Fatalf("MG overestimated item %d: est %d > true %d", j, est, f)
+		}
+		if f-est > bound {
+			t.Fatalf("MG error for item %d: %d > bound %d", j, f-est, bound)
+		}
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	s := New(5)
+	rng := stats.New(103)
+	for i := 0; i < 10000; i++ {
+		s.Add(int64(rng.Intn(500)))
+		if s.Len() > 5 {
+			t.Fatalf("capacity exceeded: %d counters", s.Len())
+		}
+	}
+	if s.SpaceWords() > 10 {
+		t.Fatalf("space %d words > 2*capacity", s.SpaceWords())
+	}
+}
+
+func TestHeavyHitterAlwaysTracked(t *testing.T) {
+	// An item with frequency > n/(m+1) must survive.
+	s := New(4) // threshold n/5
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			s.Add(42) // ~n/3 > n/5
+		} else {
+			s.Add(int64(1000 + i)) // all distinct
+		}
+	}
+	if s.Estimate(42) == 0 {
+		t.Fatal("heavy hitter lost from summary")
+	}
+}
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestMergeGuarantee(t *testing.T) {
+	const m = 9
+	a, b := New(m), New(m)
+	rng := stats.New(107)
+	z := stats.NewZipf(rng, 300, 1.1)
+	truth := map[int64]int64{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		j := int64(z.Draw())
+		truth[j]++
+		if i%2 == 0 {
+			a.Add(j)
+		} else {
+			b.Add(j)
+		}
+	}
+	a.Merge(b)
+	if a.N() != n {
+		t.Fatalf("merged N = %d, want %d", a.N(), n)
+	}
+	if a.Len() > m {
+		t.Fatalf("merged summary has %d > %d counters", a.Len(), m)
+	}
+	bound := int64(n / (m + 1))
+	for j, f := range truth {
+		est := a.Estimate(j)
+		if est > f {
+			t.Fatalf("merged overestimate for %d: %d > %d", j, est, f)
+		}
+		if f-est > bound {
+			t.Fatalf("merged error for %d: %d > %d", j, f-est, bound)
+		}
+	}
+}
+
+func TestCountersCopyIsDetached(t *testing.T) {
+	s := New(3)
+	s.Add(1)
+	c := s.Counters()
+	c[1] = 99
+	if s.Estimate(1) != 1 {
+		t.Fatal("Counters() returned a live reference")
+	}
+}
+
+func TestKthLargest(t *testing.T) {
+	f := func(raw []int64, kRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		k := int(kRaw)%len(raw) + 1
+		cp := make([]int64, len(raw))
+		copy(cp, raw)
+		got := kthLargest(cp, k)
+		// Verify against a sort.
+		cp2 := make([]int64, len(raw))
+		copy(cp2, raw)
+		for i := 0; i < len(cp2); i++ {
+			for j := i + 1; j < len(cp2); j++ {
+				if cp2[j] > cp2[i] {
+					cp2[i], cp2[j] = cp2[j], cp2[i]
+				}
+			}
+		}
+		return got == cp2[k-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateUnknownItem(t *testing.T) {
+	s := New(3)
+	s.Add(7)
+	if got := s.Estimate(8); got != 0 {
+		t.Fatalf("Estimate of untracked item = %d, want 0", got)
+	}
+}

@@ -1,0 +1,132 @@
+// Package spacesaving implements the SpaceSaving frequent-items summary
+// [Metwally, Agrawal & El Abbadi 2006] (paper reference [19]).
+//
+// Unlike Misra–Gries, SpaceSaving counters are monotone non-decreasing, which
+// is what the deterministic frequency-tracking baseline exploits: a site can
+// report a counter every time it crosses a rounding threshold and the
+// coordinator's view is always a recent lower-approximation.
+//
+// With m counters over a stream of n items the guarantees are, for any item j:
+//
+//	f_j <= Estimate(j) <= f_j + n/m   (if j is tracked; otherwise f_j <= n/m)
+package spacesaving
+
+import "container/heap"
+
+// Counter is one monotone slot of the summary. Slot identities are stable:
+// the i-th counter keeps its index for the lifetime of the summary even as
+// its label changes, which lets a remote reader apply (slot, item, count)
+// updates idempotently.
+type Counter struct {
+	Slot  int
+	Item  int64
+	Count int64
+	// Err is the classical SpaceSaving overestimation bound for this slot's
+	// current label (the count the slot had when the label last changed).
+	Err int64
+	// heap bookkeeping
+	index int
+}
+
+// Summary is a SpaceSaving sketch with a fixed number of slots.
+type Summary struct {
+	capacity int
+	byItem   map[int64]*Counter
+	slots    []*Counter // all allocated counters, by slot id
+	h        minHeap    // live counters ordered by Count
+	n        int64
+}
+
+// New returns a summary with m slots. It panics if m <= 0.
+func New(m int) *Summary {
+	if m <= 0 {
+		panic("spacesaving: New with non-positive capacity")
+	}
+	return &Summary{
+		capacity: m,
+		byItem:   make(map[int64]*Counter, m),
+	}
+}
+
+// Add processes one occurrence of item j and returns the counter that was
+// updated (its fields reflect the post-update state).
+func (s *Summary) Add(j int64) *Counter {
+	s.n++
+	if c, ok := s.byItem[j]; ok {
+		c.Count++
+		heap.Fix(&s.h, c.index)
+		return c
+	}
+	if len(s.slots) < s.capacity {
+		c := &Counter{Slot: len(s.slots), Item: j, Count: 1}
+		s.slots = append(s.slots, c)
+		s.byItem[j] = c
+		heap.Push(&s.h, c)
+		return c
+	}
+	// Evict the minimum counter: the new item inherits its count + 1.
+	c := s.h[0]
+	delete(s.byItem, c.Item)
+	c.Err = c.Count
+	c.Item = j
+	c.Count++
+	s.byItem[j] = c
+	heap.Fix(&s.h, 0)
+	return c
+}
+
+// Estimate returns the (over-)estimate for item j, 0 if untracked.
+func (s *Summary) Estimate(j int64) int64 {
+	if c, ok := s.byItem[j]; ok {
+		return c.Count
+	}
+	return 0
+}
+
+// GuaranteedCount returns a lower bound on item j's true frequency
+// (Count - Err for a tracked item, else 0).
+func (s *Summary) GuaranteedCount(j int64) int64 {
+	if c, ok := s.byItem[j]; ok {
+		return c.Count - c.Err
+	}
+	return 0
+}
+
+// N returns the number of items processed.
+func (s *Summary) N() int64 { return s.n }
+
+// ErrorBound returns n/m, the maximum overestimation (and the maximum count
+// of any untracked item).
+func (s *Summary) ErrorBound() int64 { return s.n / int64(s.capacity) }
+
+// Len returns the number of live slots.
+func (s *Summary) Len() int { return len(s.slots) }
+
+// SpaceWords returns the size in words (three words per slot: item, count,
+// err; slot ids are implicit).
+func (s *Summary) SpaceWords() int { return 3 * len(s.slots) }
+
+// Slots returns the live counters in slot order. The returned counters are
+// snapshots (copies), safe to retain.
+func (s *Summary) Slots() []Counter {
+	out := make([]Counter, len(s.slots))
+	for i, c := range s.slots {
+		out[i] = *c
+	}
+	return out
+}
+
+// minHeap orders counters by Count ascending.
+type minHeap []*Counter
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i].Count < h[j].Count }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *minHeap) Push(x interface{}) { c := x.(*Counter); c.index = len(*h); *h = append(*h, c) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}

@@ -1,0 +1,147 @@
+package spacesaving
+
+import (
+	"testing"
+
+	"disttrack/internal/stats"
+)
+
+func TestExactUnderCapacity(t *testing.T) {
+	s := New(8)
+	for i := 0; i < 4; i++ {
+		for r := 0; r <= i; r++ {
+			s.Add(int64(i))
+		}
+	}
+	for i := int64(0); i < 4; i++ {
+		if got := s.Estimate(i); got != i+1 {
+			t.Fatalf("Estimate(%d) = %d, want %d", i, got, i+1)
+		}
+		if gc := s.GuaranteedCount(i); gc != i+1 {
+			t.Fatalf("GuaranteedCount(%d) = %d, want %d", i, gc, i+1)
+		}
+	}
+}
+
+func TestOverestimateOnlyAndBounded(t *testing.T) {
+	const m = 10
+	s := New(m)
+	rng := stats.New(211)
+	z := stats.NewZipf(rng, 500, 1.0)
+	truth := map[int64]int64{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		j := int64(z.Draw())
+		truth[j]++
+		s.Add(j)
+	}
+	bound := s.ErrorBound()
+	for j, f := range truth {
+		est := s.Estimate(j)
+		if est == 0 {
+			// Untracked: true frequency must be small.
+			if f > bound {
+				t.Fatalf("untracked item %d has frequency %d > bound %d", j, f, bound)
+			}
+			continue
+		}
+		if est < f {
+			t.Fatalf("SpaceSaving underestimated %d: %d < %d", j, est, f)
+		}
+		if est-f > bound {
+			t.Fatalf("overestimate for %d: %d > bound %d", j, est-f, bound)
+		}
+		if gc := s.GuaranteedCount(j); gc > f {
+			t.Fatalf("GuaranteedCount(%d) = %d exceeds true %d", j, gc, f)
+		}
+	}
+}
+
+func TestCountersAreMonotone(t *testing.T) {
+	s := New(4)
+	rng := stats.New(223)
+	last := map[int]int64{}
+	for i := 0; i < 20000; i++ {
+		c := s.Add(int64(rng.Intn(100)))
+		if prev, ok := last[c.Slot]; ok && c.Count < prev {
+			t.Fatalf("slot %d count decreased: %d -> %d", c.Slot, prev, c.Count)
+		}
+		last[c.Slot] = c.Count
+	}
+}
+
+func TestSlotIdentityStable(t *testing.T) {
+	s := New(2)
+	s.Add(1)
+	s.Add(2)
+	c := s.Add(3) // evicts the minimum slot
+	if c.Slot != 0 && c.Slot != 1 {
+		t.Fatalf("unexpected slot id %d", c.Slot)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	slots := s.Slots()
+	if len(slots) != 2 {
+		t.Fatalf("Slots() returned %d", len(slots))
+	}
+	seen := map[int]bool{}
+	for _, sl := range slots {
+		if seen[sl.Slot] {
+			t.Fatalf("duplicate slot id %d", sl.Slot)
+		}
+		seen[sl.Slot] = true
+	}
+}
+
+func TestEvictionInheritsMinPlusOne(t *testing.T) {
+	s := New(2)
+	s.Add(10)
+	s.Add(10)
+	s.Add(10) // item 10: 3
+	s.Add(20) // item 20: 1
+	c := s.Add(30)
+	if c.Item != 30 || c.Count != 2 || c.Err != 1 {
+		t.Fatalf("eviction produced %+v, want item 30 count 2 err 1", c)
+	}
+	if s.Estimate(20) != 0 {
+		t.Fatal("evicted item still tracked")
+	}
+}
+
+func TestHeavyHitterNeverEvicted(t *testing.T) {
+	s := New(5)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			s.Add(99)
+		} else {
+			s.Add(int64(1000 + i))
+		}
+	}
+	if s.Estimate(99) < n/2 {
+		t.Fatalf("heavy hitter estimate %d below true count %d", s.Estimate(99), n/2)
+	}
+}
+
+func TestSpaceWords(t *testing.T) {
+	s := New(7)
+	if s.SpaceWords() != 0 {
+		t.Fatal("fresh summary should use 0 words")
+	}
+	for i := 0; i < 100; i++ {
+		s.Add(int64(i))
+	}
+	if s.SpaceWords() != 3*7 {
+		t.Fatalf("SpaceWords = %d, want 21", s.SpaceWords())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}

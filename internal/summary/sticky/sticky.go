@@ -1,0 +1,88 @@
+// Package sticky implements the probabilistic counter list of Manku &
+// Motwani's sticky sampling [VLDB 2002] (paper reference [18]), in the form
+// the randomized frequency-tracking algorithm of Section 3.1 uses it:
+//
+// A list L of counters c_j. When item j arrives: if a counter for j exists it
+// is incremented; otherwise the arrival is sampled with probability p and, if
+// sampled, a counter c_j = 1 is inserted. The expected list size after
+// processing n items is at most p·n.
+//
+// The counter for item j therefore counts j's occurrences from the first
+// *sampled* copy onward — exactly the quantity the unbiased estimator (3)/(4)
+// of the paper is built from.
+package sticky
+
+import "disttrack/internal/stats"
+
+// List is a sticky-sampling counter list with a fixed sampling probability.
+type List struct {
+	p        float64
+	rng      *stats.RNG
+	counters map[int64]int64
+	n        int64
+}
+
+// New returns an empty list sampling new items with probability p, using rng
+// for coin flips. It panics if p is outside (0, 1] or rng is nil.
+func New(p float64, rng *stats.RNG) *List {
+	if p <= 0 || p > 1 {
+		panic("sticky: sampling probability out of (0,1]")
+	}
+	if rng == nil {
+		panic("sticky: nil rng")
+	}
+	return &List{p: p, rng: rng, counters: make(map[int64]int64)}
+}
+
+// Add processes one occurrence of item j. It returns the counter's value
+// after the arrival and whether the counter was just inserted (first sampled
+// copy). count == 0 means the arrival was not sampled and j has no counter.
+func (l *List) Add(j int64) (count int64, inserted bool) {
+	l.n++
+	if c, ok := l.counters[j]; ok {
+		l.counters[j] = c + 1
+		return c + 1, false
+	}
+	if l.rng.Bernoulli(l.p) {
+		l.counters[j] = 1
+		return 1, true
+	}
+	return 0, false
+}
+
+// Count returns the current counter for j (0 if absent).
+func (l *List) Count(j int64) int64 { return l.counters[j] }
+
+// Has reports whether a counter for j exists.
+func (l *List) Has(j int64) bool {
+	_, ok := l.counters[j]
+	return ok
+}
+
+// N returns the number of arrivals processed.
+func (l *List) N() int64 { return l.n }
+
+// P returns the sampling probability.
+func (l *List) P() float64 { return l.p }
+
+// Len returns the number of live counters.
+func (l *List) Len() int { return len(l.counters) }
+
+// SpaceWords returns the current size in words (two per counter).
+func (l *List) SpaceWords() int { return 2 * len(l.counters) }
+
+// Items returns the tracked items (order unspecified).
+func (l *List) Items() []int64 {
+	out := make([]int64, 0, len(l.counters))
+	for j := range l.counters {
+		out = append(out, j)
+	}
+	return out
+}
+
+// Reset clears all counters and the arrival count, keeping p and the rng.
+// Used when a site starts a fresh round or becomes a new virtual site.
+func (l *List) Reset() {
+	l.counters = make(map[int64]int64)
+	l.n = 0
+}

@@ -1,0 +1,156 @@
+package sticky
+
+import (
+	"math"
+	"testing"
+
+	"disttrack/internal/stats"
+)
+
+func TestDeterministicWhenPIsOne(t *testing.T) {
+	l := New(1, stats.New(1))
+	for i := 0; i < 100; i++ {
+		l.Add(7)
+	}
+	if l.Count(7) != 100 {
+		t.Fatalf("p=1 count = %d, want 100", l.Count(7))
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
+	}
+}
+
+func TestExpectedSize(t *testing.T) {
+	const p = 0.01
+	const n = 100000
+	l := New(p, stats.New(307))
+	for i := 0; i < n; i++ {
+		l.Add(int64(i)) // all distinct: every arrival is an insertion trial
+	}
+	want := p * n
+	got := float64(l.Len())
+	if math.Abs(got-want) > 6*math.Sqrt(want) {
+		t.Fatalf("list size %v, want ~%v", got, want)
+	}
+	if l.N() != n {
+		t.Fatalf("N = %d, want %d", l.N(), n)
+	}
+}
+
+func TestCounterCountsFromFirstSampledCopy(t *testing.T) {
+	// Once inserted, every subsequent copy increments deterministically.
+	l := New(0.5, stats.New(311))
+	var insertedAt int
+	total := 200
+	for i := 1; i <= total; i++ {
+		c, ins := l.Add(42)
+		if ins {
+			if insertedAt != 0 {
+				t.Fatal("inserted twice")
+			}
+			insertedAt = i
+			if c != 1 {
+				t.Fatalf("insertion count = %d, want 1", c)
+			}
+		}
+	}
+	if insertedAt == 0 {
+		t.Fatal("item never sampled at p=0.5 over 200 trials")
+	}
+	want := int64(total - insertedAt + 1)
+	if l.Count(42) != want {
+		t.Fatalf("final count %d, want %d (inserted at %d)", l.Count(42), want, insertedAt)
+	}
+}
+
+func TestInsertionProbability(t *testing.T) {
+	// Over many independent lists, the first arrival is sampled w.p. p.
+	const p = 0.25
+	const trials = 20000
+	rng := stats.New(313)
+	hits := 0
+	for i := 0; i < trials; i++ {
+		l := New(p, rng.Split())
+		if _, ins := l.Add(1); ins {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if math.Abs(rate-p) > 0.015 {
+		t.Fatalf("insertion rate %v, want ~%v", rate, p)
+	}
+}
+
+func TestGeometricMissesBeforeInsertion(t *testing.T) {
+	// The number of copies before the first sampled one is Geometric(p);
+	// verify its mean (1-p)/p.
+	const p = 0.1
+	const trials = 5000
+	rng := stats.New(317)
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		l := New(p, rng.Split())
+		misses := 0
+		for {
+			_, ins := l.Add(5)
+			if ins {
+				break
+			}
+			misses++
+			if misses > 1e6 {
+				t.Fatal("never inserted")
+			}
+		}
+		sum += float64(misses)
+	}
+	mean := sum / trials
+	want := (1 - p) / p
+	if math.Abs(mean-want) > 0.5 {
+		t.Fatalf("mean misses %v, want ~%v", mean, want)
+	}
+}
+
+func TestReset(t *testing.T) {
+	l := New(1, stats.New(331))
+	l.Add(1)
+	l.Add(2)
+	l.Reset()
+	if l.Len() != 0 || l.N() != 0 || l.Has(1) {
+		t.Fatal("Reset did not clear state")
+	}
+	if l.P() != 1 {
+		t.Fatal("Reset changed p")
+	}
+}
+
+func TestSpaceWords(t *testing.T) {
+	l := New(1, stats.New(337))
+	l.Add(1)
+	l.Add(2)
+	l.Add(2)
+	if l.SpaceWords() != 4 {
+		t.Fatalf("SpaceWords = %d, want 4", l.SpaceWords())
+	}
+	if len(l.Items()) != 2 {
+		t.Fatalf("Items len = %d, want 2", len(l.Items()))
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, p := range []float64{0, -1, 1.0001} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%v) did not panic", p)
+				}
+			}()
+			New(p, stats.New(1))
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil rng did not panic")
+		}
+	}()
+	New(0.5, nil)
+}

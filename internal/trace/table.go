@@ -1,0 +1,102 @@
+// Package trace provides the small reporting helpers the experiment
+// binaries share: fixed-width text tables (the paper-table reproductions)
+// and CSV output for downstream plotting.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; missing cells render empty, extra cells panic.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.headers) {
+		panic("trace: row has more cells than headers")
+	}
+	row := make([]string, len(t.headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values.
+func (t *Table) AddRowf(format string, args ...interface{}) {
+	t.AddRow(strings.Split(fmt.Sprintf(format, args...), "|")...)
+}
+
+// Fprint renders the table to w.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(t.headers, " | ") + " |\n")
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (no quoting: callers only
+// emit numbers and simple identifiers).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.headers, ","))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22222")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Fatalf("separator wrong: %q", lines[1])
+	}
+	// Columns must align: "value" column starts at the same offset.
+	idx0 := strings.Index(lines[0], "value")
+	idx2 := strings.Index(lines[2], "1")
+	if idx0 != idx2 {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestAddRowfSplitsOnPipe(t *testing.T) {
+	tb := NewTable("a", "b", "c")
+	tb.AddRowf("%d|%s|%0.2f", 7, "x", 1.5)
+	if got := tb.rows[0][2]; got != "1.50" {
+		t.Fatalf("AddRowf cell = %q", got)
+	}
+}
+
+func TestShortRowPadded(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("only")
+	if tb.rows[0][1] != "" {
+		t.Fatal("missing cell not padded")
+	}
+}
+
+func TestTooManyCellsPanics(t *testing.T) {
+	tb := NewTable("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized row did not panic")
+		}
+	}()
+	tb.AddRow("1", "2")
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("x", "y")
+	tb.AddRow("1", "2")
+	tb.AddRow("3", "4")
+	want := "x,y\n1,2\n3,4\n"
+	if got := tb.CSV(); got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"math"
+
+	"disttrack/internal/stats"
+)
+
+// HardCountInstance builds the adversarial input from the proof of
+// Theorem 2.4. The input consists of ℓ = log₂(εN/k) rounds; round i (0-based)
+// is divided into r = ⌈1/(2ε√k)⌉ subrounds; each subround picks
+// s = k/2 + √k or s = k/2 − √k with equal probability, chooses s sites
+// uniformly at random, and delivers 2^i elements to each chosen site.
+//
+// The generated stream forces any correct tracking algorithm to solve an
+// instance of the 1-bit problem (Definition 2.1) in every subround, which is
+// where the Ω(√k/ε·logN) message lower bound comes from. Subrounds also
+// record their boundaries so experiments can interrogate the tracker exactly
+// at the decision points the proof uses.
+type HardCountInstance struct {
+	K      int
+	Eps    float64
+	Events []Event
+	// SubroundEnds[j] is the index into Events one past the end of the j-th
+	// subround; the proof's 1-bit decision happens at these instants.
+	SubroundEnds []int
+	// Rounds is ℓ, Subrounds is r.
+	Rounds, Subrounds int
+}
+
+// NewHardCountInstance constructs the instance, truncating to at most
+// maxEvents events (0 means no cap). k must be at least 4 so k/2 ± √k stays
+// within [1, k].
+func NewHardCountInstance(k int, eps float64, maxEvents int, rng *stats.RNG) *HardCountInstance {
+	if k < 4 {
+		panic("workload: hard instance needs k >= 4")
+	}
+	if eps <= 0 || eps >= 1 {
+		panic("workload: hard instance eps out of (0,1)")
+	}
+	sq := int(math.Sqrt(float64(k)))
+	r := int(math.Ceil(1 / (2 * eps * math.Sqrt(float64(k)))))
+	if r < 1 {
+		r = 1
+	}
+	inst := &HardCountInstance{K: k, Eps: eps, Subrounds: r}
+	for round := 0; ; round++ {
+		batch := 1 << uint(round)
+		for sub := 0; sub < r; sub++ {
+			s := k/2 + sq
+			if rng.Bernoulli(0.5) {
+				s = k/2 - sq
+			}
+			if s < 1 {
+				s = 1
+			}
+			if s > k {
+				s = k
+			}
+			sites := rng.SampleK(k, s)
+			// Interleave deliveries across the chosen sites so no site is
+			// "done" before the others (the proof allows any order).
+			for rep := 0; rep < batch; rep++ {
+				for _, site := range sites {
+					inst.Events = append(inst.Events, Event{Site: site})
+					if maxEvents > 0 && len(inst.Events) >= maxEvents {
+						inst.SubroundEnds = append(inst.SubroundEnds, len(inst.Events))
+						inst.Rounds = round + 1
+						return inst
+					}
+				}
+			}
+			inst.SubroundEnds = append(inst.SubroundEnds, len(inst.Events))
+		}
+		inst.Rounds = round + 1
+		if maxEvents > 0 && len(inst.Events) >= maxEvents/2 && round >= 1 {
+			return inst
+		}
+		if maxEvents == 0 && round >= 10 {
+			return inst
+		}
+	}
+}
+
+// N returns the number of generated events.
+func (h *HardCountInstance) N() int { return len(h.Events) }

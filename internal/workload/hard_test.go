@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"disttrack/internal/stats"
+)
+
+func TestHardInstanceStructure(t *testing.T) {
+	rng := stats.New(601)
+	const k = 16
+	const eps = 0.1
+	h := NewHardCountInstance(k, eps, 20000, rng)
+	if h.N() == 0 {
+		t.Fatal("empty instance")
+	}
+	if h.Subrounds != int(math.Ceil(1/(2*eps*math.Sqrt(k)))) {
+		t.Fatalf("subrounds = %d", h.Subrounds)
+	}
+	// Sites must be within range.
+	for _, e := range h.Events {
+		if e.Site < 0 || e.Site >= k {
+			t.Fatalf("site out of range: %d", e.Site)
+		}
+	}
+	// Subround ends must be increasing and end at N.
+	prev := 0
+	for _, end := range h.SubroundEnds {
+		if end <= prev {
+			t.Fatalf("subround ends not increasing: %d after %d", end, prev)
+		}
+		prev = end
+	}
+	if prev != h.N() {
+		t.Fatalf("last subround end %d != N %d", prev, h.N())
+	}
+}
+
+func TestHardInstanceSubroundComposition(t *testing.T) {
+	// Within each full subround of round i, each touched site receives
+	// exactly 2^i elements, and the number of touched sites is k/2 ± √k.
+	rng := stats.New(607)
+	const k = 64
+	const eps = 0.05
+	h := NewHardCountInstance(k, eps, 0, rng) // uncapped: stops after rounds
+	sq := int(math.Sqrt(float64(k)))
+	start := 0
+	for si, end := range h.SubroundEnds {
+		round := si / h.Subrounds
+		batch := 1 << uint(round)
+		counts := map[int]int{}
+		for _, e := range h.Events[start:end] {
+			counts[e.Site]++
+		}
+		s := len(counts)
+		if s != k/2+sq && s != k/2-sq {
+			t.Fatalf("subround %d touched %d sites, want %d±%d", si, s, k/2, sq)
+		}
+		for site, c := range counts {
+			if c != batch {
+				t.Fatalf("subround %d site %d got %d, want %d", si, site, c, batch)
+			}
+		}
+		start = end
+		if si > 50 {
+			break // enough structure verified
+		}
+	}
+}
+
+func TestHardInstanceValidation(t *testing.T) {
+	rng := stats.New(611)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("k=2 did not panic")
+			}
+		}()
+		NewHardCountInstance(2, 0.1, 100, rng)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("eps=0 did not panic")
+			}
+		}()
+		NewHardCountInstance(16, 0, 100, rng)
+	}()
+}
+
+func TestHardInstanceCapRespected(t *testing.T) {
+	rng := stats.New(613)
+	h := NewHardCountInstance(16, 0.1, 500, rng)
+	if h.N() > 500+16 { // may exceed by less than one site sweep
+		t.Fatalf("cap exceeded: %d", h.N())
+	}
+}

@@ -1,0 +1,157 @@
+// Package workload generates the input streams used by experiments and
+// tests: placements of arrivals onto sites (who gets the next element),
+// item-id distributions (for frequency tracking), value distributions (for
+// rank tracking), and the adversarial instances from the paper's lower-bound
+// proofs (Sections 2.2.1 and 2.2.2).
+package workload
+
+import (
+	"disttrack/internal/stats"
+)
+
+// Event is one arrival: an element landing at a site. Item carries the
+// identity used by frequency tracking; Value carries the totally ordered key
+// used by rank tracking. Count tracking ignores both.
+type Event struct {
+	Site  int
+	Item  int64
+	Value float64
+}
+
+// Placement maps the arrival index i (0-based) to a site.
+type Placement func(i int) int
+
+// ItemFunc maps the arrival index to an item identifier.
+type ItemFunc func(i int) int64
+
+// ValueFunc maps the arrival index to a totally ordered value.
+type ValueFunc func(i int) float64
+
+// Config assembles a stream of N events from its component generators. Nil
+// components default to site 0, item 0, value float64(i).
+type Config struct {
+	N         int
+	Placement Placement
+	Item      ItemFunc
+	Value     ValueFunc
+}
+
+// Each invokes f for every event in order.
+func (c Config) Each(f func(Event)) {
+	for i := 0; i < c.N; i++ {
+		f(c.At(i))
+	}
+}
+
+// At materializes the i-th event.
+func (c Config) At(i int) Event {
+	e := Event{Value: float64(i)}
+	if c.Placement != nil {
+		e.Site = c.Placement(i)
+	}
+	if c.Item != nil {
+		e.Item = c.Item(i)
+	}
+	if c.Value != nil {
+		e.Value = c.Value(i)
+	}
+	return e
+}
+
+// Events materializes the whole stream.
+func (c Config) Events() []Event {
+	out := make([]Event, c.N)
+	for i := range out {
+		out[i] = c.At(i)
+	}
+	return out
+}
+
+// RoundRobin distributes arrivals over k sites in turn: 0,1,...,k-1,0,...
+func RoundRobin(k int) Placement {
+	if k <= 0 {
+		panic("workload: RoundRobin with k <= 0")
+	}
+	return func(i int) int { return i % k }
+}
+
+// SingleSite sends every arrival to site j.
+func SingleSite(j int) Placement {
+	return func(int) int { return j }
+}
+
+// UniformPlacement sends each arrival to an independently uniform site.
+func UniformPlacement(k int, rng *stats.RNG) Placement {
+	if k <= 0 {
+		panic("workload: UniformPlacement with k <= 0")
+	}
+	return func(int) int { return rng.Intn(k) }
+}
+
+// ZipfPlacement skews arrivals across sites with a Zipf(alpha) law, modelling
+// hot gateways. Site identities are randomly permuted so site 0 is not
+// always the hottest.
+func ZipfPlacement(k int, alpha float64, rng *stats.RNG) Placement {
+	z := stats.NewZipf(rng, k, alpha)
+	perm := rng.Perm(k)
+	return func(int) int { return perm[z.Draw()] }
+}
+
+// HardMu is the hard input distribution µ from the proof of Theorem 2.2:
+// with probability 1/2 all elements arrive at one uniformly random site,
+// otherwise they arrive round-robin. The choice is made once, at
+// construction.
+func HardMu(k int, rng *stats.RNG) Placement {
+	if rng.Bernoulli(0.5) {
+		return SingleSite(rng.Intn(k))
+	}
+	return RoundRobin(k)
+}
+
+// SameItem makes every arrival the same item.
+func SameItem(j int64) ItemFunc {
+	return func(int) int64 { return j }
+}
+
+// DistinctItems makes every arrival a fresh item (item id = arrival index).
+func DistinctItems() ItemFunc {
+	return func(i int) int64 { return int64(i) }
+}
+
+// ZipfItems draws item ids from a Zipf(alpha) law over domain items.
+func ZipfItems(domain int, alpha float64, rng *stats.RNG) ItemFunc {
+	z := stats.NewZipf(rng, domain, alpha)
+	return func(int) int64 { return int64(z.Draw()) }
+}
+
+// UniformItems draws item ids uniformly from [0, domain).
+func UniformItems(domain int, rng *stats.RNG) ItemFunc {
+	if domain <= 0 {
+		panic("workload: UniformItems with domain <= 0")
+	}
+	return func(int) int64 { return int64(rng.Intn(domain)) }
+}
+
+// PermValues assigns the i-th arrival the value perm[i] for a uniformly
+// random permutation of [0, n): all values distinct, arrival order random —
+// the canonical rank-tracking input (the paper assumes no duplicates).
+func PermValues(n int, rng *stats.RNG) ValueFunc {
+	perm := rng.Perm(n)
+	return func(i int) float64 { return float64(perm[i%n]) }
+}
+
+// SortedValues assigns increasing values (adversarial for summaries that
+// compress prefixes).
+func SortedValues() ValueFunc {
+	return func(i int) float64 { return float64(i) }
+}
+
+// ReverseSortedValues assigns decreasing values.
+func ReverseSortedValues(n int) ValueFunc {
+	return func(i int) float64 { return float64(n - i) }
+}
+
+// UniformValues assigns independent uniform [0,1) values.
+func UniformValues(rng *stats.RNG) ValueFunc {
+	return func(int) float64 { return rng.Float64() }
+}

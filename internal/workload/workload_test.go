@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"disttrack/internal/stats"
+)
+
+func TestRoundRobinCoversAllSites(t *testing.T) {
+	p := RoundRobin(5)
+	counts := make([]int, 5)
+	for i := 0; i < 100; i++ {
+		counts[p(i)]++
+	}
+	for s, c := range counts {
+		if c != 20 {
+			t.Fatalf("site %d got %d, want 20", s, c)
+		}
+	}
+}
+
+func TestSingleSite(t *testing.T) {
+	p := SingleSite(3)
+	for i := 0; i < 10; i++ {
+		if p(i) != 3 {
+			t.Fatal("SingleSite wandered")
+		}
+	}
+}
+
+func TestUniformPlacementBalance(t *testing.T) {
+	rng := stats.New(501)
+	p := UniformPlacement(8, rng)
+	const n = 80000
+	counts := make([]int, 8)
+	for i := 0; i < n; i++ {
+		counts[p(i)]++
+	}
+	want := float64(n) / 8
+	for s, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("site %d count %d too far from %v", s, c, want)
+		}
+	}
+}
+
+func TestZipfPlacementSkew(t *testing.T) {
+	rng := stats.New(503)
+	p := ZipfPlacement(10, 1.5, rng)
+	const n = 50000
+	counts := make([]int, 10)
+	for i := 0; i < n; i++ {
+		counts[p(i)]++
+	}
+	max, sum := 0, 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		sum += c
+	}
+	if sum != n {
+		t.Fatalf("placement lost events: %d", sum)
+	}
+	if float64(max)/float64(n) < 0.4 {
+		t.Fatalf("zipf placement not skewed: max share %v", float64(max)/float64(n))
+	}
+}
+
+func TestHardMuBothBranches(t *testing.T) {
+	// Over many constructions, both the single-site and round-robin branches
+	// must appear roughly half the time.
+	rng := stats.New(509)
+	single := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		p := HardMu(4, rng.Split())
+		if p(0) == p(1) && p(1) == p(2) && p(2) == p(3) && p(3) == p(4) {
+			single++
+		}
+	}
+	rate := float64(single) / trials
+	if math.Abs(rate-0.5) > 0.05 {
+		t.Fatalf("single-site branch rate %v, want ~0.5", rate)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{N: 3}
+	evs := c.Events()
+	if len(evs) != 3 {
+		t.Fatalf("Events len %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.Site != 0 || e.Item != 0 || e.Value != float64(i) {
+			t.Fatalf("default event %d = %+v", i, e)
+		}
+	}
+}
+
+func TestConfigEachOrder(t *testing.T) {
+	c := Config{N: 10, Placement: RoundRobin(3), Item: DistinctItems()}
+	i := 0
+	c.Each(func(e Event) {
+		if e.Site != i%3 || e.Item != int64(i) {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+		i++
+	})
+	if i != 10 {
+		t.Fatalf("Each visited %d events", i)
+	}
+}
+
+func TestPermValuesDistinct(t *testing.T) {
+	rng := stats.New(521)
+	const n = 1000
+	v := PermValues(n, rng)
+	seen := map[float64]bool{}
+	for i := 0; i < n; i++ {
+		x := v(i)
+		if seen[x] {
+			t.Fatalf("duplicate value %v", x)
+		}
+		seen[x] = true
+		if x < 0 || x >= n {
+			t.Fatalf("value out of range: %v", x)
+		}
+	}
+}
+
+func TestSortedAndReverseValues(t *testing.T) {
+	sv := SortedValues()
+	rv := ReverseSortedValues(100)
+	for i := 1; i < 100; i++ {
+		if sv(i) <= sv(i-1) {
+			t.Fatal("SortedValues not increasing")
+		}
+		if rv(i) >= rv(i-1) {
+			t.Fatal("ReverseSortedValues not decreasing")
+		}
+	}
+}
+
+func TestZipfItemsDomain(t *testing.T) {
+	rng := stats.New(523)
+	f := ZipfItems(50, 1.0, rng)
+	for i := 0; i < 1000; i++ {
+		j := f(i)
+		if j < 0 || j >= 50 {
+			t.Fatalf("item out of domain: %d", j)
+		}
+	}
+}
+
+func TestSameAndDistinctItems(t *testing.T) {
+	s := SameItem(9)
+	d := DistinctItems()
+	for i := 0; i < 5; i++ {
+		if s(i) != 9 {
+			t.Fatal("SameItem changed")
+		}
+		if d(i) != int64(i) {
+			t.Fatal("DistinctItems wrong")
+		}
+	}
+}
+
+func TestPanicsOnBadArgs(t *testing.T) {
+	cases := []func(){
+		func() { RoundRobin(0) },
+		func() { UniformPlacement(0, stats.New(1)) },
+		func() { UniformItems(0, stats.New(1)) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,54 @@
+package disttrack
+
+import (
+	"disttrack/internal/oneshot"
+	"disttrack/internal/stats"
+)
+
+// OneShotResult reports the communication cost of a one-shot computation in
+// words (k-party communication model, Section 1.3 of the paper).
+type OneShotResult struct {
+	Words int64
+}
+
+// OneShotCount sums per-site counts: the trivial one-shot protocol
+// (k words). It exists mostly as the reference point against which the
+// paper's count-tracking cost is compared.
+func OneShotCount(siteCounts []int64) (int64, OneShotResult) {
+	total, res := oneshot.Count(siteCounts)
+	return total, OneShotResult{Words: res.Words}
+}
+
+// OneShotFrequencies computes ε-approximate frequencies of the union of the
+// given per-site multisets with the randomized O(√k/ε)-word protocol of
+// [14] (probability-proportional-to-size reporting of exact local counts).
+// The returned estimator is unbiased with standard deviation at most ε·n
+// per queried item.
+func OneShotFrequencies(streams [][]int64, eps float64, seed uint64) (func(item int64) float64, OneShotResult) {
+	est, res := oneshot.FreqRand(streams, eps, stats.New(seed))
+	return est, OneShotResult{Words: res.Words}
+}
+
+// OneShotFrequenciesDeterministic computes ε-approximate frequencies by
+// merging per-site Misra–Gries summaries: Θ(k/ε) words, error at most ε·n
+// always (underestimates only).
+func OneShotFrequenciesDeterministic(streams [][]int64, eps float64) (func(item int64) int64, OneShotResult) {
+	est, res := oneshot.FreqDet(streams, eps)
+	return est, OneShotResult{Words: res.Words}
+}
+
+// OneShotRanks computes an ε-approximate rank oracle over the union of the
+// given per-site value sets with the randomized O(√k/ε)-word protocol of
+// [13] (random-shift systematic sampling of each site's sorted data).
+// Unbiased; standard deviation at most ε·n/2.
+func OneShotRanks(streams [][]float64, eps float64, seed uint64) (func(x float64) float64, OneShotResult) {
+	rank, res := oneshot.RankRand(streams, eps, stats.New(seed))
+	return rank, OneShotResult{Words: res.Words}
+}
+
+// OneShotRanksDeterministic merges per-site Greenwald–Khanna summaries:
+// O(k/ε·log(εn)) words, rank error at most ε·n always.
+func OneShotRanksDeterministic(streams [][]float64, eps float64) (func(x float64) int64, OneShotResult) {
+	rank, res := oneshot.RankDet(streams, eps)
+	return rank, OneShotResult{Words: res.Words}
+}

@@ -1,0 +1,140 @@
+package disttrack
+
+import (
+	"math"
+	"testing"
+
+	"disttrack/internal/stats"
+	"disttrack/internal/workload"
+)
+
+func TestOneShotCountFacade(t *testing.T) {
+	total, res := OneShotCount([]int64{1, 2, 3})
+	if total != 6 || res.Words != 3 {
+		t.Fatalf("OneShotCount = %d/%d", total, res.Words)
+	}
+}
+
+func buildShards(k, n int, seed uint64) ([][]int64, [][]float64, map[int64]int64, []float64) {
+	rng := stats.New(seed)
+	items := workload.ZipfItems(100, 1.1, rng)
+	values := workload.PermValues(n, rng.Split())
+	is := make([][]int64, k)
+	vs := make([][]float64, k)
+	truth := map[int64]int64{}
+	var all []float64
+	for i := 0; i < n; i++ {
+		j, v := items(i), values(i)
+		truth[j]++
+		all = append(all, v)
+		is[i%k] = append(is[i%k], j)
+		vs[i%k] = append(vs[i%k], v)
+	}
+	return is, vs, truth, all
+}
+
+func TestOneShotFrequenciesFacade(t *testing.T) {
+	const k, n = 8, 20000
+	const eps = 0.05
+	is, _, truth, _ := buildShards(k, n, 42)
+	est, res := OneShotFrequencies(is, eps, 7)
+	if res.Words <= 0 {
+		t.Fatal("no words accounted")
+	}
+	for _, j := range []int64{0, 1, 5} {
+		if math.Abs(est(j)-float64(truth[j])) > 3*eps*float64(n) {
+			t.Fatalf("item %d: est %v truth %d", j, est(j), truth[j])
+		}
+	}
+	detEst, detRes := OneShotFrequenciesDeterministic(is, eps)
+	for _, j := range []int64{0, 1, 5} {
+		if math.Abs(float64(detEst(j))-float64(truth[j])) > eps*float64(n) {
+			t.Fatalf("det item %d: est %v truth %d", j, detEst(j), truth[j])
+		}
+	}
+	if detRes.Words <= 0 {
+		t.Fatal("det words missing")
+	}
+}
+
+func TestOneShotRanksFacade(t *testing.T) {
+	const k, n = 8, 20000
+	const eps = 0.05
+	_, vs, _, all := buildShards(k, n, 43)
+	trueRank := func(x float64) float64 {
+		r := 0.0
+		for _, v := range all {
+			if v < x {
+				r++
+			}
+		}
+		return r
+	}
+	rank, res := OneShotRanks(vs, eps, 11)
+	if res.Words <= 0 {
+		t.Fatal("no words accounted")
+	}
+	for _, q := range []float64{0.25, 0.5, 0.75} {
+		x := q * float64(n)
+		if math.Abs(rank(x)-trueRank(x)) > 3*eps*float64(n) {
+			t.Fatalf("rank(%v) = %v, truth %v", x, rank(x), trueRank(x))
+		}
+	}
+	detRank, _ := OneShotRanksDeterministic(vs, eps)
+	for _, q := range []float64{0.25, 0.5, 0.75} {
+		x := q * float64(n)
+		if math.Abs(float64(detRank(x))-trueRank(x)) > eps*float64(n) {
+			t.Fatalf("det rank(%v) = %v, truth %v", x, detRank(x), trueRank(x))
+		}
+	}
+}
+
+func TestBoostedFrequencyFacade(t *testing.T) {
+	const k, n = 4, 10000
+	tr := NewFrequencyTracker(Options{K: k, Epsilon: 0.15, Copies: 5, Seed: 3})
+	truth := map[int64]int64{}
+	bad := 0
+	checks := 0
+	for i := 0; i < n; i++ {
+		j := int64(i % 7)
+		truth[j]++
+		tr.Observe(i%k, j)
+		if i%97 == 0 && i > 0 {
+			checks++
+			if math.Abs(tr.Estimate(3)-float64(truth[3])) > 0.15*float64(i+1) {
+				bad++
+			}
+		}
+	}
+	if bad > 0 {
+		t.Fatalf("boosted frequency failed %d/%d checks", bad, checks)
+	}
+}
+
+func TestBoostedRankFacade(t *testing.T) {
+	const k, n = 4, 10000
+	values := workload.PermValues(n, stats.New(91))
+	tr := NewRankTracker(Options{K: k, Epsilon: 0.15, Copies: 5, Seed: 5})
+	var below float64
+	q := float64(n) / 2
+	bad, checks := 0, 0
+	for i := 0; i < n; i++ {
+		v := values(i)
+		if v < q {
+			below++
+		}
+		tr.Observe(i%k, v)
+		if i%97 == 0 && i > 0 {
+			checks++
+			if math.Abs(tr.Rank(q)-below) > 0.15*float64(i+1) {
+				bad++
+			}
+		}
+	}
+	if bad > 0 {
+		t.Fatalf("boosted rank failed %d/%d checks", bad, checks)
+	}
+	if med := tr.Quantile(0.5, 0, n); math.Abs(med-q) > 0.3*float64(n) {
+		t.Fatalf("boosted quantile %v far from %v", med, q)
+	}
+}

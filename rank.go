@@ -1,0 +1,108 @@
+package disttrack
+
+import (
+	"math"
+
+	"disttrack/internal/boost"
+	"disttrack/internal/proto"
+	"disttrack/internal/rank"
+	"disttrack/internal/sample"
+	"disttrack/internal/stats"
+)
+
+// RankTracker continuously tracks ranks over a totally ordered domain with
+// absolute error ±ε·n(t), which also answers quantile queries — the paper's
+// rank-tracking problem (Section 4).
+type RankTracker struct {
+	opt      Options
+	eng      engine
+	rankFn   func(x float64) float64
+	quantile func(q, lo, hi float64) float64
+}
+
+// NewRankTracker builds a rank tracker. It panics on invalid options.
+func NewRankTracker(opt Options) *RankTracker {
+	opt.validate()
+	t := &RankTracker{opt: opt}
+	switch opt.Algorithm {
+	case AlgorithmRandomized:
+		cfg := rank.Config{K: opt.K, Eps: opt.Epsilon, Rescale: opt.Rescale}
+		if opt.Copies > 1 {
+			root := stats.New(opt.Seed)
+			ps := make([]proto.Protocol, opt.Copies)
+			coords := make([]*rank.Coordinator, opt.Copies)
+			for i := range ps {
+				ps[i], coords[i] = rank.NewProtocol(cfg, root.Uint64())
+			}
+			t.eng = mount(opt, boost.Wrap(ps))
+			t.rankFn = func(x float64) float64 {
+				ests := make([]float64, len(coords))
+				for i, c := range coords {
+					ests[i] = c.Rank(x)
+				}
+				return stats.Median(ests)
+			}
+			t.quantile = bisect(t.rankFn)
+			return t
+		}
+		p, coord := rank.NewProtocol(cfg, opt.Seed)
+		t.eng = mount(opt, p)
+		t.rankFn = coord.Rank
+		t.quantile = coord.Quantile
+	case AlgorithmDeterministic:
+		p, coord := rank.NewDetProtocol(opt.K, opt.Epsilon)
+		t.eng = mount(opt, p)
+		t.rankFn = coord.Rank
+		t.quantile = coord.Quantile
+	case AlgorithmSampling:
+		p, coord := sample.NewProtocol(sample.Config{K: opt.K, Eps: opt.Epsilon}, opt.Seed)
+		t.eng = mount(opt, p)
+		t.rankFn = coord.Rank
+		t.quantile = bisect(coord.Rank)
+	default:
+		panic("disttrack: unknown Algorithm")
+	}
+	return t
+}
+
+// bisect turns a rank function into a quantile function: it locates, by
+// binary search over [lo, hi], a value whose estimated rank is q·n̂.
+func bisect(rankFn func(float64) float64) func(q, lo, hi float64) float64 {
+	return func(q, lo, hi float64) float64 {
+		total := rankFn(math.Inf(1))
+		target := q * total
+		for i := 0; i < 64 && hi-lo > 1e-9*(1+math.Abs(hi)); i++ {
+			mid := (lo + hi) / 2
+			if rankFn(mid) < target {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return (lo + hi) / 2
+	}
+}
+
+// Observe records value arriving at the given site. The paper assumes
+// distinct values; callers with duplicate values can break ties by adding a
+// unique small offset.
+func (t *RankTracker) Observe(site int, value float64) {
+	if site < 0 || site >= t.opt.K {
+		panic("disttrack: site out of range")
+	}
+	t.eng.arrive(site, 0, value)
+}
+
+// Rank returns the estimated number of observed values strictly smaller
+// than x.
+func (t *RankTracker) Rank(x float64) float64 { return t.rankFn(x) }
+
+// Quantile returns a value whose estimated rank is q·n, located by bisection
+// over the domain interval [lo, hi].
+func (t *RankTracker) Quantile(q, lo, hi float64) float64 { return t.quantile(q, lo, hi) }
+
+// Metrics returns the accumulated communication and space costs.
+func (t *RankTracker) Metrics() Metrics { return t.eng.metrics() }
+
+// Close stops the concurrent runtime's goroutines (no-op otherwise).
+func (t *RankTracker) Close() { t.eng.close() }

@@ -1,0 +1,57 @@
+package disttrack
+
+// FrequencyViaRank adapts a RankTracker into a frequency tracker, following
+// the reduction in Section 1.2 of the paper: each occurrence of item x is
+// mapped to the pair (x, y) for a fresh tie-breaker y — encoded here as the
+// single value x + y/(maxMultiplicity+1) ∈ [x, x+1) — and the frequency of
+// x is recovered as rank(x+1) − rank(x).
+//
+// The reduction shows rank tracking is the harder problem: any rank-tracking
+// guarantee of ±εn yields a frequency guarantee of ±2εn. Construct the
+// underlying tracker with Epsilon/2 to get ±εn frequencies.
+type FrequencyViaRank struct {
+	rt   *RankTracker
+	next map[int64]int64 // per-item tie-breaker counter
+	cap  int64           // maximum multiplicity the encoding supports
+}
+
+// NewFrequencyViaRank wraps a rank tracker built from opt. maxMultiplicity
+// bounds how many occurrences of one item can be encoded (tie-breakers are
+// packed into the unit interval); it panics if not positive.
+func NewFrequencyViaRank(opt Options, maxMultiplicity int64) *FrequencyViaRank {
+	if maxMultiplicity <= 0 {
+		panic("disttrack: maxMultiplicity must be positive")
+	}
+	return &FrequencyViaRank{
+		rt:   NewRankTracker(opt),
+		next: make(map[int64]int64),
+		cap:  maxMultiplicity,
+	}
+}
+
+// Observe records one occurrence of item at site. Items must be
+// non-negative. It panics if an item exceeds the configured multiplicity.
+func (f *FrequencyViaRank) Observe(site int, item int64) {
+	if item < 0 {
+		panic("disttrack: FrequencyViaRank requires non-negative items")
+	}
+	y := f.next[item]
+	if y >= f.cap {
+		panic("disttrack: item multiplicity exceeds maxMultiplicity")
+	}
+	f.next[item] = y + 1
+	value := float64(item) + float64(y)/float64(f.cap+1)
+	f.rt.Observe(site, value)
+}
+
+// Estimate returns the frequency estimate for item:
+// rank((item,∞)) − rank((item,0)).
+func (f *FrequencyViaRank) Estimate(item int64) float64 {
+	return f.rt.Rank(float64(item)+1) - f.rt.Rank(float64(item))
+}
+
+// Metrics returns the underlying rank tracker's cost ledger.
+func (f *FrequencyViaRank) Metrics() Metrics { return f.rt.Metrics() }
+
+// Close stops the underlying tracker's concurrent runtime, if any.
+func (f *FrequencyViaRank) Close() { f.rt.Close() }

@@ -1,0 +1,100 @@
+package disttrack
+
+import (
+	"math"
+	"testing"
+
+	"disttrack/internal/stats"
+	"disttrack/internal/workload"
+)
+
+func TestFrequencyViaRankReduction(t *testing.T) {
+	// The Section 1.2 reduction: frequencies recovered from a rank tracker
+	// must match the direct frequency tracker's guarantee (±2εn for a
+	// ±εn rank tracker).
+	const k = 8
+	const eps = 0.1
+	const n = 15000
+	fr := NewFrequencyViaRank(Options{K: k, Epsilon: eps, Seed: 21}, n)
+	rng := stats.New(303)
+	items := workload.ZipfItems(40, 1.0, rng)
+	truth := map[int64]int64{}
+	bad, checks := 0, 0
+	for i := 0; i < n; i++ {
+		j := items(i)
+		truth[j]++
+		fr.Observe(i%k, j)
+		if i%151 == 0 && i > 0 {
+			for _, q := range []int64{0, 1, 7, 39} {
+				checks++
+				if math.Abs(fr.Estimate(q)-float64(truth[q])) > 2*eps*float64(i+1) {
+					bad++
+				}
+			}
+		}
+	}
+	if frac := float64(bad) / float64(checks); frac > 0.10 {
+		t.Fatalf("reduction: %.1f%% of checks failed", 100*frac)
+	}
+}
+
+func TestFrequencyViaRankDeterministicFlavor(t *testing.T) {
+	// The reduction works for any rank tracker; with the deterministic one
+	// the result is deterministic too.
+	const k = 4
+	const eps = 0.1
+	const n = 5000
+	fr := NewFrequencyViaRank(Options{K: k, Epsilon: eps,
+		Algorithm: AlgorithmDeterministic}, n)
+	truth := map[int64]int64{}
+	for i := 0; i < n; i++ {
+		j := int64(i % 5)
+		truth[j]++
+		fr.Observe(i%k, j)
+		if i%97 == 0 && i > 0 {
+			for q := int64(0); q < 5; q++ {
+				if math.Abs(fr.Estimate(q)-float64(truth[q])) > 2*eps*float64(i+1)+float64(k) {
+					t.Fatalf("det reduction off at %d for item %d", i, q)
+				}
+			}
+		}
+	}
+}
+
+func TestFrequencyViaRankValidation(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("zero multiplicity did not panic")
+			}
+		}()
+		NewFrequencyViaRank(Options{K: 2, Epsilon: 0.1}, 0)
+	}()
+	fr := NewFrequencyViaRank(Options{K: 2, Epsilon: 0.1}, 2)
+	fr.Observe(0, 3)
+	fr.Observe(0, 3)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("multiplicity overflow did not panic")
+			}
+		}()
+		fr.Observe(0, 3)
+	}()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative item did not panic")
+		}
+	}()
+	fr.Observe(0, -1)
+}
+
+func TestFrequencyViaRankUnseenItem(t *testing.T) {
+	fr := NewFrequencyViaRank(Options{K: 2, Epsilon: 0.2}, 100)
+	for i := 0; i < 50; i++ {
+		fr.Observe(i%2, 1)
+	}
+	if est := fr.Estimate(99); math.Abs(est) > 0.2*50+1 {
+		t.Fatalf("unseen item estimate %v too large", est)
+	}
+}
