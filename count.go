@@ -51,6 +51,20 @@ func (t *CountTracker) Observe(site int) {
 	t.eng.arrive(site, 0, 0)
 }
 
+// ObserveBatch records count elements arriving at the given site. It is
+// equivalent to count Observe calls — same estimates, same Metrics — but
+// runs in time proportional to the messages the batch triggers, not its
+// length (the site skip-samples the gap to its next report).
+func (t *CountTracker) ObserveBatch(site int, count int) {
+	if site < 0 || site >= t.opt.K {
+		panic("disttrack: site out of range")
+	}
+	if count < 0 {
+		panic("disttrack: negative batch count")
+	}
+	t.eng.arriveBatch(site, 0, 0, int64(count))
+}
+
 // Estimate returns the coordinator's current estimate of n.
 func (t *CountTracker) Estimate() float64 { return t.est() }
 

@@ -140,6 +140,7 @@ type Metrics struct {
 // engine abstracts the two runtimes behind the facade.
 type engine interface {
 	arrive(site int, item int64, value float64)
+	arriveBatch(site int, item int64, value float64, count int64)
 	metrics() Metrics
 	close()
 }
@@ -147,11 +148,13 @@ type engine interface {
 type simEngine struct{ h *sim.Harness }
 
 func (e simEngine) arrive(site int, item int64, value float64) { e.h.Arrive(site, item, value) }
-func (e simEngine) close()                                     {}
+func (e simEngine) arriveBatch(site int, item int64, value float64, count int64) {
+	e.h.ArriveBatch(site, item, value, count)
+}
+func (e simEngine) close() {}
 func (e simEngine) metrics() Metrics {
-	m := e.h.Metrics()
 	e.h.Probe()
-	m = e.h.Metrics()
+	m := e.h.Metrics()
 	return Metrics{
 		Messages:      m.Messages(),
 		Words:         m.Words(),
@@ -165,7 +168,10 @@ func (e simEngine) metrics() Metrics {
 type netEngine struct{ c *netsim.Cluster }
 
 func (e netEngine) arrive(site int, item int64, value float64) { e.c.Arrive(site, item, value) }
-func (e netEngine) close()                                     { e.c.Stop() }
+func (e netEngine) arriveBatch(site int, item int64, value float64, count int64) {
+	e.c.ArriveBatch(site, item, value, count)
+}
+func (e netEngine) close() { e.c.Stop() }
 func (e netEngine) metrics() Metrics {
 	e.c.Quiesce()
 	m := e.c.Metrics()

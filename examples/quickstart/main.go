@@ -39,4 +39,15 @@ func main() {
 		"tracker would use ~%.0fx more at this k and ε)\n",
 		float64(m.Messages)/float64(m.Arrivals), 8.0)
 	fmt.Printf("per-site working space: %d words\n", m.MaxSiteSpace)
+
+	// Bursty ingestion: when a site receives a run of events at once, feed
+	// it as one batch — identical estimates and costs, but the simulator
+	// only does work proportional to the messages the run triggers.
+	burst := disttrack.NewCountTracker(disttrack.Options{K: k, Epsilon: eps, Seed: 1})
+	for site := 0; site < k; site++ {
+		burst.ObserveBatch(site, n/k)
+	}
+	bm := burst.Metrics()
+	fmt.Printf("\nbatched bursts: estimate %.0f of %d true, %d words\n",
+		burst.Estimate(), n, bm.Words)
 }

@@ -66,6 +66,20 @@ func (t *FrequencyTracker) Observe(site int, item int64) {
 	t.eng.arrive(site, item, 0)
 }
 
+// ObserveBatch records count consecutive arrivals of item at the given
+// site — a hot flow at one gateway. It is equivalent to count Observe
+// calls — same estimates, same Metrics — but runs in time proportional to
+// the messages the batch triggers, not its length.
+func (t *FrequencyTracker) ObserveBatch(site int, item int64, count int) {
+	if site < 0 || site >= t.opt.K {
+		panic("disttrack: site out of range")
+	}
+	if count < 0 {
+		panic("disttrack: negative batch count")
+	}
+	t.eng.arriveBatch(site, item, 0, int64(count))
+}
+
 // Estimate returns the current frequency estimate for item. Randomized
 // estimates are unbiased and may be slightly negative for rare items; clamp
 // at zero if presenting to users.

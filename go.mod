@@ -1,0 +1,3 @@
+module disttrack
+
+go 1.22

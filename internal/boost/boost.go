@@ -24,17 +24,29 @@ type Msg struct {
 // Words implements proto.Message.
 func (m Msg) Words() int { return m.Inner.Words() }
 
-// site multiplexes one site of every copy.
+// site multiplexes one site of every copy. The per-copy wrappers are built
+// once (writing through cur) so the hot path allocates no closures.
 type site struct {
 	copies []proto.Site
+	outs   []func(proto.Message)
+	cur    func(proto.Message)
+}
+
+func newSite(copies []proto.Site) *site {
+	s := &site{copies: copies, outs: make([]func(proto.Message), len(copies))}
+	for i := range copies {
+		s.outs[i] = func(m proto.Message) { s.cur(Msg{Copy: i, Inner: m}) }
+	}
+	return s
 }
 
 // Arrive implements proto.Site.
 func (s *site) Arrive(item int64, value float64, out func(proto.Message)) {
-	for idx, cp := range s.copies {
-		idx := idx
-		cp.Arrive(item, value, func(m proto.Message) { out(Msg{Copy: idx, Inner: m}) })
+	s.cur = out
+	for i, cp := range s.copies {
+		cp.Arrive(item, value, s.outs[i])
 	}
+	s.cur = nil
 }
 
 // Receive implements proto.Site.
@@ -43,10 +55,9 @@ func (s *site) Receive(m proto.Message, out func(proto.Message)) {
 	if !ok {
 		return
 	}
-	idx := bm.Copy
-	s.copies[idx].Receive(bm.Inner, func(inner proto.Message) {
-		out(Msg{Copy: idx, Inner: inner})
-	})
+	s.cur = out
+	s.copies[bm.Copy].Receive(bm.Inner, s.outs[bm.Copy])
+	s.cur = nil
 }
 
 // SpaceWords implements proto.Site.
@@ -99,11 +110,11 @@ func Wrap(copies []proto.Protocol) proto.Protocol {
 	}
 	sites := make([]proto.Site, k)
 	for i := 0; i < k; i++ {
-		ms := &site{copies: make([]proto.Site, len(copies))}
+		cs := make([]proto.Site, len(copies))
 		for ci, p := range copies {
-			ms.copies[ci] = p.Sites[i]
+			cs[ci] = p.Sites[i]
 		}
-		sites[i] = ms
+		sites[i] = newSite(cs)
 	}
 	mc := &coordinator{copies: make([]proto.Coordinator, len(copies))}
 	for ci, p := range copies {

@@ -45,6 +45,22 @@ func (s *DetSite) Arrive(item int64, value float64, out func(proto.Message)) {
 	}
 }
 
+// ArriveBatch implements proto.BatchSite: the next reporting threshold is
+// explicit state, so the arrivals below it collapse to one addition.
+func (s *DetSite) ArriveBatch(item int64, value float64, count int64, out func(proto.Message)) int64 {
+	quiet := s.next - s.n - 1
+	if quiet < 0 {
+		quiet = 0
+	}
+	if quiet >= count {
+		s.n += count
+		return count
+	}
+	s.n += quiet
+	s.Arrive(item, value, out)
+	return quiet + 1
+}
+
 // Receive implements proto.Site; the deterministic protocol is one-way, so
 // coordinator messages never arrive.
 func (s *DetSite) Receive(m proto.Message, out func(proto.Message)) {}

@@ -24,6 +24,8 @@ func (m CopyMsg) Words() int { return m.Inner.Words() }
 // instances with probability 1−δ).
 type MedianSite struct {
 	copies []*Site
+	outs   []func(proto.Message) // prebuilt per-copy wrappers writing to cur
+	cur    func(proto.Message)
 }
 
 // NewMedianSite builds a site with c independent copies.
@@ -31,19 +33,41 @@ func NewMedianSite(cfg Config, c int, rng *stats.RNG) *MedianSite {
 	if c < 1 {
 		panic("count: need at least one copy")
 	}
-	ms := &MedianSite{copies: make([]*Site, c)}
+	ms := &MedianSite{copies: make([]*Site, c), outs: make([]func(proto.Message), c)}
 	for i := range ms.copies {
 		ms.copies[i] = NewSite(cfg, rng.Split())
+		ms.outs[i] = func(m proto.Message) { ms.cur(CopyMsg{Copy: i, Inner: m}) }
 	}
 	return ms
 }
 
 // Arrive implements proto.Site.
 func (s *MedianSite) Arrive(item int64, value float64, out func(proto.Message)) {
-	for idx, cp := range s.copies {
-		idx := idx
-		cp.Arrive(item, value, func(m proto.Message) { out(CopyMsg{Copy: idx, Inner: m}) })
+	s.cur = out
+	for i, cp := range s.copies {
+		cp.Arrive(item, value, s.outs[i])
 	}
+	s.cur = nil
+}
+
+// ArriveBatch implements proto.BatchSite, keeping the copies in lockstep:
+// the batch absorbs the minimum quiet gap across copies in O(copies), then
+// feeds one element the normal way.
+func (s *MedianSite) ArriveBatch(item int64, value float64, count int64, out func(proto.Message)) int64 {
+	quiet := count
+	for _, cp := range s.copies {
+		if g := cp.QuietGap(); g < quiet {
+			quiet = g
+		}
+	}
+	for _, cp := range s.copies {
+		cp.SkipQuiet(quiet)
+	}
+	if quiet == count {
+		return count
+	}
+	s.Arrive(item, value, out)
+	return quiet + 1
 }
 
 // Receive implements proto.Site.
@@ -52,10 +76,9 @@ func (s *MedianSite) Receive(m proto.Message, out func(proto.Message)) {
 	if !ok {
 		return
 	}
-	idx := cm.Copy
-	s.copies[idx].Receive(cm.Inner, func(inner proto.Message) {
-		out(CopyMsg{Copy: idx, Inner: inner})
-	})
+	s.cur = out
+	s.copies[cm.Copy].Receive(cm.Inner, s.outs[cm.Copy])
+	s.cur = nil
 }
 
 // SpaceWords implements proto.Site.

@@ -62,11 +62,19 @@ func (c Config) validate() {
 
 // Site is the per-site state machine of the randomized count-tracking
 // protocol (Theorem 2.1). O(1) words of state.
+//
+// The per-arrival Bernoulli(p) coin of the paper is realized by
+// skip-sampling: the site draws the geometric gap to its next sampled
+// report once per report (stats.RNG.SkipGeometric) and counts plain
+// arrivals down in between. The sequence of reporting arrivals has exactly
+// the same distribution — the gaps between successes of i.i.d. Bernoulli(p)
+// coins are Geometric(p) — but the RNG work is O(messages), not O(n).
 type Site struct {
 	cfg      Config
 	rs       *rounds.Site
 	rng      *stats.RNG
 	p        float64
+	skip     int64 // silent arrivals remaining before the next sampled report
 	lastSent int64 // the site's copy of the coordinator's n̄_i (0 = none)
 }
 
@@ -79,10 +87,44 @@ func NewSite(cfg Config, rng *stats.RNG) *Site {
 // Arrive implements proto.Site.
 func (s *Site) Arrive(item int64, value float64, out func(proto.Message)) {
 	s.rs.Arrive(out)
-	if s.rng.Bernoulli(s.p) {
-		s.lastSent = s.rs.N()
-		out(UpdateMsg{N: s.lastSent})
+	if s.skip > 0 {
+		s.skip--
+		return
 	}
+	s.lastSent = s.rs.N()
+	out(UpdateMsg{N: s.lastSent})
+	s.skip = s.rng.SkipGeometric(s.p)
+}
+
+// QuietGap returns how many further arrivals are guaranteed not to emit a
+// message: the minimum of the skip-sampling gap and the doubling-report gap.
+func (s *Site) QuietGap() int64 {
+	g := s.skip
+	if r := s.rs.Gap(); r < g {
+		g = r
+	}
+	return g
+}
+
+// SkipQuiet absorbs count silent arrivals in O(1); count must not exceed
+// QuietGap().
+func (s *Site) SkipQuiet(count int64) {
+	s.rs.Skip(count)
+	s.skip -= count
+}
+
+// ArriveBatch implements proto.BatchSite: the gap to the next sampled
+// report and the gap to the next doubling report are both known in closed
+// form, so the arrivals in between are absorbed with two integer updates.
+func (s *Site) ArriveBatch(item int64, value float64, count int64, out func(proto.Message)) int64 {
+	quiet := s.QuietGap()
+	if quiet >= count {
+		s.SkipQuiet(count)
+		return count
+	}
+	s.SkipQuiet(quiet)
+	s.Arrive(item, value, out)
+	return quiet + 1
 }
 
 // Receive implements proto.Site. On a round broadcast the site recomputes p
@@ -102,6 +144,11 @@ func (s *Site) Receive(m proto.Message, out func(proto.Message)) {
 			s.p /= 2
 			s.adjust(out)
 		}
+	}
+	if pNew < 1 {
+		// The residual skip was drawn at the old p; future coins are i.i.d.
+		// at the new p, so the memoryless gap is redrawn fresh.
+		s.skip = s.rng.SkipGeometric(pNew)
 	}
 	s.p = pNew // exact, in case of float drift
 }

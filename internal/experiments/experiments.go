@@ -1,9 +1,10 @@
 // Package experiments contains the drivers that regenerate the paper's
 // evaluation artifacts — Table 1's rows and scaling shapes, the lower-bound
-// experiments behind Figure 1 and Theorems 2.2-2.4, and the ablations
-// described in DESIGN.md. The cmd/table1, cmd/lowerbounds and
-// cmd/experiments binaries and the root bench harness all call into this
-// package so every number is produced by exactly one code path.
+// experiments behind Figure 1 and Theorems 2.2-2.4, and the estimator and
+// adjustment ablations (the experiment index E1–E14 is documented in the
+// root README.md). The cmd/table1, cmd/lowerbounds and cmd/experiments
+// binaries and the root bench harness all call into this package so every
+// number is produced by exactly one code path.
 package experiments
 
 import (
@@ -66,6 +67,24 @@ type RowResult struct {
 // problem (round-robin placement; Zipf(1.1) items for freq; a random value
 // permutation for rank), checking accuracy at ~200 evenly spaced instants.
 func Run(rc RowConfig) RowResult {
+	return runRow(rc, 0)
+}
+
+// RunBatched executes one row on the block-structured variant of its
+// workload — sites take turns receiving `block` consecutive arrivals, and
+// (for count and freq) each block carries a single item — ingested through
+// the runtimes' batch fast path, with the same ~200 accuracy checkpoints.
+// It measures the batch path at experiment scale: protocol costs follow the
+// same paper bounds (placement does not enter them), while wall-clock is
+// proportional to messages instead of stream length.
+func RunBatched(rc RowConfig, block int) RowResult {
+	if block <= 0 {
+		panic("experiments: RunBatched with non-positive block")
+	}
+	return runRow(rc, block)
+}
+
+func runRow(rc RowConfig, block int) RowResult {
 	checkEvery := rc.N / 200
 	if checkEvery < 1 {
 		checkEvery = 1
@@ -75,27 +94,62 @@ func Run(rc RowConfig) RowResult {
 	var p proto.Protocol
 	var check func(arrived int64) float64 // returns |err| allowance-normalized
 
+	// Two independent copies of the input generators (same seed): one
+	// feeds the harness, one replays ground truth inside the checks.
+	feedItem, feedValue := rowInputs(rc, block)
 	switch rc.Problem {
 	case Count:
 		p, check = buildCount(rc)
 	case Freq:
-		p, check = buildFreq(rc)
+		checkItem, _ := rowInputs(rc, block)
+		p, check = buildFreq(rc, checkItem)
 	case Rank:
-		p, check = buildRank(rc)
+		_, checkValue := rowInputs(rc, block)
+		p, check = buildRank(rc, checkValue)
 	default:
 		panic("experiments: unknown problem " + string(rc.Problem))
 	}
 
 	h := sim.New(p)
 	h.SpaceProbeEvery = 256
-	placement := workload.RoundRobin(rc.K)
-	itemF, valueF := rowInputs(rc)
-	for i := 0; i < rc.N; i++ {
-		h.Arrive(placement(i), itemF(i), valueF(i))
-		if (i+1)%checkEvery == 0 {
-			res.Checks++
-			if check(int64(i+1)) > 1 {
-				res.Bad++
+	if block > 0 {
+		placement := workload.BlockPlacement(rc.K, block)
+		for i := 0; i < rc.N; {
+			// A run ends at the block boundary, the next checkpoint, or
+			// the end of the stream, whichever comes first; rank values
+			// vary per arrival, so rank runs are single elements.
+			end := (i/block + 1) * block
+			if c := (i/checkEvery + 1) * checkEvery; c < end {
+				end = c
+			}
+			if end > rc.N {
+				end = rc.N
+			}
+			site := placement(i)
+			for i < end {
+				j := end
+				if rc.Problem == Rank {
+					j = i + 1
+				}
+				h.ArriveBatch(site, feedItem(i), feedValue(i), int64(j-i))
+				i = j
+			}
+			if i%checkEvery == 0 {
+				res.Checks++
+				if check(int64(i)) > 1 {
+					res.Bad++
+				}
+			}
+		}
+	} else {
+		placement := workload.RoundRobin(rc.K)
+		for i := 0; i < rc.N; i++ {
+			h.Arrive(placement(i), feedItem(i), feedValue(i))
+			if (i+1)%checkEvery == 0 {
+				res.Checks++
+				if check(int64(i+1)) > 1 {
+					res.Bad++
+				}
 			}
 		}
 	}
@@ -112,14 +166,43 @@ func Run(rc RowConfig) RowResult {
 
 // rowInputs returns the item and value generators for a config. They are
 // deterministic in the seed so that all algorithms see identical streams.
-func rowInputs(rc RowConfig) (workload.ItemFunc, workload.ValueFunc) {
+// With block > 0 the generators are reshaped for batching: freq draws one
+// Zipf item per block (a hot flow per gateway turn) and the value channel,
+// which count and freq ignore, is held constant so runs coalesce; rank
+// keeps its distinct permutation values. Generators may be stateful, so
+// callers must invoke them with non-decreasing indices.
+func rowInputs(rc RowConfig, block int) (workload.ItemFunc, workload.ValueFunc) {
 	switch rc.Problem {
 	case Freq:
-		return workload.ZipfItems(1000, 1.1, stats.New(rc.Seed+77)), workload.SortedValues()
+		items := workload.ZipfItems(1000, 1.1, stats.New(rc.Seed+77))
+		if block > 0 {
+			items = perBlock(items, block)
+			return items, func(int) float64 { return 0 }
+		}
+		return items, workload.SortedValues()
 	case Rank:
 		return workload.SameItem(0), workload.PermValues(rc.N, stats.New(rc.Seed+78))
 	default:
+		if block > 0 {
+			return workload.SameItem(0), func(int) float64 { return 0 }
+		}
 		return workload.SameItem(0), workload.SortedValues()
+	}
+}
+
+// perBlock derives an ItemFunc drawing one item from f per block of
+// consecutive indices, repeating it within the block. The wrapped generator
+// is consulted once per block in index order, so stateful generators stay
+// aligned between the feed and check copies.
+func perBlock(f workload.ItemFunc, block int) workload.ItemFunc {
+	curBlock := -1
+	var curItem int64
+	return func(i int) int64 {
+		if b := i / block; b != curBlock {
+			curBlock = b
+			curItem = f(i)
+		}
+		return curItem
 	}
 }
 
@@ -144,9 +227,8 @@ func buildCount(rc RowConfig) (proto.Protocol, func(int64) float64) {
 	panic("experiments: unknown alg " + string(rc.Alg))
 }
 
-func buildFreq(rc RowConfig) (proto.Protocol, func(int64) float64) {
+func buildFreq(rc RowConfig, items workload.ItemFunc) (proto.Protocol, func(int64) float64) {
 	// Track the exact frequency of the hottest item (id 0 under Zipf).
-	items := workload.ZipfItems(1000, 1.1, stats.New(rc.Seed+77))
 	var truth int64
 	idx := 0
 	advance := func(n int64) int64 {
@@ -177,8 +259,7 @@ func buildFreq(rc RowConfig) (proto.Protocol, func(int64) float64) {
 	panic("experiments: unknown alg " + string(rc.Alg))
 }
 
-func buildRank(rc RowConfig) (proto.Protocol, func(int64) float64) {
-	values := workload.PermValues(rc.N, stats.New(rc.Seed+78))
+func buildRank(rc RowConfig, values workload.ValueFunc) (proto.Protocol, func(int64) float64) {
 	q := float64(rc.N) / 2
 	var below int64
 	idx := 0

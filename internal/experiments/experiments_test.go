@@ -125,3 +125,42 @@ func TestRunPanicsOnUnknown(t *testing.T) {
 	}()
 	Run(RowConfig{Problem: "bogus", Alg: Randomized, K: 2, Eps: 0.1, N: 10})
 }
+
+func TestRunBatchedEveryCell(t *testing.T) {
+	// The batched driver must hit the same paper bounds as the element-wise
+	// one: placement does not enter the communication bounds, so words stay
+	// within a small constant factor, and accuracy checks keep passing.
+	for _, p := range []Problem{Count, Freq, Rank} {
+		for _, a := range []Alg{Randomized, Deterministic, Sampling} {
+			rc := RowConfig{Problem: p, Alg: a, K: 8, Eps: 0.1, N: 5000, Seed: 1, Rescale: 1}
+			seq := Run(rc)
+			bat := RunBatched(rc, 50)
+			if bat.Checks != seq.Checks {
+				t.Errorf("%s: batched %d checks, element-wise %d", rc.Describe(), bat.Checks, seq.Checks)
+			}
+			if bat.Words <= 0 || bat.Messages <= 0 {
+				t.Errorf("%s: batched run recorded no communication", rc.Describe())
+			}
+			ratio := float64(bat.Words) / float64(seq.Words)
+			if ratio < 0.2 || ratio > 5 {
+				t.Errorf("%s: batched words %d vs element-wise %d (ratio %.2f)",
+					rc.Describe(), bat.Words, seq.Words, ratio)
+			}
+			if bat.BadFrac > 0.65 {
+				t.Errorf("%s: batched run failed %.0f%% checks", rc.Describe(), 100*bat.BadFrac)
+			}
+			if a == Deterministic && bat.Bad != 0 {
+				t.Errorf("%s: deterministic batched row failed %d checks", rc.Describe(), bat.Bad)
+			}
+		}
+	}
+}
+
+func TestRunBatchedDeterministicInSeed(t *testing.T) {
+	rc := RowConfig{Problem: Freq, Alg: Randomized, K: 4, Eps: 0.1, N: 4000, Seed: 9, Rescale: 1}
+	a := RunBatched(rc, 64)
+	b := RunBatched(rc, 64)
+	if a != b {
+		t.Fatalf("same batched config produced different results:\n%+v\n%+v", a, b)
+	}
+}

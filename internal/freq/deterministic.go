@@ -74,6 +74,15 @@ func (s *DetSite) Arrive(item int64, value float64, out func(proto.Message)) {
 	s.rs.Arrive(out)
 }
 
+// ArriveBatch implements proto.BatchSite. SpaceSaving's heap layout depends
+// on the exact sequence of sift operations, so bulk counter increments are
+// not state-identical to repeated Adds; the batch is delivered element by
+// element (proto.ArriveSerial), preserving the stop-at-first-message
+// contract.
+func (s *DetSite) ArriveBatch(item int64, value float64, count int64, out func(proto.Message)) int64 {
+	return proto.ArriveSerial(s.Arrive, item, value, count, out)
+}
+
 // Receive implements proto.Site (round broadcasts only adjust T implicitly
 // through n̄; no state is cleared — counters are global and monotone).
 func (s *DetSite) Receive(m proto.Message, out func(proto.Message)) {

@@ -76,6 +76,14 @@ func (c Config) validate() {
 }
 
 // Site is the per-site state machine of the randomized frequency tracker.
+//
+// Each arrival consumes two independent Bernoulli(p) coins: the copy coin
+// (insert a new counter, or report an incremented one) and the sampling coin
+// (forward the element to maintain d_ij). Both streams are skip-sampled: the
+// site draws the geometric gap to each stream's next heads once per heads
+// and decrements counters in between, so RNG work is O(messages). The
+// arrivals a per-coin implementation would mark heads form exactly this
+// renewal process, so the protocol's output distribution is unchanged.
 type Site struct {
 	cfg Config
 	rs  *rounds.Site
@@ -84,6 +92,8 @@ type Site struct {
 	p             float64
 	list          *sticky.List
 	roundArrivals int64 // arrivals charged to the current virtual site
+	skipCopy      int64 // tails remaining before the copy coin's next heads
+	skipSample    int64 // tails remaining before the sampling coin's next heads
 }
 
 // NewSite returns a fresh site.
@@ -116,22 +126,67 @@ func (s *Site) Arrive(item int64, value float64, out func(proto.Message)) {
 	// reports the incremented counter of an existing one. This single-coin
 	// structure is what makes the forward/backward first-success variables
 	// X1, X2 of the paper's Lemma 3.1 well defined.
-	count, inserted := s.list.Add(item)
-	switch {
-	case inserted:
-		out(CounterMsg{Item: item, Count: 1})
-	case count > 0:
-		if s.rng.Bernoulli(s.p) {
+	count := s.list.Bump(item)
+	if s.skipCopy == 0 {
+		s.skipCopy = s.rng.SkipGeometric(s.p)
+		if count > 0 {
 			out(CounterMsg{Item: item, Count: count})
+		} else {
+			s.list.Insert(item)
+			out(CounterMsg{Item: item, Count: 1})
 		}
+	} else {
+		s.skipCopy--
 	}
 
 	// Independent sampling at rate p (maintains d_ij at the coordinator).
-	if s.rng.Bernoulli(s.p) {
+	if s.skipSample == 0 {
+		s.skipSample = s.rng.SkipGeometric(s.p)
 		out(SampleMsg{Item: item})
+	} else {
+		s.skipSample--
 	}
 
 	s.rs.Arrive(out)
+}
+
+// ArriveBatch implements proto.BatchSite: during a run of the same item,
+// the next interesting arrival — next heads on either coin stream, next
+// doubling report, or virtual-site budget exhaustion — is known in closed
+// form, and everything before it is a counter bump.
+func (s *Site) ArriveBatch(item int64, value float64, count int64, out func(proto.Message)) int64 {
+	quiet := s.skipCopy
+	if s.skipSample < quiet {
+		quiet = s.skipSample
+	}
+	if g := s.rs.Gap(); g < quiet {
+		quiet = g
+	}
+	if !s.cfg.DisableVirtualSites {
+		if limit := s.budget(); limit > 0 {
+			if g := limit - s.roundArrivals; g < quiet {
+				quiet = g
+				if quiet < 0 {
+					quiet = 0
+				}
+			}
+		}
+	}
+	if quiet > count {
+		quiet = count
+	}
+	if quiet > 0 {
+		s.roundArrivals += quiet
+		s.list.BumpRun(item, quiet)
+		s.rs.Skip(quiet)
+		s.skipCopy -= quiet
+		s.skipSample -= quiet
+	}
+	if quiet == count {
+		return count
+	}
+	s.Arrive(item, value, out)
+	return quiet + 1
 }
 
 // budget returns the virtual-site arrival budget n̄/k (0 = no limit yet).
@@ -157,6 +212,10 @@ func (s *Site) Receive(m proto.Message, out func(proto.Message)) {
 	s.p = rounds.P(s.rs.NBar(), s.cfg.K, s.cfg.effEps())
 	s.list = sticky.New(s.p, s.rng.Split())
 	s.roundArrivals = 0
+	// Both coin streams restart at the new p (i.i.d. coins are memoryless,
+	// so discarding the residual gaps preserves the distribution).
+	s.skipCopy = s.rng.SkipGeometric(s.p)
+	s.skipSample = s.rng.SkipGeometric(s.p)
 }
 
 // SpaceWords implements proto.Site.

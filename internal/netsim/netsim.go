@@ -82,6 +82,15 @@ type arrival struct {
 	value float64
 }
 
+// arrivalChunk asks a site to absorb up to count identical arrivals via the
+// proto.BatchSite fast path, reporting how many it consumed on done.
+type arrivalChunk struct {
+	item  int64
+	value float64
+	count int64
+	done  chan int64
+}
+
 type coordMsg struct {
 	from int
 	msg  proto.Message
@@ -155,6 +164,8 @@ func (c *Cluster) siteLoop(i int) {
 		switch msg := v.(type) {
 		case arrival:
 			site.Arrive(msg.item, msg.value, out)
+		case arrivalChunk:
+			msg.done <- proto.ArriveChunk(site, msg.item, msg.value, msg.count, out)
 		case proto.Message:
 			site.Receive(msg, out)
 		}
@@ -190,6 +201,24 @@ func (c *Cluster) Arrive(site int, item int64, value float64) {
 	c.inflight.Add(1)
 	c.siteBoxes[site].put(arrival{item: item, value: value})
 	c.inflight.Wait()
+}
+
+// ArriveBatch injects count identical elements at site, equivalent to count
+// Arrive calls: each chunk is absorbed up to the site's next message via the
+// proto.BatchSite fast path, then the resulting cascade is run to
+// quiescence before the rest of the run is fed — so round broadcasts land
+// between arrivals exactly as they would element-at-a-time. Like Arrive, it
+// must not be called concurrently with other injections.
+func (c *Cluster) ArriveBatch(site int, item int64, value float64, count int64) {
+	done := make(chan int64, 1)
+	for count > 0 {
+		c.inflight.Add(1)
+		c.siteBoxes[site].put(arrivalChunk{item: item, value: value, count: count, done: done})
+		consumed := <-done
+		c.inflight.Wait()
+		atomic.AddInt64(&c.arrivals, consumed)
+		count -= consumed
+	}
 }
 
 // Quiesce blocks until no work is in flight. (Arrive already quiesces; this

@@ -33,6 +33,54 @@ type Site interface {
 	SpaceWords() int
 }
 
+// BatchSite is an optional fast path for sites that can absorb a run of
+// identical arrivals in closed form (skip-sampling the gap to their next
+// report instead of flipping one coin per arrival).
+type BatchSite interface {
+	Site
+
+	// ArriveBatch processes up to count consecutive arrivals of the same
+	// (item, value) pair, stopping early after the first arrival that
+	// emitted at least one message. It returns the number of arrivals
+	// consumed, at least 1 when count >= 1. Stopping at message boundaries
+	// lets the hosting runtime deliver the messages — and any coordinator
+	// response, such as a round broadcast that changes the site's sampling
+	// probability — before the rest of the run is fed, so a batched run is
+	// indistinguishable from element-at-a-time delivery.
+	ArriveBatch(item int64, value float64, count int64, out func(Message)) int64
+}
+
+// ArriveChunk feeds up to count identical arrivals to s, using the BatchSite
+// fast path when s implements it and falling back to a single Arrive (one
+// element consumed) otherwise. It returns the number of arrivals consumed.
+func ArriveChunk(s Site, item int64, value float64, count int64, out func(Message)) int64 {
+	if count <= 0 {
+		return 0
+	}
+	if bs, ok := s.(BatchSite); ok {
+		return bs.ArriveBatch(item, value, count, out)
+	}
+	s.Arrive(item, value, out)
+	return 1
+}
+
+// ArriveSerial implements the BatchSite contract for sites whose per-element
+// work cannot be skipped (e.g. every value must enter a summary): it feeds
+// elements one at a time through arrive, stopping after the first element
+// that emitted a message, and returns the number consumed. Protocol sites
+// embed it as their ArriveBatch body.
+func ArriveSerial(arrive func(item int64, value float64, out func(Message)),
+	item int64, value float64, count int64, out func(Message)) int64 {
+	emitted := false
+	wrap := func(m Message) { emitted = true; out(m) }
+	var done int64
+	for done < count && !emitted {
+		arrive(item, value, wrap)
+		done++
+	}
+	return done
+}
+
 // Coordinator is the central half of a protocol. Runtimes guarantee that
 // calls are never concurrent.
 type Coordinator interface {

@@ -23,9 +23,67 @@ func TestProtocolK(t *testing.T) {
 	}
 }
 
+// countingSite counts arrivals; batchSite additionally absorbs whole chunks
+// silently, emitting one message every `every` arrivals.
+type countingSite struct{ arrivals int64 }
+
+func (s *countingSite) Arrive(item int64, value float64, out func(Message)) { s.arrivals++ }
+func (s *countingSite) Receive(m Message, out func(Message))                {}
+func (s *countingSite) SpaceWords() int                                     { return 0 }
+
+type oneWord struct{}
+
+func (oneWord) Words() int { return 1 }
+
+type batchSite struct {
+	countingSite
+	every int64
+}
+
+func (s *batchSite) ArriveBatch(item int64, value float64, count int64, out func(Message)) int64 {
+	quiet := s.every - 1 - s.arrivals%s.every
+	if quiet >= count {
+		s.arrivals += count
+		return count
+	}
+	s.arrivals += quiet + 1
+	out(oneWord{})
+	return quiet + 1
+}
+
+func TestArriveChunkFallsBackPerElement(t *testing.T) {
+	s := &countingSite{}
+	if got := ArriveChunk(s, 0, 0, 10, func(Message) {}); got != 1 {
+		t.Fatalf("plain Site consumed %d, want 1", got)
+	}
+	if s.arrivals != 1 {
+		t.Fatalf("arrivals = %d, want 1", s.arrivals)
+	}
+	if got := ArriveChunk(s, 0, 0, 0, func(Message) {}); got != 0 {
+		t.Fatalf("empty chunk consumed %d, want 0", got)
+	}
+}
+
+func TestArriveChunkUsesBatchFastPath(t *testing.T) {
+	s := &batchSite{every: 5}
+	msgs := 0
+	out := func(Message) { msgs++ }
+	total := int64(0)
+	for total < 23 {
+		total += ArriveChunk(s, 0, 0, 23-total, out)
+	}
+	if s.arrivals != 23 {
+		t.Fatalf("arrivals = %d, want 23", s.arrivals)
+	}
+	if msgs != 4 { // arrivals 5, 10, 15, 20
+		t.Fatalf("messages = %d, want 4", msgs)
+	}
+}
+
 // Compile-time checks that the nop types satisfy the interfaces (and
 // document the expected shapes).
 var (
 	_ Site        = nopSite{}
 	_ Coordinator = nopCoord{}
+	_ BatchSite   = (*batchSite)(nil)
 )

@@ -24,7 +24,7 @@ func (m DetSnapshotMsg) Words() int { return m.Snap.Words() }
 //
 // The paper's own deterministic baseline [29] improves this to
 // O(k/ε·logN·log²(1/ε)); the experiment harness plots that analytic curve
-// alongside this implementation (see DESIGN.md §5).
+// alongside this implementation (experiments.AnalyticWords).
 type DetSite struct {
 	k   int
 	eps float64
@@ -63,6 +63,12 @@ func (s *DetSite) Arrive(item int64, value float64, out func(proto.Message)) {
 		s.sinceReport = 0
 	}
 	s.rs.Arrive(out)
+}
+
+// ArriveBatch implements proto.BatchSite. Every value must enter the GK
+// summary, so the batch is consumed element by element (proto.ArriveSerial).
+func (s *DetSite) ArriveBatch(item int64, value float64, count int64, out func(proto.Message)) int64 {
+	return proto.ArriveSerial(s.Arrive, item, value, count, out)
 }
 
 // Receive implements proto.Site.

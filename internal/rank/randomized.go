@@ -77,13 +77,18 @@ type chunk struct {
 	active  []*merge.Summary // one active node per level (nil = none)
 }
 
-// Site is the per-site state machine of the randomized rank tracker.
+// Site is the per-site state machine of the randomized rank tracker. The
+// residual sampling coin is skip-sampled (one geometric gap draw per
+// forwarded sample instead of one Bernoulli draw per arrival); the dyadic
+// tree still ingests every value, so rank batching saves RNG and runtime
+// overhead but not summary-insert work.
 type Site struct {
 	cfg Config
 	rs  *rounds.Site
 	rng *stats.RNG
 
 	p      float64
+	skip   int64 // silent arrivals remaining before the next residual sample
 	nextID int64
 	cur    *chunk
 }
@@ -159,12 +164,22 @@ func (s *Site) Arrive(item int64, value float64, out func(proto.Message)) {
 		}
 	}
 
-	// Residual sampling at rate p.
-	if s.rng.Bernoulli(s.p) {
+	// Residual sampling at rate p, skip-sampled.
+	if s.skip > 0 {
+		s.skip--
+	} else {
 		out(SampleMsg{Chunk: c.id, Index: c.arrived, Value: value})
+		s.skip = s.rng.SkipGeometric(s.p)
 	}
 
 	s.rs.Arrive(out)
+}
+
+// ArriveBatch implements proto.BatchSite. Every value must still enter the
+// active summary nodes, so the batch is consumed element by element
+// (proto.ArriveSerial), preserving the stop-at-first-message contract.
+func (s *Site) ArriveBatch(item int64, value float64, count int64, out func(proto.Message)) int64 {
+	return proto.ArriveSerial(s.Arrive, item, value, count, out)
 }
 
 // Receive implements proto.Site: a round broadcast abandons the current
@@ -175,6 +190,10 @@ func (s *Site) Receive(m proto.Message, out func(proto.Message)) {
 		return
 	}
 	s.p = rounds.P(s.rs.NBar(), s.cfg.K, s.cfg.effEps())
+	// Fresh geometric gap at the new p (memoryless, distribution-preserving).
+	if s.p < 1 {
+		s.skip = s.rng.SkipGeometric(s.p)
+	}
 	s.cur = nil
 }
 

@@ -62,6 +62,27 @@ func (s *Site) Arrive(out func(proto.Message)) {
 	}
 }
 
+// Gap returns how many further arrivals are guaranteed not to trigger a
+// doubling report: the next report fires on the arrival that brings n to
+// nextReport, so the nextReport-n-1 arrivals before it are silent.
+func (s *Site) Gap() int64 {
+	g := s.nextReport - s.n - 1
+	if g < 0 {
+		g = 0
+	}
+	return g
+}
+
+// Skip counts count arrivals at once without emitting anything. The caller
+// must keep count within Gap(); Skip panics otherwise, since silently
+// swallowing a doubling report would corrupt the coordinator's n′.
+func (s *Site) Skip(count int64) {
+	s.n += count
+	if s.n >= s.nextReport {
+		panic("rounds: Skip crossed a doubling threshold")
+	}
+}
+
 // Deliver inspects a coordinator message; if it is a round broadcast it
 // records n̄ and reports true. Other messages are ignored (false).
 func (s *Site) Deliver(m proto.Message) (newRound bool) {

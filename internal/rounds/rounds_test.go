@@ -41,6 +41,49 @@ func TestSiteReportCountLogarithmic(t *testing.T) {
 	}
 }
 
+func TestGapSkipMatchesArrives(t *testing.T) {
+	// Interleaving Skip(g <= Gap()) with single Arrives must leave the site
+	// in exactly the state that per-element Arrives produce, with the same
+	// doubling reports.
+	ref, fast := NewSite(), NewSite()
+	var refReports, fastReports []int64
+	refOut := func(m proto.Message) { refReports = append(refReports, m.(UpMsg).N) }
+	fastOut := func(m proto.Message) { fastReports = append(fastReports, m.(UpMsg).N) }
+
+	total := int64(0)
+	for total < 100000 {
+		g := fast.Gap()
+		fast.Skip(g)
+		fast.Arrive(fastOut) // the arrival that crosses the threshold
+		for i := int64(0); i <= g; i++ {
+			ref.Arrive(refOut)
+		}
+		total += g + 1
+	}
+	if ref.N() != fast.N() || ref.Gap() != fast.Gap() {
+		t.Fatalf("state diverged: ref n=%d gap=%d, fast n=%d gap=%d",
+			ref.N(), ref.Gap(), fast.N(), fast.Gap())
+	}
+	if len(refReports) != len(fastReports) {
+		t.Fatalf("report counts diverged: %d vs %d", len(refReports), len(fastReports))
+	}
+	for i := range refReports {
+		if refReports[i] != fastReports[i] {
+			t.Fatalf("report %d diverged: %d vs %d", i, refReports[i], fastReports[i])
+		}
+	}
+}
+
+func TestSkipPanicsPastThreshold(t *testing.T) {
+	s := NewSite()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Skip past Gap() did not panic")
+		}
+	}()
+	s.Skip(s.Gap() + 1)
+}
+
 func TestCoordinatorBroadcastFactor(t *testing.T) {
 	c := NewCoordinator(2)
 	var broadcasts []int64

@@ -67,10 +67,21 @@ func (c Config) validate() {
 	}
 }
 
-// Site is the per-site half of the sampler: O(1) state (the current level).
+// Site is the per-site half of the sampler: O(1) state (the current level
+// plus the skip-sampled gap to the next forwarded element).
+//
+// An element is forwarded iff its geometric level reaches the coordinator's
+// current L, which happens with probability 2^-L, so the gap between
+// forwarded elements is Geometric(2^-L) — drawn once per forward
+// (stats.RNG.SkipLevel) instead of one level draw per arrival. A forwarded
+// element's level, conditioned on reaching L, is L plus a fresh
+// GeometricLevel (the level distribution is memoryless in its leading
+// flips), so the coordinator sees the same message distribution as with
+// per-arrival draws.
 type Site struct {
 	rng   *stats.RNG
 	level int
+	skip  int64 // silent arrivals remaining before the next forward
 }
 
 // NewSite returns a sampler site.
@@ -78,16 +89,34 @@ func NewSite(rng *stats.RNG) *Site { return &Site{rng: rng} }
 
 // Arrive implements proto.Site.
 func (s *Site) Arrive(item int64, value float64, out func(proto.Message)) {
-	l := s.rng.GeometricLevel()
-	if l >= s.level {
-		out(ElementMsg{Item: item, Value: value, Level: l})
+	if s.skip > 0 {
+		s.skip--
+		return
 	}
+	out(ElementMsg{Item: item, Value: value, Level: s.level + s.rng.GeometricLevel()})
+	s.skip = s.rng.SkipLevel(s.level)
+}
+
+// ArriveBatch implements proto.BatchSite: the gap to the next forwarded
+// element is explicit state, so everything before it is one subtraction.
+func (s *Site) ArriveBatch(item int64, value float64, count int64, out func(proto.Message)) int64 {
+	if s.skip >= count {
+		s.skip -= count
+		return count
+	}
+	quiet := s.skip
+	s.skip = 0
+	s.Arrive(item, value, out)
+	return quiet + 1
 }
 
 // Receive implements proto.Site.
 func (s *Site) Receive(m proto.Message, out func(proto.Message)) {
 	if lm, ok := m.(LevelMsg); ok {
 		s.level = lm.Level
+		// The residual gap was drawn at the old level; redraw at the new
+		// one (memoryless, distribution-preserving).
+		s.skip = s.rng.SkipLevel(s.level)
 	}
 }
 

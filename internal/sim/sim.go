@@ -5,6 +5,14 @@
 //
 // All experiment and benchmark numbers in this repository come from this
 // runtime, so they are deterministic given the protocol's RNG seeds.
+//
+// Two ingestion paths exist. Arrive feeds one element; ArriveBatch feeds a
+// run of identical elements through the proto.BatchSite fast path, splitting
+// the run at every message (so coordinator replies land exactly where they
+// would element-at-a-time) and at every space-probe boundary (so probes
+// sample the same instants). A batched run is therefore bit-identical to the
+// equivalent sequence of Arrive calls, in protocol state and in Metrics,
+// while costing O(messages) instead of O(arrivals).
 package sim
 
 import (
@@ -43,7 +51,25 @@ type Harness struct {
 	SpaceProbeEvery int
 
 	metrics Metrics
-	queue   []envelope
+
+	// The message queue is a head-indexed FIFO: popping advances head
+	// instead of re-slicing (which would strand the backing array's prefix
+	// and re-allocate on every append/pop cycle). The queue is compacted
+	// when the dead prefix dominates and reset to offset zero whenever it
+	// drains.
+	queue []envelope
+	head  int
+
+	// Per-site and coordinator-side enqueue closures are built once at New:
+	// the hot path hands the same closure to every Arrive/Receive call
+	// instead of allocating a fresh capture per arrival.
+	siteOuts  []func(proto.Message)
+	coordSend func(to int, m proto.Message)
+	coordCast func(m proto.Message)
+
+	// batch[i] is non-nil when site i implements the proto.BatchSite fast
+	// path (resolved once so ArriveBatch avoids a type assertion per chunk).
+	batch []proto.BatchSite
 }
 
 type envelope struct {
@@ -58,7 +84,27 @@ func New(p proto.Protocol) *Harness {
 	if p.Coord == nil || len(p.Sites) == 0 {
 		panic("sim: protocol needs a coordinator and at least one site")
 	}
-	return &Harness{p: p, SpaceProbeEvery: 1024}
+	h := &Harness{p: p, SpaceProbeEvery: 1024}
+	h.siteOuts = make([]func(proto.Message), len(p.Sites))
+	h.batch = make([]proto.BatchSite, len(p.Sites))
+	for i := range p.Sites {
+		h.siteOuts[i] = func(m proto.Message) {
+			h.queue = append(h.queue, envelope{toCoord: true, from: i, msg: m})
+		}
+		if bs, ok := p.Sites[i].(proto.BatchSite); ok {
+			h.batch[i] = bs
+		}
+	}
+	h.coordSend = func(to int, m proto.Message) {
+		h.queue = append(h.queue, envelope{to: to, msg: m})
+	}
+	h.coordCast = func(m proto.Message) {
+		h.metrics.Broadcasts++
+		for s := range h.p.Sites {
+			h.queue = append(h.queue, envelope{to: s, msg: m})
+		}
+	}
+	return h
 }
 
 // K returns the number of sites.
@@ -70,42 +116,74 @@ func (h *Harness) Metrics() Metrics { return h.metrics }
 // Arrive delivers one element to site and runs the protocol to quiescence.
 func (h *Harness) Arrive(site int, item int64, value float64) {
 	h.metrics.Arrivals++
-	h.p.Sites[site].Arrive(item, value, func(m proto.Message) {
-		h.queue = append(h.queue, envelope{toCoord: true, from: site, msg: m})
-	})
-	h.drain()
+	h.p.Sites[site].Arrive(item, value, h.siteOuts[site])
+	if h.head < len(h.queue) {
+		h.drain()
+	}
 	if h.SpaceProbeEvery > 0 && h.metrics.Arrivals%int64(h.SpaceProbeEvery) == 0 {
 		h.Probe()
+	}
+}
+
+// ArriveBatch delivers count identical elements to site, equivalent to count
+// Arrive calls but with work proportional to the messages exchanged. Sites
+// without the proto.BatchSite fast path degrade to element-at-a-time
+// delivery.
+func (h *Harness) ArriveBatch(site int, item int64, value float64, count int64) {
+	for count > 0 {
+		chunk := count
+		if h.SpaceProbeEvery > 0 {
+			// Split at probe boundaries so space is sampled at the same
+			// arrival counts as the per-element path.
+			every := int64(h.SpaceProbeEvery)
+			if until := every - h.metrics.Arrivals%every; until < chunk {
+				chunk = until
+			}
+		}
+		var done int64
+		if bs := h.batch[site]; bs != nil {
+			done = bs.ArriveBatch(item, value, chunk, h.siteOuts[site])
+		} else {
+			h.p.Sites[site].Arrive(item, value, h.siteOuts[site])
+			done = 1
+		}
+		h.metrics.Arrivals += done
+		count -= done
+		if h.head < len(h.queue) {
+			h.drain()
+		}
+		if h.SpaceProbeEvery > 0 && h.metrics.Arrivals%int64(h.SpaceProbeEvery) == 0 {
+			h.Probe()
+		}
 	}
 }
 
 // drain processes queued messages (and any messages they trigger) in FIFO
 // order until none remain.
 func (h *Harness) drain() {
-	for len(h.queue) > 0 {
-		env := h.queue[0]
-		h.queue = h.queue[1:]
+	for h.head < len(h.queue) {
+		// Compact when the dead prefix dominates a long cascade, keeping
+		// memory proportional to the live queue.
+		if h.head >= 1024 && h.head*2 >= len(h.queue) {
+			n := copy(h.queue, h.queue[h.head:])
+			h.queue = h.queue[:n]
+			h.head = 0
+		}
+		env := h.queue[h.head]
+		h.head++
 		if env.toCoord {
 			h.metrics.MessagesUp++
 			h.metrics.WordsUp += int64(env.msg.Words())
-			h.p.Coord.Receive(env.from, env.msg,
-				func(to int, m proto.Message) {
-					h.queue = append(h.queue, envelope{to: to, msg: m})
-				},
-				func(m proto.Message) {
-					h.metrics.Broadcasts++
-					for s := range h.p.Sites {
-						h.queue = append(h.queue, envelope{to: s, msg: m})
-					}
-				})
+			h.p.Coord.Receive(env.from, env.msg, h.coordSend, h.coordCast)
 		} else {
 			h.metrics.MessagesDown++
 			h.metrics.WordsDown += int64(env.msg.Words())
-			h.p.Sites[env.to].Receive(env.msg, func(m proto.Message) {
-				h.queue = append(h.queue, envelope{toCoord: true, from: env.to, msg: m})
-			})
+			h.p.Sites[env.to].Receive(env.msg, h.siteOuts[env.to])
 		}
 	}
+	// Fully drained: reuse the backing array from offset zero.
+	h.queue = h.queue[:0]
+	h.head = 0
 }
 
 // Probe samples current space usage into the high-water marks.
@@ -138,6 +216,21 @@ func (h *Harness) Run(events []workload.Event, check func(arrived int64)) {
 func (h *Harness) RunConfig(cfg workload.Config, check func(arrived int64)) {
 	cfg.Each(func(e workload.Event) {
 		h.Arrive(e.Site, e.Item, e.Value)
+		if check != nil {
+			check(h.metrics.Arrivals)
+		}
+	})
+	h.Probe()
+}
+
+// RunConfigBatched feeds the events described by a workload.Config through
+// the batch fast path, coalescing maximal runs of identical consecutive
+// events. check, if non-nil, is invoked after each run (not after each
+// arrival) with the number of arrivals so far. Protocol state and Metrics
+// are identical to RunConfig's; only the check cadence differs.
+func (h *Harness) RunConfigBatched(cfg workload.Config, check func(arrived int64)) {
+	cfg.EachRun(func(r workload.Batch) {
+		h.ArriveBatch(r.Site, r.Item, r.Value, r.Count)
 		if check != nil {
 			check(h.metrics.Arrivals)
 		}

@@ -163,6 +163,74 @@ func (c *broadcastOnceCoord) Receive(from int, m proto.Message, send func(int, p
 
 func (c *broadcastOnceCoord) SpaceWords() int { return 0 }
 
+// thresholdSite is a BatchSite emitting one 1-word message every `every`
+// arrivals, absorbing the quiet stretches in closed form.
+type thresholdSite struct {
+	arrivals int64
+	every    int64
+}
+
+func (s *thresholdSite) Arrive(item int64, value float64, out func(proto.Message)) {
+	s.arrivals++
+	if s.arrivals%s.every == 0 {
+		out(wordMsg(1))
+	}
+}
+
+func (s *thresholdSite) Receive(m proto.Message, out func(proto.Message)) {}
+func (s *thresholdSite) SpaceWords() int                                  { return int(s.arrivals) }
+
+func (s *thresholdSite) ArriveBatch(item int64, value float64, count int64, out func(proto.Message)) int64 {
+	quiet := s.every - 1 - s.arrivals%s.every
+	if quiet >= count {
+		s.arrivals += count
+		return count
+	}
+	s.arrivals += quiet
+	s.Arrive(item, value, out)
+	return quiet + 1
+}
+
+func TestArriveBatchAccounting(t *testing.T) {
+	mk := func() *Harness {
+		sites := []proto.Site{&thresholdSite{every: 7}, &thresholdSite{every: 7}}
+		h := New(proto.Protocol{Coord: &pulseCoord{every: 3}, Sites: sites})
+		h.SpaceProbeEvery = 100
+		return h
+	}
+	seq, bat := mk(), mk()
+	feed := []struct {
+		site  int
+		count int64
+	}{{0, 500}, {1, 13}, {0, 1}, {1, 700}, {0, 86}}
+	for _, f := range feed {
+		for i := int64(0); i < f.count; i++ {
+			seq.Arrive(f.site, 0, 0)
+		}
+		bat.ArriveBatch(f.site, 0, 0, f.count)
+	}
+	seq.Probe()
+	bat.Probe()
+	if seq.Metrics() != bat.Metrics() {
+		t.Fatalf("metrics diverged:\n sequential %+v\n batched    %+v", seq.Metrics(), bat.Metrics())
+	}
+	if bat.Metrics().Arrivals != 1300 {
+		t.Fatalf("arrivals = %d, want 1300", bat.Metrics().Arrivals)
+	}
+}
+
+func TestArriveBatchFallsBackForPlainSites(t *testing.T) {
+	p, sites, _ := toy(2, 0)
+	h := New(p)
+	h.ArriveBatch(0, 0, 0, 9)
+	if sites[0].arrivals != 9 {
+		t.Fatalf("site 0 saw %d arrivals, want 9", sites[0].arrivals)
+	}
+	if h.Metrics().MessagesUp != 9 {
+		t.Fatalf("messages = %d, want 9 (echo per element)", h.Metrics().MessagesUp)
+	}
+}
+
 func TestNewValidation(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -170,4 +238,28 @@ func TestNewValidation(t *testing.T) {
 		}
 	}()
 	New(proto.Protocol{})
+}
+
+func TestRunConfigBatchedMatchesRunConfig(t *testing.T) {
+	cfg := workload.Config{
+		N:         260,
+		Placement: workload.BlockPlacement(2, 13),
+		Value:     func(int) float64 { return 0 }, // constant so runs coalesce
+	}
+	mk := func() *Harness {
+		sites := []proto.Site{&thresholdSite{every: 7}, &thresholdSite{every: 7}}
+		h := New(proto.Protocol{Coord: &pulseCoord{every: 3}, Sites: sites})
+		h.SpaceProbeEvery = 50
+		return h
+	}
+	seq, bat := mk(), mk()
+	seq.RunConfig(cfg, nil)
+	var checkpoints []int64
+	bat.RunConfigBatched(cfg, func(arrived int64) { checkpoints = append(checkpoints, arrived) })
+	if seq.Metrics() != bat.Metrics() {
+		t.Fatalf("metrics diverged:\n sequential %+v\n batched    %+v", seq.Metrics(), bat.Metrics())
+	}
+	if len(checkpoints) != 20 || checkpoints[19] != 260 {
+		t.Fatalf("expected 20 per-run checkpoints ending at 260, got %v", checkpoints)
+	}
 }

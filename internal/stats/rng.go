@@ -71,11 +71,26 @@ func (r *RNG) Bernoulli(p float64) bool {
 // independent Bernoulli(p) trials; the support is {0, 1, 2, ...}.
 // For p >= 1 it returns 0. It panics if p <= 0.
 func (r *RNG) Geometric(p float64) int {
+	g := r.SkipGeometric(p)
+	if g > 1<<40 {
+		return 1 << 40 // historical int-sized cap
+	}
+	return int(g)
+}
+
+// SkipGeometric returns the number of failures before the first success in
+// independent Bernoulli(p) trials, as an int64 — the gap a site can skip
+// before its next communication-relevant arrival. Drawing the gap once
+// replaces one Bernoulli draw per arrival with one draw per *message*, with
+// an identical output distribution (the arrivals on which a per-arrival coin
+// would come up heads form exactly this renewal process). For p >= 1 it
+// returns 0; it panics if p <= 0.
+func (r *RNG) SkipGeometric(p float64) int64 {
 	if p >= 1 {
 		return 0
 	}
 	if p <= 0 {
-		panic("stats: Geometric with non-positive p")
+		panic("stats: SkipGeometric with non-positive p")
 	}
 	// Inversion: floor(log(U)/log(1-p)) has the right law. Guard against
 	// U == 0 which would give +Inf.
@@ -87,10 +102,20 @@ func (r *RNG) Geometric(p float64) int {
 	if g < 0 {
 		return 0
 	}
-	if g > 1<<40 {
-		return 1 << 40
+	if g > 1<<62 {
+		return 1 << 62
 	}
-	return int(g)
+	return int64(g)
+}
+
+// SkipLevel returns the gap before the next element whose geometric level
+// (see GeometricLevel) reaches at least level: Geometric(2^-level) failures.
+// Level 0 always returns 0.
+func (r *RNG) SkipLevel(level int) int64 {
+	if level <= 0 {
+		return 0
+	}
+	return r.SkipGeometric(math.Ldexp(1, -level))
 }
 
 // GeometricLevel returns the number of leading successful fair coin flips,

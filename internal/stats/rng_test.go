@@ -138,6 +138,92 @@ func TestGeometricDegenerate(t *testing.T) {
 	r.Geometric(0)
 }
 
+func TestSkipGeometricMoments(t *testing.T) {
+	// SkipGeometric must follow the same law as Geometric — the number of
+	// failures before the first Bernoulli(p) success — since the protocols
+	// substitute one skip draw for a run of per-arrival coins.
+	r := New(59)
+	const p = 0.05
+	const n = 100000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		g := float64(r.SkipGeometric(p))
+		sum += g
+		sumSq += g * g
+	}
+	mean := sum / n
+	wantMean := (1 - p) / p
+	if math.Abs(mean-wantMean) > 0.05*wantMean {
+		t.Fatalf("SkipGeometric mean = %v, want ~%v", mean, wantMean)
+	}
+	variance := sumSq/n - mean*mean
+	wantVar := (1 - p) / (p * p)
+	if math.Abs(variance-wantVar) > 0.1*wantVar {
+		t.Fatalf("SkipGeometric variance = %v, want ~%v", variance, wantVar)
+	}
+}
+
+func TestSkipGeometricTail(t *testing.T) {
+	// P[X >= j] = (1-p)^j: the skip-sampled gap leaves each arrival the
+	// same marginal chance of being silent as a per-arrival coin would.
+	r := New(61)
+	const p = 0.2
+	const n = 200000
+	counts := make([]int, 8)
+	for i := 0; i < n; i++ {
+		g := r.SkipGeometric(p)
+		for j := int64(0); j < int64(len(counts)); j++ {
+			if g >= j {
+				counts[j]++
+			}
+		}
+	}
+	for j, c := range counts {
+		got := float64(c) / n
+		want := math.Pow(1-p, float64(j))
+		if math.Abs(got-want) > 4*math.Sqrt(want/n)+0.003 {
+			t.Fatalf("P[gap>=%d] = %v, want ~%v", j, got, want)
+		}
+	}
+}
+
+func TestSkipGeometricDegenerate(t *testing.T) {
+	r := New(67)
+	if g := r.SkipGeometric(1); g != 0 {
+		t.Fatalf("SkipGeometric(1) = %d, want 0", g)
+	}
+	if g := r.SkipGeometric(1.5); g != 0 {
+		t.Fatalf("SkipGeometric(1.5) = %d, want 0", g)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SkipGeometric(0) did not panic")
+		}
+	}()
+	r.SkipGeometric(0)
+}
+
+func TestSkipLevelMatchesGeometricLevel(t *testing.T) {
+	// An element reaches level L with probability 2^-L, so the gap between
+	// level-L elements must be Geometric(2^-L); level 0 never skips.
+	r := New(71)
+	if g := r.SkipLevel(0); g != 0 {
+		t.Fatalf("SkipLevel(0) = %d, want 0", g)
+	}
+	const level = 4
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += float64(r.SkipLevel(level))
+	}
+	mean := sum / n
+	p := math.Pow(0.5, level)
+	want := (1 - p) / p // 15 for level 4
+	if math.Abs(mean-want) > 0.05*want {
+		t.Fatalf("SkipLevel(%d) mean = %v, want ~%v", level, mean, want)
+	}
+}
+
 func TestGeometricLevelDistribution(t *testing.T) {
 	r := New(31)
 	const n = 200000

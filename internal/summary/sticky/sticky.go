@@ -34,9 +34,15 @@ func New(p float64, rng *stats.RNG) *List {
 	return &List{p: p, rng: rng, counters: make(map[int64]int64)}
 }
 
-// Add processes one occurrence of item j. It returns the counter's value
-// after the arrival and whether the counter was just inserted (first sampled
-// copy). count == 0 means the arrival was not sampled and j has no counter.
+// Add processes one occurrence of item j, flipping the list's own
+// Bernoulli(p) coin for untracked items — the classical sticky-sampling
+// update. It returns the counter's value after the arrival and whether the
+// counter was just inserted (first sampled copy). count == 0 means the
+// arrival was not sampled and j has no counter.
+//
+// Protocol sites that skip-sample the coin stream themselves must NOT mix
+// Add with Bump/Insert: Add consumes the list's internal coins, which would
+// break the single-coin-per-arrival invariant internal/freq relies on.
 func (l *List) Add(j int64) (count int64, inserted bool) {
 	l.n++
 	if c, ok := l.counters[j]; ok {
@@ -48,6 +54,40 @@ func (l *List) Add(j int64) (count int64, inserted bool) {
 		return 1, true
 	}
 	return 0, false
+}
+
+// Bump counts one occurrence of item j, incrementing its counter when one
+// exists, and returns the post-arrival counter value (0 when j is
+// untracked). Unlike Add it never flips the sampling coin: callers that
+// skip-sample the coin stream themselves (internal/freq) pair Bump with
+// Insert on the arrivals their own geometric gap marks as sampled.
+func (l *List) Bump(j int64) int64 {
+	l.n++
+	if c, ok := l.counters[j]; ok {
+		l.counters[j] = c + 1
+		return c + 1
+	}
+	return 0
+}
+
+// BumpRun counts q occurrences of item j at once, incrementing its counter
+// by q when one exists. Equivalent to q Bump calls; used to absorb a run of
+// arrivals none of which were sampled.
+func (l *List) BumpRun(j int64, q int64) {
+	l.n += q
+	if c, ok := l.counters[j]; ok {
+		l.counters[j] = c + q
+	}
+}
+
+// Insert force-creates the counter for j with value 1. The caller has
+// already decided the arrival was sampled (the arrival itself must have been
+// counted via Bump); it panics if a counter already exists.
+func (l *List) Insert(j int64) {
+	if _, ok := l.counters[j]; ok {
+		panic("sticky: Insert over an existing counter")
+	}
+	l.counters[j] = 1
 }
 
 // Count returns the current counter for j (0 if absent).

@@ -43,6 +43,39 @@ func (c Config) Each(f func(Event)) {
 	}
 }
 
+// Batch is a maximal run of consecutive identical events: Count arrivals of
+// the same (Site, Item, Value), ready for the runtimes' batch fast path.
+type Batch struct {
+	Site  int
+	Item  int64
+	Value float64
+	Count int64
+}
+
+// EachRun invokes f for every maximal run of consecutive identical events,
+// in order. Streams with no repetition (e.g. round-robin placement or
+// distinct values) degrade to runs of length 1; block placements with
+// repeated items yield long runs. Note the nil-Value default assigns
+// float64(i), which never repeats — set an explicit ValueFunc (constant for
+// count/frequency workloads, which ignore values) to let runs coalesce.
+func (c Config) EachRun(f func(Batch)) {
+	if c.N <= 0 {
+		return
+	}
+	cur := c.At(0)
+	run := Batch{Site: cur.Site, Item: cur.Item, Value: cur.Value, Count: 1}
+	for i := 1; i < c.N; i++ {
+		e := c.At(i)
+		if e.Site == run.Site && e.Item == run.Item && e.Value == run.Value {
+			run.Count++
+			continue
+		}
+		f(run)
+		run = Batch{Site: e.Site, Item: e.Item, Value: e.Value, Count: 1}
+	}
+	f(run)
+}
+
 // At materializes the i-th event.
 func (c Config) At(i int) Event {
 	e := Event{Value: float64(i)}
@@ -78,6 +111,31 @@ func RoundRobin(k int) Placement {
 // SingleSite sends every arrival to site j.
 func SingleSite(j int) Placement {
 	return func(int) int { return j }
+}
+
+// BlockPlacement distributes arrivals over k sites in contiguous blocks of
+// the given size: sites take turns receiving `block` consecutive arrivals.
+// This models bursty gateways (one client streams at one edge for a while)
+// and is the canonical batch-friendly placement: EachRun coalesces each
+// block into a single Batch.
+func BlockPlacement(k int, block int) Placement {
+	if k <= 0 {
+		panic("workload: BlockPlacement with k <= 0")
+	}
+	if block <= 0 {
+		panic("workload: BlockPlacement with block <= 0")
+	}
+	return func(i int) int { return (i / block) % k }
+}
+
+// BlockItems repeats each item id for `block` consecutive arrivals
+// (item = i/block), modelling runs of identical keys — a hot flow at a
+// gateway — that the frequency tracker's batch path absorbs in closed form.
+func BlockItems(block int) ItemFunc {
+	if block <= 0 {
+		panic("workload: BlockItems with block <= 0")
+	}
+	return func(i int) int64 { return int64(i / block) }
 }
 
 // UniformPlacement sends each arrival to an independently uniform site.

@@ -184,3 +184,60 @@ func TestPanicsOnBadArgs(t *testing.T) {
 		}()
 	}
 }
+
+func TestEachRunCoalescesBlocks(t *testing.T) {
+	cfg := Config{
+		N:         100,
+		Placement: BlockPlacement(4, 10),
+		Item:      BlockItems(10),
+		Value:     func(i int) float64 { return float64(i / 10) },
+	}
+	var runs []Batch
+	cfg.EachRun(func(r Batch) { runs = append(runs, r) })
+	if len(runs) != 10 {
+		t.Fatalf("got %d runs, want 10", len(runs))
+	}
+	total := int64(0)
+	for i, r := range runs {
+		if r.Count != 10 {
+			t.Fatalf("run %d count %d, want 10", i, r.Count)
+		}
+		if r.Site != i%4 || r.Item != int64(i) {
+			t.Fatalf("run %d routed to site %d item %d", i, r.Site, r.Item)
+		}
+		total += r.Count
+	}
+	if total != 100 {
+		t.Fatalf("runs cover %d events, want 100", total)
+	}
+}
+
+func TestEachRunMatchesEach(t *testing.T) {
+	// Runs must replay to exactly the element sequence, for a stream with
+	// no repetition at all (every run has length 1).
+	cfg := Config{N: 50, Placement: RoundRobin(3), Item: DistinctItems()}
+	var fromEach []Event
+	cfg.Each(func(e Event) { fromEach = append(fromEach, e) })
+	var fromRuns []Event
+	cfg.EachRun(func(r Batch) {
+		for j := int64(0); j < r.Count; j++ {
+			fromRuns = append(fromRuns, Event{Site: r.Site, Item: r.Item, Value: r.Value})
+		}
+	})
+	if len(fromEach) != len(fromRuns) {
+		t.Fatalf("lengths differ: %d vs %d", len(fromEach), len(fromRuns))
+	}
+	for i := range fromEach {
+		if fromEach[i] != fromRuns[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, fromEach[i], fromRuns[i])
+		}
+	}
+}
+
+func TestEachRunEmpty(t *testing.T) {
+	called := false
+	Config{N: 0}.EachRun(func(Batch) { called = true })
+	if called {
+		t.Fatal("EachRun on empty config invoked callback")
+	}
+}

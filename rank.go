@@ -93,6 +93,21 @@ func (t *RankTracker) Observe(site int, value float64) {
 	t.eng.arrive(site, 0, value)
 }
 
+// ObserveBatch records count consecutive arrivals of value at the given
+// site. It is equivalent to count Observe calls — same estimates, same
+// Metrics. Rank summaries must ingest every value, so the speedup is
+// bounded (no per-arrival RNG, fewer runtime round trips); note the paper's
+// distinct-values assumption applies across the stream as a whole.
+func (t *RankTracker) ObserveBatch(site int, value float64, count int) {
+	if site < 0 || site >= t.opt.K {
+		panic("disttrack: site out of range")
+	}
+	if count < 0 {
+		panic("disttrack: negative batch count")
+	}
+	t.eng.arriveBatch(site, 0, value, int64(count))
+}
+
 // Rank returns the estimated number of observed values strictly smaller
 // than x.
 func (t *RankTracker) Rank(x float64) float64 { return t.rankFn(x) }
