@@ -145,6 +145,37 @@ func TestBatchEquivalenceConcurrent(t *testing.T) {
 	}
 }
 
+// TestRankBatchEquivalenceConcurrent drives the rank trackers' batch path
+// on the goroutine-per-site runtime against the sequential simulator, for
+// both the randomized tracker (pooled merge summaries) and the
+// deterministic baseline (pooled GK snapshots crossing goroutines between
+// sites and coordinator); run under -race this also proves the pools'
+// hand-off is properly synchronized.
+func TestRankBatchEquivalenceConcurrent(t *testing.T) {
+	for _, alg := range []Algorithm{AlgorithmRandomized, AlgorithmDeterministic} {
+		t.Run(alg.String(), func(t *testing.T) {
+			opt := eqOptions(alg)
+			ref := NewRankTracker(opt)
+			for i := 0; i < eqN; i += eqBlock {
+				ref.ObserveBatch(blockSite(i), blockValue(i), eqBlock)
+			}
+			opt.Concurrent = true
+			conc := NewRankTracker(opt)
+			defer conc.Close()
+			for i := 0; i < eqN; i += eqBlock {
+				conc.ObserveBatch(blockSite(i), blockValue(i), eqBlock)
+			}
+			for _, q := range []float64{10, 100, 250, 400} {
+				requireClose(t, "rank", ref.Rank(q), conc.Rank(q))
+			}
+			rm, cm := ref.Metrics(), conc.Metrics()
+			if rm.Messages != cm.Messages || rm.Words != cm.Words || rm.Arrivals != cm.Arrivals {
+				t.Fatalf("concurrent rank batch diverged: sim %+v, netsim %+v", rm, cm)
+			}
+		})
+	}
+}
+
 // TestObserveBatchMatchesLoopTail exercises ragged batch sizes (not aligned
 // with probe boundaries or block structure) against single Observes.
 func TestObserveBatchMatchesLoopTail(t *testing.T) {

@@ -25,6 +25,7 @@ import (
 	"disttrack/internal/experiments"
 	"disttrack/internal/lowerbound"
 	"disttrack/internal/stats"
+	"disttrack/internal/summary/merge"
 )
 
 const (
@@ -322,6 +323,87 @@ func BenchmarkObserveBatchFreq(b *testing.B) {
 			n = rest
 		}
 		tr.ObserveBatch(done/block%16, int64(done/block%257), n)
+	}
+}
+
+// --- E15: summary-engine microbenchmarks (not a paper artifact): the
+// merge-summary hot path that dominates the randomized rank tracker, and the
+// rank batch ingestion path built on InsertRun. ---
+
+func BenchmarkMergeInsert(b *testing.B) {
+	for _, s := range []int{8, 64} {
+		s := s
+		b.Run(bname("s", s), func(b *testing.B) {
+			pool := merge.NewPool()
+			sum := pool.NewSummary(s, stats.New(1))
+			rng := stats.New(2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sum.Insert(rng.Float64())
+			}
+		})
+	}
+}
+
+func BenchmarkMergeInsertRun(b *testing.B) {
+	// Runs of identical values, the shape rank.ArriveBatch feeds; ns/op is
+	// per element.
+	const runLen = 1024
+	for _, s := range []int{8, 64} {
+		s := s
+		b.Run(bname("s", s), func(b *testing.B) {
+			pool := merge.NewPool()
+			sum := pool.NewSummary(s, stats.New(1))
+			rng := stats.New(2)
+			b.ResetTimer()
+			for done := 0; done < b.N; done += runLen {
+				n := runLen
+				if rest := b.N - done; rest < n {
+					n = rest
+				}
+				sum.InsertRun(rng.Float64(), int64(n))
+			}
+		})
+	}
+}
+
+func BenchmarkMergeNodeLifecycle(b *testing.B) {
+	// One full tree-node lifecycle per op: draw from the pool, ingest a
+	// block, snapshot, release — the per-block cost of the rank site.
+	const block = 512
+	pool := merge.NewPool()
+	rng := stats.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := pool.NewSummary(16, rng)
+		sum.InsertRun(float64(i), block)
+		snap := sum.Snapshot()
+		_ = snap.Words()
+		sum.Release()
+	}
+}
+
+func BenchmarkRankObserveBatch(b *testing.B) {
+	// The public rank batch path with block-structured runs (ns per
+	// element); contrast with BenchmarkObserveThroughput/randomized-style
+	// per-element feeding in BenchmarkRankObserveSerial.
+	const block = 1024
+	tr := NewRankTracker(Options{K: 16, Epsilon: 0.05, Seed: 1})
+	b.ResetTimer()
+	for done := 0; done < b.N; done += block {
+		n := block
+		if rest := b.N - done; rest < n {
+			n = rest
+		}
+		tr.ObserveBatch(done/block%16, float64(done/block), n)
+	}
+}
+
+func BenchmarkRankObserveSerial(b *testing.B) {
+	tr := NewRankTracker(Options{K: 16, Epsilon: 0.05, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Observe(i%16, float64(i))
 	}
 }
 

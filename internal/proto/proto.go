@@ -34,8 +34,9 @@ type Site interface {
 }
 
 // BatchSite is an optional fast path for sites that can absorb a run of
-// identical arrivals in closed form (skip-sampling the gap to their next
-// report instead of flipping one coin per arrival).
+// identical arrivals in closed form — skip-sampling the gap to their next
+// report instead of flipping one coin per arrival, or ingesting the run
+// into a summary wholesale (merge.InsertRun) instead of value by value.
 type BatchSite interface {
 	Site
 

@@ -1,0 +1,136 @@
+package rank
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"disttrack/internal/proto"
+	"disttrack/internal/sim"
+	"disttrack/internal/stats"
+	"disttrack/internal/workload"
+)
+
+// TestArriveBatchBitIdenticalToSerial drives one randomized site directly —
+// no harness — through the same block-structured stream, element-at-a-time
+// on one copy and in ragged batches on the other, and requires the exact
+// same message sequence and site state. This pins the closed-form boundary
+// arithmetic of ArriveBatch (summary emissions, residual samples, doubling
+// reports, chunk rollovers) to the serial semantics.
+func TestArriveBatchBitIdenticalToSerial(t *testing.T) {
+	cfg := Config{K: 4, Eps: 0.1, Rescale: 1}
+	serial := NewSite(cfg, stats.New(7))
+	batched := NewSite(cfg, stats.New(7))
+
+	var serialMsgs, batchMsgs []proto.Message
+	serialOut := func(m proto.Message) { serialMsgs = append(serialMsgs, m) }
+	batchOut := func(m proto.Message) { batchMsgs = append(batchMsgs, m) }
+
+	vrng := stats.New(99)
+	runLens := []int64{1, 3, 200, 64, 1, 999, 17, 128, 5000, 2, 777}
+	for step := 0; step < 40; step++ {
+		run := runLens[step%len(runLens)]
+		v := vrng.Float64() * 1000
+		for i := int64(0); i < run; i++ {
+			serial.Arrive(0, v, serialOut)
+		}
+		var done int64
+		for done < run {
+			done += batched.ArriveBatch(0, v, run-done, batchOut)
+		}
+		if len(serialMsgs) != len(batchMsgs) {
+			t.Fatalf("step %d: %d serial messages vs %d batched", step, len(serialMsgs), len(batchMsgs))
+		}
+	}
+	if !reflect.DeepEqual(serialMsgs, batchMsgs) {
+		for i := range serialMsgs {
+			if !reflect.DeepEqual(serialMsgs[i], batchMsgs[i]) {
+				t.Fatalf("message %d diverged:\n serial  %+v\n batched %+v", i, serialMsgs[i], batchMsgs[i])
+			}
+		}
+		t.Fatal("message sequences diverged")
+	}
+	if serial.skip != batched.skip || serial.P() != batched.P() {
+		t.Fatalf("site state diverged: skip %d vs %d, p %v vs %v",
+			serial.skip, batched.skip, serial.P(), batched.P())
+	}
+	if (serial.cur == nil) != (batched.cur == nil) {
+		t.Fatal("chunk liveness diverged")
+	}
+	if serial.cur != nil && (serial.cur.arrived != batched.cur.arrived || serial.cur.id != batched.cur.id) {
+		t.Fatalf("chunk state diverged: arrived %d vs %d, id %d vs %d",
+			serial.cur.arrived, batched.cur.arrived, serial.cur.id, batched.cur.id)
+	}
+}
+
+// TestProtocolBatchMatchesSerial runs the full randomized protocol under the
+// simulator, once per-element and once through the batch fast path, and
+// requires identical Metrics and bit-identical Rank/Quantile answers (the
+// coordinator's flattened per-chunk indexes are deterministic, so even the
+// float association order matches).
+func TestProtocolBatchMatchesSerial(t *testing.T) {
+	const k = 8
+	const n = 30000
+	const block = 125
+	cfg := Config{K: k, Eps: 0.1, Rescale: 1}
+
+	value := func(i int) float64 { return float64(i/block) * 3.5 }
+	site := func(i int) int { return (i / block) % k }
+
+	ps, serialCoord := NewProtocol(cfg, 123)
+	hs := sim.New(ps)
+	for i := 0; i < n; i++ {
+		hs.Arrive(site(i), 0, value(i))
+	}
+
+	pb, batchCoord := NewProtocol(cfg, 123)
+	hb := sim.New(pb)
+	for i := 0; i < n; i += block {
+		hb.ArriveBatch(site(i), 0, value(i), block)
+	}
+
+	if hs.Metrics() != hb.Metrics() {
+		t.Fatalf("metrics diverged:\n serial  %+v\n batched %+v", hs.Metrics(), hb.Metrics())
+	}
+	for _, q := range []float64{0, 10, 100.25, 400, 900, math.Inf(1)} {
+		if sr, br := serialCoord.Rank(q), batchCoord.Rank(q); sr != br {
+			t.Fatalf("Rank(%v) diverged: serial %v, batched %v", q, sr, br)
+		}
+	}
+	if sq, bq := serialCoord.Quantile(0.5, 0, 1000), batchCoord.Quantile(0.5, 0, 1000); sq != bq {
+		t.Fatalf("Quantile diverged: serial %v, batched %v", sq, bq)
+	}
+}
+
+// TestBatchAccuracyUnderRuns checks that duplicate-heavy batched streams
+// stay inside the tracker's error band (the paper assumes distinct values;
+// runs are the worst case the batch API invites).
+func TestBatchAccuracyUnderRuns(t *testing.T) {
+	const k = 8
+	const n = 24000
+	const block = 48
+	cfg := Config{K: k, Eps: 0.15}
+	p, coord := NewProtocol(cfg, 17)
+	h := sim.New(p)
+	perm := workload.PermValues(n/block, stats.New(5))
+	bad, checks := 0, 0
+	truth := &oracle{}
+	for i := 0; i < n; i += block {
+		v := perm(i / block)
+		h.ArriveBatch((i/block)%k, 0, v, block)
+		for j := 0; j < block; j++ {
+			truth.add(v)
+		}
+		if (i/block)%13 != 0 || i == 0 {
+			continue
+		}
+		checks++
+		q := float64(n/block) / 2
+		if math.Abs(coord.Rank(q)-truth.rank(q)) > cfg.Eps*float64(i+block) {
+			bad++
+		}
+	}
+	if frac := float64(bad) / float64(checks); frac > 0.12 {
+		t.Fatalf("batched runs: %.1f%% of checks outside eps band", 100*frac)
+	}
+}

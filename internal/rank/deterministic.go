@@ -30,6 +30,9 @@ type DetSite struct {
 	eps float64
 	rs  *rounds.Site
 	g   *gk.Summary
+	// pool recycles snapshot tuple slices with the coordinator that retires
+	// them (nil = allocate per snapshot); NewDetProtocol wires a shared one.
+	pool *gk.SnapshotPool
 
 	sinceReport int64
 }
@@ -59,7 +62,7 @@ func (s *DetSite) Arrive(item int64, value float64, out func(proto.Message)) {
 	s.g.Insert(value)
 	s.sinceReport++
 	if s.sinceReport >= s.threshold() {
-		out(DetSnapshotMsg{Snap: s.g.Snapshot()})
+		out(DetSnapshotMsg{Snap: s.g.SnapshotInto(s.pool)})
 		s.sinceReport = 0
 	}
 	s.rs.Arrive(out)
@@ -85,6 +88,9 @@ func (s *DetSite) SpaceWords() int {
 type DetCoordinator struct {
 	rc    *rounds.Coordinator
 	snaps []gk.Snapshot
+	// pool receives the tuple storage of superseded snapshots so the sites
+	// can reuse it (nil = leave them to the GC).
+	pool *gk.SnapshotPool
 }
 
 // NewDetCoordinator returns the deterministic coordinator.
@@ -98,7 +104,9 @@ func (c *DetCoordinator) Receive(from int, m proto.Message, send func(int, proto
 		return
 	}
 	if sm, ok := m.(DetSnapshotMsg); ok {
+		old := c.snaps[from]
 		c.snaps[from] = sm.Snap
+		old.Release(c.pool)
 	}
 }
 
@@ -135,12 +143,18 @@ func (c *DetCoordinator) SpaceWords() int {
 	return w
 }
 
-// NewDetProtocol assembles the deterministic rank tracker.
+// NewDetProtocol assembles the deterministic rank tracker. Sites and the
+// coordinator share one snapshot pool: the coordinator retires each
+// superseded snapshot's storage and the next site snapshot reuses it.
 func NewDetProtocol(k int, eps float64) (proto.Protocol, *DetCoordinator) {
+	pool := &gk.SnapshotPool{}
 	coord := NewDetCoordinator(k)
+	coord.pool = pool
 	sites := make([]proto.Site, k)
 	for i := range sites {
-		sites[i] = NewDetSite(k, eps)
+		ds := NewDetSite(k, eps)
+		ds.pool = pool
+		sites[i] = ds
 	}
 	return proto.Protocol{Coord: coord, Sites: sites}, coord
 }

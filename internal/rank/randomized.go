@@ -7,6 +7,7 @@ package rank
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"disttrack/internal/proto"
@@ -79,13 +80,15 @@ type chunk struct {
 
 // Site is the per-site state machine of the randomized rank tracker. The
 // residual sampling coin is skip-sampled (one geometric gap draw per
-// forwarded sample instead of one Bernoulli draw per arrival); the dyadic
-// tree still ingests every value, so rank batching saves RNG and runtime
-// overhead but not summary-insert work.
+// forwarded sample instead of one Bernoulli draw per arrival), tree nodes
+// draw their memory from a per-site merge.Pool, and ArriveBatch ingests runs
+// of identical values through merge.InsertRun, jumping in closed form to the
+// next summary-emission, residual-sample, or doubling-report boundary.
 type Site struct {
-	cfg Config
-	rs  *rounds.Site
-	rng *stats.RNG
+	cfg  Config
+	rs   *rounds.Site
+	rng  *stats.RNG
+	pool *merge.Pool
 
 	p      float64
 	skip   int64 // silent arrivals remaining before the next residual sample
@@ -96,11 +99,14 @@ type Site struct {
 // NewSite returns a fresh site.
 func NewSite(cfg Config, rng *stats.RNG) *Site {
 	cfg.validate()
-	return &Site{cfg: cfg, rs: rounds.NewSite(), rng: rng, p: 1}
+	return &Site{cfg: cfg, rs: rounds.NewSite(), rng: rng, pool: merge.NewPool(), p: 1}
 }
 
-// newChunk starts a fresh instance of algorithm C sized by the current n̄.
+// newChunk starts a fresh instance of algorithm C sized by the current n̄,
+// releasing the previous chunk's still-active nodes back to the pool (their
+// partial blocks stay covered by the already-forwarded residual samples).
 func (s *Site) newChunk() *chunk {
+	s.releaseChunk()
 	nBar := s.rs.NBar()
 	capacity := nBar / int64(s.cfg.K)
 	if capacity < 1 {
@@ -124,6 +130,20 @@ func (s *Site) newChunk() *chunk {
 	}
 	s.nextID++
 	return c
+}
+
+// releaseChunk returns the current chunk's active summaries to the pool.
+func (s *Site) releaseChunk() {
+	if s.cur == nil {
+		return
+	}
+	for i, a := range s.cur.active {
+		if a != nil {
+			a.Release()
+			s.cur.active[i] = nil
+		}
+	}
+	s.cur = nil
 }
 
 // bufSize returns the buffer size for a level-ℓ node: ⌈2^ℓ·√h⌉, which gives
@@ -153,13 +173,14 @@ func (s *Site) Arrive(item int64, value float64, out func(proto.Message)) {
 	// lazily, and ship summaries of nodes that just became full.
 	for level := 0; level <= c.h; level++ {
 		if c.active[level] == nil {
-			c.active[level] = merge.New(c.bufSize(level), s.rng.Split())
+			c.active[level] = s.pool.NewSummary(c.bufSize(level), s.rng)
 		}
 		c.active[level].Insert(value)
 		span := c.b << uint(level) // elements covered by a level-ℓ node
 		if c.arrived%span == 0 {
 			pos := int((c.arrived - 1) / span)
 			out(SummaryMsg{Chunk: c.id, Level: level, Pos: pos, Snap: c.active[level].Snapshot()})
+			c.active[level].Release()
 			c.active[level] = nil
 		}
 	}
@@ -175,11 +196,56 @@ func (s *Site) Arrive(item int64, value float64, out func(proto.Message)) {
 	s.rs.Arrive(out)
 }
 
-// ArriveBatch implements proto.BatchSite. Every value must still enter the
-// active summary nodes, so the batch is consumed element by element
-// (proto.ArriveSerial), preserving the stop-at-first-message contract.
+// ArriveBatch implements proto.BatchSite. A run of identical values is
+// ingested in two strides per iteration: the arrivals strictly before the
+// next possible message — the next summary emission (multiples of the block
+// size b), the next residual sample (s.skip), and the next doubling report
+// (rounds gap), all known in closed form — enter the active tree nodes as
+// one InsertRun per level, then the boundary arrival takes the full serial
+// path so any message lands exactly where element-at-a-time delivery would
+// put it. The result is bit-identical to count Arrive calls: InsertRun
+// matches Insert's buffer contents and RNG draws, nodes are created in the
+// same level order, and the site RNG is consulted at the same arrivals.
 func (s *Site) ArriveBatch(item int64, value float64, count int64, out func(proto.Message)) int64 {
-	return proto.ArriveSerial(s.Arrive, item, value, count, out)
+	var done int64
+	emitted := false
+	wrap := func(m proto.Message) { emitted = true; out(m) }
+	for done < count && !emitted {
+		if s.cur == nil || s.cur.arrived >= s.cur.cap {
+			s.cur = s.newChunk()
+		}
+		c := s.cur
+		// quiet = arrivals guaranteed message-free, keeping one arrival in
+		// reserve for the boundary element below.
+		quiet := count - done - 1
+		if g := c.b - 1 - c.arrived%c.b; g < quiet {
+			quiet = g // next summary emission (all levels emit at multiples of b)
+		}
+		if g := c.cap - 1 - c.arrived; g < quiet {
+			quiet = g // stay inside this chunk; Arrive handles the rollover
+		}
+		if s.skip < quiet {
+			quiet = s.skip // next residual sample
+		}
+		if g := s.rs.Gap(); g < quiet {
+			quiet = g // next doubling report
+		}
+		if quiet > 0 {
+			for level := 0; level <= c.h; level++ {
+				if c.active[level] == nil {
+					c.active[level] = s.pool.NewSummary(c.bufSize(level), s.rng)
+				}
+				c.active[level].InsertRun(value, quiet)
+			}
+			c.arrived += quiet
+			s.skip -= quiet
+			s.rs.Skip(quiet)
+			done += quiet
+		}
+		s.Arrive(item, value, wrap)
+		done++
+	}
+	return done
 }
 
 // Receive implements proto.Site: a round broadcast abandons the current
@@ -194,7 +260,7 @@ func (s *Site) Receive(m proto.Message, out func(proto.Message)) {
 	if s.p < 1 {
 		s.skip = s.rng.SkipGeometric(s.p)
 	}
-	s.cur = nil
+	s.releaseChunk()
 }
 
 // SpaceWords implements proto.Site.
@@ -214,18 +280,30 @@ func (s *Site) SpaceWords() int {
 // P exposes the site's sampling probability (tests).
 func (s *Site) P() float64 { return s.p }
 
-// chunkView is the coordinator's record of one chunk.
+// chunkView is the coordinator's record of one chunk: node summaries
+// indexed by [level][pos], samples tail-partitioned around the covered
+// prefix, and a lazily rebuilt flattened index for O(log) rank queries.
 type chunkView struct {
-	p         float64
-	b         int64
-	leaves    int // number of completed blocks (level-0 summaries seen)
-	summaries map[nodeKey]merge.Snapshot
-	samples   []sample // in index order (sites send them in order)
+	p       float64
+	b       int64
+	leaves  int                // number of completed blocks (level-0 summaries seen)
+	levels  [][]merge.Snapshot // levels[l][pos]; a zero-N snapshot marks absence
+	samples []sample           // in index order (sites send them in order)
+	tail    int                // samples[tail:] have index > leaves*b (the residual)
+
+	// The flattened index: every (value, weight) pair of the covered
+	// prefix's binary decomposition plus the residual samples at weight 1/p,
+	// sorted by value with cumulative weights. rank(x) is then one binary
+	// search; Quantile's bisection re-uses it for all 64 probes.
+	dirty   bool
+	entries []indexEntry
+	values  []float64
+	cum     []float64 // cum[i] = Σ weights of values[:i]; len = len(values)+1
 }
 
-type nodeKey struct {
-	level int
-	pos   int
+type indexEntry struct {
+	value  float64
+	weight float64
 }
 
 type sample struct {
@@ -233,33 +311,116 @@ type sample struct {
 	value float64
 }
 
+// node returns the snapshot at (level, pos) and whether it is present.
+func (v *chunkView) node(level, pos int) (merge.Snapshot, bool) {
+	if level >= len(v.levels) || pos >= len(v.levels[level]) {
+		return merge.Snapshot{}, false
+	}
+	sn := v.levels[level][pos]
+	return sn, sn.N > 0
+}
+
+// setNode stores a snapshot, growing the level-indexed slices as needed.
+func (v *chunkView) setNode(level, pos int, sn merge.Snapshot) {
+	for level >= len(v.levels) {
+		v.levels = append(v.levels, nil)
+	}
+	for pos >= len(v.levels[level]) {
+		v.levels[level] = append(v.levels[level], merge.Snapshot{})
+	}
+	v.levels[level][pos] = sn
+}
+
+// advanceTail moves the sample partition point up to the covered prefix.
+func (v *chunkView) advanceTail() {
+	covered := int64(v.leaves) * v.b
+	for v.tail < len(v.samples) && v.samples[v.tail].index <= covered {
+		v.tail++
+	}
+}
+
+// rebuild flattens the chunk's current decomposition and residual samples
+// into the sorted (value, cumulative-weight) index.
+func (v *chunkView) rebuild() {
+	v.entries = v.entries[:0]
+	// Binary decomposition of the q = v.leaves completed blocks.
+	q := v.leaves
+	start := 0
+	for level := 62; level >= 0; level-- {
+		bit := 1 << uint(level)
+		if q&bit == 0 {
+			continue
+		}
+		if sn, ok := v.node(level, start>>uint(level)); ok {
+			for _, b := range sn.Buffers {
+				w := float64(b.Weight)
+				for _, val := range b.Values {
+					v.entries = append(v.entries, indexEntry{value: val, weight: w})
+				}
+			}
+		}
+		start += bit
+	}
+	// Residual: samples with index beyond the covered prefix, at weight 1/p.
+	w := 1 / v.p
+	for _, sm := range v.samples[v.tail:] {
+		v.entries = append(v.entries, indexEntry{value: sm.value, weight: w})
+	}
+	slices.SortFunc(v.entries, func(a, b indexEntry) int {
+		switch {
+		case a.value < b.value:
+			return -1
+		case a.value > b.value:
+			return 1
+		}
+		return 0
+	})
+	v.values = v.values[:0]
+	v.cum = append(v.cum[:0], 0)
+	total := 0.0
+	for _, e := range v.entries {
+		v.values = append(v.values, e.value)
+		total += e.weight
+		v.cum = append(v.cum, total)
+	}
+	v.dirty = false
+}
+
+// rank answers |{elements < x}| for this chunk from the flattened index.
+func (v *chunkView) rank(x float64) float64 {
+	if v.dirty {
+		v.rebuild()
+	}
+	return v.cum[sort.SearchFloat64s(v.values, x)]
+}
+
 // Coordinator accumulates chunk summaries and samples and answers rank
-// queries at any quiescent instant.
+// queries at any quiescent instant. Chunk records are indexed by site and
+// sequential chunk id, so queries walk flat slices instead of maps.
 type Coordinator struct {
 	cfg    Config
 	rc     *rounds.Coordinator
 	p      float64
-	chunks []map[int64]*chunkView // per site: chunk id -> view
+	chunks [][]*chunkView // per site, indexed by chunk id
 }
 
 // NewCoordinator returns the coordinator for the randomized rank tracker.
 func NewCoordinator(cfg Config) *Coordinator {
 	cfg.validate()
-	c := &Coordinator{
+	return &Coordinator{
 		cfg:    cfg,
 		rc:     rounds.NewCoordinator(cfg.K),
 		p:      1,
-		chunks: make([]map[int64]*chunkView, cfg.K),
+		chunks: make([][]*chunkView, cfg.K),
 	}
-	for i := range c.chunks {
-		c.chunks[i] = make(map[int64]*chunkView)
-	}
-	return c
 }
 
 // view returns (creating if needed) the record for a site's chunk.
 func (c *Coordinator) view(site int, id int64) *chunkView {
-	if v, ok := c.chunks[site][id]; ok {
+	for id >= int64(len(c.chunks[site])) {
+		c.chunks[site] = append(c.chunks[site], nil)
+	}
+	if v := c.chunks[site][id]; v != nil {
 		return v
 	}
 	nBar := c.rc.NBar()
@@ -267,7 +428,7 @@ func (c *Coordinator) view(site int, id int64) *chunkView {
 	if b < 1 {
 		b = 1
 	}
-	v := &chunkView{p: c.p, b: b, summaries: make(map[nodeKey]merge.Snapshot)}
+	v := &chunkView{p: c.p, b: b, dirty: true}
 	c.chunks[site][id] = v
 	return v
 }
@@ -281,61 +442,43 @@ func (c *Coordinator) Receive(from int, m proto.Message, send func(int, proto.Me
 	switch msg := m.(type) {
 	case SummaryMsg:
 		v := c.view(from, msg.Chunk)
-		v.summaries[nodeKey{level: msg.Level, pos: msg.Pos}] = msg.Snap
+		v.setNode(msg.Level, msg.Pos, msg.Snap)
 		if msg.Level == 0 && msg.Pos+1 > v.leaves {
 			v.leaves = msg.Pos + 1
+			v.advanceTail()
 		}
+		v.dirty = true
 	case SampleMsg:
 		v := c.view(from, msg.Chunk)
 		v.samples = append(v.samples, sample{index: msg.Index, value: msg.Value})
+		// Samples arrive in increasing index order; one landing inside the
+		// covered prefix belongs to the head partition.
+		if msg.Index <= int64(v.leaves)*v.b {
+			v.tail = len(v.samples)
+		}
+		v.dirty = true
 	}
 }
 
 // Rank returns the estimate of |{elements < x}| over everything received so
 // far: for each chunk, the binary decomposition of its completed-block
-// prefix is summed from node summaries and the residual tail is estimated
-// from forwarded samples at rate p.
+// prefix and the residual samples at rate p, all pre-flattened into a
+// sorted index so each chunk costs one binary search.
 func (c *Coordinator) Rank(x float64) float64 {
 	est := 0.0
 	for _, siteChunks := range c.chunks {
 		for _, v := range siteChunks {
-			est += v.rank(x)
+			if v != nil {
+				est += v.rank(x)
+			}
 		}
 	}
-	return est
-}
-
-func (v *chunkView) rank(x float64) float64 {
-	est := 0.0
-	// Binary decomposition of the q = v.leaves completed blocks.
-	q := v.leaves
-	start := 0
-	for level := 62; level >= 0; level-- {
-		bit := 1 << uint(level)
-		if q&bit == 0 {
-			continue
-		}
-		key := nodeKey{level: level, pos: start >> uint(level)}
-		if sn, ok := v.summaries[key]; ok {
-			est += float64(sn.Rank(x))
-		}
-		start += bit
-	}
-	// Residual: samples with index beyond the covered prefix.
-	covered := int64(v.leaves) * v.b
-	idx := sort.Search(len(v.samples), func(i int) bool { return v.samples[i].index > covered })
-	count := 0
-	for _, sm := range v.samples[idx:] {
-		if sm.value < x {
-			count++
-		}
-	}
-	est += float64(count) / v.p
 	return est
 }
 
 // Quantile returns a value whose estimated rank is closest to q·n̂ (n̂ =
-// Rank(+inf)), located by bisection over [lo, hi].
+// Rank(+inf)), located by bisection over [lo, hi]. Each of the up-to-64
+// probes re-uses the chunks' flattened indexes built by the first.
 func (c *Coordinator) Quantile(q float64, lo, hi float64) float64 {
 	total := c.Rank(math.Inf(1))
 	target := q * total
@@ -356,14 +499,22 @@ func (c *Coordinator) Round() int { return c.rc.Round() }
 // P returns the current sampling probability.
 func (c *Coordinator) P() float64 { return c.p }
 
-// SpaceWords implements proto.Coordinator.
+// SpaceWords implements proto.Coordinator. The flattened query index is a
+// cache of the protocol state, not part of it, so it is not charged.
 func (c *Coordinator) SpaceWords() int {
 	w := c.rc.SpaceWords() + 1
 	for _, siteChunks := range c.chunks {
 		for _, v := range siteChunks {
+			if v == nil {
+				continue
+			}
 			w += 3 + 2*len(v.samples)
-			for _, sn := range v.summaries {
-				w += sn.Words()
+			for _, lvl := range v.levels {
+				for _, sn := range lvl {
+					if sn.N > 0 {
+						w += sn.Words()
+					}
+				}
 			}
 		}
 	}

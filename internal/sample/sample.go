@@ -131,17 +131,20 @@ type element struct {
 }
 
 // Coordinator retains the elements at or above the current level and
-// answers count, frequency, and rank queries.
+// answers count, frequency, and rank queries. Per-item counts of the
+// retained sample are maintained incrementally on insert and compaction, so
+// Freq is a map lookup instead of a scan of the whole sample.
 type Coordinator struct {
 	cfg    Config
 	level  int
 	sample []element
+	counts map[int64]int // retained-sample multiplicity per item
 }
 
 // NewCoordinator returns the sampler coordinator.
 func NewCoordinator(cfg Config) *Coordinator {
 	cfg.validate()
-	return &Coordinator{cfg: cfg}
+	return &Coordinator{cfg: cfg, counts: make(map[int64]int)}
 }
 
 // Receive implements proto.Coordinator.
@@ -154,12 +157,17 @@ func (c *Coordinator) Receive(from int, m proto.Message, send func(int, proto.Me
 		return // stale: the site had not yet heard the new level
 	}
 	c.sample = append(c.sample, element{item: em.Item, value: em.Value, level: em.Level})
+	c.counts[em.Item]++
 	for len(c.sample) > 2*c.cfg.target() {
 		c.level++
 		kept := c.sample[:0]
 		for _, e := range c.sample {
 			if e.level >= c.level {
 				kept = append(kept, e)
+			} else if c.counts[e.item] == 1 {
+				delete(c.counts, e.item)
+			} else {
+				c.counts[e.item]--
 			}
 		}
 		c.sample = kept
@@ -177,15 +185,9 @@ func (c *Coordinator) Count() float64 {
 	return float64(len(c.sample)) * c.scale()
 }
 
-// Freq estimates the frequency of item j.
+// Freq estimates the frequency of item j from the incremental count map.
 func (c *Coordinator) Freq(j int64) float64 {
-	count := 0
-	for _, e := range c.sample {
-		if e.item == j {
-			count++
-		}
-	}
-	return float64(count) * c.scale()
+	return float64(c.counts[j]) * c.scale()
 }
 
 // Rank estimates |{elements < x}|.
@@ -205,7 +207,10 @@ func (c *Coordinator) Level() int { return c.level }
 // SampleLen returns the current retained-sample size.
 func (c *Coordinator) SampleLen() int { return len(c.sample) }
 
-// SpaceWords implements proto.Coordinator.
+// SpaceWords implements proto.Coordinator: three words per retained element
+// plus one for the level. The incremental count map is a query-time index
+// derived from the sample, not protocol state, so it is not charged (same
+// policy as the rank coordinator's flattened index).
 func (c *Coordinator) SpaceWords() int { return 3*len(c.sample) + 1 }
 
 // NewProtocol assembles the sampling tracker.

@@ -31,7 +31,19 @@ func New(seed uint64) *RNG {
 // parent's subsequent outputs. Used to hand independent randomness to each
 // site or each protocol copy.
 func (r *RNG) Split() *RNG {
-	return New(r.Uint64() ^ 0x9e3779b97f4a7c15)
+	child := &RNG{}
+	r.SplitInto(child)
+	return child
+}
+
+// SplitInto reseeds child in place exactly as Split would seed a fresh RNG,
+// without allocating. It draws one value from r, so interleaving SplitInto
+// and Split calls produces identical child streams in either form.
+func (r *RNG) SplitInto(child *RNG) {
+	child.state = r.Uint64() ^ 0x9e3779b97f4a7c15
+	// Same warm-up as New so small derived seeds diverge immediately.
+	child.Uint64()
+	child.Uint64()
 }
 
 // Uint64 returns the next 64 uniformly random bits.

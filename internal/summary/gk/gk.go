@@ -12,6 +12,7 @@ package gk
 import (
 	"math"
 	"sort"
+	"sync"
 )
 
 // tuple is one summary entry: value v covers g positions, with Δ slack.
@@ -161,11 +162,58 @@ func (s *Summary) Eps() float64 { return s.eps }
 // Snapshot serializes the summary into a Snapshot that can be shipped to the
 // coordinator and queried remotely.
 func (s *Summary) Snapshot() Snapshot {
-	ts := make([]SnapshotTuple, len(s.tuples))
+	return s.SnapshotInto(nil)
+}
+
+// SnapshotInto is Snapshot drawing the tuple slice from pool (nil pool means
+// a fresh allocation). The caller chain owns the returned snapshot and
+// returns it to the pool via Snapshot.Release when it is superseded.
+func (s *Summary) SnapshotInto(pool *SnapshotPool) Snapshot {
+	ts := pool.get(len(s.tuples))
 	for i, t := range s.tuples {
 		ts[i] = SnapshotTuple{V: t.v, G: t.g, D: t.d}
 	}
 	return Snapshot{N: s.n, Eps: s.eps, Tuples: ts}
+}
+
+// SnapshotPool recycles snapshot tuple slices between producers and the
+// consumer that retires them. It is safe for concurrent use (the sites and
+// the coordinator run on different goroutines under the concurrent runtime);
+// the zero value is ready to use. A mutex-guarded stack is used instead of
+// sync.Pool because Put-ting a slice header into a sync.Pool allocates the
+// very box the pool was meant to avoid.
+type SnapshotPool struct {
+	mu   sync.Mutex
+	free [][]SnapshotTuple
+}
+
+// get returns a length-n tuple slice, reusing a retired one when large
+// enough (a too-small retired slice is dropped to the GC).
+func (sp *SnapshotPool) get(n int) []SnapshotTuple {
+	if sp != nil {
+		sp.mu.Lock()
+		for len(sp.free) > 0 {
+			ts := sp.free[len(sp.free)-1]
+			sp.free = sp.free[:len(sp.free)-1]
+			if cap(ts) >= n {
+				sp.mu.Unlock()
+				return ts[:n]
+			}
+		}
+		sp.mu.Unlock()
+	}
+	return make([]SnapshotTuple, n)
+}
+
+// Release retires the snapshot's tuple storage into pool. The snapshot must
+// not be used afterwards; a nil pool (or an empty snapshot) is a no-op.
+func (sn Snapshot) Release(pool *SnapshotPool) {
+	if pool == nil || cap(sn.Tuples) == 0 {
+		return
+	}
+	pool.mu.Lock()
+	pool.free = append(pool.free, sn.Tuples[:0])
+	pool.mu.Unlock()
 }
 
 // SnapshotTuple is the wire form of one GK tuple.

@@ -17,6 +17,12 @@
 // perturbs any fixed rank by at most 2^ℓ with zero mean, independently of
 // all other merges, which yields the unbiasedness and the variance bound
 // (sum of (4^ℓ)/4 over the m/(s·2^(ℓ+1)) merges at each level ℓ).
+//
+// The package is allocation-free in steady state: merges write through a
+// reusable scratch slice and retire buffers to a free list instead of the
+// GC, InsertRun ingests a run of identical values with closed-form merge
+// work, and a Pool recycles whole summaries (struct, buffers, and scratch)
+// across the short-lived tree nodes of the rank tracker.
 package merge
 
 import (
@@ -25,17 +31,85 @@ import (
 	"disttrack/internal/stats"
 )
 
-// Summary is the streaming structure. Construct with New.
+// Pool recycles retired Summary structs and their buffers. It is not safe
+// for concurrent use; the rank tracker keeps one pool per site, matching the
+// runtimes' one-goroutine-per-site guarantee.
+type Pool struct {
+	summaries []*Summary
+	// buckets holds free buffers keyed by capacity, for buffers whose owner
+	// was re-sized and for cross-summary reuse.
+	buckets map[int][][]float64
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// getBuf returns an empty slice with capacity exactly c.
+func (p *Pool) getBuf(c int) []float64 {
+	if bs := p.buckets[c]; len(bs) > 0 {
+		b := bs[len(bs)-1]
+		p.buckets[c] = bs[:len(bs)-1]
+		return b
+	}
+	return make([]float64, 0, c)
+}
+
+// putBuf retires a buffer into its capacity bucket.
+func (p *Pool) putBuf(b []float64) {
+	if cap(b) == 0 {
+		return
+	}
+	if p.buckets == nil {
+		p.buckets = make(map[int][][]float64)
+	}
+	p.buckets[cap(b)] = append(p.buckets[cap(b)], b[:0])
+}
+
+// NewSummary returns a summary with buffer size s drawing its memory from
+// the pool, with its RNG seeded as a split of parent (the draw sequence is
+// identical to New(s, parent.Split())). Release returns the summary to the
+// pool when its lifetime ends.
+func (p *Pool) NewSummary(s int, parent *stats.RNG) *Summary {
+	if s < 1 {
+		panic("merge: buffer size must be >= 1")
+	}
+	var m *Summary
+	if n := len(p.summaries); n > 0 {
+		// Released summaries are already Reset; only a size change needs
+		// their storage re-bucketed.
+		m = p.summaries[n-1]
+		p.summaries = p.summaries[:n-1]
+		if m.s != s {
+			m.flushStorage()
+			m.s = s
+		}
+	} else {
+		m = &Summary{s: s, pool: p}
+	}
+	parent.SplitInto(&m.rng)
+	if m.cur == nil {
+		m.cur = m.getBuf()
+	}
+	return m
+}
+
+// Summary is the streaming structure. Construct with New or Pool.NewSummary.
 type Summary struct {
 	s      int // buffer size
-	rng    *stats.RNG
+	rng    stats.RNG
+	pool   *Pool
 	cur    []float64   // partial level-0 buffer, unsorted, weight 1
 	levels [][]float64 // levels[l]: nil or a sorted buffer of weight 2^l
-	n      int64
+	// free is the per-summary free list: retired capacity-s buffers, ready
+	// for reuse by the next carry without touching the allocator.
+	free    [][]float64
+	scratch []float64 // capacity-2s merge area
+	n       int64
 }
 
 // New returns a summary with buffer size s (s >= 1) drawing merge offsets
-// from rng. It panics on invalid arguments.
+// from rng (the *RNG is copied; the summary owns its stream from then on).
+// It panics on invalid arguments.
 func New(s int, rng *stats.RNG) *Summary {
 	if s < 1 {
 		panic("merge: buffer size must be >= 1")
@@ -43,18 +117,93 @@ func New(s int, rng *stats.RNG) *Summary {
 	if rng == nil {
 		panic("merge: nil rng")
 	}
-	return &Summary{s: s, rng: rng}
+	m := &Summary{s: s, rng: *rng}
+	m.cur = m.getBuf()
+	return m
 }
 
-// NewEps returns a summary whose rank estimates have standard deviation at
-// most eps·m over any stream of m elements (buffer size ⌈2/eps⌉... the
-// conservative ⌈1/eps⌉ already gives eps·m/2; we use that).
+// NewEps returns a summary with buffer size s = ⌊1/eps⌋ + 1 ≥ 1/eps, so the
+// standard deviation of any rank estimate is at most m/(2s) ≤ eps·m/2 over a
+// stream of m elements.
 func NewEps(eps float64, rng *stats.RNG) *Summary {
 	if eps <= 0 || eps > 1 {
 		panic("merge: eps out of (0,1]")
 	}
 	s := int(1/eps) + 1
 	return New(s, rng)
+}
+
+// getBuf returns an empty capacity-s buffer, preferring the summary's own
+// free list, then the shared pool, then the allocator.
+func (m *Summary) getBuf() []float64 {
+	if n := len(m.free); n > 0 {
+		b := m.free[n-1]
+		m.free = m.free[:n-1]
+		return b
+	}
+	if m.pool != nil {
+		return m.pool.getBuf(m.s)
+	}
+	return make([]float64, 0, m.s)
+}
+
+// putBuf retires a capacity-s buffer to the free list.
+func (m *Summary) putBuf(b []float64) {
+	m.free = append(m.free, b[:0])
+}
+
+// flushStorage moves every buffer the summary holds to the shared pool's
+// capacity buckets (used when a pooled summary is re-sized).
+func (m *Summary) flushStorage() {
+	for _, b := range m.free {
+		m.pool.putBuf(b)
+	}
+	m.free = m.free[:0]
+	if m.cur != nil {
+		m.pool.putBuf(m.cur)
+		m.cur = nil
+	}
+	for i, b := range m.levels {
+		if b != nil {
+			m.pool.putBuf(b)
+			m.levels[i] = nil
+		}
+	}
+	m.levels = m.levels[:0]
+	if m.scratch != nil {
+		m.pool.putBuf(m.scratch)
+		m.scratch = nil
+	}
+}
+
+// Reset empties the summary for reuse with the same buffer size, retiring
+// every full buffer to the free list instead of the GC.
+func (m *Summary) Reset() {
+	for i, b := range m.levels {
+		if b != nil {
+			m.putBuf(b)
+			m.levels[i] = nil
+		}
+	}
+	m.levels = m.levels[:0]
+	if m.cur == nil {
+		m.cur = m.getBuf()
+	} else {
+		m.cur = m.cur[:0]
+	}
+	m.n = 0
+}
+
+// Release resets the summary and returns it (struct, buffers, and scratch)
+// to the pool it was drawn from. It is a no-op beyond Reset for summaries
+// built with New. The summary must not be used after Release until it is
+// handed out again by Pool.NewSummary.
+func (m *Summary) Release() {
+	m.Reset()
+	if m.pool == nil {
+		return
+	}
+	m.pool.summaries = append(m.pool.summaries, m)
 }
 
 // Insert adds one value.
@@ -65,9 +214,48 @@ func (m *Summary) Insert(v float64) {
 		return
 	}
 	buf := m.cur
-	m.cur = make([]float64, 0, m.s)
+	m.cur = m.getBuf()
 	sort.Float64s(buf)
 	m.carry(0, buf)
+}
+
+// InsertRun adds count copies of v. It is bit-identical to count successive
+// Insert(v) calls — same buffer contents, same RNG draw sequence — but full
+// buffers of the run are already sorted, so they skip the sort, and merges
+// of two single-value buffers skip the element work entirely (the alternate
+// selection of 2s equal values is those s values, whatever the offset).
+func (m *Summary) InsertRun(v float64, count int64) {
+	for count > 0 {
+		if len(m.cur) > 0 || count < int64(m.s) {
+			// Fill the partial level-0 buffer; a full buffer carries as in
+			// Insert (the sort also orders any pre-run prefix).
+			take := int64(m.s - len(m.cur))
+			if take > count {
+				take = count
+			}
+			for i := int64(0); i < take; i++ {
+				m.cur = append(m.cur, v)
+			}
+			m.n += take
+			count -= take
+			if len(m.cur) == m.s {
+				buf := m.cur
+				m.cur = m.getBuf()
+				sort.Float64s(buf)
+				m.carry(0, buf)
+			}
+			continue
+		}
+		// cur is empty and a whole buffer of the run remains: carry a
+		// pre-sorted single-value buffer without touching cur.
+		buf := m.getBuf()[:m.s]
+		for i := range buf {
+			buf[i] = v
+		}
+		m.n += int64(m.s)
+		count -= int64(m.s)
+		m.carry(0, buf)
+	}
 }
 
 // carry inserts a full sorted buffer at the given level, merging upward
@@ -88,9 +276,22 @@ func (m *Summary) carry(level int, buf []float64) {
 }
 
 // mergeBuffers merges two sorted buffers of equal size and keeps alternate
-// elements starting at a random offset.
+// elements starting at a random offset. The result is written back into a's
+// storage and b is retired to the free list, so steady-state merging
+// allocates nothing.
 func (m *Summary) mergeBuffers(a, b []float64) []float64 {
-	combined := make([]float64, 0, len(a)+len(b))
+	// Two buffers of the same single value keep that value at every
+	// alternate position regardless of the offset; draw the offset anyway so
+	// the RNG stream matches the general path bit for bit.
+	if a[0] == a[len(a)-1] && a[0] == b[0] && b[0] == b[len(b)-1] {
+		m.rng.Bernoulli(0.5)
+		m.putBuf(b)
+		return a
+	}
+	if need := len(a) + len(b); cap(m.scratch) < need {
+		m.scratch = make([]float64, 0, need)
+	}
+	combined := m.scratch[:0]
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		if a[i] <= b[j] {
@@ -108,10 +309,11 @@ func (m *Summary) mergeBuffers(a, b []float64) []float64 {
 	if m.rng.Bernoulli(0.5) {
 		offset = 1
 	}
-	out := make([]float64, 0, (len(combined)+1)/2)
+	out := a[:0]
 	for k := offset; k < len(combined); k += 2 {
 		out = append(out, combined[k])
 	}
+	m.putBuf(b)
 	return out
 }
 
@@ -160,20 +362,39 @@ func (m *Summary) SpaceWords() int { return m.Len() + len(m.levels) }
 
 // Snapshot freezes the summary into an immutable, shippable form. The
 // partial level-0 buffer is included exactly (weight 1), so a snapshot's
-// Rank has the same distribution as the live summary's.
+// Rank has the same distribution as the live summary's. The snapshot owns
+// its memory (one backing array for all buffers), so the live summary — and
+// any pool it recycles through — can keep mutating freely.
 func (m *Summary) Snapshot() Snapshot {
-	var bufs []WeightedBuffer
+	nb, nv := 0, 0
 	if len(m.cur) > 0 {
-		vals := make([]float64, len(m.cur))
+		nb, nv = 1, len(m.cur)
+	}
+	for _, buf := range m.levels {
+		if buf != nil {
+			nb++
+			nv += len(buf)
+		}
+	}
+	if nb == 0 {
+		return Snapshot{N: m.n}
+	}
+	bufs := make([]WeightedBuffer, 0, nb)
+	backing := make([]float64, nv)
+	used := 0
+	if len(m.cur) > 0 {
+		vals := backing[used : used+len(m.cur) : used+len(m.cur)]
 		copy(vals, m.cur)
+		used += len(m.cur)
 		sort.Float64s(vals)
 		bufs = append(bufs, WeightedBuffer{Weight: 1, Values: vals})
 	}
 	weight := int64(1)
 	for _, buf := range m.levels {
 		if buf != nil {
-			vals := make([]float64, len(buf))
+			vals := backing[used : used+len(buf) : used+len(buf)]
 			copy(vals, buf)
+			used += len(buf)
 			bufs = append(bufs, WeightedBuffer{Weight: weight, Values: vals})
 		}
 		weight <<= 1

@@ -1,0 +1,200 @@
+package merge
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"disttrack/internal/stats"
+)
+
+// TestInsertRunBitIdenticalToSerial: interleaving single Inserts with
+// InsertRun must leave the summary in exactly the state that per-element
+// Inserts produce — same buffer contents (via Snapshot) and same RNG draw
+// sequence (checked by continuing both summaries afterwards).
+func TestInsertRunBitIdenticalToSerial(t *testing.T) {
+	f := func(seed uint64, bufRaw uint8, runsRaw []uint16) bool {
+		bufSize := int(bufRaw)%32 + 1
+		root := stats.New(seed)
+		serial := New(bufSize, root.Split())
+		root = stats.New(seed)
+		batched := New(bufSize, root.Split())
+
+		vrng := stats.New(seed ^ 0xabcdef)
+		for _, r := range runsRaw {
+			run := int64(r % 300)
+			v := vrng.Float64()
+			for i := int64(0); i < run; i++ {
+				serial.Insert(v)
+			}
+			batched.InsertRun(v, run)
+			// A single distinct value between runs exercises mixed buffers.
+			w := vrng.Float64()
+			serial.Insert(w)
+			batched.Insert(w)
+		}
+		if serial.N() != batched.N() || serial.Len() != batched.Len() {
+			return false
+		}
+		if !reflect.DeepEqual(serial.Snapshot(), batched.Snapshot()) {
+			return false
+		}
+		// The RNG streams must agree too: more shared input keeps them equal.
+		for i := 0; i < 100; i++ {
+			serial.Insert(float64(i))
+			batched.Insert(float64(i))
+		}
+		return reflect.DeepEqual(serial.Snapshot(), batched.Snapshot())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPooledMatchesUnpooled: a summary drawn from a Pool behaves bit-
+// identically to one built with New from the same parent RNG, including
+// after Release/reuse cycles recycle its storage.
+func TestPooledMatchesUnpooled(t *testing.T) {
+	pool := NewPool()
+	for cycle := 0; cycle < 5; cycle++ {
+		seed := uint64(1000 + cycle)
+		parentA, parentB := stats.New(seed), stats.New(seed)
+		plain := New(7, parentA.Split())
+		pooled := pool.NewSummary(7, parentB)
+		vals := stats.New(seed ^ 99)
+		for i := 0; i < 2000; i++ {
+			v := vals.Float64()
+			plain.Insert(v)
+			pooled.Insert(v)
+		}
+		if !reflect.DeepEqual(plain.Snapshot(), pooled.Snapshot()) {
+			t.Fatalf("cycle %d: pooled summary diverged from plain", cycle)
+		}
+		pooled.Release()
+	}
+}
+
+// TestRecycledBuffersNotAliasedBySnapshots: releasing a summary back to the
+// pool and reusing its storage for new data must not mutate snapshots taken
+// before the release.
+func TestRecycledBuffersNotAliasedBySnapshots(t *testing.T) {
+	pool := NewPool()
+	rng := stats.New(31)
+	s := pool.NewSummary(8, rng)
+	for i := 0; i < 500; i++ {
+		s.Insert(float64(i))
+	}
+	sn := s.Snapshot()
+	// Deep-copy the snapshot's contents for later comparison.
+	want := make([][]float64, len(sn.Buffers))
+	for i, b := range sn.Buffers {
+		want[i] = append([]float64(nil), b.Values...)
+	}
+	wantRanks := map[float64]int64{}
+	for _, q := range []float64{0, 100.5, 250, 499.5, 1000} {
+		wantRanks[q] = sn.Rank(q)
+	}
+
+	s.Release()
+	// Scribble over the pool's storage with different sizes and values.
+	for cycle := 0; cycle < 4; cycle++ {
+		s2 := pool.NewSummary(8+cycle, rng)
+		for i := 0; i < 1000; i++ {
+			s2.Insert(-1e9 * float64(cycle+1))
+		}
+		s2.Release()
+	}
+
+	for i, b := range sn.Buffers {
+		if !reflect.DeepEqual(want[i], b.Values) {
+			t.Fatalf("snapshot buffer %d mutated by pool reuse", i)
+		}
+	}
+	for q, r := range wantRanks {
+		if sn.Rank(q) != r {
+			t.Fatalf("snapshot Rank(%v) changed from %d to %d after pool reuse", q, r, sn.Rank(q))
+		}
+	}
+}
+
+// TestResetConservesWeightAcrossReuse: Reset must return the summary to a
+// pristine state; reusing it keeps exact weight conservation.
+func TestResetConservesWeightAcrossReuse(t *testing.T) {
+	s := New(5, stats.New(41))
+	for round := 0; round < 6; round++ {
+		n := 100*round + 37
+		for i := 0; i < n; i++ {
+			s.Insert(float64(i % 13))
+		}
+		if got := s.Rank(math.Inf(1)); got != int64(n) {
+			t.Fatalf("round %d: total weight %d, want %d", round, got, n)
+		}
+		s.Reset()
+		if s.N() != 0 || s.Len() != 0 || s.Rank(math.Inf(1)) != 0 {
+			t.Fatalf("round %d: Reset left residue (n=%d len=%d)", round, s.N(), s.Len())
+		}
+	}
+}
+
+// TestInsertRunUnbiasedVariance: streams ingested as runs of duplicates keep
+// the unbiasedness of Rank and the m/(2s) standard-deviation bound.
+func TestInsertRunUnbiasedVariance(t *testing.T) {
+	const runLen = 64
+	const runs = 64 // m = 4096
+	const m = runLen * runs
+	const bufSize = 16
+	const trials = 300
+	rng := stats.New(53)
+	const q = 0.5
+	var truth float64
+	{
+		vals := stats.New(4242)
+		for i := 0; i < runs; i++ {
+			if vals.Float64() < q {
+				truth += runLen
+			}
+		}
+	}
+	samples := make([]float64, trials)
+	for tr := 0; tr < trials; tr++ {
+		s := New(bufSize, rng.Split())
+		vals := stats.New(4242) // same stream every trial
+		for i := 0; i < runs; i++ {
+			s.InsertRun(vals.Float64(), runLen)
+		}
+		if s.N() != m {
+			t.Fatalf("N = %d, want %d", s.N(), m)
+		}
+		samples[tr] = float64(s.Rank(q))
+	}
+	mean := stats.Mean(samples)
+	bound := float64(m) / (2 * bufSize)
+	se := bound/math.Sqrt(trials) + 1e-9
+	if math.Abs(mean-truth) > 5*se {
+		t.Fatalf("Rank mean %v, want %v (se bound %v)", mean, truth, se)
+	}
+	if sd := stats.StdDev(samples); sd > 1.5*bound {
+		t.Fatalf("empirical std-dev %v exceeds bound %v", sd, bound)
+	}
+}
+
+// TestPooledSteadyStateAllocFree: after warm-up, a full node lifecycle
+// (draw from pool, ingest, snapshot-free release) performs no allocations.
+func TestPooledSteadyStateAllocFree(t *testing.T) {
+	pool := NewPool()
+	rng := stats.New(61)
+	cycle := func() {
+		s := pool.NewSummary(16, rng)
+		s.InsertRun(1.5, 100)
+		for i := 0; i < 400; i++ {
+			s.Insert(float64(i % 7))
+		}
+		s.Release()
+	}
+	cycle() // warm up the pool's buffers and level slices
+	cycle()
+	if allocs := testing.AllocsPerRun(50, cycle); allocs > 0 {
+		t.Fatalf("steady-state node lifecycle allocates %.1f times", allocs)
+	}
+}

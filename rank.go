@@ -95,9 +95,12 @@ func (t *RankTracker) Observe(site int, value float64) {
 
 // ObserveBatch records count consecutive arrivals of value at the given
 // site. It is equivalent to count Observe calls — same estimates, same
-// Metrics. Rank summaries must ingest every value, so the speedup is
-// bounded (no per-arrival RNG, fewer runtime round trips); note the paper's
-// distinct-values assumption applies across the stream as a whole.
+// Metrics, bit-identical protocol state. The randomized tracker ingests the
+// run through the merge summaries' closed-form InsertRun (a run is already
+// sorted, so full buffers skip the sort and same-value merges skip the
+// element work), jumping between summary-emission, residual-sample, and
+// report boundaries; note the paper's distinct-values assumption applies
+// across the stream as a whole.
 func (t *RankTracker) ObserveBatch(site int, value float64, count int) {
 	if site < 0 || site >= t.opt.K {
 		panic("disttrack: site out of range")
