@@ -22,10 +22,17 @@ import (
 	"math"
 	"testing"
 
+	"disttrack/internal/count"
 	"disttrack/internal/experiments"
+	"disttrack/internal/freq"
 	"disttrack/internal/lowerbound"
+	"disttrack/internal/proto"
+	"disttrack/internal/rank"
+	"disttrack/internal/rounds"
+	"disttrack/internal/sample"
 	"disttrack/internal/stats"
 	"disttrack/internal/summary/merge"
+	"disttrack/internal/wire"
 )
 
 const (
@@ -404,6 +411,91 @@ func BenchmarkRankObserveSerial(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Observe(i%16, float64(i))
+	}
+}
+
+// --- E16: wire codec + transport microbenchmarks (not a paper artifact):
+// the cost of putting the protocols on a real wire. BenchmarkWireEncode and
+// BenchmarkWireRoundTrip price one message; the ObserveTransport pair shows
+// the ingest hot path end to end on all three transports — steady-state
+// encode/decode adds 0 allocs/op (messages amortize geometrically under
+// skip-sampling, and wire.Append itself never allocates). ---
+
+var wireHotMsgs = []proto.Message{
+	rounds.UpMsg{N: 123456},
+	count.UpdateMsg{N: 99},
+	freq.CounterMsg{Item: 7, Count: 3},
+	rank.SampleMsg{Chunk: 1, Index: 2, Value: 3.5},
+	sample.ElementMsg{Item: 1, Value: 2, Level: 3},
+}
+
+func BenchmarkWireEncode(b *testing.B) {
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := wireHotMsgs[i%len(wireHotMsgs)]
+		var err error
+		buf, err = wire.Append(buf[:0], m)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireRoundTrip(b *testing.B) {
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := wireHotMsgs[i%len(wireHotMsgs)]
+		var err error
+		buf, err = wire.Append(buf[:0], m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err = wire.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObserveTransport(b *testing.B) {
+	for _, tr := range []Transport{TransportSequential, TransportGoroutine, TransportTCP} {
+		tr := tr
+		b.Run(tr.String(), func(b *testing.B) {
+			t := NewCountTracker(Options{K: 16, Epsilon: 0.05, Seed: 1, Transport: tr})
+			defer t.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.Observe(i % 16)
+			}
+		})
+	}
+}
+
+func BenchmarkObserveBatchTransport(b *testing.B) {
+	// The acceptance benchmark for the wire layer: the batch ingest path
+	// over the socket transport must stay at 0 allocs/op, i.e. framing,
+	// encoding, and decoding the protocol's messages costs nothing per
+	// element in steady state.
+	const block = 1024
+	for _, tr := range []Transport{TransportSequential, TransportGoroutine, TransportTCP} {
+		tr := tr
+		b.Run(tr.String(), func(b *testing.B) {
+			t := NewCountTracker(Options{K: 16, Epsilon: 0.05, Seed: 1, Transport: tr})
+			defer t.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for done := 0; done < b.N; done += block {
+				n := block
+				if rest := b.N - done; rest < n {
+					n = rest
+				}
+				t.ObserveBatch(done/block%16, n)
+			}
+		})
 	}
 }
 

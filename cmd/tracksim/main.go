@@ -1,26 +1,93 @@
-// tracksim runs one tracking protocol on one workload and reports accuracy
-// and cost, in the paper's units.
+// tracksim runs the paper's tracking protocols, in one process or as a
+// genuinely distributed system.
 //
-// Usage:
+// Single-process mode runs one protocol on one workload and reports
+// accuracy and cost in the paper's units, on any of the three transports:
 //
-//	go run ./cmd/tracksim -problem count -alg randomized -k 16 -eps 0.05 -n 100000 -workload roundrobin
+//	go run ./cmd/tracksim -problem count -alg randomized -k 16 -eps 0.05 -n 100000 -transport tcp
 //
 // Problems: count, freq, rank. Algorithms: randomized, deterministic,
-// sampling. Workloads: roundrobin, single, uniform, zipf.
+// sampling. Workloads: roundrobin, single, uniform, zipf. Transports:
+// sequential, goroutine, tcp.
+//
+// Distributed mode splits the system across processes, exchanging
+// wire-encoded frames over real TCP. Start the coordinator, then one
+// process per site (in separate terminals or machines):
+//
+//	go run ./cmd/tracksim serve   -addr :7077 -problem count -k 2 -eps 0.05
+//	go run ./cmd/tracksim connect -addr localhost:7077 -site 0 -k 2 -problem count -eps 0.05 -n 50000
+//	go run ./cmd/tracksim connect -addr localhost:7077 -site 1 -k 2 -problem count -eps 0.05 -n 50000
+//
+// The server prints running estimates as site traffic lands and a final
+// cost report once every site has finished.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"math"
+	"net"
 	"os"
 
 	"disttrack"
+	"disttrack/internal/count"
+	"disttrack/internal/freq"
+	"disttrack/internal/proto"
+	"disttrack/internal/rank"
+	"disttrack/internal/runtime"
+	"disttrack/internal/runtime/tcp"
+	"disttrack/internal/sample"
 	"disttrack/internal/stats"
 	"disttrack/internal/workload"
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			serveMain(os.Args[2:])
+			return
+		case "connect":
+			connectMain(os.Args[2:])
+			return
+		}
+	}
+	singleProcessMain()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}
+
+func parseAlg(alg string) disttrack.Algorithm {
+	switch alg {
+	case "randomized":
+		return disttrack.AlgorithmRandomized
+	case "deterministic":
+		return disttrack.AlgorithmDeterministic
+	case "sampling":
+		return disttrack.AlgorithmSampling
+	}
+	fatalf("unknown algorithm %q", alg)
+	panic("unreachable")
+}
+
+func parseTransport(tr string) disttrack.Transport {
+	switch tr {
+	case "sequential":
+		return disttrack.TransportSequential
+	case "goroutine":
+		return disttrack.TransportGoroutine
+	case "tcp":
+		return disttrack.TransportTCP
+	}
+	fatalf("unknown transport %q", tr)
+	panic("unreachable")
+}
+
+func singleProcessMain() {
 	problem := flag.String("problem", "count", "count | freq | rank")
 	alg := flag.String("alg", "randomized", "randomized | deterministic | sampling")
 	k := flag.Int("k", 16, "number of sites")
@@ -29,21 +96,15 @@ func main() {
 	wl := flag.String("workload", "roundrobin", "roundrobin | single | uniform | zipf")
 	seed := flag.Uint64("seed", 1, "RNG seed")
 	rescale := flag.Float64("rescale", 0, "internal eps rescale (0 = paper default 3)")
-	concurrent := flag.Bool("concurrent", false, "run sites as goroutines (netsim runtime)")
+	transport := flag.String("transport", "sequential", "sequential | goroutine | tcp")
+	concurrent := flag.Bool("concurrent", false, "legacy alias for -transport goroutine")
 	copies := flag.Int("copies", 0, "median-boost copies (randomized algorithms)")
 	flag.Parse()
 
-	var algorithm disttrack.Algorithm
-	switch *alg {
-	case "randomized":
-		algorithm = disttrack.AlgorithmRandomized
-	case "deterministic":
-		algorithm = disttrack.AlgorithmDeterministic
-	case "sampling":
-		algorithm = disttrack.AlgorithmSampling
-	default:
-		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *alg)
-		os.Exit(2)
+	algorithm := parseAlg(*alg)
+	tr := parseTransport(*transport)
+	if *concurrent && tr == disttrack.TransportSequential {
+		tr = disttrack.TransportGoroutine
 	}
 
 	rng := stats.New(*seed ^ 0xabcdef)
@@ -58,14 +119,13 @@ func main() {
 	case "zipf":
 		placement = workload.ZipfPlacement(*k, 1.0, rng)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
-		os.Exit(2)
+		fatalf("unknown workload %q", *wl)
 	}
 
 	opt := disttrack.Options{K: *k, Epsilon: *eps, Algorithm: algorithm, Seed: *seed,
-		Rescale: *rescale, Concurrent: *concurrent, Copies: *copies}
-	fmt.Printf("problem=%s alg=%s k=%d eps=%g n=%d workload=%s concurrent=%v copies=%d\n\n",
-		*problem, algorithm, *k, *eps, *n, *wl, *concurrent, *copies)
+		Rescale: *rescale, Transport: tr, Copies: *copies}
+	fmt.Printf("problem=%s alg=%s k=%d eps=%g n=%d workload=%s transport=%s copies=%d\n\n",
+		*problem, algorithm, *k, *eps, *n, *wl, tr, *copies)
 
 	checkEvery := *n / 200
 	if checkEvery < 1 {
@@ -77,6 +137,7 @@ func main() {
 	switch *problem {
 	case "count":
 		tr := disttrack.NewCountTracker(opt)
+		defer tr.Close()
 		for i := 0; i < *n; i++ {
 			tr.Observe(placement(i))
 			if (i+1)%checkEvery == 0 {
@@ -92,6 +153,7 @@ func main() {
 		items := workload.ZipfItems(1000, 1.1, rng.Split())
 		truth := map[int64]int64{}
 		tr := disttrack.NewFrequencyTracker(opt)
+		defer tr.Close()
 		for i := 0; i < *n; i++ {
 			j := items(i)
 			truth[j]++
@@ -108,6 +170,7 @@ func main() {
 	case "rank":
 		values := workload.PermValues(*n, rng.Split())
 		tr := disttrack.NewRankTracker(opt)
+		defer tr.Close()
 		var below float64
 		q := float64(*n) / 2
 		for i := 0; i < *n; i++ {
@@ -126,8 +189,7 @@ func main() {
 		metrics = tr.Metrics()
 		fmt.Printf("rank(median value): estimate %.0f (truth %.0f)\n", tr.Rank(q), below)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown problem %q\n", *problem)
-		os.Exit(2)
+		fatalf("unknown problem %q", *problem)
 	}
 
 	fmt.Printf("\naccuracy: %d/%d checkpoints outside the ε-band (%.1f%%)\n",
@@ -136,4 +198,171 @@ func main() {
 	fmt.Printf("words:      %d\n", metrics.Words)
 	fmt.Printf("broadcasts: %d\n", metrics.Broadcasts)
 	fmt.Printf("site space: %d words (high-water)\n", metrics.MaxSiteSpace)
+}
+
+// distConfig is the protocol shape shared by serve and connect.
+type distConfig struct {
+	problem string
+	alg     string
+	k       int
+	eps     float64
+	rescale float64
+}
+
+func distFlags(fs *flag.FlagSet) *distConfig {
+	c := &distConfig{}
+	fs.StringVar(&c.problem, "problem", "count", "count | freq | rank")
+	fs.StringVar(&c.alg, "alg", "randomized", "randomized | deterministic | sampling")
+	fs.IntVar(&c.k, "k", 2, "number of site processes")
+	fs.Float64Var(&c.eps, "eps", 0.05, "target relative error")
+	fs.Float64Var(&c.rescale, "rescale", 0, "internal eps rescale (0 = paper default 3)")
+	return c
+}
+
+// fingerprint hashes the protocol configuration; serve and connect must
+// agree on it, so a mismatched deployment is rejected at the handshake
+// instead of silently mis-tracking.
+func (c *distConfig) fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%s/%d/%g/%g", c.problem, c.alg, c.k, c.eps, c.rescale)
+	return h.Sum64()
+}
+
+// coordinator builds the coordinator machine plus a report closure that is
+// safe to run on the serving loop.
+func (c *distConfig) coordinator() (proto.Coordinator, func()) {
+	switch c.problem + "/" + c.alg {
+	case "count/randomized":
+		co := count.NewCoordinator(count.Config{K: c.k, Eps: c.eps, Rescale: c.rescale})
+		return co, func() { fmt.Printf("estimate n̂ = %.0f (round %d)\n", co.Estimate(), co.Round()) }
+	case "count/deterministic":
+		co := count.NewDetCoordinator(c.k, c.eps)
+		return co, func() { fmt.Printf("estimate n̂ = %.0f\n", co.Estimate()) }
+	case "freq/randomized":
+		co := freq.NewCoordinator(freq.Config{K: c.k, Eps: c.eps, Rescale: c.rescale})
+		return co, func() { fmt.Printf("f̂(0) = %.0f (round %d)\n", co.Estimate(0), co.Round()) }
+	case "freq/deterministic":
+		co := freq.NewDetCoordinator(c.k)
+		return co, func() { fmt.Printf("f̂(0) = %.0f\n", co.Estimate(0)) }
+	case "rank/randomized":
+		co := rank.NewCoordinator(rank.Config{K: c.k, Eps: c.eps, Rescale: c.rescale})
+		return co, func() { fmt.Printf("n̂ = rank(∞) = %.0f (round %d)\n", co.Rank(math.Inf(1)), co.Round()) }
+	case "rank/deterministic":
+		co := rank.NewDetCoordinator(c.k)
+		return co, func() { fmt.Printf("n̂ = rank(∞) = %.0f\n", co.Rank(math.Inf(1))) }
+	case "count/sampling", "freq/sampling", "rank/sampling":
+		co := sample.NewCoordinator(sample.Config{K: c.k, Eps: c.eps})
+		return co, func() {
+			fmt.Printf("n̂ = %.0f, sample %d @ level %d\n", co.Count(), co.SampleLen(), co.Level())
+		}
+	}
+	fatalf("unknown problem/alg %s/%s", c.problem, c.alg)
+	panic("unreachable")
+}
+
+// site builds one site machine.
+func (c *distConfig) site(seed uint64) proto.Site {
+	rng := stats.New(seed)
+	switch c.problem + "/" + c.alg {
+	case "count/randomized":
+		return count.NewSite(count.Config{K: c.k, Eps: c.eps, Rescale: c.rescale}, rng)
+	case "count/deterministic":
+		return count.NewDetSite(c.eps)
+	case "freq/randomized":
+		return freq.NewSite(freq.Config{K: c.k, Eps: c.eps, Rescale: c.rescale}, rng)
+	case "freq/deterministic":
+		return freq.NewDetSite(c.k, c.eps)
+	case "rank/randomized":
+		return rank.NewSite(rank.Config{K: c.k, Eps: c.eps, Rescale: c.rescale}, rng)
+	case "rank/deterministic":
+		return rank.NewDetSite(c.k, c.eps)
+	case "count/sampling", "freq/sampling", "rank/sampling":
+		return sample.NewSite(rng)
+	}
+	fatalf("unknown problem/alg %s/%s", c.problem, c.alg)
+	panic("unreachable")
+}
+
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	cfg := distFlags(fs)
+	addr := fs.String("addr", ":7077", "listen address")
+	reportEvery := fs.Int64("report", 200, "print an estimate every N protocol messages (0 = never)")
+	fs.Parse(args)
+
+	coord, report := cfg.coordinator()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("listen %s: %v", *addr, err)
+	}
+	defer ln.Close()
+	fmt.Printf("coordinator: problem=%s alg=%s k=%d eps=%g listening on %s\n",
+		cfg.problem, cfg.alg, cfg.k, cfg.eps, ln.Addr())
+
+	srv := &tcp.Server{
+		Coord:       coord,
+		K:           cfg.k,
+		Config:      cfg.fingerprint(),
+		ReportEvery: *reportEvery,
+		Report:      func(m runtime.Metrics) { report() },
+	}
+	m, err := srv.Serve(ln)
+	if err != nil {
+		// A handshake failure is fatal; lost sites still leave a partial
+		// final state worth printing alongside the warning.
+		if m.Arrivals == 0 && m.MessagesUp == 0 {
+			fatalf("serve: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "warning: %v\n", err)
+		fmt.Printf("\nrun ended with lost sites; partial final state:\n")
+	} else {
+		fmt.Printf("\nall %d sites finished; final state:\n", cfg.k)
+	}
+	report()
+	fmt.Printf("arrivals (from site Done frames): %d\n", m.Arrivals)
+	fmt.Printf("messages:   %d\n", m.Messages())
+	fmt.Printf("words:      %d\n", m.Words())
+	fmt.Printf("broadcasts: %d\n", m.Broadcasts)
+}
+
+func connectMain(args []string) {
+	fs := flag.NewFlagSet("connect", flag.ExitOnError)
+	cfg := distFlags(fs)
+	addr := fs.String("addr", "localhost:7077", "coordinator address")
+	site := fs.Int("site", 0, "this process's site index in [0, k)")
+	n := fs.Int("n", 100000, "elements to stream from this site")
+	seed := fs.Uint64("seed", 0, "site RNG seed (default: site index + 1)")
+	fs.Parse(args)
+	if *site < 0 || *site >= cfg.k {
+		fatalf("site %d out of range [0, %d)", *site, cfg.k)
+	}
+	if *seed == 0 {
+		*seed = uint64(*site) + 1
+	}
+
+	machine := cfg.site(*seed)
+	sc, err := tcp.DialSite(*addr, *site, cfg.k, cfg.fingerprint(), machine)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("site %d: connected to %s, streaming %d elements\n", *site, *addr, *n)
+
+	items := workload.ZipfItems(1000, 1.1, stats.New(*seed^0xfeed))
+	for i := 0; i < *n; i++ {
+		switch cfg.problem {
+		case "count":
+			sc.Arrive(0, 0)
+		case "freq":
+			sc.Arrive(items(i), 0)
+		case "rank":
+			// Globally distinct values interleaved across sites.
+			sc.Arrive(0, float64(i*cfg.k+*site))
+		default:
+			fatalf("unknown problem %q", cfg.problem)
+		}
+	}
+	if err := sc.Close(); err != nil {
+		fatalf("site %d: %v", *site, err)
+	}
+	fmt.Printf("site %d: done, %d arrivals streamed\n", *site, sc.Arrivals())
 }

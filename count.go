@@ -2,6 +2,7 @@ package disttrack
 
 import (
 	"disttrack/internal/count"
+	"disttrack/internal/runtime"
 	"disttrack/internal/sample"
 )
 
@@ -9,7 +10,7 @@ import (
 // received across all sites (the paper's count-tracking problem, Section 2).
 type CountTracker struct {
 	opt Options
-	eng engine
+	eng *runtime.Runtime
 	est func() float64
 }
 
@@ -48,7 +49,7 @@ func (t *CountTracker) Observe(site int) {
 	if site < 0 || site >= t.opt.K {
 		panic("disttrack: site out of range")
 	}
-	t.eng.arrive(site, 0, 0)
+	t.eng.Arrive(site, 0, 0)
 }
 
 // ObserveBatch records count elements arriving at the given site. It is
@@ -62,14 +63,14 @@ func (t *CountTracker) ObserveBatch(site int, count int) {
 	if count < 0 {
 		panic("disttrack: negative batch count")
 	}
-	t.eng.arriveBatch(site, 0, 0, int64(count))
+	t.eng.ArriveBatch(site, 0, 0, int64(count))
 }
 
 // Estimate returns the coordinator's current estimate of n.
 func (t *CountTracker) Estimate() float64 { return t.est() }
 
 // Metrics returns the accumulated communication and space costs.
-func (t *CountTracker) Metrics() Metrics { return t.eng.metrics() }
+func (t *CountTracker) Metrics() Metrics { return metricsFrom(t.eng.Metrics()) }
 
 // Close stops the concurrent runtime's goroutines (no-op otherwise).
-func (t *CountTracker) Close() { t.eng.close() }
+func (t *CountTracker) Close() { t.eng.Close() }

@@ -33,16 +33,36 @@
 //	}
 //	fmt.Println(tr.Estimate(), tr.Metrics().Messages)
 //
-// By default trackers run on a deterministic sequential runtime with exact
-// cost accounting. Set Options.Concurrent to run each site as its own
-// goroutine connected by channels (Observe then blocks until the message
-// cascade quiesces, matching the paper's instant-communication model); call
-// Close when done to stop the goroutines.
+// # Transports
+//
+// A tracker mounts its protocol on one of three interchangeable transports
+// (Options.Transport). All three enforce the paper's instant-communication
+// model — Observe returns only after the triggered message cascade has
+// fully quiesced — so for a fixed seed they produce identical message
+// sequences, Metrics, and query answers:
+//
+//   - TransportSequential (default): everything runs inline on the calling
+//     goroutine with exact, deterministic cost accounting;
+//   - TransportGoroutine: one goroutine per site plus one for the
+//     coordinator, connected by mailboxes;
+//   - TransportTCP: one loopback TCP connection per site; every protocol
+//     message crosses the kernel as a length-prefixed frame carrying its
+//     binary wire encoding (internal/wire).
+//
+// Call Close when done to release a concurrent transport's goroutines and
+// sockets. For genuinely distributed deployments — a coordinator process
+// and k site processes exchanging the same wire frames over a real
+// network — see cmd/tracksim's serve and connect modes.
 package disttrack
 
 import (
+	"fmt"
+	"math"
+
 	"disttrack/internal/netsim"
 	"disttrack/internal/proto"
+	"disttrack/internal/runtime"
+	"disttrack/internal/runtime/tcp"
 	"disttrack/internal/sim"
 )
 
@@ -76,6 +96,37 @@ func (a Algorithm) String() string {
 	}
 }
 
+// Transport selects the message fabric a tracker's protocol runs on. All
+// transports preserve the paper's instant-communication model and produce
+// identical results for a fixed seed; they differ in how messages move.
+type Transport int
+
+const (
+	// TransportSequential runs everything inline on the calling goroutine:
+	// the deterministic exact-accounting reference (internal/sim).
+	TransportSequential Transport = iota
+	// TransportGoroutine runs each site and the coordinator as goroutines
+	// connected by mailboxes (internal/netsim).
+	TransportGoroutine
+	// TransportTCP connects each site to the coordinator over a loopback
+	// TCP socket carrying wire-encoded message frames (internal/runtime).
+	TransportTCP
+)
+
+// String names the transport.
+func (t Transport) String() string {
+	switch t {
+	case TransportSequential:
+		return "sequential"
+	case TransportGoroutine:
+		return "goroutine"
+	case TransportTCP:
+		return "tcp"
+	default:
+		return "unknown"
+	}
+}
+
 // Options configures a tracker.
 type Options struct {
 	// K is the number of sites (required, >= 1).
@@ -96,24 +147,49 @@ type Options struct {
 	// paper's constant (3). Set 1 for shape benchmarks where both
 	// algorithm families should run at the same nominal ε.
 	Rescale float64
-	// Concurrent mounts the protocol on the goroutine-per-site runtime
-	// instead of the sequential simulator.
+	// Transport selects the message fabric; zero value is
+	// TransportSequential.
+	Transport Transport
+	// Concurrent is the legacy switch for TransportGoroutine, kept for
+	// compatibility. It applies whenever Transport holds its zero value
+	// (TransportSequential is the zero value, so Transport cannot override
+	// Concurrent back to sequential — clear Concurrent instead); any other
+	// Transport wins over it.
 	Concurrent bool
-	// SpaceProbeEvery controls how often per-site space is sampled by the
-	// sequential runtime (0 = default 1024 arrivals; ignored when
-	// Concurrent).
+	// SpaceProbeEvery controls how often per-site space is sampled at
+	// quiescent instants (0 = default 1024 arrivals).
 	SpaceProbeEvery int
+}
+
+// transport resolves the effective transport from the new field and the
+// legacy Concurrent switch.
+func (o Options) transport() Transport {
+	if o.Transport == TransportSequential && o.Concurrent {
+		return TransportGoroutine
+	}
+	return o.Transport
 }
 
 func (o Options) validate() {
 	if o.K <= 0 {
 		panic("disttrack: Options.K must be >= 1")
 	}
-	if o.Epsilon <= 0 || o.Epsilon >= 1 {
+	// The negated form also rejects NaN, which every ordered comparison
+	// excludes.
+	if !(o.Epsilon > 0 && o.Epsilon < 1) {
 		panic("disttrack: Options.Epsilon must be in (0,1)")
 	}
 	if o.Copies < 0 {
 		panic("disttrack: negative Options.Copies")
+	}
+	if o.Rescale < 0 || math.IsNaN(o.Rescale) {
+		panic("disttrack: Options.Rescale must be >= 0 (0 = paper default)")
+	}
+	if o.Transport < TransportSequential || o.Transport > TransportTCP {
+		panic("disttrack: unknown Options.Transport")
+	}
+	if o.SpaceProbeEvery < 0 {
+		panic("disttrack: negative Options.SpaceProbeEvery")
 	}
 }
 
@@ -130,31 +206,17 @@ type Metrics struct {
 	// Arrivals is the number of elements observed.
 	Arrivals int64
 	// MaxSiteSpace is the high-water mark of per-site working space in
-	// words (sequential runtime only; 0 when Concurrent).
+	// words, sampled at quiescent instants on every transport (the
+	// sequential transport probes every SpaceProbeEvery arrivals; the
+	// concurrent transports probe on the same cadence after cascades
+	// quiesce, and always when Metrics is read).
 	MaxSiteSpace int
-	// MaxCoordSpace is the coordinator's high-water space in words
-	// (sequential runtime only).
+	// MaxCoordSpace is the coordinator's high-water space in words.
 	MaxCoordSpace int
 }
 
-// engine abstracts the two runtimes behind the facade.
-type engine interface {
-	arrive(site int, item int64, value float64)
-	arriveBatch(site int, item int64, value float64, count int64)
-	metrics() Metrics
-	close()
-}
-
-type simEngine struct{ h *sim.Harness }
-
-func (e simEngine) arrive(site int, item int64, value float64) { e.h.Arrive(site, item, value) }
-func (e simEngine) arriveBatch(site int, item int64, value float64, count int64) {
-	e.h.ArriveBatch(site, item, value, count)
-}
-func (e simEngine) close() {}
-func (e simEngine) metrics() Metrics {
-	e.h.Probe()
-	m := e.h.Metrics()
+// metricsFrom converts the runtime seam's ledger into the public form.
+func metricsFrom(m runtime.Metrics) Metrics {
 	return Metrics{
 		Messages:      m.Messages(),
 		Words:         m.Words(),
@@ -165,32 +227,33 @@ func (e simEngine) metrics() Metrics {
 	}
 }
 
-type netEngine struct{ c *netsim.Cluster }
-
-func (e netEngine) arrive(site int, item int64, value float64) { e.c.Arrive(site, item, value) }
-func (e netEngine) arriveBatch(site int, item int64, value float64, count int64) {
-	e.c.ArriveBatch(site, item, value, count)
-}
-func (e netEngine) close() { e.c.Stop() }
-func (e netEngine) metrics() Metrics {
-	e.c.Quiesce()
-	m := e.c.Metrics()
-	return Metrics{
-		Messages:   m.Messages(),
-		Words:      m.Words(),
-		Broadcasts: m.Broadcasts,
-		Arrivals:   m.Arrivals,
+// mount places a protocol on the transport selected by the options. Every
+// transport sits behind the same runtime seam (internal/runtime), so the
+// trackers never see which fabric carries their messages.
+func mount(o Options, p proto.Protocol) *runtime.Runtime {
+	var t runtime.Transport
+	switch o.transport() {
+	case TransportGoroutine:
+		c := netsim.Start(p)
+		if o.SpaceProbeEvery > 0 {
+			c.SpaceProbeEvery = o.SpaceProbeEvery
+		}
+		t = c
+	case TransportTCP:
+		c, err := tcp.StartLoopback(p)
+		if err != nil {
+			panic(fmt.Sprintf("disttrack: mounting TCP transport: %v", err))
+		}
+		if o.SpaceProbeEvery > 0 {
+			c.SpaceProbeEvery = o.SpaceProbeEvery
+		}
+		t = c
+	default:
+		h := sim.New(p)
+		if o.SpaceProbeEvery > 0 {
+			h.SpaceProbeEvery = o.SpaceProbeEvery
+		}
+		t = h
 	}
-}
-
-// mount places a protocol on the runtime selected by the options.
-func mount(o Options, p proto.Protocol) engine {
-	if o.Concurrent {
-		return netEngine{c: netsim.Start(p)}
-	}
-	h := sim.New(p)
-	if o.SpaceProbeEvery > 0 {
-		h.SpaceProbeEvery = o.SpaceProbeEvery
-	}
-	return simEngine{h: h}
+	return runtime.New(t)
 }

@@ -158,17 +158,61 @@ func TestOptionsValidation(t *testing.T) {
 		{K: 0, Epsilon: 0.1},
 		{K: 2, Epsilon: 0},
 		{K: 2, Epsilon: 1},
+		{K: 2, Epsilon: math.NaN()},
 		{K: 2, Epsilon: 0.1, Copies: -1},
+		{K: 2, Epsilon: 0.1, Rescale: -1},
+		{K: 2, Epsilon: 0.1, Rescale: math.NaN()},
+		{K: 2, Epsilon: 0.1, Transport: Transport(99)},
+		{K: 2, Epsilon: 0.1, Transport: Transport(-1)},
+		{K: 2, Epsilon: 0.1, SpaceProbeEvery: -5},
 	}
 	for i, o := range bad {
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Fatalf("options %d did not panic", i)
+					t.Fatalf("options %d (%+v) did not panic", i, o)
 				}
 			}()
 			NewCountTracker(o)
 		}()
+	}
+	// The boundary values that must stay valid.
+	good := []Options{
+		{K: 1, Epsilon: 0.5},
+		{K: 2, Epsilon: 0.1, Rescale: 1},
+		{K: 2, Epsilon: 0.1, Transport: TransportGoroutine},
+	}
+	for i, o := range good {
+		tr := NewCountTracker(o)
+		tr.Observe(0)
+		tr.Close()
+		_ = i
+	}
+}
+
+func TestTransportString(t *testing.T) {
+	if TransportSequential.String() != "sequential" ||
+		TransportGoroutine.String() != "goroutine" ||
+		TransportTCP.String() != "tcp" ||
+		Transport(99).String() != "unknown" {
+		t.Fatal("Transport.String broken")
+	}
+}
+
+// TestConcurrentTransportReportsSpace pins the satellite fix: the
+// concurrent transports populate the space high-water marks via
+// quiesce-time probes instead of silently leaving them zero.
+func TestConcurrentTransportReportsSpace(t *testing.T) {
+	for _, tr := range []Transport{TransportGoroutine, TransportTCP} {
+		c := NewCountTracker(Options{K: 4, Epsilon: 0.1, Seed: 3, Transport: tr})
+		for i := 0; i < 2000; i++ {
+			c.Observe(i % 4)
+		}
+		m := c.Metrics()
+		if m.MaxSiteSpace == 0 || m.MaxCoordSpace == 0 {
+			t.Errorf("%v: space marks missing: %+v", tr, m)
+		}
+		c.Close()
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"disttrack/internal/boost"
 	"disttrack/internal/freq"
 	"disttrack/internal/proto"
+	"disttrack/internal/runtime"
 	"disttrack/internal/sample"
 	"disttrack/internal/stats"
 )
@@ -12,7 +13,7 @@ import (
 // error ±ε·n(t) — the heavy-hitters tracking problem (Section 3).
 type FrequencyTracker struct {
 	opt Options
-	eng engine
+	eng *runtime.Runtime
 	est func(item int64) float64
 }
 
@@ -63,7 +64,7 @@ func (t *FrequencyTracker) Observe(site int, item int64) {
 	if site < 0 || site >= t.opt.K {
 		panic("disttrack: site out of range")
 	}
-	t.eng.arrive(site, item, 0)
+	t.eng.Arrive(site, item, 0)
 }
 
 // ObserveBatch records count consecutive arrivals of item at the given
@@ -77,7 +78,7 @@ func (t *FrequencyTracker) ObserveBatch(site int, item int64, count int) {
 	if count < 0 {
 		panic("disttrack: negative batch count")
 	}
-	t.eng.arriveBatch(site, item, 0, int64(count))
+	t.eng.ArriveBatch(site, item, 0, int64(count))
 }
 
 // Estimate returns the current frequency estimate for item. Randomized
@@ -86,7 +87,7 @@ func (t *FrequencyTracker) ObserveBatch(site int, item int64, count int) {
 func (t *FrequencyTracker) Estimate(item int64) float64 { return t.est(item) }
 
 // Metrics returns the accumulated communication and space costs.
-func (t *FrequencyTracker) Metrics() Metrics { return t.eng.metrics() }
+func (t *FrequencyTracker) Metrics() Metrics { return metricsFrom(t.eng.Metrics()) }
 
 // Close stops the concurrent runtime's goroutines (no-op otherwise).
-func (t *FrequencyTracker) Close() { t.eng.close() }
+func (t *FrequencyTracker) Close() { t.eng.Close() }

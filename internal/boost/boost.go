@@ -49,10 +49,12 @@ func (s *site) Arrive(item int64, value float64, out func(proto.Message)) {
 	s.cur = nil
 }
 
-// Receive implements proto.Site.
+// Receive implements proto.Site. A copy index outside the configured range
+// (possible only on a wire transport fed corrupt frames) is dropped like
+// any other unexpected message.
 func (s *site) Receive(m proto.Message, out func(proto.Message)) {
 	bm, ok := m.(Msg)
-	if !ok {
+	if !ok || bm.Copy < 0 || bm.Copy >= len(s.copies) {
 		return
 	}
 	s.cur = out
@@ -74,10 +76,11 @@ type coordinator struct {
 	copies []proto.Coordinator
 }
 
-// Receive implements proto.Coordinator.
+// Receive implements proto.Coordinator. Out-of-range copy indices are
+// dropped (see site.Receive).
 func (c *coordinator) Receive(from int, m proto.Message, send func(int, proto.Message), broadcast func(proto.Message)) {
 	bm, ok := m.(Msg)
-	if !ok {
+	if !ok || bm.Copy < 0 || bm.Copy >= len(c.copies) {
 		return
 	}
 	idx := bm.Copy

@@ -70,10 +70,12 @@ func (s *MedianSite) ArriveBatch(item int64, value float64, count int64, out fun
 	return quiet + 1
 }
 
-// Receive implements proto.Site.
+// Receive implements proto.Site. A copy index outside the configured range
+// (possible only on a wire transport fed corrupt frames) is dropped like
+// any other unexpected message.
 func (s *MedianSite) Receive(m proto.Message, out func(proto.Message)) {
 	cm, ok := m.(CopyMsg)
-	if !ok {
+	if !ok || cm.Copy < 0 || cm.Copy >= len(s.copies) {
 		return
 	}
 	s.cur = out
@@ -108,10 +110,11 @@ func NewMedianCoordinator(cfg Config, c int) *MedianCoordinator {
 	return mc
 }
 
-// Receive implements proto.Coordinator.
+// Receive implements proto.Coordinator. Out-of-range copy indices are
+// dropped (see MedianSite.Receive).
 func (c *MedianCoordinator) Receive(from int, m proto.Message, send func(int, proto.Message), broadcast func(proto.Message)) {
 	cm, ok := m.(CopyMsg)
-	if !ok {
+	if !ok || cm.Copy < 0 || cm.Copy >= len(c.copies) {
 		return
 	}
 	idx := cm.Copy

@@ -2,7 +2,11 @@
 // one goroutine per site plus one for the coordinator, connected by
 // unbounded mailboxes. It preserves the paper's instant-communication model
 // by counting in-flight work: an element is only injected after the previous
-// cascade has fully quiesced.
+// cascade has fully quiesced. Cluster implements the runtime.Transport seam
+// (the goroutine transport behind disttrack.TransportGoroutine); the
+// injection, quiescence, accounting, and space-probing machinery is the
+// shared runtime.Fabric, so this package only supplies the goroutine
+// message delivery.
 //
 // The protocols themselves are the same passive state machines that
 // internal/sim drives sequentially; netsim exists to demonstrate (and test,
@@ -12,120 +16,26 @@ package netsim
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"disttrack/internal/proto"
+	"disttrack/internal/runtime"
 )
 
-// Metrics mirrors sim.Metrics for the concurrent runtime (atomics inside).
-type Metrics struct {
-	MessagesUp   int64
-	MessagesDown int64
-	WordsUp      int64
-	WordsDown    int64
-	Broadcasts   int64
-	Arrivals     int64
-}
-
-// Messages returns total messages exchanged.
-func (m Metrics) Messages() int64 { return m.MessagesUp + m.MessagesDown }
-
-// Words returns total words exchanged.
-func (m Metrics) Words() int64 { return m.WordsUp + m.WordsDown }
-
-// mailbox is an unbounded FIFO usable from multiple producers with one
-// consumer loop.
-type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []any
-	closed bool
-}
-
-func newMailbox() *mailbox {
-	mb := &mailbox{}
-	mb.cond = sync.NewCond(&mb.mu)
-	return mb
-}
-
-func (mb *mailbox) put(v any) {
-	mb.mu.Lock()
-	mb.queue = append(mb.queue, v)
-	mb.mu.Unlock()
-	mb.cond.Signal()
-}
-
-// get blocks until a value is available or the mailbox is closed.
-func (mb *mailbox) get() (any, bool) {
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	for len(mb.queue) == 0 && !mb.closed {
-		mb.cond.Wait()
-	}
-	if len(mb.queue) == 0 {
-		return nil, false
-	}
-	v := mb.queue[0]
-	mb.queue = mb.queue[1:]
-	return v, true
-}
-
-func (mb *mailbox) close() {
-	mb.mu.Lock()
-	mb.closed = true
-	mb.mu.Unlock()
-	mb.cond.Broadcast()
-}
-
-type arrival struct {
-	item  int64
-	value float64
-}
-
-// arrivalChunk asks a site to absorb up to count identical arrivals via the
-// proto.BatchSite fast path, reporting how many it consumed on done.
-type arrivalChunk struct {
-	item  int64
-	value float64
-	count int64
-	done  chan int64
-}
-
-type coordMsg struct {
-	from int
-	msg  proto.Message
-}
+// Metrics is the shared cost ledger of the runtime seam.
+type Metrics = runtime.Metrics
 
 // Cluster hosts one protocol concurrently. Create with Start, feed with
-// Arrive, synchronize with Quiesce, and Stop when done.
+// Arrive, synchronize with Quiesce, and Stop when done. The embedded
+// Fabric provides Arrive/ArriveBatch/Quiesce/Probe/SetTap/Metrics.
 type Cluster struct {
-	p proto.Protocol
-
-	siteBoxes []*mailbox
-	coordBox  *mailbox
-
-	inflight sync.WaitGroup
-	wg       sync.WaitGroup
-
-	messagesUp, messagesDown int64
-	wordsUp, wordsDown       int64
-	broadcasts, arrivals     int64
+	*runtime.Fabric
+	wg sync.WaitGroup
 }
 
 // Start launches the goroutines for the protocol and returns the running
 // cluster.
 func Start(p proto.Protocol) *Cluster {
-	if p.Coord == nil || len(p.Sites) == 0 {
-		panic("netsim: protocol needs a coordinator and at least one site")
-	}
-	c := &Cluster{
-		p:         p,
-		siteBoxes: make([]*mailbox, len(p.Sites)),
-		coordBox:  newMailbox(),
-	}
-	for i := range c.siteBoxes {
-		c.siteBoxes[i] = newMailbox()
-	}
+	c := &Cluster{Fabric: runtime.NewFabric(p)}
 	for i := range p.Sites {
 		c.wg.Add(1)
 		go c.siteLoop(i)
@@ -135,114 +45,28 @@ func Start(p proto.Protocol) *Cluster {
 	return c
 }
 
-// sendToCoord enqueues a site->coordinator message; inflight accounting
-// brackets the send so Quiesce cannot return while it is pending.
-func (c *Cluster) sendToCoord(from int, m proto.Message) {
-	c.inflight.Add(1)
-	atomic.AddInt64(&c.messagesUp, 1)
-	atomic.AddInt64(&c.wordsUp, int64(m.Words()))
-	c.coordBox.put(coordMsg{from: from, msg: m})
-}
-
-func (c *Cluster) sendToSite(to int, m proto.Message) {
-	c.inflight.Add(1)
-	atomic.AddInt64(&c.messagesDown, 1)
-	atomic.AddInt64(&c.wordsDown, int64(m.Words()))
-	c.siteBoxes[to].put(m)
-}
-
+// siteLoop delivers site i's messages by enqueueing them on the
+// coordinator mailbox; everything else is the shared fabric loop.
 func (c *Cluster) siteLoop(i int) {
 	defer c.wg.Done()
-	site := c.p.Sites[i]
-	box := c.siteBoxes[i]
-	out := func(m proto.Message) { c.sendToCoord(i, m) }
-	for {
-		v, ok := box.get()
-		if !ok {
-			return
-		}
-		switch msg := v.(type) {
-		case arrival:
-			site.Arrive(msg.item, msg.value, out)
-		case arrivalChunk:
-			msg.done <- proto.ArriveChunk(site, msg.item, msg.value, msg.count, out)
-		case proto.Message:
-			site.Receive(msg, out)
-		}
-		c.inflight.Done()
-	}
+	c.RunSiteLoop(i, func(m proto.Message) {
+		c.CoordBox.Put(runtime.FromMsg{From: i, Msg: m})
+	})
 }
 
+// coordLoop delivers coordinator messages straight into site mailboxes.
 func (c *Cluster) coordLoop() {
 	defer c.wg.Done()
-	send := func(to int, m proto.Message) { c.sendToSite(to, m) }
-	broadcast := func(m proto.Message) {
-		atomic.AddInt64(&c.broadcasts, 1)
-		for s := range c.p.Sites {
-			c.sendToSite(s, m)
-		}
-	}
-	for {
-		v, ok := c.coordBox.get()
-		if !ok {
-			return
-		}
-		cm := v.(coordMsg)
-		c.p.Coord.Receive(cm.from, cm.msg, send, broadcast)
-		c.inflight.Done()
-	}
-}
-
-// Arrive injects one element at site and blocks until the whole system is
-// quiescent again, matching the paper's model where no element arrives while
-// messages are outstanding.
-func (c *Cluster) Arrive(site int, item int64, value float64) {
-	atomic.AddInt64(&c.arrivals, 1)
-	c.inflight.Add(1)
-	c.siteBoxes[site].put(arrival{item: item, value: value})
-	c.inflight.Wait()
-}
-
-// ArriveBatch injects count identical elements at site, equivalent to count
-// Arrive calls: each chunk is absorbed up to the site's next message via the
-// proto.BatchSite fast path, then the resulting cascade is run to
-// quiescence before the rest of the run is fed — so round broadcasts land
-// between arrivals exactly as they would element-at-a-time. Like Arrive, it
-// must not be called concurrently with other injections.
-func (c *Cluster) ArriveBatch(site int, item int64, value float64, count int64) {
-	done := make(chan int64, 1)
-	for count > 0 {
-		c.inflight.Add(1)
-		c.siteBoxes[site].put(arrivalChunk{item: item, value: value, count: count, done: done})
-		consumed := <-done
-		c.inflight.Wait()
-		atomic.AddInt64(&c.arrivals, consumed)
-		count -= consumed
-	}
-}
-
-// Quiesce blocks until no work is in flight. (Arrive already quiesces; this
-// is exposed for callers injecting at multiple sites.)
-func (c *Cluster) Quiesce() { c.inflight.Wait() }
-
-// Metrics returns a snapshot of the cost counters. Call after Quiesce for a
-// consistent view.
-func (c *Cluster) Metrics() Metrics {
-	return Metrics{
-		MessagesUp:   atomic.LoadInt64(&c.messagesUp),
-		MessagesDown: atomic.LoadInt64(&c.messagesDown),
-		WordsUp:      atomic.LoadInt64(&c.wordsUp),
-		WordsDown:    atomic.LoadInt64(&c.wordsDown),
-		Broadcasts:   atomic.LoadInt64(&c.broadcasts),
-		Arrivals:     atomic.LoadInt64(&c.arrivals),
-	}
+	c.RunCoordLoop(func(to int, m proto.Message) {
+		c.SiteBoxes[to].Put(m)
+	})
 }
 
 // Stop shuts down all goroutines. The cluster must be quiescent.
 func (c *Cluster) Stop() {
-	for _, mb := range c.siteBoxes {
-		mb.close()
-	}
-	c.coordBox.close()
+	c.CloseBoxes()
 	c.wg.Wait()
 }
+
+// Close implements runtime.Transport.
+func (c *Cluster) Close() { c.Stop() }

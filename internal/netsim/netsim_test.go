@@ -1,7 +1,6 @@
 package netsim
 
 import (
-	"sync"
 	"testing"
 
 	"disttrack/internal/proto"
@@ -146,39 +145,6 @@ func (c *replyCoord) Receive(from int, m proto.Message, send func(int, proto.Mes
 	send(from, wordMsg(1))
 }
 func (c *replyCoord) SpaceWords() int { return 0 }
-
-func TestMailboxManyProducers(t *testing.T) {
-	mb := newMailbox()
-	const producers = 8
-	const perProducer = 1000
-	var wg sync.WaitGroup
-	for p := 0; p < producers; p++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := 0; i < perProducer; i++ {
-				mb.put(i)
-			}
-		}()
-	}
-	done := make(chan int)
-	go func() {
-		got := 0
-		for {
-			_, ok := mb.get()
-			if !ok {
-				done <- got
-				return
-			}
-			got++
-		}
-	}()
-	wg.Wait()
-	mb.close()
-	if got := <-done; got != producers*perProducer {
-		t.Fatalf("mailbox delivered %d, want %d", got, producers*perProducer)
-	}
-}
 
 func TestStartValidation(t *testing.T) {
 	defer func() {

@@ -1,0 +1,322 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"disttrack/internal/proto"
+)
+
+// Mailbox is an unbounded FIFO usable from multiple producers with one
+// consumer loop. Like the sequential harness's queue it is head-indexed:
+// popping advances head instead of re-slicing (which would strand the
+// backing array's prefix and re-allocate on every append/pop cycle), the
+// dead prefix is compacted when it dominates, and the offsets reset when
+// the queue drains.
+type Mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []any
+	head   int
+	closed bool
+}
+
+// NewMailbox returns an empty open mailbox.
+func NewMailbox() *Mailbox {
+	mb := &Mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// Put enqueues v.
+func (mb *Mailbox) Put(v any) {
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, v)
+	mb.mu.Unlock()
+	mb.cond.Signal()
+}
+
+// Get blocks until a value is available or the mailbox is closed.
+func (mb *Mailbox) Get() (any, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for mb.head == len(mb.queue) && !mb.closed {
+		mb.cond.Wait()
+	}
+	if mb.head == len(mb.queue) {
+		return nil, false
+	}
+	v := mb.queue[mb.head]
+	mb.queue[mb.head] = nil // drop the reference for the GC
+	mb.head++
+	switch {
+	case mb.head == len(mb.queue):
+		mb.queue = mb.queue[:0]
+		mb.head = 0
+	case mb.head >= 64 && mb.head*2 >= len(mb.queue):
+		n := copy(mb.queue, mb.queue[mb.head:])
+		mb.queue = mb.queue[:n]
+		mb.head = 0
+	}
+	return v, true
+}
+
+// Close wakes all blocked consumers; Get drains the remaining queue and
+// then reports false.
+func (mb *Mailbox) Close() {
+	mb.mu.Lock()
+	mb.closed = true
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// Arrival asks a site loop to feed one element to its machine.
+type Arrival struct {
+	Item  int64
+	Value float64
+}
+
+// Chunk asks a site loop to absorb up to Count identical arrivals via the
+// proto.BatchSite fast path, reporting how many it consumed on Done.
+type Chunk struct {
+	Item  int64
+	Value float64
+	Count int64
+	Done  chan int64
+}
+
+// FromMsg is a site->coordinator protocol message with its sender.
+type FromMsg struct {
+	From int
+	Msg  proto.Message
+}
+
+// Fabric is the shared core of the concurrent transports (goroutine
+// mailboxes, TCP loopback): per-site injection mailboxes, the in-flight
+// counter that realizes the instant-communication quiescence barrier, the
+// cost ledger, and quiesce-time space probing. A transport embeds *Fabric,
+// launches its own delivery goroutines, and brackets every message it
+// carries with CountUp/CountDown so Arrive's barrier covers it.
+type Fabric struct {
+	p proto.Protocol
+
+	// SpaceProbeEvery controls how often space is sampled at quiescent
+	// instants (0 disables periodic probing; Probe still samples on
+	// demand). Probes happen after an injection quiesces, so they read
+	// protocol state race-free (the in-flight WaitGroup orders them after
+	// every handler).
+	SpaceProbeEvery int
+
+	// SiteBoxes[i] feeds site i's loop: *Arrival, *Chunk, or a
+	// proto.Message from the coordinator. CoordBox feeds the coordinator
+	// loop with FromMsg values.
+	SiteBoxes []*Mailbox
+	CoordBox  *Mailbox
+
+	// Inflight counts injected arrivals and undelivered messages;
+	// transports' loops call Inflight.Done() after handling each.
+	Inflight sync.WaitGroup
+
+	tap Tap
+
+	// arr and chunk are reusable injection boxes: the injector has at most
+	// one arrival (or chunk) outstanding — it waits for quiescence before
+	// the next — so the same heap value is recycled instead of boxing a
+	// fresh one per element. The mailbox handoff and the done channel
+	// order the field accesses.
+	arr       Arrival
+	chunk     Chunk
+	chunkDone chan int64
+
+	messagesUp, messagesDown int64
+	wordsUp, wordsDown       int64
+	broadcasts, arrivals     int64
+
+	// Space high-water marks, written only at quiescent instants from the
+	// injecting goroutine (see Probe).
+	maxSiteSpace, maxCoordSpace int
+}
+
+// NewFabric validates the protocol and builds the shared core.
+func NewFabric(p proto.Protocol) *Fabric {
+	if p.Coord == nil || len(p.Sites) == 0 {
+		panic("runtime: protocol needs a coordinator and at least one site")
+	}
+	f := &Fabric{
+		p:               p,
+		SpaceProbeEvery: 1024,
+		SiteBoxes:       make([]*Mailbox, len(p.Sites)),
+		CoordBox:        NewMailbox(),
+		chunkDone:       make(chan int64, 1),
+	}
+	for i := range f.SiteBoxes {
+		f.SiteBoxes[i] = NewMailbox()
+	}
+	f.chunk.Done = f.chunkDone
+	return f
+}
+
+// Protocol returns the mounted protocol.
+func (f *Fabric) Protocol() proto.Protocol { return f.p }
+
+// CountUp brackets one site->coordinator message: in-flight token, ledger,
+// tap. The transport delivers the message after calling it.
+func (f *Fabric) CountUp(from int, m proto.Message) {
+	f.Inflight.Add(1)
+	atomic.AddInt64(&f.messagesUp, 1)
+	atomic.AddInt64(&f.wordsUp, int64(m.Words()))
+	if f.tap != nil {
+		f.tap.Up(from, m)
+	}
+}
+
+// CountDown brackets one coordinator->site message.
+func (f *Fabric) CountDown(to int, m proto.Message) {
+	f.Inflight.Add(1)
+	atomic.AddInt64(&f.messagesDown, 1)
+	atomic.AddInt64(&f.wordsDown, int64(m.Words()))
+	if f.tap != nil {
+		f.tap.Down(to, m)
+	}
+}
+
+// CountBroadcast records one broadcast operation (the per-site sends are
+// still counted individually via CountDown).
+func (f *Fabric) CountBroadcast() {
+	atomic.AddInt64(&f.broadcasts, 1)
+}
+
+// Arrive implements Transport: it injects one element at site and blocks
+// until the whole system is quiescent again, matching the paper's model
+// where no element arrives while messages are outstanding.
+func (f *Fabric) Arrive(site int, item int64, value float64) {
+	n := atomic.AddInt64(&f.arrivals, 1)
+	f.Inflight.Add(1)
+	f.arr.Item, f.arr.Value = item, value
+	f.SiteBoxes[site].Put(&f.arr)
+	f.Inflight.Wait()
+	if f.SpaceProbeEvery > 0 && n%int64(f.SpaceProbeEvery) == 0 {
+		f.Probe()
+	}
+}
+
+// ArriveBatch implements Transport: each chunk is absorbed up to the
+// site's next message via the proto.BatchSite fast path, then the
+// resulting cascade runs to quiescence before the rest of the run is fed —
+// so round broadcasts land between arrivals exactly as they would
+// element-at-a-time.
+func (f *Fabric) ArriveBatch(site int, item int64, value float64, count int64) {
+	every := int64(f.SpaceProbeEvery)
+	for count > 0 {
+		f.Inflight.Add(1)
+		f.chunk.Item, f.chunk.Value, f.chunk.Count = item, value, count
+		f.SiteBoxes[site].Put(&f.chunk)
+		consumed := <-f.chunkDone
+		f.Inflight.Wait()
+		n := atomic.AddInt64(&f.arrivals, consumed)
+		count -= consumed
+		if every > 0 && n%every < consumed {
+			f.Probe()
+		}
+	}
+}
+
+// RunSiteLoop runs site i's machine on the calling goroutine until the
+// site's mailbox closes: it consumes injected arrivals (*Arrival, *Chunk)
+// and coordinator messages (proto.Message), brackets every emitted message
+// with CountUp, and hands it to deliver — the only transport-specific step
+// (enqueue on the coordinator mailbox, write a frame to a socket, ...).
+func (f *Fabric) RunSiteLoop(i int, deliver func(m proto.Message)) {
+	site := f.p.Sites[i]
+	box := f.SiteBoxes[i]
+	out := func(m proto.Message) {
+		f.CountUp(i, m)
+		deliver(m)
+	}
+	for {
+		v, ok := box.Get()
+		if !ok {
+			return
+		}
+		switch msg := v.(type) {
+		case *Arrival:
+			site.Arrive(msg.Item, msg.Value, out)
+		case *Chunk:
+			msg.Done <- proto.ArriveChunk(site, msg.Item, msg.Value, msg.Count, out)
+		case proto.Message:
+			site.Receive(msg, out)
+		}
+		f.Inflight.Done()
+	}
+}
+
+// RunCoordLoop runs the coordinator machine on the calling goroutine until
+// the coordinator mailbox closes, consuming FromMsg values. Sends and
+// broadcasts are bracketed with CountDown/CountBroadcast; deliver carries
+// one message to one site.
+func (f *Fabric) RunCoordLoop(deliver func(to int, m proto.Message)) {
+	send := func(to int, m proto.Message) {
+		f.CountDown(to, m)
+		deliver(to, m)
+	}
+	broadcast := func(m proto.Message) {
+		f.CountBroadcast()
+		for s := range f.p.Sites {
+			send(s, m)
+		}
+	}
+	for {
+		v, ok := f.CoordBox.Get()
+		if !ok {
+			return
+		}
+		cm := v.(FromMsg)
+		f.p.Coord.Receive(cm.From, cm.Msg, send, broadcast)
+		f.Inflight.Done()
+	}
+}
+
+// Quiesce implements Transport.
+func (f *Fabric) Quiesce() { f.Inflight.Wait() }
+
+// Probe implements Transport. The fabric must be quiescent: the in-flight
+// WaitGroup then orders this read after every handler that touched
+// protocol state, so it is race-free even though the machines live on
+// other goroutines.
+func (f *Fabric) Probe() {
+	for _, s := range f.p.Sites {
+		if w := s.SpaceWords(); w > f.maxSiteSpace {
+			f.maxSiteSpace = w
+		}
+	}
+	if w := f.p.Coord.SpaceWords(); w > f.maxCoordSpace {
+		f.maxCoordSpace = w
+	}
+}
+
+// SetTap implements Transport: tap observes every message at send time
+// (per-link order matches delivery order; different links may call it
+// concurrently). Install before the first arrival.
+func (f *Fabric) SetTap(t Tap) { f.tap = t }
+
+// Metrics implements Transport. Call after Quiesce for a consistent view.
+func (f *Fabric) Metrics() Metrics {
+	return Metrics{
+		MessagesUp:    atomic.LoadInt64(&f.messagesUp),
+		MessagesDown:  atomic.LoadInt64(&f.messagesDown),
+		WordsUp:       atomic.LoadInt64(&f.wordsUp),
+		WordsDown:     atomic.LoadInt64(&f.wordsDown),
+		Broadcasts:    atomic.LoadInt64(&f.broadcasts),
+		Arrivals:      atomic.LoadInt64(&f.arrivals),
+		MaxSiteSpace:  f.maxSiteSpace,
+		MaxCoordSpace: f.maxCoordSpace,
+	}
+}
+
+// CloseBoxes closes every mailbox, releasing the transport's loops.
+func (f *Fabric) CloseBoxes() {
+	for _, mb := range f.SiteBoxes {
+		mb.Close()
+	}
+	f.CoordBox.Close()
+}

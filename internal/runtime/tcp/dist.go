@@ -1,0 +1,334 @@
+package tcp
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"disttrack/internal/proto"
+	"disttrack/internal/runtime"
+	"disttrack/internal/wire"
+)
+
+// This file is the genuinely distributed mode: a coordinator process
+// (Server) and k site processes (SiteConn) running the paper's protocols
+// over real TCP connections, exchanging the same wire frames as the
+// in-process TCPLoopback transport. cmd/tracksim's serve and connect
+// subcommands are thin wrappers around these two types.
+//
+// Unlike the three in-process transports, the distributed mode cannot
+// enforce the paper's instant-communication idealization — a real network
+// has latency, so elements keep arriving while messages are in flight. The
+// protocols tolerate this (their state machines are asynchronous by
+// construction); the accounting and estimates simply reflect whatever
+// interleaving the network produced.
+
+// Server hosts a protocol's coordinator half for k remote site processes.
+type Server struct {
+	// Coord is the coordinator state machine (required).
+	Coord proto.Coordinator
+	// K is the number of site processes to expect (required, >= 1).
+	K int
+	// Config is an optional fingerprint of the protocol configuration
+	// (problem, algorithm, ε, rescale, ...). Sites must dial with the same
+	// value in their Hello frame; a mismatch rejects the site, so a
+	// mis-deployed pair fails loudly instead of silently dropping every
+	// protocol message. Zero on both sides matches.
+	Config uint64
+	// ReportEvery, when positive, invokes Report after every ReportEvery
+	// processed protocol messages. Report runs on the coordinator loop, so
+	// it may safely query the coordinator machine.
+	ReportEvery int64
+	Report      func(m runtime.Metrics)
+
+	// Cost counters; only the Serve goroutine touches them (sends,
+	// dispatch, and the Report callback all run there), so they are plain
+	// fields — unlike runtime.Fabric, no cross-goroutine sharing exists.
+	messagesUp, messagesDown int64
+	wordsUp, wordsDown       int64
+	broadcasts               int64
+	siteArrivals             int64 // summed from Done frames
+}
+
+// Serve accepts s.K site connections on ln, runs the coordinator until
+// every site has sent its Done frame, closes the connections, and returns
+// the final cost ledger. The caller owns ln.
+func (s *Server) Serve(ln net.Listener) (runtime.Metrics, error) {
+	if s.Coord == nil || s.K < 1 {
+		return runtime.Metrics{}, fmt.Errorf("tcp: server needs a coordinator and K >= 1")
+	}
+	conns := make([]net.Conn, s.K)
+	defer func() {
+		for _, conn := range conns {
+			if conn != nil {
+				conn.Close()
+			}
+		}
+	}()
+
+	var hbuf []byte
+	for i := 0; i < s.K; i++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return runtime.Metrics{}, fmt.Errorf("tcp: serve accept: %w", err)
+		}
+		var m proto.Message
+		m, hbuf, err = wire.ReadFrame(conn, hbuf)
+		if err != nil {
+			conn.Close()
+			return runtime.Metrics{}, fmt.Errorf("tcp: serve handshake: %w", err)
+		}
+		hello, ok := m.(wire.Hello)
+		if !ok || hello.Site < 0 || hello.Site >= s.K || conns[hello.Site] != nil {
+			conn.Close()
+			return runtime.Metrics{}, fmt.Errorf("tcp: serve handshake: unexpected %#v", m)
+		}
+		if hello.K != s.K {
+			conn.Close()
+			return runtime.Metrics{}, fmt.Errorf("tcp: site %d dialed with k=%d, server has k=%d",
+				hello.Site, hello.K, s.K)
+		}
+		if hello.Config != s.Config {
+			conn.Close()
+			return runtime.Metrics{}, fmt.Errorf(
+				"tcp: site %d dialed with configuration fingerprint %#x, server has %#x (mismatched problem/algorithm/ε?)",
+				hello.Site, hello.Config, s.Config)
+		}
+		conns[hello.Site] = conn
+	}
+
+	// Per-site readers feed one coordinator loop; writes to the sites all
+	// happen on that loop, so each connection has a single reader and a
+	// single writer. A reader keeps draining past the site's Done frame: a
+	// finished site still answers round broadcasts triggered by the other
+	// sites' traffic (e.g. the count tracker's AdjustMsg re-randomization),
+	// and those protocol messages must reach the coordinator. Readers exit
+	// only when their connection ends — which Serve forces by closing every
+	// connection once all k sites have reported Done.
+	box := runtime.NewMailbox()
+	var rg sync.WaitGroup
+	for i := range conns {
+		rg.Add(1)
+		go func(i int) {
+			defer rg.Done()
+			doneSeen := false
+			var buf []byte
+			for {
+				m, b, err := wire.ReadFrame(conns[i], buf)
+				buf = b
+				if err != nil {
+					if !doneSeen {
+						box.Put(runtime.FromMsg{From: i, Msg: nil}) // site lost
+					}
+					return
+				}
+				if _, done := m.(wire.Done); done {
+					doneSeen = true
+				}
+				box.Put(runtime.FromMsg{From: i, Msg: m})
+			}
+		}(i)
+	}
+
+	var frame []byte
+	send := func(to int, m proto.Message) {
+		s.messagesDown++
+		s.wordsDown += int64(m.Words())
+		var err error
+		frame, err = wire.AppendFrame(frame[:0], m)
+		if err == nil {
+			_, err = conns[to].Write(frame)
+		}
+		_ = err // a vanished site cannot be helped; its reader reports it
+	}
+	broadcast := func(m proto.Message) {
+		s.broadcasts++
+		for to := range conns {
+			send(to, m)
+		}
+	}
+
+	remaining, lost := s.K, 0
+	var processed int64
+	for remaining > 0 {
+		v, _ := box.Get()
+		cm := v.(runtime.FromMsg)
+		switch m := cm.Msg.(type) {
+		case nil:
+			remaining-- // connection lost before Done
+			lost++
+		case wire.Done:
+			s.siteArrivals += m.Arrivals
+			remaining--
+		default:
+			s.messagesUp++
+			s.wordsUp += int64(cm.Msg.Words())
+			s.Coord.Receive(cm.From, cm.Msg, send, broadcast)
+			processed++
+			if s.ReportEvery > 0 && processed%s.ReportEvery == 0 && s.Report != nil {
+				s.Report(s.metrics())
+			}
+		}
+	}
+	// Every site has finished: hang up so the (still-draining) readers see
+	// EOF and exit, then collect them.
+	for _, conn := range conns {
+		conn.Close()
+	}
+	rg.Wait()
+	// Protocol messages that were already received but queued behind the
+	// final Done (e.g. a finished site's AdjustMsg reply to a late round
+	// broadcast) still belong to the run — feed them to the coordinator so
+	// the final state reflects everything the sites sent. The readers have
+	// exited, so closing the box lets Get drain without blocking; sends
+	// during the drain hit closed connections and are dropped, which is
+	// fine — the sites are gone.
+	box.Close()
+	for {
+		v, ok := box.Get()
+		if !ok {
+			break
+		}
+		cm := v.(runtime.FromMsg)
+		switch cm.Msg.(type) {
+		case nil, wire.Done: // terminal events, already accounted
+		default:
+			s.messagesUp++
+			s.wordsUp += int64(cm.Msg.Words())
+			s.Coord.Receive(cm.From, cm.Msg, send, broadcast)
+		}
+	}
+	if lost > 0 {
+		return s.metrics(), fmt.Errorf(
+			"tcp: %d of %d sites disconnected before finishing; the final state is missing their data", lost, s.K)
+	}
+	return s.metrics(), nil
+}
+
+func (s *Server) metrics() runtime.Metrics {
+	return runtime.Metrics{
+		MessagesUp:   s.messagesUp,
+		MessagesDown: s.messagesDown,
+		WordsUp:      s.wordsUp,
+		WordsDown:    s.wordsDown,
+		Broadcasts:   s.broadcasts,
+		Arrivals:     s.siteArrivals,
+	}
+}
+
+// SiteConn drives one protocol site machine in a site process, connected to
+// a Server over TCP. Feed it with Arrive/ArriveBatch and Close it to send
+// the Done frame. A background reader applies coordinator broadcasts to the
+// site machine as they land; a mutex serializes the machine between the
+// feeding goroutine and the reader.
+type SiteConn struct {
+	site int
+	s    proto.Site
+	conn net.Conn
+
+	mu       sync.Mutex // guards s, frame, and conn writes
+	frame    []byte
+	arrivals int64
+	sendErr  error
+
+	readerDone chan struct{}
+}
+
+// DialSite connects site machine s with index site to the server at addr.
+// config must match the server's configuration fingerprint (see
+// Server.Config); pass 0 when neither side fingerprints.
+func DialSite(addr string, site, k int, config uint64, s proto.Site) (*SiteConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: dial %s: %w", addr, err)
+	}
+	sc := &SiteConn{site: site, s: s, conn: conn, readerDone: make(chan struct{})}
+	sc.frame, err = wire.AppendFrame(sc.frame[:0], wire.Hello{Site: site, K: k, Config: config})
+	if err == nil {
+		_, err = conn.Write(sc.frame)
+	}
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("tcp: handshake: %w", err)
+	}
+	go sc.reader()
+	return sc, nil
+}
+
+// out ships one site message; callers hold sc.mu.
+func (sc *SiteConn) out(m proto.Message) {
+	var err error
+	sc.frame, err = wire.AppendFrame(sc.frame[:0], m)
+	if err == nil {
+		_, err = sc.conn.Write(sc.frame)
+	}
+	if err != nil && sc.sendErr == nil {
+		sc.sendErr = err
+	}
+}
+
+// reader applies coordinator messages to the site machine as they arrive.
+func (sc *SiteConn) reader() {
+	defer close(sc.readerDone)
+	var buf []byte
+	for {
+		m, b, err := wire.ReadFrame(sc.conn, buf)
+		buf = b
+		if err != nil {
+			return
+		}
+		sc.mu.Lock()
+		sc.s.Receive(m, sc.out)
+		sc.mu.Unlock()
+	}
+}
+
+// Arrive feeds one element to the site machine.
+func (sc *SiteConn) Arrive(item int64, value float64) {
+	sc.mu.Lock()
+	sc.arrivals++
+	sc.s.Arrive(item, value, sc.out)
+	sc.mu.Unlock()
+}
+
+// ArriveBatch feeds count identical elements through the proto.BatchSite
+// fast path.
+func (sc *SiteConn) ArriveBatch(item int64, value float64, count int64) {
+	sc.mu.Lock()
+	for count > 0 {
+		done := proto.ArriveChunk(sc.s, item, value, count, sc.out)
+		sc.arrivals += done
+		count -= done
+	}
+	sc.mu.Unlock()
+}
+
+// Arrivals returns the number of elements fed so far.
+func (sc *SiteConn) Arrivals() int64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.arrivals
+}
+
+// Abort drops the connection without a Done frame, simulating a site
+// process dying mid-stream (tests; a real crash has the same effect).
+func (sc *SiteConn) Abort() {
+	sc.conn.Close()
+	<-sc.readerDone
+}
+
+// Close sends the Done frame, waits for the server to hang up, and closes
+// the connection. The server hangs up only after every site has sent Done,
+// so Close blocks until the whole distributed run finishes — keeping this
+// site's machine responsive to round broadcasts (and their reply messages)
+// triggered by the other sites' remaining traffic. It returns the first
+// send error seen, if any.
+func (sc *SiteConn) Close() error {
+	sc.mu.Lock()
+	sc.out(wire.Done{Arrivals: sc.arrivals})
+	err := sc.sendErr
+	sc.mu.Unlock()
+	<-sc.readerDone
+	sc.conn.Close()
+	return err
+}

@@ -1,0 +1,236 @@
+// Package tcp hosts the socket-backed transports: the in-process TCP
+// loopback fabric (Loopback, mounted via disttrack.TransportTCP) and the
+// genuinely distributed coordinator/site hosts (Server, SiteConn) used by
+// cmd/tracksim serve / connect. Both ship every protocol message as a
+// length-prefixed frame carrying its internal/wire encoding.
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"disttrack/internal/proto"
+	"disttrack/internal/runtime"
+	"disttrack/internal/wire"
+)
+
+// Loopback hosts one protocol over real sockets: one goroutine per site
+// machine plus one for the coordinator, each site connected to the
+// coordinator by its own TCP connection on the loopback interface. Every
+// protocol message crosses the kernel as a length-prefixed frame carrying
+// its wire encoding (internal/wire), so this transport exercises the full
+// encode -> socket -> decode path while still enforcing the paper's
+// instant-communication model: the embedded runtime.Fabric brackets every
+// frame from send to handler completion with its in-flight counter, and
+// Arrive blocks until the cascade has quiesced.
+//
+// For a fixed seed the protocol behaves identically to the sequential and
+// goroutine transports — same per-link message sequences, same Metrics,
+// same query answers (the transport-independence test in the root package
+// pins this).
+type Loopback struct {
+	*runtime.Fabric
+
+	siteConns  []net.Conn // site-side (dialed) connection per site
+	coordConns []net.Conn // coordinator-side (accepted) connection per site
+
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// StartLoopback mounts the protocol on a fresh loopback TCP fabric: it
+// listens on an ephemeral 127.0.0.1 port, dials one connection per site,
+// completes the Hello handshake on each, and launches the site and
+// coordinator loops.
+func StartLoopback(p proto.Protocol) (*Loopback, error) {
+	k := p.K()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("tcp: transport listen: %w", err)
+	}
+	defer ln.Close()
+
+	c := &Loopback{
+		Fabric:     runtime.NewFabric(p),
+		siteConns:  make([]net.Conn, k),
+		coordConns: make([]net.Conn, k),
+	}
+
+	// Dial the site ends concurrently with accepting the coordinator ends;
+	// each dialed connection introduces itself with a Hello frame. A dial
+	// failure closes the listener so the accept loop below unblocks instead
+	// of waiting forever for connections that will never come.
+	dialErr := make(chan error, 1)
+	go func() {
+		var buf []byte
+		for i := 0; i < k; i++ {
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				ln.Close()
+				dialErr <- err
+				return
+			}
+			c.siteConns[i] = conn
+			buf, err = wire.AppendFrame(buf[:0], wire.Hello{Site: i, K: k})
+			if err == nil {
+				_, err = conn.Write(buf)
+			}
+			if err != nil {
+				ln.Close()
+				dialErr <- err
+				return
+			}
+		}
+		dialErr <- nil
+	}()
+	acceptErr := func() error {
+		var buf []byte
+		for accepted := 0; accepted < k; accepted++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return err
+			}
+			var m proto.Message
+			m, buf, err = wire.ReadFrame(conn, buf)
+			if err != nil {
+				conn.Close()
+				return err
+			}
+			hello, ok := m.(wire.Hello)
+			if !ok || hello.Site < 0 || hello.Site >= k || c.coordConns[hello.Site] != nil {
+				conn.Close()
+				return fmt.Errorf("bad handshake %#v", m)
+			}
+			c.coordConns[hello.Site] = conn
+		}
+		return nil
+	}()
+	if err := <-dialErr; err != nil || acceptErr != nil {
+		c.closeConns()
+		if err == nil {
+			err = acceptErr
+		}
+		return nil, fmt.Errorf("tcp: transport handshake: %w", err)
+	}
+
+	for i := 0; i < k; i++ {
+		c.wg.Add(3)
+		go c.siteLoop(i)
+		go c.siteReader(i)
+		go c.coordReader(i)
+	}
+	c.wg.Add(1)
+	go c.coordLoop()
+	return c, nil
+}
+
+// fail aborts on an unexpected transport error. Loopback sockets between
+// two ends of one healthy process do not fail; anything else is a bug, and
+// swallowing it would deadlock the in-flight accounting.
+func (c *Loopback) fail(op string, err error) {
+	if c.closed.Load() {
+		return
+	}
+	panic(fmt.Sprintf("tcp: transport %s: %v", op, err))
+}
+
+// siteLoop runs site i's machine via the shared fabric loop, delivering
+// every emitted message as one frame on the site's connection.
+func (c *Loopback) siteLoop(i int) {
+	defer c.wg.Done()
+	conn := c.siteConns[i]
+	var frame []byte
+	c.RunSiteLoop(i, func(m proto.Message) {
+		var err error
+		frame, err = wire.AppendFrame(frame[:0], m)
+		if err == nil {
+			_, err = conn.Write(frame)
+		}
+		if err != nil {
+			c.fail("site send", err)
+		}
+	})
+}
+
+// siteReader decodes coordinator->site frames into site i's mailbox.
+func (c *Loopback) siteReader(i int) {
+	defer c.wg.Done()
+	conn := c.siteConns[i]
+	var buf []byte
+	for {
+		m, b, err := wire.ReadFrame(conn, buf)
+		buf = b
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || c.closed.Load() {
+				return
+			}
+			c.fail("site read", err)
+			return
+		}
+		c.SiteBoxes[i].Put(m)
+	}
+}
+
+// coordReader decodes site i's frames into the coordinator mailbox.
+func (c *Loopback) coordReader(i int) {
+	defer c.wg.Done()
+	conn := c.coordConns[i]
+	var buf []byte
+	for {
+		m, b, err := wire.ReadFrame(conn, buf)
+		buf = b
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || c.closed.Load() {
+				return
+			}
+			c.fail("coord read", err)
+			return
+		}
+		c.CoordBox.Put(runtime.FromMsg{From: i, Msg: m})
+	}
+}
+
+// coordLoop runs the coordinator machine via the shared fabric loop,
+// delivering each message as one frame on the target site's connection.
+func (c *Loopback) coordLoop() {
+	defer c.wg.Done()
+	var frame []byte
+	c.RunCoordLoop(func(to int, m proto.Message) {
+		var err error
+		frame, err = wire.AppendFrame(frame[:0], m)
+		if err == nil {
+			_, err = c.coordConns[to].Write(frame)
+		}
+		if err != nil {
+			c.fail("coord send", err)
+		}
+	})
+}
+
+func (c *Loopback) closeConns() {
+	for _, conn := range c.siteConns {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+	for _, conn := range c.coordConns {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+}
+
+// Close implements runtime.Transport: it shuts down all goroutines and
+// closes the sockets. The transport must be quiescent.
+func (c *Loopback) Close() {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	c.CloseBoxes()
+	c.closeConns()
+	c.wg.Wait()
+}

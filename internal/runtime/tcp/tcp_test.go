@@ -1,0 +1,175 @@
+package tcp_test
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"disttrack/internal/count"
+	"disttrack/internal/proto"
+	"disttrack/internal/runtime"
+	"disttrack/internal/runtime/tcp"
+	"disttrack/internal/stats"
+)
+
+// TestLoopbackTransportCountRandomized drives the in-process loopback
+// transport directly through the runtime seam and checks the paper's
+// guarantees survive the encode -> socket -> decode path.
+func TestLoopbackTransportCountRandomized(t *testing.T) {
+	const k, n = 4, 3000
+	cfg := count.Config{K: k, Eps: 0.1}
+	p, coord := count.NewProtocol(cfg, 7)
+	tr, err := tcp.StartLoopback(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := runtime.New(tr)
+	defer r.Close()
+	bad := 0
+	for i := 0; i < n; i++ {
+		r.Arrive(i%k, 0, 0)
+		if i%13 == 0 {
+			if est := coord.Estimate(); stats.RelErr(est, float64(i+1)) > 0.2 {
+				bad++
+			}
+		}
+	}
+	if frac := float64(bad) / float64(n/13); frac > 0.1 {
+		t.Errorf("%.1f%% of checks outside the band", 100*frac)
+	}
+	m := r.Metrics()
+	if m.Arrivals != n {
+		t.Errorf("arrivals = %d, want %d", m.Arrivals, n)
+	}
+	if m.Messages() == 0 || m.Words() == 0 || m.Broadcasts == 0 {
+		t.Errorf("no traffic crossed the sockets: %+v", m)
+	}
+	if m.MaxSiteSpace == 0 || m.MaxCoordSpace == 0 {
+		t.Errorf("space probes missing: %+v", m)
+	}
+}
+
+// TestServeRejectsMismatchedConfig pins the handshake guard: a site dialing
+// with a different configuration fingerprint is refused instead of having
+// all its protocol messages silently ignored.
+func TestServeRejectsMismatchedConfig(t *testing.T) {
+	cfg := count.Config{K: 1, Eps: 0.1}
+	srv := &tcp.Server{Coord: count.NewCoordinator(cfg), K: 1, Config: 111}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	res := make(chan error, 1)
+	go func() {
+		_, err := srv.Serve(ln)
+		res <- err
+	}()
+	sc, err := tcp.DialSite(ln.Addr().String(), 0, 1, 222, count.NewSite(cfg, stats.New(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-res; err == nil {
+		t.Error("serve accepted a site with a mismatched configuration fingerprint")
+	}
+	sc.Close()
+}
+
+// TestServeReportsLostSite pins that a site vanishing before its Done frame
+// surfaces as an error rather than a clean "all sites finished".
+func TestServeReportsLostSite(t *testing.T) {
+	cfg := count.Config{K: 1, Eps: 0.1}
+	srv := &tcp.Server{Coord: count.NewCoordinator(cfg), K: 1}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	res := make(chan error, 1)
+	go func() {
+		_, err := srv.Serve(ln)
+		res <- err
+	}()
+	sc, err := tcp.DialSite(ln.Addr().String(), 0, 1, 0, count.NewSite(cfg, stats.New(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		sc.Arrive(0, 0)
+	}
+	// Vanish without a Done frame.
+	sc.Abort()
+	if err := <-res; err == nil {
+		t.Error("serve reported a clean finish despite a lost site")
+	}
+}
+
+// TestServeConnectDistributed runs the genuinely distributed mode inside
+// one test process: a Server hosting the coordinator, k concurrent
+// SiteConn "processes" streaming their shares over real TCP connections.
+func TestServeConnectDistributed(t *testing.T) {
+	const k = 3
+	const perSite = 2000
+	cfg := count.Config{K: k, Eps: 0.1}
+	coord := count.NewCoordinator(cfg)
+	srv := &tcp.Server{Coord: coord, K: k}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	type served struct {
+		m   runtime.Metrics
+		err error
+	}
+	res := make(chan served, 1)
+	go func() {
+		m, err := srv.Serve(ln)
+		res <- served{m, err}
+	}()
+
+	var wg sync.WaitGroup
+	root := stats.New(11)
+	for i := 0; i < k; i++ {
+		site := count.NewSite(cfg, root.Split())
+		wg.Add(1)
+		go func(i int, s proto.Site) {
+			defer wg.Done()
+			sc, err := tcp.DialSite(ln.Addr().String(), i, k, 0, s)
+			if err != nil {
+				t.Errorf("site %d: %v", i, err)
+				return
+			}
+			for j := 0; j < perSite; j++ {
+				sc.Arrive(0, 0)
+			}
+			// Half the stream again through the batch fast path.
+			sc.ArriveBatch(0, 0, perSite)
+			if got := sc.Arrivals(); got != 2*perSite {
+				t.Errorf("site %d: arrivals = %d, want %d", i, got, 2*perSite)
+			}
+			if err := sc.Close(); err != nil {
+				t.Errorf("site %d close: %v", i, err)
+			}
+		}(i, site)
+	}
+	wg.Wait()
+	sr := <-res
+	if sr.err != nil {
+		t.Fatalf("serve: %v", sr.err)
+	}
+	total := float64(2 * perSite * k)
+	if sr.m.Arrivals != int64(total) {
+		t.Errorf("server saw %d arrivals in Done frames, want %.0f", sr.m.Arrivals, total)
+	}
+	if sr.m.MessagesUp == 0 || sr.m.Broadcasts == 0 {
+		t.Errorf("no protocol traffic reached the server: %+v", sr.m)
+	}
+	// The network was quiescent when the sites closed, so the estimate must
+	// be inside the (generous) band.
+	if est := coord.Estimate(); stats.RelErr(est, total) > 0.25 {
+		t.Errorf("distributed estimate %.0f too far from %.0f", est, total)
+	}
+}

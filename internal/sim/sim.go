@@ -1,10 +1,11 @@
-// Package sim is the sequential reference runtime: it delivers elements to
-// protocol sites one at a time, runs every resulting message cascade to
-// quiescence (the paper's instant-communication assumption), and keeps exact
-// message/word/space accounting.
+// Package sim is the sequential reference transport: it delivers elements
+// to protocol sites one at a time, runs every resulting message cascade to
+// quiescence (the paper's instant-communication assumption), and keeps
+// exact message/word/space accounting. Harness implements the
+// runtime.Transport seam; it is the fabric disttrack mounts by default.
 //
 // All experiment and benchmark numbers in this repository come from this
-// runtime, so they are deterministic given the protocol's RNG seeds.
+// transport, so they are deterministic given the protocol's RNG seeds.
 //
 // Two ingestion paths exist. Arrive feeds one element; ArriveBatch feeds a
 // run of identical elements through the proto.BatchSite fast path, splitting
@@ -17,31 +18,13 @@ package sim
 
 import (
 	"disttrack/internal/proto"
+	"disttrack/internal/runtime"
 	"disttrack/internal/workload"
 )
 
-// Metrics is the cost ledger of one run, in the paper's units.
-type Metrics struct {
-	MessagesUp   int64 // site -> coordinator messages
-	MessagesDown int64 // coordinator -> site messages (a broadcast counts k)
-	WordsUp      int64
-	WordsDown    int64
-	Broadcasts   int64 // number of broadcast operations (before the k factor)
-	Arrivals     int64
-
-	// MaxSiteSpace is the high-water mark of the maximum per-site space
-	// observed at probe instants; MaxCoordSpace likewise for the
-	// coordinator. Probing happens every SpaceProbeEvery arrivals and at
-	// the end of the run.
-	MaxSiteSpace  int
-	MaxCoordSpace int
-}
-
-// Messages returns the total message count.
-func (m Metrics) Messages() int64 { return m.MessagesUp + m.MessagesDown }
-
-// Words returns the total word count.
-func (m Metrics) Words() int64 { return m.WordsUp + m.WordsDown }
+// Metrics is the cost ledger of one run, in the paper's units, shared with
+// the other transports through the runtime seam.
+type Metrics = runtime.Metrics
 
 // Harness hosts one protocol instance.
 type Harness struct {
@@ -70,6 +53,9 @@ type Harness struct {
 	// batch[i] is non-nil when site i implements the proto.BatchSite fast
 	// path (resolved once so ArriveBatch avoids a type assertion per chunk).
 	batch []proto.BatchSite
+
+	// tap, when set, observes every delivered message (runtime.Tap).
+	tap runtime.Tap
 }
 
 type envelope struct {
@@ -112,6 +98,17 @@ func (h *Harness) K() int { return h.p.K() }
 
 // Metrics returns a copy of the current cost ledger.
 func (h *Harness) Metrics() Metrics { return h.metrics }
+
+// Quiesce implements runtime.Transport; the sequential transport is
+// quiescent whenever control returns to the caller.
+func (h *Harness) Quiesce() {}
+
+// SetTap implements runtime.Transport: tap observes every delivered
+// message. Install before the first arrival.
+func (h *Harness) SetTap(t runtime.Tap) { h.tap = t }
+
+// Close implements runtime.Transport (nothing to release).
+func (h *Harness) Close() {}
 
 // Arrive delivers one element to site and runs the protocol to quiescence.
 func (h *Harness) Arrive(site int, item int64, value float64) {
@@ -174,10 +171,16 @@ func (h *Harness) drain() {
 		if env.toCoord {
 			h.metrics.MessagesUp++
 			h.metrics.WordsUp += int64(env.msg.Words())
+			if h.tap != nil {
+				h.tap.Up(env.from, env.msg)
+			}
 			h.p.Coord.Receive(env.from, env.msg, h.coordSend, h.coordCast)
 		} else {
 			h.metrics.MessagesDown++
 			h.metrics.WordsDown += int64(env.msg.Words())
+			if h.tap != nil {
+				h.tap.Down(env.to, env.msg)
+			}
 			h.p.Sites[env.to].Receive(env.msg, h.siteOuts[env.to])
 		}
 	}

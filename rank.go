@@ -6,6 +6,7 @@ import (
 	"disttrack/internal/boost"
 	"disttrack/internal/proto"
 	"disttrack/internal/rank"
+	"disttrack/internal/runtime"
 	"disttrack/internal/sample"
 	"disttrack/internal/stats"
 )
@@ -15,7 +16,7 @@ import (
 // rank-tracking problem (Section 4).
 type RankTracker struct {
 	opt      Options
-	eng      engine
+	eng      *runtime.Runtime
 	rankFn   func(x float64) float64
 	quantile func(q, lo, hi float64) float64
 }
@@ -90,7 +91,7 @@ func (t *RankTracker) Observe(site int, value float64) {
 	if site < 0 || site >= t.opt.K {
 		panic("disttrack: site out of range")
 	}
-	t.eng.arrive(site, 0, value)
+	t.eng.Arrive(site, 0, value)
 }
 
 // ObserveBatch records count consecutive arrivals of value at the given
@@ -108,7 +109,7 @@ func (t *RankTracker) ObserveBatch(site int, value float64, count int) {
 	if count < 0 {
 		panic("disttrack: negative batch count")
 	}
-	t.eng.arriveBatch(site, 0, value, int64(count))
+	t.eng.ArriveBatch(site, 0, value, int64(count))
 }
 
 // Rank returns the estimated number of observed values strictly smaller
@@ -120,7 +121,7 @@ func (t *RankTracker) Rank(x float64) float64 { return t.rankFn(x) }
 func (t *RankTracker) Quantile(q, lo, hi float64) float64 { return t.quantile(q, lo, hi) }
 
 // Metrics returns the accumulated communication and space costs.
-func (t *RankTracker) Metrics() Metrics { return t.eng.metrics() }
+func (t *RankTracker) Metrics() Metrics { return metricsFrom(t.eng.Metrics()) }
 
 // Close stops the concurrent runtime's goroutines (no-op otherwise).
-func (t *RankTracker) Close() { t.eng.close() }
+func (t *RankTracker) Close() { t.eng.Close() }
