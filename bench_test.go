@@ -499,6 +499,74 @@ func BenchmarkObserveBatchTransport(b *testing.B) {
 	}
 }
 
+// --- E17: multi-producer ingestion throughput (not a paper artifact): the
+// concurrent frontend (Options.ConcurrentIngest) fed by N producer
+// goroutines, against the single-goroutine serial baseline. ns/op is
+// aggregate wall-clock per element across all producers. The "serial" row
+// is the plain tracker (no frontend) fed by the benchmark goroutine — the
+// number the p=N rows must beat on multicore hardware; on a single-core
+// runner the staging mutex is pure overhead and p=N can only tie at best,
+// so compare rows within one machine's snapshot. ---
+
+// benchProducers drives the staging path from `producers` goroutines over
+// the SAME striped global stream regardless of producer count (producer p
+// handles global indices g ≡ p (mod producers), the feedStriped partition
+// from ingest_test.go), so every row — including the serial baseline run
+// with the same indexing — ingests an identical multiset of (site, item)
+// arrivals and only the feeding concurrency varies.
+func benchProducers(b *testing.B, producers int, observe func(g int), flush func()) {
+	b.Helper()
+	feedStriped(producers, b.N, observe)
+	flush()
+}
+
+func BenchmarkMultiProducerIngest(b *testing.B) {
+	b.Run("serial", func(b *testing.B) {
+		tr := NewCountTracker(Options{K: 16, Epsilon: 0.05, Seed: 1})
+		defer tr.Close()
+		b.ResetTimer()
+		for g := 0; g < b.N; g++ {
+			tr.Observe(g % 16)
+		}
+	})
+	for _, producers := range []int{1, 2, 8} {
+		producers := producers
+		b.Run(bname("p", producers), func(b *testing.B) {
+			tr := NewCountTracker(Options{K: 16, Epsilon: 0.05, Seed: 1, ConcurrentIngest: true})
+			defer tr.Close()
+			b.ResetTimer()
+			benchProducers(b, producers,
+				func(g int) { tr.Observe(g % 16) },
+				tr.Flush)
+		})
+	}
+}
+
+func BenchmarkMultiProducerIngestFreq(b *testing.B) {
+	// The same block-structured item stream (runs of a hot item rotating
+	// through a small set) on every row; only the producer count varies.
+	item := func(g int) int64 { return int64(g / 64 % 31) }
+	b.Run("serial", func(b *testing.B) {
+		tr := NewFrequencyTracker(Options{K: 16, Epsilon: 0.05, Seed: 1})
+		defer tr.Close()
+		b.ResetTimer()
+		for g := 0; g < b.N; g++ {
+			tr.Observe(g%16, item(g))
+		}
+	})
+	for _, producers := range []int{1, 8} {
+		producers := producers
+		b.Run(bname("p", producers), func(b *testing.B) {
+			tr := NewFrequencyTracker(Options{K: 16, Epsilon: 0.05, Seed: 1, ConcurrentIngest: true})
+			defer tr.Close()
+			b.ResetTimer()
+			benchProducers(b, producers,
+				func(g int) { tr.Observe(g%16, item(g)) },
+				tr.Flush)
+		})
+	}
+}
+
 func bname(prefix string, v int) string {
 	return prefix + "=" + itoa(v)
 }

@@ -10,6 +10,13 @@
 // sampling. Workloads: roundrobin, single, uniform, zipf. Transports:
 // sequential, goroutine, tcp.
 //
+// The -producers N flag turns the run into a multi-producer load test: the
+// stream is fed from N concurrent goroutines through the tracker's
+// concurrent ingestion frontend (Options.ConcurrentIngest) and the report
+// includes aggregate throughput:
+//
+//	go run ./cmd/tracksim -problem count -k 16 -n 1000000 -producers 8
+//
 // Distributed mode splits the system across processes, exchanging
 // wire-encoded frames over real TCP. Start the coordinator, then one
 // process per site (in separate terminals or machines):
@@ -29,6 +36,8 @@ import (
 	"math"
 	"net"
 	"os"
+	"sync"
+	"time"
 
 	"disttrack"
 	"disttrack/internal/count"
@@ -99,6 +108,10 @@ func singleProcessMain() {
 	transport := flag.String("transport", "sequential", "sequential | goroutine | tcp")
 	concurrent := flag.Bool("concurrent", false, "legacy alias for -transport goroutine")
 	copies := flag.Int("copies", 0, "median-boost copies (randomized algorithms)")
+	producers := flag.Int("producers", 0,
+		"feed the stream from N concurrent goroutines via the ingestion frontend (0 = serial)")
+	ingestPolicy := flag.String("ingestpolicy", "block",
+		"full-buffer policy with -producers: block | drop")
 	flag.Parse()
 
 	algorithm := parseAlg(*alg)
@@ -126,6 +139,20 @@ func singleProcessMain() {
 		Rescale: *rescale, Transport: tr, Copies: *copies}
 	fmt.Printf("problem=%s alg=%s k=%d eps=%g n=%d workload=%s transport=%s copies=%d\n\n",
 		*problem, algorithm, *k, *eps, *n, *wl, tr, *copies)
+
+	if *producers > 0 {
+		opt.ConcurrentIngest = true
+		switch *ingestPolicy {
+		case "block":
+			opt.IngestPolicy = disttrack.IngestBlock
+		case "drop":
+			opt.IngestPolicy = disttrack.IngestDrop
+		default:
+			fatalf("unknown ingest policy %q", *ingestPolicy)
+		}
+		producerRun(opt, *problem, *n, *producers, placement, rng)
+		return
+	}
 
 	checkEvery := *n / 200
 	if checkEvery < 1 {
@@ -198,6 +225,112 @@ func singleProcessMain() {
 	fmt.Printf("words:      %d\n", metrics.Words)
 	fmt.Printf("broadcasts: %d\n", metrics.Broadcasts)
 	fmt.Printf("site space: %d words (high-water)\n", metrics.MaxSiteSpace)
+}
+
+// producerRun is the multi-producer load-generator mode (-producers N):
+// the stream is materialized up front, split striped across N goroutines
+// that hammer the tracker's concurrent ingestion frontend, and the run
+// reports aggregate throughput plus final accuracy. Mid-run ε checkpoints
+// are a serial-feeder notion, so only the final estimate is checked.
+func producerRun(opt disttrack.Options, problem string, n, producers int,
+	placement workload.Placement, rng *stats.RNG) {
+	sites := make([]int, n)
+	for i := range sites {
+		sites[i] = placement(i)
+	}
+
+	type flusher interface {
+		Flush()
+		Metrics() disttrack.Metrics
+		Close()
+	}
+	var tr flusher
+	var observe func(i int)
+	var report func(m disttrack.Metrics)
+
+	switch problem {
+	case "count":
+		t := disttrack.NewCountTracker(opt)
+		tr, observe = t, func(i int) { t.Observe(sites[i]) }
+		report = func(m disttrack.Metrics) {
+			// Under IngestDrop the tracker only saw m.Arrivals elements,
+			// so that — not the offered n — is the count it tracks.
+			truth := float64(m.Arrivals)
+			fmt.Printf("final estimate: %.0f (ingested %.0f of %d offered, rel err %.4f)\n",
+				t.Estimate(), truth, n, stats.RelErr(t.Estimate(), truth))
+		}
+	case "freq":
+		itemFn := workload.ZipfItems(1000, 1.1, rng.Split())
+		items := make([]int64, n)
+		truth := map[int64]int64{}
+		for i := range items {
+			items[i] = itemFn(i)
+			truth[items[i]]++
+		}
+		t := disttrack.NewFrequencyTracker(opt)
+		tr, observe = t, func(i int) { t.Observe(sites[i], items[i]) }
+		report = func(m disttrack.Metrics) {
+			fmt.Printf("hottest item: estimate %.0f (full-stream truth %d)\n", t.Estimate(0), truth[0])
+			if m.Dropped > 0 {
+				fmt.Printf("NOTE: %d of %d elements were shed (IngestDrop); the estimate reflects\n"+
+					"only ingested elements, so the full-stream truth overstates its error.\n",
+					m.Dropped, n)
+			}
+		}
+	case "rank":
+		values := workload.PermValues(n, rng.Split())
+		var below float64
+		q := float64(n) / 2
+		for i := 0; i < n; i++ {
+			if values(i) < q {
+				below++
+			}
+		}
+		t := disttrack.NewRankTracker(opt)
+		tr, observe = t, func(i int) { t.Observe(sites[i], values(i)) }
+		report = func(m disttrack.Metrics) {
+			fmt.Printf("rank(median value): estimate %.0f (full-stream truth %.0f)\n", t.Rank(q), below)
+			if m.Dropped > 0 {
+				fmt.Printf("NOTE: %d of %d elements were shed (IngestDrop); the estimate reflects\n"+
+					"only ingested elements, so the full-stream truth overstates its error.\n",
+					m.Dropped, n)
+			}
+		}
+	default:
+		fatalf("unknown problem %q", problem)
+	}
+	defer tr.Close()
+
+	fmt.Printf("feeding %d elements from %d producer goroutines (policy %s)\n",
+		n, producers, opt.IngestPolicy)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := p; i < n; i += producers {
+				observe(i)
+			}
+		}(p)
+	}
+	wg.Wait()
+	tr.Flush()
+	elapsed := time.Since(start)
+
+	m := tr.Metrics()
+	report(m)
+	fmt.Printf("\nthroughput: %.2f Melem/s aggregate (%.0f ns/element, %v wall)\n",
+		float64(m.Arrivals)/elapsed.Seconds()/1e6,
+		float64(elapsed.Nanoseconds())/float64(max(m.Arrivals, 1)), elapsed.Round(time.Millisecond))
+	fmt.Printf("arrivals:   %d\n", m.Arrivals)
+	if m.Dropped > 0 {
+		fmt.Printf("dropped:    %d (policy %s)\n", m.Dropped, opt.IngestPolicy)
+	}
+	fmt.Printf("messages:   %d\n", m.Messages)
+	fmt.Printf("words:      %d\n", m.Words)
+	fmt.Printf("broadcasts: %d\n", m.Broadcasts)
+	fmt.Printf("site space: %d words (high-water)\n", m.MaxSiteSpace)
 }
 
 // distConfig is the protocol shape shared by serve and connect.
@@ -304,7 +437,11 @@ func serveMain(args []string) {
 		K:           cfg.k,
 		Config:      cfg.fingerprint(),
 		ReportEvery: *reportEvery,
-		Report:      func(m runtime.Metrics) { report() },
+		// Sites ship periodic Progress frames, so mid-run arrivals are live.
+		Report: func(m runtime.Metrics) {
+			fmt.Printf("[%d arrivals] ", m.Arrivals)
+			report()
+		},
 	}
 	m, err := srv.Serve(ln)
 	if err != nil {
@@ -323,6 +460,10 @@ func serveMain(args []string) {
 	fmt.Printf("messages:   %d\n", m.Messages())
 	fmt.Printf("words:      %d\n", m.Words())
 	fmt.Printf("broadcasts: %d\n", m.Broadcasts)
+	if srv.Rejects > 0 {
+		fmt.Printf("rejected %d stray connection(s) during handshake (garbage or silent dials)\n",
+			srv.Rejects)
+	}
 }
 
 func connectMain(args []string) {

@@ -2,22 +2,27 @@ package disttrack
 
 import (
 	"disttrack/internal/count"
-	"disttrack/internal/runtime"
 	"disttrack/internal/sample"
 )
 
 // CountTracker continuously tracks n(t), the total number of elements
 // received across all sites (the paper's count-tracking problem, Section 2).
+//
+// Without Options.ConcurrentIngest, one goroutine at a time may use the
+// tracker; with it, Observe/ObserveBatch and the query methods are safe
+// from any number of goroutines. The embedded core provides Flush,
+// Metrics, and Close.
 type CountTracker struct {
 	opt Options
-	eng *runtime.Runtime
+	k   int // == opt.K, hot-path copy on the same cache line as eng/fe
+	core
 	est func() float64
 }
 
 // NewCountTracker builds a count tracker. It panics on invalid options.
 func NewCountTracker(opt Options) *CountTracker {
 	opt.validate()
-	t := &CountTracker{opt: opt}
+	t := &CountTracker{opt: opt, k: opt.K}
 	switch opt.Algorithm {
 	case AlgorithmRandomized:
 		cfg := count.Config{K: opt.K, Eps: opt.Epsilon, Rescale: opt.Rescale}
@@ -41,15 +46,20 @@ func NewCountTracker(opt Options) *CountTracker {
 	default:
 		panic("disttrack: unknown Algorithm")
 	}
+	t.fe = frontend(opt, t.eng)
 	return t
 }
 
 // Observe records one element arriving at the given site (0-based).
 func (t *CountTracker) Observe(site int) {
-	if site < 0 || site >= t.opt.K {
+	if site < 0 || site >= t.k {
 		panic("disttrack: site out of range")
 	}
-	t.eng.Arrive(site, 0, 0)
+	if t.fe == nil {
+		t.eng.Arrive(site, 0, 0)
+		return
+	}
+	t.fe.Observe(site, 0, 0)
 }
 
 // ObserveBatch records count elements arriving at the given site. It is
@@ -57,20 +67,25 @@ func (t *CountTracker) Observe(site int) {
 // runs in time proportional to the messages the batch triggers, not its
 // length (the site skip-samples the gap to its next report).
 func (t *CountTracker) ObserveBatch(site int, count int) {
-	if site < 0 || site >= t.opt.K {
+	if site < 0 || site >= t.k {
 		panic("disttrack: site out of range")
 	}
 	if count < 0 {
 		panic("disttrack: negative batch count")
 	}
-	t.eng.ArriveBatch(site, 0, 0, int64(count))
+	if t.fe == nil {
+		t.eng.ArriveBatch(site, 0, 0, int64(count))
+		return
+	}
+	t.fe.ObserveBatch(site, 0, 0, int64(count))
 }
 
-// Estimate returns the coordinator's current estimate of n.
-func (t *CountTracker) Estimate() float64 { return t.est() }
-
-// Metrics returns the accumulated communication and space costs.
-func (t *CountTracker) Metrics() Metrics { return metricsFrom(t.eng.Metrics()) }
-
-// Close stops the concurrent runtime's goroutines (no-op otherwise).
-func (t *CountTracker) Close() { t.eng.Close() }
+// Estimate returns the coordinator's current estimate of n. With
+// ConcurrentIngest it reads a quiescent snapshot: everything ingested up to
+// some recent cascade boundary (call Flush first for an
+// everything-observed-so-far barrier).
+func (t *CountTracker) Estimate() float64 {
+	var v float64
+	t.query(func() { v = t.est() })
+	return v
+}

@@ -59,6 +59,7 @@ import (
 	"fmt"
 	"math"
 
+	"disttrack/internal/ingest"
 	"disttrack/internal/netsim"
 	"disttrack/internal/proto"
 	"disttrack/internal/runtime"
@@ -137,10 +138,12 @@ type Options struct {
 	Algorithm Algorithm
 	// Seed makes randomized protocols reproducible; 0 is a valid seed.
 	Seed uint64
-	// Copies enables median boosting for CountTracker: that many
-	// independent protocol copies run side by side and queries return the
-	// median, upgrading the per-instant guarantee to all instants
-	// (Section 1.2). 0 or 1 means no boosting. Ignored by other trackers.
+	// Copies enables median boosting for the randomized algorithm of every
+	// tracker (count, frequency, and rank): that many independent protocol
+	// copies run side by side and queries return the median answer,
+	// upgrading the per-instant guarantee to all instants (Section 1.2).
+	// 0 or 1 means no boosting. Ignored by the deterministic and sampling
+	// algorithms, whose guarantees already hold at all instants.
 	Copies int
 	// Rescale divides Epsilon inside randomized protocols to sharpen the
 	// success probability at proportional communication cost; 0 means the
@@ -159,6 +162,53 @@ type Options struct {
 	// SpaceProbeEvery controls how often per-site space is sampled at
 	// quiescent instants (0 = default 1024 arrivals).
 	SpaceProbeEvery int
+	// ConcurrentIngest makes the tracker safe for concurrent use: any
+	// number of goroutines may call Observe/ObserveBatch and the query
+	// methods simultaneously, on any transport. Producers stage arrivals
+	// into per-site buffers that coalesce consecutive same-item arrivals
+	// into runs; a single drainer goroutine feeds the transport through the
+	// batch fast path, and queries run at quiescent instants between
+	// cascades. Estimates keep the ε guarantees of a serial run (the
+	// interleaving across sites follows the producers' schedule, exactly as
+	// the paper's k independent streams would); call Flush for an
+	// everything-staged-so-far barrier before a query. Close drains the
+	// buffers before shutting the transport down.
+	ConcurrentIngest bool
+	// IngestBuffer bounds each site's staging buffer in coalesced runs
+	// (0 = default 256). Only meaningful with ConcurrentIngest.
+	IngestBuffer int
+	// IngestPolicy selects what a full staging buffer does to a producer:
+	// IngestBlock (default) applies backpressure, IngestDrop sheds load and
+	// counts the discarded elements in Metrics.Dropped. Only meaningful
+	// with ConcurrentIngest.
+	IngestPolicy IngestPolicy
+}
+
+// IngestPolicy selects the backpressure behavior of the concurrent
+// ingestion frontend (Options.ConcurrentIngest) when a site's staging
+// buffer is full.
+type IngestPolicy int
+
+const (
+	// IngestBlock makes the producer wait until the drainer frees a slot:
+	// lossless backpressure, the default.
+	IngestBlock IngestPolicy = iota
+	// IngestDrop discards the observation and counts it in
+	// Metrics.Dropped: load shedding for callers that prefer latency over
+	// completeness.
+	IngestDrop
+)
+
+// String names the policy.
+func (p IngestPolicy) String() string {
+	switch p {
+	case IngestBlock:
+		return "block"
+	case IngestDrop:
+		return "drop"
+	default:
+		return "unknown"
+	}
 }
 
 // transport resolves the effective transport from the new field and the
@@ -191,6 +241,12 @@ func (o Options) validate() {
 	if o.SpaceProbeEvery < 0 {
 		panic("disttrack: negative Options.SpaceProbeEvery")
 	}
+	if o.IngestBuffer < 0 {
+		panic("disttrack: negative Options.IngestBuffer")
+	}
+	if o.IngestPolicy < IngestBlock || o.IngestPolicy > IngestDrop {
+		panic("disttrack: unknown Options.IngestPolicy")
+	}
 }
 
 // Metrics reports a tracker's accumulated cost in the paper's units.
@@ -213,6 +269,10 @@ type Metrics struct {
 	MaxSiteSpace int
 	// MaxCoordSpace is the coordinator's high-water space in words.
 	MaxCoordSpace int
+	// Dropped is the number of elements discarded by the concurrent
+	// ingestion frontend under IngestDrop (always 0 otherwise). Dropped
+	// elements never reach the protocol, so they are not part of Arrivals.
+	Dropped int64
 }
 
 // metricsFrom converts the runtime seam's ledger into the public form.
@@ -256,4 +316,70 @@ func mount(o Options, p proto.Protocol) *runtime.Runtime {
 		t = h
 	}
 	return runtime.New(t)
+}
+
+// frontend starts the concurrent ingestion frontend over a mounted runtime
+// when the options ask for one; nil means the tracker stays single-feeder.
+func frontend(o Options, eng *runtime.Runtime) *ingest.Frontend {
+	if !o.ConcurrentIngest {
+		return nil
+	}
+	pol := ingest.Block
+	if o.IngestPolicy == IngestDrop {
+		pol = ingest.Drop
+	}
+	return ingest.New(eng, o.K, ingest.Options{BufferRuns: o.IngestBuffer, Policy: pol})
+}
+
+// core is the engine half shared by all three trackers: the mounted runtime
+// plus the optional concurrent ingestion frontend (fe, non-nil iff
+// Options.ConcurrentIngest), with the fe-guarded choreography — quiesced
+// query snapshots, the Flush barrier, Dropped surfacing, drain-then-close —
+// implemented once. The per-element Observe/ObserveBatch branches stay in
+// each tracker to keep the serial hot path a straight-line call.
+type core struct {
+	eng *runtime.Runtime
+	fe  *ingest.Frontend
+}
+
+// query runs fn against a consistent protocol state: under the frontend's
+// quiescent snapshot when concurrent ingestion is on, directly otherwise.
+func (c *core) query(fn func()) {
+	if c.fe != nil {
+		c.fe.Query(fn)
+		return
+	}
+	fn()
+}
+
+// Flush blocks until every element staged by Observe/ObserveBatch calls
+// that have returned is fully ingested and its message cascade has
+// quiesced. Without Options.ConcurrentIngest ingestion is synchronous and
+// Flush is a no-op.
+func (c *core) Flush() {
+	if c.fe != nil {
+		c.fe.Flush()
+	}
+}
+
+// Metrics returns the accumulated communication and space costs.
+func (c *core) Metrics() Metrics {
+	if c.fe != nil {
+		var m runtime.Metrics
+		c.fe.Query(func() { m = c.eng.Metrics() })
+		pm := metricsFrom(m)
+		pm.Dropped = c.fe.Dropped()
+		return pm
+	}
+	return metricsFrom(c.eng.Metrics())
+}
+
+// Close drains the concurrent ingestion frontend (when enabled) and stops
+// the transport's goroutines. Queries remain valid afterwards; Observe
+// does not.
+func (c *core) Close() {
+	if c.fe != nil {
+		c.fe.Close()
+	}
+	c.eng.Close()
 }

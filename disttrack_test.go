@@ -116,6 +116,71 @@ func TestMedianBoostedCountTracker(t *testing.T) {
 	}
 }
 
+// TestMedianBoostedFrequencyAndRankTrackers pins that Options.Copies is
+// honored by the frequency and rank trackers too (via boost.Wrap), not just
+// CountTracker as the Options doc used to claim: the boosted run stays in
+// the ε band at every checkpoint, and the extra copies actually run —
+// communication scales with the copy count.
+func TestMedianBoostedFrequencyAndRankTrackers(t *testing.T) {
+	const k = 4
+	const eps = 0.15
+	const n = 10000
+	const copies = 5
+
+	freqRun := func(copies int) (*FrequencyTracker, Metrics) {
+		zipf := workload.ZipfItems(50, 1.2, stats.New(13))
+		truth := map[int64]int64{}
+		tr := NewFrequencyTracker(Options{K: k, Epsilon: eps, Copies: copies, Seed: 17})
+		for i := 0; i < n; i++ {
+			j := zipf(i)
+			truth[j]++
+			tr.Observe(i%k, j)
+			if copies > 1 && i%59 == 0 && i > 0 {
+				if math.Abs(tr.Estimate(0)-float64(truth[0])) > eps*float64(i+1) {
+					t.Fatalf("boosted frequency tracker out of band at %d", i+1)
+				}
+			}
+		}
+		return tr, tr.Metrics()
+	}
+	_, boosted := freqRun(copies)
+	_, single := freqRun(1)
+	if boosted.Messages < 2*single.Messages {
+		t.Errorf("freq: %d copies sent %d messages vs %d for one copy; the copies are not running",
+			copies, boosted.Messages, single.Messages)
+	}
+
+	rankRun := func(copies int) (*RankTracker, Metrics) {
+		values := workload.PermValues(n, stats.New(19))
+		mid := float64(n) / 2
+		var below float64
+		tr := NewRankTracker(Options{K: k, Epsilon: eps, Copies: copies, Seed: 23})
+		for i := 0; i < n; i++ {
+			v := values(i)
+			if v < mid {
+				below++
+			}
+			tr.Observe(i%k, v)
+			if copies > 1 && i%59 == 0 && i > 0 {
+				if math.Abs(tr.Rank(mid)-below) > eps*float64(i+1) {
+					t.Fatalf("boosted rank tracker out of band at %d", i+1)
+				}
+			}
+		}
+		return tr, tr.Metrics()
+	}
+	rt, boostedRank := rankRun(copies)
+	_, singleRank := rankRun(1)
+	if boostedRank.Messages < 2*singleRank.Messages {
+		t.Errorf("rank: %d copies sent %d messages vs %d for one copy; the copies are not running",
+			copies, boostedRank.Messages, singleRank.Messages)
+	}
+	// The boosted quantile path goes through the facade's bisect.
+	if q := rt.Quantile(0.5, 0, n); math.Abs(q-float64(n)/2) > 2*eps*n {
+		t.Errorf("boosted median %.0f too far from %.0f", q, float64(n)/2)
+	}
+}
+
 func TestConcurrentRuntimeMatchesGuarantees(t *testing.T) {
 	const k = 8
 	const eps = 0.15
@@ -165,6 +230,9 @@ func TestOptionsValidation(t *testing.T) {
 		{K: 2, Epsilon: 0.1, Transport: Transport(99)},
 		{K: 2, Epsilon: 0.1, Transport: Transport(-1)},
 		{K: 2, Epsilon: 0.1, SpaceProbeEvery: -5},
+		{K: 2, Epsilon: 0.1, IngestBuffer: -1},
+		{K: 2, Epsilon: 0.1, IngestPolicy: IngestPolicy(99)},
+		{K: 2, Epsilon: 0.1, IngestPolicy: IngestPolicy(-1)},
 	}
 	for i, o := range bad {
 		func() {
@@ -181,6 +249,7 @@ func TestOptionsValidation(t *testing.T) {
 		{K: 1, Epsilon: 0.5},
 		{K: 2, Epsilon: 0.1, Rescale: 1},
 		{K: 2, Epsilon: 0.1, Transport: TransportGoroutine},
+		{K: 2, Epsilon: 0.1, ConcurrentIngest: true, IngestBuffer: 1, IngestPolicy: IngestDrop},
 	}
 	for i, o := range good {
 		tr := NewCountTracker(o)

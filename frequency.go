@@ -4,16 +4,21 @@ import (
 	"disttrack/internal/boost"
 	"disttrack/internal/freq"
 	"disttrack/internal/proto"
-	"disttrack/internal/runtime"
 	"disttrack/internal/sample"
 	"disttrack/internal/stats"
 )
 
 // FrequencyTracker continuously tracks per-item frequencies with absolute
 // error ±ε·n(t) — the heavy-hitters tracking problem (Section 3).
+//
+// Without Options.ConcurrentIngest, one goroutine at a time may use the
+// tracker; with it, Observe/ObserveBatch and the query methods are safe
+// from any number of goroutines. The embedded core provides Flush,
+// Metrics, and Close.
 type FrequencyTracker struct {
 	opt Options
-	eng *runtime.Runtime
+	k   int // == opt.K, hot-path copy on the same cache line as eng/fe
+	core
 	est func(item int64) float64
 }
 
@@ -21,7 +26,7 @@ type FrequencyTracker struct {
 // options.
 func NewFrequencyTracker(opt Options) *FrequencyTracker {
 	opt.validate()
-	t := &FrequencyTracker{opt: opt}
+	t := &FrequencyTracker{opt: opt, k: opt.K}
 	switch opt.Algorithm {
 	case AlgorithmRandomized:
 		cfg := freq.Config{K: opt.K, Eps: opt.Epsilon, Rescale: opt.Rescale}
@@ -40,6 +45,7 @@ func NewFrequencyTracker(opt Options) *FrequencyTracker {
 				}
 				return stats.Median(ests)
 			}
+			t.fe = frontend(opt, t.eng)
 			return t
 		}
 		p, coord := freq.NewProtocol(cfg, opt.Seed)
@@ -56,15 +62,20 @@ func NewFrequencyTracker(opt Options) *FrequencyTracker {
 	default:
 		panic("disttrack: unknown Algorithm")
 	}
+	t.fe = frontend(opt, t.eng)
 	return t
 }
 
 // Observe records item arriving at the given site.
 func (t *FrequencyTracker) Observe(site int, item int64) {
-	if site < 0 || site >= t.opt.K {
+	if site < 0 || site >= t.k {
 		panic("disttrack: site out of range")
 	}
-	t.eng.Arrive(site, item, 0)
+	if t.fe == nil {
+		t.eng.Arrive(site, item, 0)
+		return
+	}
+	t.fe.Observe(site, item, 0)
 }
 
 // ObserveBatch records count consecutive arrivals of item at the given
@@ -72,22 +83,26 @@ func (t *FrequencyTracker) Observe(site int, item int64) {
 // calls — same estimates, same Metrics — but runs in time proportional to
 // the messages the batch triggers, not its length.
 func (t *FrequencyTracker) ObserveBatch(site int, item int64, count int) {
-	if site < 0 || site >= t.opt.K {
+	if site < 0 || site >= t.k {
 		panic("disttrack: site out of range")
 	}
 	if count < 0 {
 		panic("disttrack: negative batch count")
 	}
-	t.eng.ArriveBatch(site, item, 0, int64(count))
+	if t.fe == nil {
+		t.eng.ArriveBatch(site, item, 0, int64(count))
+		return
+	}
+	t.fe.ObserveBatch(site, item, 0, int64(count))
 }
 
 // Estimate returns the current frequency estimate for item. Randomized
 // estimates are unbiased and may be slightly negative for rare items; clamp
-// at zero if presenting to users.
-func (t *FrequencyTracker) Estimate(item int64) float64 { return t.est(item) }
-
-// Metrics returns the accumulated communication and space costs.
-func (t *FrequencyTracker) Metrics() Metrics { return metricsFrom(t.eng.Metrics()) }
-
-// Close stops the concurrent runtime's goroutines (no-op otherwise).
-func (t *FrequencyTracker) Close() { t.eng.Close() }
+// at zero if presenting to users. With ConcurrentIngest it reads a
+// quiescent snapshot: everything ingested up to some recent cascade
+// boundary (call Flush first for an everything-observed-so-far barrier).
+func (t *FrequencyTracker) Estimate(item int64) float64 {
+	var v float64
+	t.query(func() { v = t.est(item) })
+	return v
+}

@@ -1,0 +1,247 @@
+package ingest
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// feedCall records one ArriveBatch the frontend made.
+type feedCall struct {
+	site  int
+	item  int64
+	value float64
+	count int64
+}
+
+// recFeeder records batch feeds; when gated, every call first waits for one
+// token, so tests can hold the drainer mid-feed deterministically.
+type recFeeder struct {
+	gate chan struct{}
+
+	mu    sync.Mutex
+	calls []feedCall
+	elems int64
+}
+
+func (r *recFeeder) ArriveBatch(site int, item int64, value float64, count int64) {
+	if r.gate != nil {
+		<-r.gate
+	}
+	r.mu.Lock()
+	r.calls = append(r.calls, feedCall{site, item, value, count})
+	r.elems += count
+	r.mu.Unlock()
+}
+
+func (r *recFeeder) snapshot() ([]feedCall, int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]feedCall(nil), r.calls...), r.elems
+}
+
+// TestCoalescing pins that same-(item,value) arrivals staged while the
+// drainer is busy merge into runs: far fewer batch feeds than elements, with
+// nothing lost.
+func TestCoalescing(t *testing.T) {
+	fd := &recFeeder{gate: make(chan struct{}, 1024)}
+	f := New(fd, 2, Options{})
+	fd.gate <- struct{}{} // let the drainer feed exactly one batch, then stall
+	f.Observe(0, 7, 0)
+	// While the drainer is parked, a hot flow lands: it must coalesce.
+	for i := 0; i < 999; i++ {
+		f.Observe(0, 7, 0)
+	}
+	for i := 0; i < 1024; i++ {
+		fd.gate <- struct{}{}
+	}
+	f.Flush()
+	f.Close()
+	calls, elems := fd.snapshot()
+	if elems != 1000 {
+		t.Fatalf("fed %d elements, want 1000", elems)
+	}
+	if len(calls) > 3 {
+		t.Errorf("1000 identical arrivals took %d batch feeds, want coalesced runs (<= 3)", len(calls))
+	}
+	for _, c := range calls {
+		if c.site != 0 || c.item != 7 {
+			t.Errorf("unexpected feed %+v", c)
+		}
+	}
+}
+
+// TestPerSiteFIFO pins that a site's staged runs are fed in staging order.
+func TestPerSiteFIFO(t *testing.T) {
+	fd := &recFeeder{}
+	f := New(fd, 1, Options{BufferRuns: 4})
+	for i := 0; i < 200; i++ {
+		f.Observe(0, int64(i), 0) // distinct items: no coalescing
+	}
+	f.Flush()
+	f.Close()
+	calls, elems := fd.snapshot()
+	if elems != 200 {
+		t.Fatalf("fed %d elements, want 200", elems)
+	}
+	next := int64(0)
+	for _, c := range calls {
+		for j := int64(0); j < c.count; j++ {
+			if c.item != next {
+				t.Fatalf("out-of-order feed: got item %d, want %d", c.item, next)
+			}
+			next++
+		}
+	}
+}
+
+// TestBlockBackpressure pins the lossless policy: a producer facing a full
+// shard waits instead of dropping, and everything it staged is eventually
+// fed.
+func TestBlockBackpressure(t *testing.T) {
+	fd := &recFeeder{gate: make(chan struct{})}
+	f := New(fd, 1, Options{BufferRuns: 2, Policy: Block})
+	const total = 10
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			f.Observe(0, int64(i), 0) // distinct items: one slot each
+		}
+	}()
+	// The ring holds 2 runs and the stalled drainer at most one taken sweep;
+	// the producer cannot possibly finish all 10 while the gate is shut.
+	select {
+	case <-done:
+		t.Fatal("producer finished against a full buffer and a stalled drainer")
+	case <-time.After(50 * time.Millisecond):
+	}
+	for i := 0; i < total; i++ {
+		fd.gate <- struct{}{}
+	}
+	<-done
+	f.Flush()
+	f.Close()
+	_, elems := fd.snapshot()
+	if elems != total {
+		t.Fatalf("fed %d elements, want %d (Block policy must be lossless)", elems, total)
+	}
+	if f.Dropped() != 0 {
+		t.Fatalf("Block policy dropped %d elements", f.Dropped())
+	}
+}
+
+// TestDropPolicy pins load shedding: with a full shard and a stalled
+// drainer, new observations are discarded and counted, and the accounting
+// (fed + dropped = offered) closes exactly.
+func TestDropPolicy(t *testing.T) {
+	const offered = 100
+	fd := &recFeeder{gate: make(chan struct{}, offered)}
+	f := New(fd, 1, Options{BufferRuns: 2, Policy: Drop})
+	for i := 0; i < offered; i++ {
+		f.Observe(0, int64(i), 0)
+	}
+	// The empty gate means the drainer completed zero feeds: at most the
+	// ring (2 runs) plus one taken sweep were accepted, so drops are
+	// certain by now.
+	if f.Dropped() == 0 {
+		t.Fatal("no drops despite a full buffer and a stalled drainer")
+	}
+	for i := 0; i < offered; i++ {
+		fd.gate <- struct{}{}
+	}
+	f.Flush()
+	f.Close()
+	_, elems := fd.snapshot()
+	if got := elems + f.Dropped(); got != offered {
+		t.Fatalf("fed %d + dropped %d = %d, want %d", elems, f.Dropped(), got, offered)
+	}
+}
+
+// TestConcurrentProducersFlush hammers the frontend from many goroutines
+// and pins that Flush is a complete barrier: everything staged before it is
+// fed through.
+func TestConcurrentProducersFlush(t *testing.T) {
+	fd := &recFeeder{}
+	const k, producers, per = 8, 16, 5000
+	f := New(fd, k, Options{})
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				f.Observe((p+i)%k, int64(i%17), 0)
+			}
+		}(p)
+	}
+	wg.Wait()
+	f.Flush()
+	_, elems := fd.snapshot()
+	if elems != producers*per {
+		t.Fatalf("after Flush fed %d elements, want %d", elems, producers*per)
+	}
+	f.Close()
+}
+
+// TestQueryExcludesFeeds pins the quiesced-snapshot contract: while Query's
+// callback runs, no batch feed is in progress.
+func TestQueryExcludesFeeds(t *testing.T) {
+	var inFeed atomic.Bool
+	fd := &checkFeeder{in: &inFeed}
+	f := New(fd, 4, Options{})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f.Observe(p, int64(i), 0)
+			}
+		}(p)
+	}
+	for i := 0; i < 200; i++ {
+		f.Query(func() {
+			if inFeed.Load() {
+				t.Error("Query callback ran concurrently with a batch feed")
+			}
+		})
+	}
+	close(stop)
+	wg.Wait()
+	f.Flush()
+	f.Close()
+}
+
+type checkFeeder struct {
+	in *atomic.Bool
+}
+
+func (c *checkFeeder) ArriveBatch(site int, item int64, value float64, count int64) {
+	c.in.Store(true)
+	c.in.Store(false)
+}
+
+// TestCloseDrains pins Close's draining semantics: staged-but-unfed runs
+// are ingested before Close returns.
+func TestCloseDrains(t *testing.T) {
+	fd := &recFeeder{}
+	f := New(fd, 2, Options{})
+	for i := 0; i < 1000; i++ {
+		f.ObserveBatch(i%2, int64(i%5), 0, 3)
+	}
+	f.Close()
+	_, elems := fd.snapshot()
+	if elems != 3000 {
+		t.Fatalf("Close left %d of 3000 elements unfed", 3000-elems)
+	}
+	// Idempotent.
+	f.Close()
+}

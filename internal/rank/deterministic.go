@@ -120,8 +120,13 @@ func (c *DetCoordinator) Rank(x float64) float64 {
 }
 
 // Quantile locates a value of estimated rank q·n̂ by bisection over [lo, hi].
+// On an empty coordinator (n̂ = 0) it returns NaN — bisecting towards rank 0
+// would silently converge to lo.
 func (c *DetCoordinator) Quantile(q float64, lo, hi float64) float64 {
 	total := c.Rank(math.Inf(1))
+	if total == 0 {
+		return math.NaN()
+	}
 	target := q * total
 	for i := 0; i < 64 && hi-lo > 1e-9*(1+math.Abs(hi)); i++ {
 		mid := (lo + hi) / 2

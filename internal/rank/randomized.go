@@ -478,9 +478,14 @@ func (c *Coordinator) Rank(x float64) float64 {
 
 // Quantile returns a value whose estimated rank is closest to q·n̂ (n̂ =
 // Rank(+inf)), located by bisection over [lo, hi]. Each of the up-to-64
-// probes re-uses the chunks' flattened indexes built by the first.
+// probes re-uses the chunks' flattened indexes built by the first. On an
+// empty coordinator (n̂ = 0) it returns NaN — bisecting towards rank 0
+// would silently converge to lo.
 func (c *Coordinator) Quantile(q float64, lo, hi float64) float64 {
 	total := c.Rank(math.Inf(1))
+	if total == 0 {
+		return math.NaN()
+	}
 	target := q * total
 	for i := 0; i < 64 && hi-lo > 1e-9*(1+math.Abs(hi)); i++ {
 		mid := (lo + hi) / 2

@@ -75,6 +75,9 @@ type Tap interface {
 // quiesced), and keeps the cost ledger.
 //
 // Calls are not safe for concurrent use: one goroutine feeds a transport.
+// Callers that need many feeding goroutines put internal/ingest's Frontend
+// in front — it stages concurrent arrivals and drains them through a
+// single goroutine, keeping this contract intact.
 type Transport interface {
 	// Arrive injects one element at site and returns after the resulting
 	// message cascade has fully quiesced.

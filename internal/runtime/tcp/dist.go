@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"disttrack/internal/proto"
 	"disttrack/internal/runtime"
@@ -37,9 +39,27 @@ type Server struct {
 	Config uint64
 	// ReportEvery, when positive, invokes Report after every ReportEvery
 	// processed protocol messages. Report runs on the coordinator loop, so
-	// it may safely query the coordinator machine.
+	// it may safely query the coordinator machine. The Arrivals field of
+	// the reported metrics carries the sites' running counts (from their
+	// periodic Progress frames, see SiteConn.ProgressEvery), so mid-run
+	// reports show real ingestion progress rather than 0 until Done.
 	ReportEvery int64
 	Report      func(m runtime.Metrics)
+
+	// HandshakeTimeout bounds how long an accepted connection may take to
+	// deliver its Hello frame before it is rejected (0 = default 10s). A
+	// connection that sends garbage, or nothing at all — a port scan, a
+	// health check — is dropped and accepting continues; it cannot stall
+	// the run forever or abort it.
+	HandshakeTimeout time.Duration
+
+	// Rejects counts connections dropped during the handshake (garbage
+	// frames, non-Hello traffic, timeouts, dialers aborted when the K
+	// sites finished assembling without them). Every counted connection
+	// settles before the message loop starts, and connections accepted
+	// after assembly are closed without being counted, so the field is
+	// final once Serve returns; plain reads are safe then.
+	Rejects int64
 
 	// Cost counters; only the Serve goroutine touches them (sends,
 	// dispatch, and the Report callback all run there), so they are plain
@@ -47,7 +67,128 @@ type Server struct {
 	messagesUp, messagesDown int64
 	wordsUp, wordsDown       int64
 	broadcasts               int64
-	siteArrivals             int64 // summed from Done frames
+	siteArrivals             []int64 // running counts from Progress frames, final from Done
+}
+
+// assemble accepts connections on ln until all s.K sites have completed
+// their Hello handshake, filling conns. Each accepted connection is
+// handshaken on its own goroutine with a read deadline, so a stray
+// connection — a port scanner, a health check, a client speaking another
+// protocol, a dialer that never speaks — costs nothing serially: it is
+// rejected (and counted in Rejects) while legitimate sites assemble past
+// it. Only a well-formed Hello that contradicts the deployment (bad or
+// duplicate site index, k or fingerprint mismatch) is a loud, fatal
+// error. Accepting continues in the background until the caller closes
+// ln; post-assembly dials are closed immediately.
+func (s *Server) assemble(ln net.Listener, conns []net.Conn) error {
+	timeout := s.HandshakeTimeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	var (
+		mu         sync.Mutex
+		registered int
+		fatalErr   error
+		done       bool
+		inflight   = map[net.Conn]bool{}
+		hsWG       sync.WaitGroup
+	)
+	assembled := make(chan struct{})
+	// finish, called with mu held, ends assembly (success or fatal) and
+	// aborts the handshakes still in flight — a connection that has not
+	// produced its Hello by the time all K sites are present is not one of
+	// them, so it is rejected (and counted) right here; closing it
+	// unblocks its reader immediately.
+	finish := func() {
+		if done {
+			return
+		}
+		done = true
+		for conn := range inflight {
+			conn.Close()
+			atomic.AddInt64(&s.Rejects, 1)
+		}
+		close(assembled)
+	}
+
+	handshake := func(conn net.Conn) {
+		defer hsWG.Done()
+		conn.SetReadDeadline(time.Now().Add(timeout))
+		m, _, err := wire.ReadFrame(conn, nil)
+		mu.Lock()
+		defer mu.Unlock()
+		delete(inflight, conn)
+		if done {
+			// Assembly ended while this handshake was in flight; finish
+			// already closed and counted the connection.
+			conn.Close()
+			return
+		}
+		if err != nil {
+			conn.Close()
+			atomic.AddInt64(&s.Rejects, 1)
+			return
+		}
+		hello, ok := m.(wire.Hello)
+		if !ok {
+			conn.Close()
+			atomic.AddInt64(&s.Rejects, 1)
+			return
+		}
+		switch {
+		case hello.Site < 0 || hello.Site >= s.K || conns[hello.Site] != nil:
+			fatalErr = fmt.Errorf("tcp: serve handshake: unexpected %#v", m)
+		case hello.K != s.K:
+			fatalErr = fmt.Errorf("tcp: site %d dialed with k=%d, server has k=%d",
+				hello.Site, hello.K, s.K)
+		case hello.Config != s.Config:
+			fatalErr = fmt.Errorf(
+				"tcp: site %d dialed with configuration fingerprint %#x, server has %#x (mismatched problem/algorithm/ε?)",
+				hello.Site, hello.Config, s.Config)
+		default:
+			conn.SetReadDeadline(time.Time{})
+			conns[hello.Site] = conn
+			registered++
+			if registered == s.K {
+				finish()
+			}
+			return
+		}
+		conn.Close()
+		finish()
+	}
+
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			mu.Lock()
+			if err != nil {
+				if !done {
+					fatalErr = fmt.Errorf("tcp: serve accept: %w", err)
+					finish()
+				}
+				mu.Unlock()
+				return
+			}
+			if done {
+				mu.Unlock()
+				conn.Close()
+				continue
+			}
+			inflight[conn] = true
+			hsWG.Add(1)
+			mu.Unlock()
+			go handshake(conn)
+		}
+	}()
+
+	<-assembled
+	// Every pre-assembly connection settles before the message loop starts
+	// (aborted handshakes return promptly — finish closed their conns).
+	hsWG.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return fatalErr
 }
 
 // Serve accepts s.K site connections on ln, runs the coordinator until
@@ -66,35 +207,9 @@ func (s *Server) Serve(ln net.Listener) (runtime.Metrics, error) {
 		}
 	}()
 
-	var hbuf []byte
-	for i := 0; i < s.K; i++ {
-		conn, err := ln.Accept()
-		if err != nil {
-			return runtime.Metrics{}, fmt.Errorf("tcp: serve accept: %w", err)
-		}
-		var m proto.Message
-		m, hbuf, err = wire.ReadFrame(conn, hbuf)
-		if err != nil {
-			conn.Close()
-			return runtime.Metrics{}, fmt.Errorf("tcp: serve handshake: %w", err)
-		}
-		hello, ok := m.(wire.Hello)
-		if !ok || hello.Site < 0 || hello.Site >= s.K || conns[hello.Site] != nil {
-			conn.Close()
-			return runtime.Metrics{}, fmt.Errorf("tcp: serve handshake: unexpected %#v", m)
-		}
-		if hello.K != s.K {
-			conn.Close()
-			return runtime.Metrics{}, fmt.Errorf("tcp: site %d dialed with k=%d, server has k=%d",
-				hello.Site, hello.K, s.K)
-		}
-		if hello.Config != s.Config {
-			conn.Close()
-			return runtime.Metrics{}, fmt.Errorf(
-				"tcp: site %d dialed with configuration fingerprint %#x, server has %#x (mismatched problem/algorithm/ε?)",
-				hello.Site, hello.Config, s.Config)
-		}
-		conns[hello.Site] = conn
+	s.siteArrivals = make([]int64, s.K)
+	if err := s.assemble(ln, conns); err != nil {
+		return runtime.Metrics{}, err
 	}
 
 	// Per-site readers feed one coordinator loop; writes to the sites all
@@ -149,17 +264,33 @@ func (s *Server) Serve(ln net.Listener) (runtime.Metrics, error) {
 	}
 
 	remaining, lost := s.K, 0
+	finished := make([]bool, s.K) // per-site Done/lost bookkeeping
 	var processed int64
 	for remaining > 0 {
 		v, _ := box.Get()
 		cm := v.(runtime.FromMsg)
 		switch m := cm.Msg.(type) {
 		case nil:
-			remaining-- // connection lost before Done
-			lost++
+			if !finished[cm.From] { // connection lost before Done
+				finished[cm.From] = true
+				remaining--
+				lost++
+			}
 		case wire.Done:
-			s.siteArrivals += m.Arrivals
-			remaining--
+			// A misbehaving site repeating its Done frame must not
+			// decrement remaining twice — that would end the run while a
+			// healthy site is still streaming. First Done wins.
+			if !finished[cm.From] {
+				finished[cm.From] = true
+				s.siteArrivals[cm.From] = m.Arrivals
+				remaining--
+			}
+		case wire.Progress:
+			// Control traffic: running arrival count for mid-run reports,
+			// never charged to the protocol ledger.
+			if !finished[cm.From] {
+				s.siteArrivals[cm.From] = m.Arrivals
+			}
 		default:
 			s.messagesUp++
 			s.wordsUp += int64(cm.Msg.Words())
@@ -191,7 +322,7 @@ func (s *Server) Serve(ln net.Listener) (runtime.Metrics, error) {
 		}
 		cm := v.(runtime.FromMsg)
 		switch cm.Msg.(type) {
-		case nil, wire.Done: // terminal events, already accounted
+		case nil, wire.Done, wire.Progress: // control events, already accounted
 		default:
 			s.messagesUp++
 			s.wordsUp += int64(cm.Msg.Words())
@@ -206,13 +337,17 @@ func (s *Server) Serve(ln net.Listener) (runtime.Metrics, error) {
 }
 
 func (s *Server) metrics() runtime.Metrics {
+	var arrivals int64
+	for _, a := range s.siteArrivals {
+		arrivals += a
+	}
 	return runtime.Metrics{
 		MessagesUp:   s.messagesUp,
 		MessagesDown: s.messagesDown,
 		WordsUp:      s.wordsUp,
 		WordsDown:    s.wordsDown,
 		Broadcasts:   s.broadcasts,
-		Arrivals:     s.siteArrivals,
+		Arrivals:     arrivals,
 	}
 }
 
@@ -226,6 +361,13 @@ type SiteConn struct {
 	s    proto.Site
 	conn net.Conn
 
+	// ProgressEvery makes the site ship a Progress control frame with its
+	// running arrival count every that many arrivals, so the server's
+	// mid-run reports show real ingestion progress instead of 0 until
+	// Done. DialSite sets the default (DefaultProgressEvery); override —
+	// or disable with a negative value — before the first Arrive.
+	ProgressEvery int64
+
 	mu       sync.Mutex // guards s, frame, and conn writes
 	frame    []byte
 	arrivals int64
@@ -233,6 +375,9 @@ type SiteConn struct {
 
 	readerDone chan struct{}
 }
+
+// DefaultProgressEvery is the Progress-frame cadence DialSite installs.
+const DefaultProgressEvery = 4096
 
 // DialSite connects site machine s with index site to the server at addr.
 // config must match the server's configuration fingerprint (see
@@ -242,7 +387,8 @@ func DialSite(addr string, site, k int, config uint64, s proto.Site) (*SiteConn,
 	if err != nil {
 		return nil, fmt.Errorf("tcp: dial %s: %w", addr, err)
 	}
-	sc := &SiteConn{site: site, s: s, conn: conn, readerDone: make(chan struct{})}
+	sc := &SiteConn{site: site, s: s, conn: conn,
+		ProgressEvery: DefaultProgressEvery, readerDone: make(chan struct{})}
 	sc.frame, err = wire.AppendFrame(sc.frame[:0], wire.Hello{Site: site, K: k, Config: config})
 	if err == nil {
 		_, err = conn.Write(sc.frame)
@@ -283,11 +429,21 @@ func (sc *SiteConn) reader() {
 	}
 }
 
+// maybeProgress ships a Progress frame when the arrival count crossed a
+// ProgressEvery boundary since prev; callers hold sc.mu.
+func (sc *SiteConn) maybeProgress(prev int64) {
+	if pe := sc.ProgressEvery; pe > 0 && prev/pe != sc.arrivals/pe {
+		sc.out(wire.Progress{Arrivals: sc.arrivals})
+	}
+}
+
 // Arrive feeds one element to the site machine.
 func (sc *SiteConn) Arrive(item int64, value float64) {
 	sc.mu.Lock()
+	prev := sc.arrivals
 	sc.arrivals++
 	sc.s.Arrive(item, value, sc.out)
+	sc.maybeProgress(prev)
 	sc.mu.Unlock()
 }
 
@@ -295,11 +451,13 @@ func (sc *SiteConn) Arrive(item int64, value float64) {
 // fast path.
 func (sc *SiteConn) ArriveBatch(item int64, value float64, count int64) {
 	sc.mu.Lock()
+	prev := sc.arrivals
 	for count > 0 {
 		done := proto.ArriveChunk(sc.s, item, value, count, sc.out)
 		sc.arrivals += done
 		count -= done
 	}
+	sc.maybeProgress(prev)
 	sc.mu.Unlock()
 }
 

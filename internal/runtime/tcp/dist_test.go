@@ -1,0 +1,274 @@
+package tcp_test
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"disttrack/internal/count"
+	"disttrack/internal/runtime"
+	"disttrack/internal/runtime/tcp"
+	"disttrack/internal/stats"
+	"disttrack/internal/wire"
+)
+
+// TestServeSurvivesStrayConnections pins the handshake hardening: a
+// port-scanner-style dial that never speaks, and a client that sends
+// garbage, are each rejected while the run continues and finishes cleanly
+// with the real site. Before the fix, either stray connection aborted the
+// whole coordinator.
+func TestServeSurvivesStrayConnections(t *testing.T) {
+	cfg := count.Config{K: 1, Eps: 0.1}
+	coord := count.NewCoordinator(cfg)
+	srv := &tcp.Server{Coord: coord, K: 1, HandshakeTimeout: 200 * time.Millisecond}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type served struct {
+		m   runtime.Metrics
+		err error
+	}
+	res := make(chan served, 1)
+	go func() {
+		m, err := srv.Serve(ln)
+		res <- served{m, err}
+	}()
+
+	// A client speaking the wrong protocol: the frame header decodes as an
+	// absurd length and is treated as corruption.
+	garbage, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer garbage.Close()
+	if _, err := garbage.Write([]byte("GET / HTTP/1.1\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A port scanner: connects, never sends a byte. The handshake read
+	// deadline must reject it instead of hanging the accept loop forever.
+	scanner, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scanner.Close()
+
+	const n = 500
+	sc, err := tcp.DialSite(ln.Addr().String(), 0, 1, 0, count.NewSite(cfg, stats.New(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		sc.Arrive(0, 0)
+	}
+	if err := sc.Close(); err != nil {
+		t.Fatalf("site close: %v", err)
+	}
+	sr := <-res
+	if sr.err != nil {
+		t.Fatalf("serve failed despite stray connections: %v", sr.err)
+	}
+	if sr.m.Arrivals != n {
+		t.Errorf("arrivals = %d, want %d", sr.m.Arrivals, n)
+	}
+	if srv.Rejects != 2 {
+		t.Errorf("Rejects = %d, want 2 (garbage + silent scanner)", srv.Rejects)
+	}
+}
+
+// TestServeHandshakesConcurrently pins that handshakes do not serialize
+// behind a stray: a silent dialer that connected first must not delay a
+// legitimate site's handshake by its (long) read deadline — the run
+// completes orders of magnitude sooner than the stray's timeout.
+func TestServeHandshakesConcurrently(t *testing.T) {
+	cfg := count.Config{K: 1, Eps: 0.1}
+	srv := &tcp.Server{Coord: count.NewCoordinator(cfg), K: 1, HandshakeTimeout: 5 * time.Second}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	res := make(chan error, 1)
+	go func() {
+		_, err := srv.Serve(ln)
+		res <- err
+	}()
+
+	// The stray dials first; with serial handshakes the real site would
+	// wait out the stray's full 5s deadline.
+	scanner, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scanner.Close()
+
+	start := time.Now()
+	sc, err := tcp.DialSite(ln.Addr().String(), 0, 1, 0, count.NewSite(cfg, stats.New(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		sc.Arrive(0, 0)
+	}
+	if err := sc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-res; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("run took %v; the stray's handshake deadline is serializing the accept path", elapsed)
+	}
+	if srv.Rejects != 1 {
+		t.Errorf("Rejects = %d, want 1 (the aborted silent dialer)", srv.Rejects)
+	}
+}
+
+// TestServeIgnoresDuplicateDone pins the per-site Done accounting: a
+// misbehaving site repeating its Done frame must not end the run while a
+// healthy site is still streaming. Before the fix, the duplicate
+// decremented remaining twice, the server hung up early, and the healthy
+// site's data was lost.
+func TestServeIgnoresDuplicateDone(t *testing.T) {
+	const k = 2
+	const n = 5000
+	cfg := count.Config{K: k, Eps: 0.1}
+	srv := &tcp.Server{Coord: count.NewCoordinator(cfg), K: k}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type served struct {
+		m   runtime.Metrics
+		err error
+	}
+	res := make(chan served, 1)
+	go func() {
+		m, err := srv.Serve(ln)
+		res <- served{m, err}
+	}()
+
+	// Site 0 misbehaves: a raw connection that handshakes correctly, then
+	// immediately reports Done twice. It stays open (draining nothing) so
+	// the only way the run can end early is the duplicate-Done bug.
+	rogue, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rogue.Close()
+	var frame []byte
+	for _, m := range []wire.Hello{{Site: 0, K: k}} {
+		frame, err = wire.AppendFrame(frame[:0], m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rogue.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		frame, err = wire.AppendFrame(frame[:0], wire.Done{Arrivals: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rogue.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Site 1 is healthy and streams a real share, pausing mid-stream so the
+	// rogue's buffered Done frames are guaranteed to be processed while
+	// this site is still unfinished — the exact window the duplicate-Done
+	// bug ends the run in.
+	sc, err := tcp.DialSite(ln.Addr().String(), 1, k, 0, count.NewSite(cfg, stats.New(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if i == n/2 {
+			time.Sleep(100 * time.Millisecond)
+		}
+		sc.Arrive(0, 0)
+	}
+	if err := sc.Close(); err != nil {
+		t.Fatalf("healthy site close: %v", err)
+	}
+	sr := <-res
+	if sr.err != nil {
+		t.Fatalf("serve: %v", sr.err)
+	}
+	if sr.m.Arrivals != n+7 {
+		t.Errorf("arrivals = %d, want %d (healthy site's stream must be complete)", sr.m.Arrivals, n+7)
+	}
+}
+
+// TestServeReportsRunningArrivals pins the mid-run metrics fix: with
+// Progress frames flowing, ReportEvery callbacks see a growing Arrivals
+// count during the run instead of 0 until the Done frames land.
+func TestServeReportsRunningArrivals(t *testing.T) {
+	cfg := count.Config{K: 1, Eps: 0.1}
+	var mu sync.Mutex
+	var midRun []int64
+	srv := &tcp.Server{
+		Coord:       count.NewCoordinator(cfg),
+		K:           1,
+		ReportEvery: 1,
+		Report: func(m runtime.Metrics) {
+			mu.Lock()
+			midRun = append(midRun, m.Arrivals)
+			mu.Unlock()
+		},
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type served struct {
+		m   runtime.Metrics
+		err error
+	}
+	res := make(chan served, 1)
+	go func() {
+		m, err := srv.Serve(ln)
+		res <- served{m, err}
+	}()
+
+	const n = 2000
+	sc, err := tcp.DialSite(ln.Addr().String(), 0, 1, 0, count.NewSite(cfg, stats.New(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.ProgressEvery = 64
+	for i := 0; i < n; i++ {
+		sc.Arrive(0, 0)
+	}
+	if err := sc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sr := <-res
+	if sr.err != nil {
+		t.Fatalf("serve: %v", sr.err)
+	}
+	if sr.m.Arrivals != n {
+		t.Errorf("final arrivals = %d, want %d", sr.m.Arrivals, n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(midRun) == 0 {
+		t.Fatal("ReportEvery=1 produced no reports")
+	}
+	var maxMid int64
+	for _, a := range midRun {
+		if a > maxMid {
+			maxMid = a
+		}
+	}
+	if maxMid == 0 {
+		t.Errorf("every mid-run report saw Arrivals = 0; Progress frames are not reaching the ledger")
+	}
+}

@@ -34,6 +34,7 @@ const (
 	tagBoost           byte = 16
 	tagHello           byte = 17
 	tagDone            byte = 18
+	tagProgress        byte = 19
 )
 
 // Hello is the handshake frame a site sends when its connection to the
@@ -61,6 +62,17 @@ type Done struct {
 
 // Words implements proto.Message.
 func (Done) Words() int { return 1 }
+
+// Progress is a periodic control frame a site sends mid-stream in the
+// distributed mode, carrying its running arrival count so the
+// coordinator's mid-run reports can show arrivals before any Done frame
+// lands (control traffic, never charged to the protocol's cost ledger).
+type Progress struct {
+	Arrivals int64
+}
+
+// Words implements proto.Message.
+func (Progress) Words() int { return 1 }
 
 func init() {
 	Register(tagRoundsUp, rounds.UpMsg{},
@@ -343,6 +355,14 @@ func init() {
 			return Hello{Site: int(site), K: int(k), Config: uint64(cfg)}, b, err
 		})
 
+	Register(tagProgress, Progress{},
+		func(b []byte, m proto.Message) []byte {
+			return AppendInt(b, m.(Progress).Arrivals)
+		},
+		func(b []byte) (proto.Message, []byte, error) {
+			n, b, err := ReadInt(b)
+			return Progress{Arrivals: n}, b, err
+		})
 	Register(tagDone, Done{},
 		func(b []byte, m proto.Message) []byte {
 			return AppendInt(b, m.(Done).Arrivals)

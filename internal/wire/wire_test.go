@@ -100,6 +100,8 @@ func gen(r *rand.Rand, prototype proto.Message) proto.Message {
 		return wire.Hello{Site: r.Intn(1 << 20), K: r.Intn(1 << 20), Config: r.Uint64()}
 	case wire.Done:
 		return wire.Done{Arrivals: r.Int63()}
+	case wire.Progress:
+		return wire.Progress{Arrivals: r.Int63()}
 	default:
 		panic("no generator for registered message type " + reflect.TypeOf(prototype).String())
 	}

@@ -6,7 +6,6 @@ import (
 	"disttrack/internal/boost"
 	"disttrack/internal/proto"
 	"disttrack/internal/rank"
-	"disttrack/internal/runtime"
 	"disttrack/internal/sample"
 	"disttrack/internal/stats"
 )
@@ -14,9 +13,15 @@ import (
 // RankTracker continuously tracks ranks over a totally ordered domain with
 // absolute error ±ε·n(t), which also answers quantile queries — the paper's
 // rank-tracking problem (Section 4).
+//
+// Without Options.ConcurrentIngest, one goroutine at a time may use the
+// tracker; with it, Observe/ObserveBatch and the query methods are safe
+// from any number of goroutines. The embedded core provides Flush,
+// Metrics, and Close.
 type RankTracker struct {
-	opt      Options
-	eng      *runtime.Runtime
+	opt Options
+	k   int // == opt.K, hot-path copy on the same cache line as eng/fe
+	core
 	rankFn   func(x float64) float64
 	quantile func(q, lo, hi float64) float64
 }
@@ -24,7 +29,7 @@ type RankTracker struct {
 // NewRankTracker builds a rank tracker. It panics on invalid options.
 func NewRankTracker(opt Options) *RankTracker {
 	opt.validate()
-	t := &RankTracker{opt: opt}
+	t := &RankTracker{opt: opt, k: opt.K}
 	switch opt.Algorithm {
 	case AlgorithmRandomized:
 		cfg := rank.Config{K: opt.K, Eps: opt.Epsilon, Rescale: opt.Rescale}
@@ -44,6 +49,7 @@ func NewRankTracker(opt Options) *RankTracker {
 				return stats.Median(ests)
 			}
 			t.quantile = bisect(t.rankFn)
+			t.fe = frontend(opt, t.eng)
 			return t
 		}
 		p, coord := rank.NewProtocol(cfg, opt.Seed)
@@ -63,14 +69,19 @@ func NewRankTracker(opt Options) *RankTracker {
 	default:
 		panic("disttrack: unknown Algorithm")
 	}
+	t.fe = frontend(opt, t.eng)
 	return t
 }
 
 // bisect turns a rank function into a quantile function: it locates, by
-// binary search over [lo, hi], a value whose estimated rank is q·n̂.
+// binary search over [lo, hi], a value whose estimated rank is q·n̂. On an
+// empty tracker (n̂ = 0) there is no value of any rank, so it returns NaN.
 func bisect(rankFn func(float64) float64) func(q, lo, hi float64) float64 {
 	return func(q, lo, hi float64) float64 {
 		total := rankFn(math.Inf(1))
+		if total == 0 {
+			return math.NaN()
+		}
 		target := q * total
 		for i := 0; i < 64 && hi-lo > 1e-9*(1+math.Abs(hi)); i++ {
 			mid := (lo + hi) / 2
@@ -88,10 +99,14 @@ func bisect(rankFn func(float64) float64) func(q, lo, hi float64) float64 {
 // distinct values; callers with duplicate values can break ties by adding a
 // unique small offset.
 func (t *RankTracker) Observe(site int, value float64) {
-	if site < 0 || site >= t.opt.K {
+	if site < 0 || site >= t.k {
 		panic("disttrack: site out of range")
 	}
-	t.eng.Arrive(site, 0, value)
+	if t.fe == nil {
+		t.eng.Arrive(site, 0, value)
+		return
+	}
+	t.fe.Observe(site, 0, value)
 }
 
 // ObserveBatch records count consecutive arrivals of value at the given
@@ -103,25 +118,36 @@ func (t *RankTracker) Observe(site int, value float64) {
 // report boundaries; note the paper's distinct-values assumption applies
 // across the stream as a whole.
 func (t *RankTracker) ObserveBatch(site int, value float64, count int) {
-	if site < 0 || site >= t.opt.K {
+	if site < 0 || site >= t.k {
 		panic("disttrack: site out of range")
 	}
 	if count < 0 {
 		panic("disttrack: negative batch count")
 	}
-	t.eng.ArriveBatch(site, 0, value, int64(count))
+	if t.fe == nil {
+		t.eng.ArriveBatch(site, 0, value, int64(count))
+		return
+	}
+	t.fe.ObserveBatch(site, 0, value, int64(count))
 }
 
 // Rank returns the estimated number of observed values strictly smaller
-// than x.
-func (t *RankTracker) Rank(x float64) float64 { return t.rankFn(x) }
+// than x. With ConcurrentIngest it reads a quiescent snapshot: everything
+// ingested up to some recent cascade boundary (call Flush first for an
+// everything-observed-so-far barrier).
+func (t *RankTracker) Rank(x float64) float64 {
+	var v float64
+	t.query(func() { v = t.rankFn(x) })
+	return v
+}
 
 // Quantile returns a value whose estimated rank is q·n, located by bisection
-// over the domain interval [lo, hi].
-func (t *RankTracker) Quantile(q, lo, hi float64) float64 { return t.quantile(q, lo, hi) }
-
-// Metrics returns the accumulated communication and space costs.
-func (t *RankTracker) Metrics() Metrics { return metricsFrom(t.eng.Metrics()) }
-
-// Close stops the concurrent runtime's goroutines (no-op otherwise).
-func (t *RankTracker) Close() { t.eng.Close() }
+// over the domain interval [lo, hi]. On an empty tracker (nothing observed
+// yet) it returns NaN — there is no value of any rank. With ConcurrentIngest
+// the whole bisection runs inside one quiescent snapshot, so every probe
+// sees the same protocol state.
+func (t *RankTracker) Quantile(q, lo, hi float64) float64 {
+	var v float64
+	t.query(func() { v = t.quantile(q, lo, hi) })
+	return v
+}

@@ -9,6 +9,11 @@ package disttrack
 // The reduction shows rank tracking is the harder problem: any rank-tracking
 // guarantee of ±εn yields a frequency guarantee of ±2εn. Construct the
 // underlying tracker with Epsilon/2 to get ±εn frequencies.
+//
+// FrequencyViaRank is single-feeder even when opt.ConcurrentIngest is set:
+// its per-item tie-breaker map is not synchronized, so one goroutine at a
+// time may call Observe (queries still benefit from the inner tracker's
+// quiesced snapshots).
 type FrequencyViaRank struct {
 	rt   *RankTracker
 	next map[int64]int64 // per-item tie-breaker counter

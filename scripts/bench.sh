@@ -7,7 +7,10 @@
 #   scripts/bench.sh ObserveBatch    # filtered   -> BENCH_<stamp>.json
 #
 # The snapshot records the raw `go test -bench` lines (which carry both
-# ns/op and the protocol-cost custom metrics) plus the environment. Compare
+# ns/op and the protocol-cost custom metrics) plus the environment. The
+# suite includes the BenchmarkMultiProducerIngest* family (E17), so every
+# snapshot tracks concurrent-frontend ingest throughput — serial baseline
+# vs p=1/2/8 producer goroutines — across PRs. Compare
 # two snapshots with e.g.:
 #   diff <(jq -r .results[] BENCH_a.json) <(jq -r .results[] BENCH_b.json)
 set -eu
