@@ -514,10 +514,12 @@ func BenchmarkObserveBatchTransport(b *testing.B) {
 // from ingest_test.go), so every row — including the serial baseline run
 // with the same indexing — ingests an identical multiset of (site, item)
 // arrivals and only the feeding concurrency varies.
-func benchProducers(b *testing.B, producers int, observe func(g int), flush func()) {
+func benchProducers(b *testing.B, producers int, observe func(g int), flush func() error) {
 	b.Helper()
 	feedStriped(producers, b.N, observe)
-	flush()
+	if err := flush(); err != nil {
+		b.Fatal(err)
+	}
 }
 
 func BenchmarkMultiProducerIngest(b *testing.B) {

@@ -60,6 +60,9 @@ func main() {
 		case "connect":
 			connectMain(os.Args[2:])
 			return
+		case "chaos":
+			chaosMain(os.Args[2:])
+			return
 		}
 	}
 	singleProcessMain()
@@ -112,12 +115,36 @@ func singleProcessMain() {
 		"feed the stream from N concurrent goroutines via the ingestion frontend (0 = serial)")
 	ingestPolicy := flag.String("ingestpolicy", "block",
 		"full-buffer policy with -producers: block | drop")
+	faults := flag.String("faults", "",
+		"fault-injection spec, e.g. drop=0.02,dup=0.01,reorder=0.1,delay=0.05@8,seed=7,kill=1@5000:+3000")
 	flag.Parse()
 
 	algorithm := parseAlg(*alg)
 	tr := parseTransport(*transport)
 	if *concurrent && tr == disttrack.TransportSequential {
 		tr = disttrack.TransportGoroutine
+	}
+
+	var faultPlan *disttrack.FaultPlan
+	if *faults != "" {
+		var err error
+		faultPlan, err = disttrack.ParseFaultPlan(*faults)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, kl := range faultPlan.Kills {
+			// Range validation needs k, which the parser does not have; a
+			// bad site must be a flag error here, not a panic mid-run.
+			if kl.Site >= *k {
+				fatalf("-faults: kill site %d out of range [0, %d)", kl.Site, *k)
+			}
+		}
+		if tr == disttrack.TransportSequential {
+			// The fault layer lives on the concurrent transports' message
+			// fabric; the sequential simulator has none.
+			fmt.Println("note: -faults needs a concurrent transport; switching to -transport goroutine")
+			tr = disttrack.TransportGoroutine
+		}
 	}
 
 	rng := stats.New(*seed ^ 0xabcdef)
@@ -136,9 +163,13 @@ func singleProcessMain() {
 	}
 
 	opt := disttrack.Options{K: *k, Epsilon: *eps, Algorithm: algorithm, Seed: *seed,
-		Rescale: *rescale, Transport: tr, Copies: *copies}
-	fmt.Printf("problem=%s alg=%s k=%d eps=%g n=%d workload=%s transport=%s copies=%d\n\n",
+		Rescale: *rescale, Transport: tr, Copies: *copies, FaultPlan: faultPlan}
+	fmt.Printf("problem=%s alg=%s k=%d eps=%g n=%d workload=%s transport=%s copies=%d\n",
 		*problem, algorithm, *k, *eps, *n, *wl, tr, *copies)
+	if faultPlan != nil {
+		fmt.Printf("faults: %q\n", *faults)
+	}
+	fmt.Println()
 
 	if *producers > 0 {
 		opt.ConcurrentIngest = true
@@ -160,6 +191,7 @@ func singleProcessMain() {
 	}
 	bad, checks := 0, 0
 	var metrics disttrack.Metrics
+	var faultStats disttrack.FaultStats
 
 	switch *problem {
 	case "count":
@@ -174,7 +206,7 @@ func singleProcessMain() {
 				}
 			}
 		}
-		metrics = tr.Metrics()
+		metrics, faultStats = tr.Metrics(), tr.FaultStats()
 		fmt.Printf("final estimate: %.0f (truth %d)\n", tr.Estimate(), *n)
 	case "freq":
 		items := workload.ZipfItems(1000, 1.1, rng.Split())
@@ -192,7 +224,7 @@ func singleProcessMain() {
 				}
 			}
 		}
-		metrics = tr.Metrics()
+		metrics, faultStats = tr.Metrics(), tr.FaultStats()
 		fmt.Printf("hottest item: estimate %.0f (truth %d)\n", tr.Estimate(0), truth[0])
 	case "rank":
 		values := workload.PermValues(*n, rng.Split())
@@ -213,7 +245,7 @@ func singleProcessMain() {
 				}
 			}
 		}
-		metrics = tr.Metrics()
+		metrics, faultStats = tr.Metrics(), tr.FaultStats()
 		fmt.Printf("rank(median value): estimate %.0f (truth %.0f)\n", tr.Rank(q), below)
 	default:
 		fatalf("unknown problem %q", *problem)
@@ -225,6 +257,12 @@ func singleProcessMain() {
 	fmt.Printf("words:      %d\n", metrics.Words)
 	fmt.Printf("broadcasts: %d\n", metrics.Broadcasts)
 	fmt.Printf("site space: %d words (high-water)\n", metrics.MaxSiteSpace)
+	if faultPlan != nil {
+		fmt.Printf("live sites: %d of %d\n", metrics.LiveSites, *k)
+		fmt.Printf("faults:     %d dropped (%d retransmits), %d duplicated, %d reordered, %d delayed, %d partition-trapped\n",
+			faultStats.Dropped, faultStats.Retransmits, faultStats.Duplicated,
+			faultStats.Reordered, faultStats.Delayed, faultStats.Partitioned)
+	}
 }
 
 // producerRun is the multi-producer load-generator mode (-producers N):
@@ -240,9 +278,10 @@ func producerRun(opt disttrack.Options, problem string, n, producers int,
 	}
 
 	type flusher interface {
-		Flush()
+		Flush() error
 		Metrics() disttrack.Metrics
-		Close()
+		FaultStats() disttrack.FaultStats
+		Close() error
 	}
 	var tr flusher
 	var observe func(i int)
@@ -299,7 +338,13 @@ func producerRun(opt disttrack.Options, problem string, n, producers int,
 	default:
 		fatalf("unknown problem %q", problem)
 	}
-	defer tr.Close()
+	defer func() {
+		// A terminal transport failure surfaces through Close too; a load
+		// test must not report success over shed data.
+		if err := tr.Close(); err != nil {
+			fatalf("close: %v", err)
+		}
+	}()
 
 	fmt.Printf("feeding %d elements from %d producer goroutines (policy %s)\n",
 		n, producers, opt.IngestPolicy)
@@ -315,7 +360,9 @@ func producerRun(opt disttrack.Options, problem string, n, producers int,
 		}(p)
 	}
 	wg.Wait()
-	tr.Flush()
+	if err := tr.Flush(); err != nil {
+		fatalf("flush: %v", err)
+	}
 	elapsed := time.Since(start)
 
 	m := tr.Metrics()
@@ -331,6 +378,12 @@ func producerRun(opt disttrack.Options, problem string, n, producers int,
 	fmt.Printf("words:      %d\n", m.Words)
 	fmt.Printf("broadcasts: %d\n", m.Broadcasts)
 	fmt.Printf("site space: %d words (high-water)\n", m.MaxSiteSpace)
+	if opt.FaultPlan != nil {
+		fs := tr.FaultStats()
+		fmt.Printf("live sites: %d of %d\n", m.LiveSites, opt.K)
+		fmt.Printf("faults:     %d dropped (%d retransmits), %d duplicated, %d reordered, %d delayed, %d partition-trapped\n",
+			fs.Dropped, fs.Retransmits, fs.Duplicated, fs.Reordered, fs.Delayed, fs.Partitioned)
+	}
 }
 
 // distConfig is the protocol shape shared by serve and connect.
@@ -421,6 +474,8 @@ func serveMain(args []string) {
 	cfg := distFlags(fs)
 	addr := fs.String("addr", ":7077", "listen address")
 	reportEvery := fs.Int64("report", 200, "print an estimate every N protocol messages (0 = never)")
+	rejoinWait := fs.Duration("rejoinwait", 10*time.Second,
+		"how long a crashed site's slot stays open for a rejoin before it is declared lost (0 = immediate loss)")
 	fs.Parse(args)
 
 	coord, report := cfg.coordinator()
@@ -436,6 +491,7 @@ func serveMain(args []string) {
 		Coord:       coord,
 		K:           cfg.k,
 		Config:      cfg.fingerprint(),
+		RejoinWait:  *rejoinWait,
 		ReportEvery: *reportEvery,
 		// Sites ship periodic Progress frames, so mid-run arrivals are live.
 		Report: func(m runtime.Metrics) {
@@ -460,9 +516,28 @@ func serveMain(args []string) {
 	fmt.Printf("messages:   %d\n", m.Messages())
 	fmt.Printf("words:      %d\n", m.Words())
 	fmt.Printf("broadcasts: %d\n", m.Broadcasts)
+	fmt.Printf("live sites: %d of %d\n", m.LiveSites, cfg.k)
+	if srv.Rejoins > 0 {
+		fmt.Printf("recovered %d crashed-site connection(s) via rejoin\n", srv.Rejoins)
+	}
 	if srv.Rejects > 0 {
 		fmt.Printf("rejected %d stray connection(s) during handshake (garbage or silent dials)\n",
 			srv.Rejects)
+	}
+}
+
+// streamOne feeds element i of a site's workload: count streams identity,
+// freq a zipf item, rank globally distinct values interleaved across sites.
+func streamOne(cfg *distConfig, sc *tcp.SiteConn, site, i int, items func(int) int64) {
+	switch cfg.problem {
+	case "count":
+		sc.Arrive(0, 0)
+	case "freq":
+		sc.Arrive(items(i), 0)
+	case "rank":
+		sc.Arrive(0, float64(i*cfg.k+site))
+	default:
+		fatalf("unknown problem %q", cfg.problem)
 	}
 }
 
@@ -473,6 +548,8 @@ func connectMain(args []string) {
 	site := fs.Int("site", 0, "this process's site index in [0, k)")
 	n := fs.Int("n", 100000, "elements to stream from this site")
 	seed := fs.Uint64("seed", 0, "site RNG seed (default: site index + 1)")
+	reconnect := fs.Bool("reconnect", true,
+		"transparently redial the coordinator (rejoin handshake) if the connection drops mid-run")
 	fs.Parse(args)
 	if *site < 0 || *site >= cfg.k {
 		fatalf("site %d out of range [0, %d)", *site, cfg.k)
@@ -486,24 +563,143 @@ func connectMain(args []string) {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	sc.AutoReconnect = *reconnect
 	fmt.Printf("site %d: connected to %s, streaming %d elements\n", *site, *addr, *n)
 
 	items := workload.ZipfItems(1000, 1.1, stats.New(*seed^0xfeed))
 	for i := 0; i < *n; i++ {
-		switch cfg.problem {
-		case "count":
-			sc.Arrive(0, 0)
-		case "freq":
-			sc.Arrive(items(i), 0)
-		case "rank":
-			// Globally distinct values interleaved across sites.
-			sc.Arrive(0, float64(i*cfg.k+*site))
-		default:
-			fatalf("unknown problem %q", cfg.problem)
-		}
+		streamOne(cfg, sc, *site, i, items)
 	}
 	if err := sc.Close(); err != nil {
 		fatalf("site %d: %v", *site, err)
 	}
+	if r := sc.Rejoins(); r > 0 {
+		fmt.Printf("site %d: survived %d connection drop(s) via rejoin\n", *site, r)
+	}
 	fmt.Printf("site %d: done, %d arrivals streamed\n", *site, sc.Arrivals())
+}
+
+// chaosMain is the crash/rejoin soak: a full distributed deployment —
+// coordinator plus k sites over real TCP on the loopback — driven by a
+// seeded kill schedule. Killed sites crash mid-stream (no Done frame, site
+// machine lost), rejoin through the recovery handshake, and replay their
+// stream from 0; the protocols' absolute-state messages make the replay
+// reconverge exactly, so the run must finish with every arrival accounted
+// and (for count) the ε guarantee intact. Exits non-zero otherwise.
+//
+//	go run ./cmd/tracksim chaos -k 4 -n 50000 -kills 2 -seed 7
+func chaosMain(args []string) {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	cfg := distFlags(fs)
+	n := fs.Int("n", 50000, "elements per site")
+	kills := fs.Int("kills", 1, "how many sites crash and rejoin (at seeded points mid-stream)")
+	seed := fs.Uint64("seed", 1, "chaos schedule seed")
+	rejoinWait := fs.Duration("rejoinwait", 30*time.Second, "server-side rejoin window")
+	fs.Parse(args)
+	if *kills < 0 || *kills > cfg.k {
+		fatalf("-kills %d out of range [0, %d]", *kills, cfg.k)
+	}
+
+	coord, _ := cfg.coordinator()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	srv := &tcp.Server{Coord: coord, K: cfg.k, Config: cfg.fingerprint(), RejoinWait: *rejoinWait}
+	type served struct {
+		m   runtime.Metrics
+		err error
+	}
+	res := make(chan served, 1)
+	go func() {
+		m, err := srv.Serve(ln)
+		res <- served{m, err}
+	}()
+	addr := ln.Addr().String()
+
+	// The seeded schedule: sites 1..kills crash once, at a point in the
+	// middle half of their stream.
+	chaosRNG := stats.New(*seed ^ 0xc4405)
+	killAt := make([]int, cfg.k) // 0 = never
+	for s := 1; s <= *kills; s++ {
+		killAt[s%cfg.k] = *n/4 + chaosRNG.Intn(*n/2)
+	}
+
+	fmt.Printf("chaos: problem=%s alg=%s k=%d eps=%g n=%d/site kills=%d seed=%d\n",
+		cfg.problem, cfg.alg, cfg.k, cfg.eps, *n, *kills, *seed)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for site := 0; site < cfg.k; site++ {
+		wg.Add(1)
+		go func(site int) {
+			defer wg.Done()
+			siteSeed := uint64(site) + 1
+			items := workload.ZipfItems(1000, 1.1, stats.New(siteSeed^0xfeed))
+			sc, err := tcp.DialSite(addr, site, cfg.k, cfg.fingerprint(), cfg.site(siteSeed))
+			if err != nil {
+				fatalf("site %d: %v", site, err)
+			}
+			sc.ProgressEvery = 1024
+			if killAt[site] > 0 {
+				for i := 0; i < killAt[site]; i++ {
+					streamOne(cfg, sc, site, i, items)
+				}
+				sc.Abort() // crash: no Done, machine state lost
+				fmt.Printf("chaos: site %d crashed at %d/%d arrivals\n", site, killAt[site], *n)
+				// The replacement process: fresh machine, same seed, full
+				// replay (the stream source is replayable).
+				deadline := time.Now().Add(*rejoinWait)
+				for {
+					sc, _, err = tcp.RejoinSite(addr, site, cfg.k, cfg.fingerprint(), 0, cfg.site(siteSeed))
+					if err == nil {
+						break
+					}
+					if time.Now().After(deadline) {
+						fatalf("site %d: rejoin never accepted: %v", site, err)
+					}
+					time.Sleep(20 * time.Millisecond)
+				}
+				sc.ProgressEvery = 1024
+				fmt.Printf("chaos: site %d rejoined (coordinator had acknowledged %d arrivals), replaying\n",
+					site, sc.LastResync().Arrivals)
+				items = workload.ZipfItems(1000, 1.1, stats.New(siteSeed^0xfeed))
+			}
+			for i := 0; i < *n; i++ {
+				streamOne(cfg, sc, site, i, items)
+			}
+			if err := sc.Close(); err != nil {
+				fatalf("site %d: %v", site, err)
+			}
+		}(site)
+	}
+	wg.Wait()
+	sr := <-res
+	if sr.err != nil {
+		fatalf("chaos: serve: %v", sr.err)
+	}
+
+	truth := int64(cfg.k) * int64(*n)
+	fmt.Printf("\nchaos: run completed in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("arrivals:   %d (truth %d)\n", sr.m.Arrivals, truth)
+	fmt.Printf("messages:   %d, words: %d\n", sr.m.Messages(), sr.m.Words())
+	fmt.Printf("live sites: %d of %d, rejoins: %d\n", sr.m.LiveSites, cfg.k, srv.Rejoins)
+	if sr.m.Arrivals != truth {
+		fatalf("chaos: arrival accounting broken: %d != %d", sr.m.Arrivals, truth)
+	}
+	if sr.m.LiveSites != cfg.k {
+		fatalf("chaos: %d sites still dark at run end", cfg.k-sr.m.LiveSites)
+	}
+	if srv.Rejoins < int64(*kills) {
+		fatalf("chaos: only %d rejoins recorded for %d kills", srv.Rejoins, *kills)
+	}
+	if cfg.problem == "count" && cfg.alg == "randomized" {
+		est := coord.(*count.Coordinator).Estimate()
+		rel := stats.RelErr(est, float64(truth))
+		fmt.Printf("estimate:   %.0f (rel err %.4f, ε %g)\n", est, rel, cfg.eps)
+		if rel > cfg.eps {
+			fatalf("chaos: estimate left the ε band after recovery")
+		}
+	}
+	fmt.Println("CHAOS OK")
 }

@@ -28,20 +28,20 @@ func NewCountTracker(opt Options) *CountTracker {
 		cfg := count.Config{K: opt.K, Eps: opt.Epsilon, Rescale: opt.Rescale}
 		if opt.Copies > 1 {
 			p, coord := count.NewMedianProtocol(cfg, opt.Copies, opt.Seed)
-			t.eng = mount(opt, p)
+			t.eng, t.inj = mount(opt, p)
 			t.est = coord.Estimate
 		} else {
 			p, coord := count.NewProtocol(cfg, opt.Seed)
-			t.eng = mount(opt, p)
+			t.eng, t.inj = mount(opt, p)
 			t.est = coord.Estimate
 		}
 	case AlgorithmDeterministic:
 		p, coord := count.NewDetProtocol(opt.K, opt.Epsilon)
-		t.eng = mount(opt, p)
+		t.eng, t.inj = mount(opt, p)
 		t.est = coord.Estimate
 	case AlgorithmSampling:
 		p, coord := sample.NewProtocol(sample.Config{K: opt.K, Eps: opt.Epsilon}, opt.Seed)
-		t.eng = mount(opt, p)
+		t.eng, t.inj = mount(opt, p)
 		t.est = coord.Count
 	default:
 		panic("disttrack: unknown Algorithm")

@@ -63,6 +63,7 @@ import (
 	"disttrack/internal/netsim"
 	"disttrack/internal/proto"
 	"disttrack/internal/runtime"
+	"disttrack/internal/runtime/faulty"
 	"disttrack/internal/runtime/tcp"
 	"disttrack/internal/sim"
 )
@@ -182,6 +183,104 @@ type Options struct {
 	// counts the discarded elements in Metrics.Dropped. Only meaningful
 	// with ConcurrentIngest.
 	IngestPolicy IngestPolicy
+	// FaultPlan injects seeded, deterministic network faults — drops,
+	// duplicates, reorders, delays, site kill/rejoin partitions — into the
+	// transport's message layer (internal/runtime/faulty). It requires a
+	// concurrent transport (TransportGoroutine or TransportTCP): the
+	// sequential simulator has no message layer to perturb. See FaultPlan
+	// for the fault model and its guarantees.
+	FaultPlan *FaultPlan
+}
+
+// FaultPlan is a seeded, deterministic fault schedule for the transport's
+// message layer. The model is a lossy, delaying network under a
+// reliability sublayer (ARQ): drops and duplicates are masked exactly-once
+// in-order and only cost communication (retransmissions and discarded
+// copies are charged to Metrics); reorders perturb delivery within a
+// cascade; delays hold frames across whole arrivals; kills partition a
+// site for a window of the run, during which Metrics.LiveSites drops and
+// queries cover only the live sites' data. Queries always observe a
+// settled state: reading a tracker forces the reliability layer to deliver
+// everything deliverable first.
+type FaultPlan struct {
+	// Seed makes the schedule reproducible; equal plans replay bit-for-bit.
+	Seed uint64
+	// Drop is the per-message loss probability (each loss is recovered by
+	// a charged retransmission; in [0,1)).
+	Drop float64
+	// Duplicate is the per-message duplication probability (the extra copy
+	// is charged and discarded by the receiver).
+	Duplicate float64
+	// Reorder is the per-message probability of holding a frame to the end
+	// of its cascade, letting other links' traffic overtake it.
+	Reorder float64
+	// Delay is the per-message probability of holding a frame for
+	// DelayArrivals whole arrivals.
+	Delay float64
+	// DelayArrivals is the delay length in arrivals (0 means 1).
+	DelayArrivals int64
+	// MaxHeld bounds each link's hold queue (0 means 8).
+	MaxHeld int
+	// Kills is the site crash/rejoin schedule.
+	Kills []SiteKill
+}
+
+// SiteKill cuts one site off for a window of the run (see faulty.Kill).
+type SiteKill struct {
+	// Site is the site index to cut off.
+	Site int
+	// At is the global arrival count at which the site dies (> 0).
+	At int64
+	// RejoinAt is the global arrival count at which it rejoins (> At);
+	// 0 means never.
+	RejoinAt int64
+}
+
+// ParseFaultPlan parses cmd/tracksim's compact -faults spec, e.g.
+//
+//	drop=0.02,dup=0.01,reorder=0.05,delay=0.1@4,seed=7,kill=1@5000:+3000
+//
+// into a FaultPlan (see internal/runtime/faulty.ParsePlan for the full
+// syntax).
+func ParseFaultPlan(spec string) (*FaultPlan, error) {
+	p, err := faulty.ParsePlan(spec)
+	if err != nil {
+		return nil, err
+	}
+	fp := &FaultPlan{Seed: p.Seed, Drop: p.Drop, Duplicate: p.Duplicate,
+		Reorder: p.Reorder, Delay: p.Delay, DelayArrivals: p.DelayArrivals,
+		MaxHeld: p.MaxHeld}
+	for _, kl := range p.Kills {
+		fp.Kills = append(fp.Kills, SiteKill(kl))
+	}
+	return fp, nil
+}
+
+// plan converts the public form to the injector's.
+func (fp *FaultPlan) plan() faulty.Plan {
+	p := faulty.Plan{Seed: fp.Seed, Drop: fp.Drop, Duplicate: fp.Duplicate,
+		Reorder: fp.Reorder, Delay: fp.Delay, DelayArrivals: fp.DelayArrivals,
+		MaxHeld: fp.MaxHeld}
+	for _, kl := range fp.Kills {
+		p.Kills = append(p.Kills, faulty.Kill(kl))
+	}
+	return p
+}
+
+// FaultStats counts the fault events a tracker's FaultPlan injected so far
+// (all zero without a plan).
+type FaultStats struct {
+	// Dropped frames, each recovered by a Retransmits entry.
+	Dropped     int64
+	Retransmits int64
+	// Duplicated frames, charged and discarded.
+	Duplicated int64
+	// Reordered frames (held to the end of their cascade).
+	Reordered int64
+	// Delayed frames (held across arrivals).
+	Delayed int64
+	// Partitioned frames (trapped behind a killed site).
+	Partitioned int64
 }
 
 // IngestPolicy selects the backpressure behavior of the concurrent
@@ -247,6 +346,13 @@ func (o Options) validate() {
 	if o.IngestPolicy < IngestBlock || o.IngestPolicy > IngestDrop {
 		panic("disttrack: unknown Options.IngestPolicy")
 	}
+	// Probability ranges and kill windows are validated by the single
+	// authority, faulty.New, when mount installs the plan — still at
+	// tracker-construction time. Only the transport constraint is
+	// facade-level knowledge.
+	if o.FaultPlan != nil && o.transport() == TransportSequential {
+		panic("disttrack: Options.FaultPlan requires TransportGoroutine or TransportTCP (the sequential simulator has no message layer to perturb)")
+	}
 }
 
 // Metrics reports a tracker's accumulated cost in the paper's units.
@@ -270,9 +376,16 @@ type Metrics struct {
 	// MaxCoordSpace is the coordinator's high-water space in words.
 	MaxCoordSpace int
 	// Dropped is the number of elements discarded by the concurrent
-	// ingestion frontend under IngestDrop (always 0 otherwise). Dropped
+	// ingestion frontend under IngestDrop (always 0 otherwise; after a
+	// terminal transport failure it also counts the shed residue). Dropped
 	// elements never reach the protocol, so they are not part of Arrivals.
 	Dropped int64
+	// LiveSites is the number of sites currently reachable: K on a healthy
+	// run, fewer while an Options.FaultPlan has sites killed. Queries made
+	// while LiveSites < K cover only the live sites' recent data (the
+	// documented partial-coverage degradation); they recover once the
+	// fault plan rejoins the site.
+	LiveSites int
 }
 
 // metricsFrom converts the runtime seam's ledger into the public form.
@@ -284,21 +397,26 @@ func metricsFrom(m runtime.Metrics) Metrics {
 		Arrivals:      m.Arrivals,
 		MaxSiteSpace:  m.MaxSiteSpace,
 		MaxCoordSpace: m.MaxCoordSpace,
+		LiveSites:     m.LiveSites,
 	}
 }
 
 // mount places a protocol on the transport selected by the options. Every
 // transport sits behind the same runtime seam (internal/runtime), so the
-// trackers never see which fabric carries their messages.
-func mount(o Options, p proto.Protocol) *runtime.Runtime {
+// trackers never see which fabric carries their messages. With an
+// Options.FaultPlan, the fault-injection middleware is installed on the
+// concurrent transport's fabric before any message flows; the returned
+// injector is nil otherwise.
+func mount(o Options, p proto.Protocol) (*runtime.Runtime, *faulty.Injector) {
 	var t runtime.Transport
+	var fab *runtime.Fabric
 	switch o.transport() {
 	case TransportGoroutine:
 		c := netsim.Start(p)
 		if o.SpaceProbeEvery > 0 {
 			c.SpaceProbeEvery = o.SpaceProbeEvery
 		}
-		t = c
+		t, fab = c, c.Fabric
 	case TransportTCP:
 		c, err := tcp.StartLoopback(p)
 		if err != nil {
@@ -307,7 +425,7 @@ func mount(o Options, p proto.Protocol) *runtime.Runtime {
 		if o.SpaceProbeEvery > 0 {
 			c.SpaceProbeEvery = o.SpaceProbeEvery
 		}
-		t = c
+		t, fab = c, c.Fabric
 	default:
 		h := sim.New(p)
 		if o.SpaceProbeEvery > 0 {
@@ -315,7 +433,12 @@ func mount(o Options, p proto.Protocol) *runtime.Runtime {
 		}
 		t = h
 	}
-	return runtime.New(t)
+	var inj *faulty.Injector
+	if o.FaultPlan != nil && fab != nil {
+		inj = faulty.New(fab, o.FaultPlan.plan())
+		fab.SetMiddleware(inj)
+	}
+	return runtime.New(t), inj
 }
 
 // frontend starts the concurrent ingestion frontend over a mounted runtime
@@ -340,26 +463,63 @@ func frontend(o Options, eng *runtime.Runtime) *ingest.Frontend {
 type core struct {
 	eng *runtime.Runtime
 	fe  *ingest.Frontend
+	inj *faulty.Injector // non-nil iff Options.FaultPlan
+}
+
+// FaultStats returns the fault events injected so far by Options.FaultPlan
+// (all zero without a plan). Safe to call anytime.
+func (c *core) FaultStats() FaultStats {
+	if c.inj == nil {
+		return FaultStats{}
+	}
+	return FaultStats(c.inj.Stats())
+}
+
+// HealFaults force-opens every FaultPlan partition — including a kill that
+// never rejoins — so trapped traffic drains on the next query. Use it to
+// end a what-if window early or to recover full coverage before a final
+// read. No-op without a plan.
+func (c *core) HealFaults() {
+	if c.inj != nil {
+		c.inj.Heal()
+	}
 }
 
 // query runs fn against a consistent protocol state: under the frontend's
 // quiescent snapshot when concurrent ingestion is on, directly otherwise.
+// With a FaultPlan installed it first settles the fault layer's
+// deliverable backlog (delayed frames that have not come due), so a query
+// always observes everything the faulted network could have delivered —
+// only partition-trapped traffic stays out.
 func (c *core) query(fn func()) {
 	if c.fe != nil {
-		c.fe.Query(fn)
+		c.fe.Query(func() { c.settleFaults(); fn() })
 		return
 	}
+	c.settleFaults()
 	fn()
+}
+
+// settleFaults forces the fault middleware to deliver everything
+// deliverable (Transport.Quiesce's full barrier); no-op without a plan.
+func (c *core) settleFaults() {
+	if c.inj != nil {
+		c.eng.Transport().Quiesce()
+	}
 }
 
 // Flush blocks until every element staged by Observe/ObserveBatch calls
 // that have returned is fully ingested and its message cascade has
 // quiesced. Without Options.ConcurrentIngest ingestion is synchronous and
-// Flush is a no-op.
-func (c *core) Flush() {
+// Flush is a no-op. A non-nil error is terminal: the transport failed
+// underneath the concurrent frontend (closed out from under it mid-run),
+// staged elements were shed, and the tracker accepts no further
+// observations.
+func (c *core) Flush() error {
 	if c.fe != nil {
-		c.fe.Flush()
+		return c.fe.Flush()
 	}
+	return nil
 }
 
 // Metrics returns the accumulated communication and space costs.
@@ -376,10 +536,14 @@ func (c *core) Metrics() Metrics {
 
 // Close drains the concurrent ingestion frontend (when enabled) and stops
 // the transport's goroutines. Queries remain valid afterwards; Observe
-// does not.
-func (c *core) Close() {
+// does not. The returned error is the concurrent frontend's terminal
+// error, if the transport failed underneath it mid-run (always nil
+// without Options.ConcurrentIngest).
+func (c *core) Close() error {
+	var err error
 	if c.fe != nil {
-		c.fe.Close()
+		err = c.fe.Close()
 	}
 	c.eng.Close()
+	return err
 }

@@ -37,7 +37,7 @@ func NewFrequencyTracker(opt Options) *FrequencyTracker {
 			for i := range ps {
 				ps[i], coords[i] = freq.NewProtocol(cfg, root.Uint64())
 			}
-			t.eng = mount(opt, boost.Wrap(ps))
+			t.eng, t.inj = mount(opt, boost.Wrap(ps))
 			t.est = func(item int64) float64 {
 				ests := make([]float64, len(coords))
 				for i, c := range coords {
@@ -49,15 +49,15 @@ func NewFrequencyTracker(opt Options) *FrequencyTracker {
 			return t
 		}
 		p, coord := freq.NewProtocol(cfg, opt.Seed)
-		t.eng = mount(opt, p)
+		t.eng, t.inj = mount(opt, p)
 		t.est = coord.Estimate
 	case AlgorithmDeterministic:
 		p, coord := freq.NewDetProtocol(opt.K, opt.Epsilon)
-		t.eng = mount(opt, p)
+		t.eng, t.inj = mount(opt, p)
 		t.est = coord.Estimate
 	case AlgorithmSampling:
 		p, coord := sample.NewProtocol(sample.Config{K: opt.K, Eps: opt.Epsilon}, opt.Seed)
-		t.eng = mount(opt, p)
+		t.eng, t.inj = mount(opt, p)
 		t.est = coord.Freq
 	default:
 		panic("disttrack: unknown Algorithm")

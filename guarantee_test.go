@@ -1,0 +1,319 @@
+package disttrack
+
+// The statistical-guarantee suite: the paper's theorems, checked as
+// statistics rather than as single seeded runs.
+//
+//   - ε/δ accuracy: across many independent seeds, the empirical
+//     probability that a tracker's answer leaves the ±ε·n band at a fixed
+//     time instant must stay under the protocol's failure budget δ
+//     (randomized and sampling trackers: the paper's constant-probability
+//     guarantee, δ = 0.1; deterministic trackers: δ = 0, the bound holds
+//     always).
+//   - communication scaling: total communication must grow ~O(log N) in
+//     the stream length, stay sublinear in k for the randomized protocols
+//     (Θ(√k) in the paper), scale ~linearly in k for the deterministic
+//     baselines, and ~linearly in 1/ε for both.
+//
+// Everything runs on the sequential transport with generous slack; under
+// -short the seed count shrinks so the matrix stays cheap in quick runs
+// while tier-1 exercises the full ≥200 seeds per tracker×algorithm.
+
+import (
+	"math"
+	"testing"
+
+	"disttrack/internal/stats"
+	"disttrack/internal/workload"
+)
+
+func guaranteeSeeds(t *testing.T) int {
+	if testing.Short() {
+		return 40
+	}
+	return 200
+}
+
+// failBudget returns the maximum acceptable failures among s trials for a
+// per-trial failure probability delta, with three binomial standard
+// deviations of slack — loose enough to be seed-stable, tight enough that
+// a broken estimator (systematic bias, wrong variance) trips it.
+func failBudget(s int, delta float64) int {
+	return int(delta*float64(s) + 3*math.Sqrt(float64(s)*delta*(1-delta)))
+}
+
+// guaranteeRun feeds one seeded stream and reports the absolute error at
+// the two checked instants (n/2 and n), normalized by the ε·n bound at
+// that instant: a value > 1 is a guarantee violation.
+type guaranteeRun func(t *testing.T, alg Algorithm, seed uint64, k, n int, eps float64) [2]float64
+
+func runCountGuarantee(t *testing.T, alg Algorithm, seed uint64, k, n int, eps float64) [2]float64 {
+	tr := NewCountTracker(Options{K: k, Epsilon: eps, Algorithm: alg, Seed: seed})
+	defer tr.Close()
+	var errs [2]float64
+	for i := 0; i < n; i++ {
+		tr.Observe(i % k)
+		if i+1 == n/2 || i+1 == n {
+			idx := 0
+			if i+1 == n {
+				idx = 1
+			}
+			truth := float64(i + 1)
+			errs[idx] = math.Abs(tr.Estimate()-truth) / (eps * truth)
+		}
+	}
+	return errs
+}
+
+func runFreqGuarantee(t *testing.T, alg Algorithm, seed uint64, k, n int, eps float64) [2]float64 {
+	items := workload.ZipfItems(1000, 1.1, stats.New(seed^0xf00d))
+	truth := map[int64]int64{}
+	tr := NewFrequencyTracker(Options{K: k, Epsilon: eps, Algorithm: alg, Seed: seed})
+	defer tr.Close()
+	var errs [2]float64
+	for i := 0; i < n; i++ {
+		j := items(i)
+		truth[j]++
+		tr.Observe(i%k, j)
+		if i+1 == n/2 || i+1 == n {
+			idx := 0
+			if i+1 == n {
+				idx = 1
+			}
+			// The guarantee is |f̂(j) − f(j)| ≤ ε·n for EVERY item; check
+			// the head of the distribution plus an unseen item, taking the
+			// worst normalized error.
+			worst := 0.0
+			for _, j := range []int64{0, 1, 5, 999} {
+				e := math.Abs(tr.Estimate(j)-float64(truth[j])) / (eps * float64(i+1))
+				if e > worst {
+					worst = e
+				}
+			}
+			errs[idx] = worst
+		}
+	}
+	return errs
+}
+
+func runRankGuarantee(t *testing.T, alg Algorithm, seed uint64, k, n int, eps float64) [2]float64 {
+	values := workload.PermValues(n, stats.New(seed^0xbeef))
+	tr := NewRankTracker(Options{K: k, Epsilon: eps, Algorithm: alg, Seed: seed})
+	defer tr.Close()
+	// Fixed query points; truth is maintained incrementally.
+	qs := []float64{float64(n) / 4, float64(n) / 2, 3 * float64(n) / 4}
+	below := make([]float64, len(qs))
+	var errs [2]float64
+	for i := 0; i < n; i++ {
+		v := values(i)
+		for qi, q := range qs {
+			if v < q {
+				below[qi]++
+			}
+		}
+		tr.Observe(i%k, v)
+		if i+1 == n/2 || i+1 == n {
+			idx := 0
+			if i+1 == n {
+				idx = 1
+			}
+			worst := 0.0
+			for qi, q := range qs {
+				e := math.Abs(tr.Rank(q)-below[qi]) / (eps * float64(i+1))
+				if e > worst {
+					worst = e
+				}
+			}
+			errs[idx] = worst
+		}
+	}
+	return errs
+}
+
+// TestEpsilonDeltaGuarantee runs the full tracker × algorithm matrix over
+// independent seeds and asserts the empirical failure rate of the ε-error
+// bound stays within each algorithm's δ at both checked instants.
+func TestEpsilonDeltaGuarantee(t *testing.T) {
+	const (
+		k   = 4
+		n   = 2000
+		eps = 0.1
+	)
+	problems := []struct {
+		name string
+		run  guaranteeRun
+	}{
+		{"count", runCountGuarantee},
+		{"freq", runFreqGuarantee},
+		{"rank", runRankGuarantee},
+	}
+	algorithms := []Algorithm{AlgorithmRandomized, AlgorithmDeterministic, AlgorithmSampling}
+	seeds := guaranteeSeeds(t)
+	for _, p := range problems {
+		for _, alg := range algorithms {
+			p, alg := p, alg
+			t.Run(p.name+"/"+alg.String(), func(t *testing.T) {
+				t.Parallel()
+				var failures [2]int
+				worst := 0.0
+				for s := 0; s < seeds; s++ {
+					errs := p.run(t, alg, uint64(1000+s*7919), k, n, eps)
+					for idx, e := range errs {
+						if e > 1 {
+							failures[idx]++
+						}
+						if e > worst {
+							worst = e
+						}
+					}
+				}
+				switch alg {
+				case AlgorithmDeterministic:
+					// Deterministic bounds hold always: δ = 0.
+					if failures[0] != 0 || failures[1] != 0 {
+						t.Errorf("deterministic ε bound violated in %d+%d of %d seeds (worst %.2f×ε·n)",
+							failures[0], failures[1], seeds, worst)
+					}
+				default:
+					// The paper's per-instant guarantee: failure
+					// probability ≤ δ = 0.1 at any fixed instant (the
+					// default Rescale=3 makes the true rate far lower; the
+					// budget tests the guarantee, not the slack). The [9]
+					// sampling baseline keeps only ~1/ε² elements — a
+					// one-standard-deviation guarantee, so its honest
+					// constant is δ = 1/3 (empirically ~0.25 here).
+					delta := 0.1
+					if alg == AlgorithmSampling {
+						delta = 1.0 / 3
+					}
+					budget := failBudget(seeds, delta)
+					for idx, f := range failures {
+						if f > budget {
+							t.Errorf("instant %d: ε bound violated in %d of %d seeds (budget %d, worst %.2f×ε·n)",
+								idx, f, seeds, budget, worst)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// words runs one seeded count stream and returns the total communication.
+func wordsFor(alg Algorithm, k, n int, eps float64, seed uint64) float64 {
+	tr := NewCountTracker(Options{K: k, Epsilon: eps, Algorithm: alg, Seed: seed})
+	defer tr.Close()
+	per := n / k
+	for s := 0; s < k; s++ {
+		tr.ObserveBatch(s, per)
+	}
+	return float64(tr.Metrics().Words)
+}
+
+// meanWords averages words over a few seeds.
+func meanWords(alg Algorithm, k, n int, eps float64, seeds int) float64 {
+	sum := 0.0
+	for s := 0; s < seeds; s++ {
+		sum += wordsFor(alg, k, n, eps, uint64(31+s))
+	}
+	return sum / float64(seeds)
+}
+
+// logFit least-squares-fits y ≈ a + b·log2(x) and returns the slope b and
+// the coefficient of determination R².
+func logFit(xs []int, ys []float64) (b, r2 float64) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i, x := range xs {
+		lx := math.Log2(float64(x))
+		sx += lx
+		sy += ys[i]
+		sxx += lx * lx
+		sxy += lx * ys[i]
+	}
+	b = (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	a := (sy - b*sx) / n
+	var ssRes, ssTot float64
+	for i, x := range xs {
+		pred := a + b*math.Log2(float64(x))
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - sy/n) * (ys[i] - sy/n)
+	}
+	if ssTot == 0 {
+		return b, 1
+	}
+	return b, 1 - ssRes/ssTot
+}
+
+// TestCommunicationScalesLogarithmicallyInN regression-fits total
+// communication against log N for every algorithm: the fit must be a good
+// explanation (R² with generous slack), the slope positive, and the total
+// strongly sublinear in N.
+func TestCommunicationScalesLogarithmicallyInN(t *testing.T) {
+	const (
+		k    = 4
+		eps  = 0.1
+		runs = 3
+	)
+	ns := []int{1000, 4000, 16000, 64000, 256000}
+	for _, alg := range []Algorithm{AlgorithmRandomized, AlgorithmDeterministic, AlgorithmSampling} {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			t.Parallel()
+			ys := make([]float64, len(ns))
+			for i, n := range ns {
+				ys[i] = meanWords(alg, k, n, eps, runs)
+			}
+			slope, r2 := logFit(ns, ys)
+			if slope <= 0 {
+				t.Errorf("communication does not grow with log N: slope %.1f (words %v)", slope, ys)
+			}
+			if r2 < 0.7 {
+				t.Errorf("poor log-N fit: R² = %.3f (words %v over N %v)", r2, ys, ns)
+			}
+			// N grew 256×; O(log N) growth is ~2.8× here. Anything close
+			// to linear in N would blow far past the 12× slack.
+			if ratio := ys[len(ys)-1] / ys[0]; ratio > 12 {
+				t.Errorf("communication grew %.1f× while N grew 256×; not O(log N) (words %v)", ratio, ys)
+			}
+		})
+	}
+}
+
+// TestCommunicationScalesInKAndEpsilon pins the k and 1/ε shapes: the
+// deterministic baseline is Θ(k/ε·logN) — linear in both — while the
+// randomized protocol's k-dependence is Θ(√k), strictly sublinear.
+func TestCommunicationScalesInKAndEpsilon(t *testing.T) {
+	const (
+		n    = 40000
+		eps  = 0.1
+		runs = 3
+	)
+	t.Run("k", func(t *testing.T) {
+		t.Parallel()
+		const lo, hi = 2, 32 // k grows 16×
+		det := meanWords(AlgorithmDeterministic, hi, n, eps, runs) /
+			meanWords(AlgorithmDeterministic, lo, n, eps, runs)
+		if det < 4 || det > 40 {
+			t.Errorf("deterministic words grew %.1f× for 16× more sites; want ~linear (generous 4–40×)", det)
+		}
+		rnd := meanWords(AlgorithmRandomized, hi, n, eps, runs) /
+			meanWords(AlgorithmRandomized, lo, n, eps, runs)
+		if rnd > det {
+			t.Errorf("randomized k-scaling (%.1f×) worse than deterministic (%.1f×); want Θ(√k) vs Θ(k)", rnd, det)
+		}
+		if rnd > 12 {
+			t.Errorf("randomized words grew %.1f× for 16× more sites; want ~√k (generous ≤12×)", rnd)
+		}
+	})
+	t.Run("epsilon", func(t *testing.T) {
+		t.Parallel()
+		const k = 4
+		for _, alg := range []Algorithm{AlgorithmRandomized, AlgorithmDeterministic} {
+			// ε shrinks 4×: linear 1/ε cost quadruples, with generous slack.
+			ratio := meanWords(alg, k, n, eps/4, runs) / meanWords(alg, k, n, eps, runs)
+			if ratio < 1.5 || ratio > 16 {
+				t.Errorf("%v: words grew %.1f× for 4× smaller ε; want ~linear in 1/ε (generous 1.5–16×)", alg, ratio)
+			}
+		}
+	})
+}

@@ -89,6 +89,17 @@ func (c *coordinator) Receive(from int, m proto.Message, send func(int, proto.Me
 		func(inner proto.Message) { broadcast(Msg{Copy: idx, Inner: inner}) })
 }
 
+// Resync implements proto.Resyncer: each copy's resync messages are
+// replayed under its copy index, so a rejoining site's copies each land in
+// their coordinator's current round.
+func (c *coordinator) Resync(emit func(proto.Message)) {
+	for idx, cp := range c.copies {
+		if rs, ok := cp.(proto.Resyncer); ok {
+			rs.Resync(func(inner proto.Message) { emit(Msg{Copy: idx, Inner: inner}) })
+		}
+	}
+}
+
 // SpaceWords implements proto.Coordinator.
 func (c *coordinator) SpaceWords() int {
 	w := 0

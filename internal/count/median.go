@@ -123,6 +123,14 @@ func (c *MedianCoordinator) Receive(from int, m proto.Message, send func(int, pr
 		func(inner proto.Message) { broadcast(CopyMsg{Copy: idx, Inner: inner}) })
 }
 
+// Resync implements proto.Resyncer: each copy's round broadcast is
+// replayed under its copy index (crash/rejoin recovery).
+func (c *MedianCoordinator) Resync(emit func(proto.Message)) {
+	for idx, cp := range c.copies {
+		cp.Resync(func(inner proto.Message) { emit(CopyMsg{Copy: idx, Inner: inner}) })
+	}
+}
+
 // Estimate returns the median of the copies' estimates.
 func (c *MedianCoordinator) Estimate() float64 {
 	ests := make([]float64, len(c.copies))

@@ -233,6 +233,11 @@ func (c *Coordinator) P() float64 { return c.p }
 // Round returns the current round number.
 func (c *Coordinator) Round() int { return c.rc.Round() }
 
+// Resync implements proto.Resyncer: a rejoining site is brought straight to
+// the current round (and sampling probability) by replaying the round
+// broadcast.
+func (c *Coordinator) Resync(emit func(proto.Message)) { c.rc.Resync(emit) }
+
 // SpaceWords implements proto.Coordinator: O(k) words.
 func (c *Coordinator) SpaceWords() int { return c.rc.SpaceWords() + len(c.nBar) + 1 }
 

@@ -311,6 +311,12 @@ func (c *Coordinator) Estimate(j int64) float64 {
 // Round returns the number of completed round transitions.
 func (c *Coordinator) Round() int { return c.rc.Round() }
 
+// Resync implements proto.Resyncer: a rejoining site learns the current
+// round (and with it its sampling probability) from the replayed round
+// broadcast; it starts a fresh virtual-site incarnation on its first
+// counter activity, exactly as a space reset would.
+func (c *Coordinator) Resync(emit func(proto.Message)) { c.rc.Resync(emit) }
+
 // P returns the current round's sampling probability.
 func (c *Coordinator) P() float64 { return c.rnds[len(c.rnds)-1].p }
 

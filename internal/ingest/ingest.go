@@ -39,6 +39,7 @@
 package ingest
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -121,6 +122,16 @@ type Frontend struct {
 	progMu   sync.Mutex
 	progCond sync.Cond
 
+	// err is the drainer's terminal error (guarded by progMu): the
+	// transport failed underneath it — closed out from under the frontend
+	// mid-run, most commonly. failed is its lock-free mirror for the
+	// producers' hot path. Once terminal, staged and newly observed
+	// elements are discarded (counted in dropped, best effort), blocked
+	// producers and flushers wake, and Flush/Close return the error
+	// instead of waiting for ingestion that can never happen.
+	err    error
+	failed atomic.Bool
+
 	wake        chan struct{}
 	quit        chan struct{}
 	drainerDone chan struct{}
@@ -181,6 +192,11 @@ func (f *Frontend) put(site int, item int64, value float64, count int64) {
 	if f.closed.Load() {
 		panic("ingest: Observe after Close")
 	}
+	if f.failed.Load() {
+		// The transport is gone; nothing staged can ever be fed.
+		atomic.AddInt64(&f.dropped, count)
+		return
+	}
 	sh := &f.shards[site]
 	sh.mu.Lock()
 	// wake is decided at insert time, not entry: a producer that slept in
@@ -208,6 +224,13 @@ func (f *Frontend) put(site int, item int64, value float64, count int64) {
 			return
 		}
 		sh.space.Wait()
+		if f.failed.Load() {
+			// fail woke every blocked producer: backpressure would now
+			// block forever, so the observation is shed instead.
+			sh.mu.Unlock()
+			atomic.AddInt64(&f.dropped, count)
+			return
+		}
 	}
 	sh.enqueued += count
 	sh.mu.Unlock()
@@ -237,20 +260,65 @@ func (f *Frontend) take(site int, dst []run) []run {
 	return dst
 }
 
+// fail records the drainer's terminal error and wakes everyone who could
+// otherwise wait forever: flushers (progCond) and producers blocked on
+// backpressure (every shard's space cond).
+func (f *Frontend) fail(err error) {
+	f.progMu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.progMu.Unlock()
+	f.failed.Store(true)
+	f.progCond.Broadcast()
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.Lock()
+		sh.space.Broadcast()
+		sh.mu.Unlock()
+	}
+}
+
+// feedOne feeds one staged run through the transport, converting a
+// transport panic — Arrive on a transport that was closed out from under
+// the frontend mid-run — into the terminal error instead of crashing the
+// process from a background goroutine (or, before the runtime grew its
+// use-after-close guard, deadlocking on in-flight accounting no loop would
+// ever retire).
+func (f *Frontend) feedOne(site int, r run) (ok bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			f.fail(fmt.Errorf("ingest: transport failed underneath the drainer: %v", p))
+		}
+	}()
+	f.feedMu.Lock()
+	defer f.feedMu.Unlock()
+	f.feed.ArriveBatch(site, r.item, r.value, r.count)
+	return true
+}
+
 // drain is the single feeding goroutine: it sweeps the shards round-robin,
 // feeding staged runs through the transport's batch fast path, and sleeps
-// when a full sweep finds nothing.
+// when a full sweep finds nothing. A terminal transport failure discards
+// the staged residue (counted in dropped) and exits; Flush and Close
+// surface the error.
 func (f *Frontend) drain() {
 	defer close(f.drainerDone)
 	scratch := make([]run, 0, 64)
-	sweep := func() bool {
-		fed := false
+	sweep := func() (fed, ok bool) {
 		for site := range f.shards {
 			scratch = f.take(site, scratch[:0])
-			for _, r := range scratch {
-				f.feedMu.Lock()
-				f.feed.ArriveBatch(site, r.item, r.value, r.count)
-				f.feedMu.Unlock()
+			for j, r := range scratch {
+				if !f.feedOne(site, r) {
+					// The failed run and everything behind it in scratch
+					// were already removed from the shards, so discard()
+					// cannot see them: shed them here, keeping the
+					// produced == Arrivals + Dropped reconciliation exact.
+					for _, rest := range scratch[j:] {
+						atomic.AddInt64(&f.dropped, rest.count)
+					}
+					return fed, false
+				}
 				f.progMu.Lock()
 				f.ingested += r.count
 				f.progMu.Unlock()
@@ -258,10 +326,23 @@ func (f *Frontend) drain() {
 				fed = true
 			}
 		}
-		return fed
+		return fed, true
+	}
+	discard := func() {
+		for site := range f.shards {
+			scratch = f.take(site, scratch[:0])
+			for _, r := range scratch {
+				atomic.AddInt64(&f.dropped, r.count)
+			}
+		}
 	}
 	for {
-		if sweep() {
+		fed, ok := sweep()
+		if !ok {
+			discard()
+			return
+		}
+		if fed {
 			continue
 		}
 		select {
@@ -269,9 +350,16 @@ func (f *Frontend) drain() {
 		case <-f.quit:
 			// Close has been called: no new producers, so one sweep finding
 			// nothing means the buffers are empty for good.
-			for sweep() {
+			for {
+				fed, ok := sweep()
+				if !ok {
+					discard()
+					return
+				}
+				if !fed {
+					return
+				}
 			}
-			return
 		}
 	}
 }
@@ -279,8 +367,10 @@ func (f *Frontend) drain() {
 // Flush blocks until every element staged by Observe/ObserveBatch calls
 // that returned before Flush was called has been fed through the transport
 // and its cascade has quiesced. Elements staged concurrently with Flush may
-// or may not be covered.
-func (f *Frontend) Flush() {
+// or may not be covered. If the transport failed underneath the drainer,
+// Flush returns its terminal error immediately instead of waiting for
+// ingestion that can never happen.
+func (f *Frontend) Flush() error {
 	var target int64
 	for i := range f.shards {
 		sh := &f.shards[i]
@@ -289,10 +379,19 @@ func (f *Frontend) Flush() {
 		sh.mu.Unlock()
 	}
 	f.progMu.Lock()
-	for f.ingested < target {
+	defer f.progMu.Unlock()
+	for f.ingested < target && f.err == nil {
 		f.progCond.Wait()
 	}
-	f.progMu.Unlock()
+	return f.err
+}
+
+// Err returns the drainer's terminal error, nil while the frontend is
+// healthy.
+func (f *Frontend) Err() error {
+	f.progMu.Lock()
+	defer f.progMu.Unlock()
+	return f.err
 }
 
 // Query runs fn at a quiescent instant: the drainer is excluded between
@@ -313,12 +412,14 @@ func (f *Frontend) Dropped() int64 { return atomic.LoadInt64(&f.dropped) }
 // Observe/ObserveBatch may be in flight or arrive afterwards (Close is the
 // producers-have-stopped barrier); queries remain valid after Close. Close
 // does not touch the underlying transport — the owner closes that
-// separately.
-func (f *Frontend) Close() {
+// separately. It returns the drainer's terminal error, if the transport
+// failed underneath it mid-run.
+func (f *Frontend) Close() error {
 	if f.closed.Swap(true) {
 		<-f.drainerDone
-		return
+		return f.Err()
 	}
 	close(f.quit)
 	<-f.drainerDone
+	return f.Err()
 }

@@ -5,6 +5,10 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"disttrack/internal/count"
+	"disttrack/internal/netsim"
+	"disttrack/internal/runtime"
 )
 
 // feedCall records one ArriveBatch the frontend made.
@@ -244,4 +248,101 @@ func TestCloseDrains(t *testing.T) {
 	}
 	// Idempotent.
 	f.Close()
+}
+
+// dyingFeeder simulates a transport closed out from under the drainer: the
+// first `live` feeds succeed, everything after panics exactly like the
+// runtime's use-after-Close guard.
+type dyingFeeder struct {
+	live  int64
+	calls int64
+}
+
+func (d *dyingFeeder) ArriveBatch(site int, item int64, value float64, count int64) {
+	if atomic.AddInt64(&d.calls, 1) > d.live {
+		panic("runtime: transport used after Close")
+	}
+}
+
+// TestTransportDeathSurfacesThroughFlush is the regression test for the
+// drainer's terminal-error path: before the fix, a transport failing
+// underneath the frontend either crashed the process from the drainer
+// goroutine or deadlocked every Flush and backpressured producer forever.
+// Now the error surfaces through Flush/Close/Err, blocked producers shed
+// and unblock, and later observations are counted as dropped.
+func TestTransportDeathSurfacesThroughFlush(t *testing.T) {
+	f := New(&dyingFeeder{live: 1}, 1, Options{BufferRuns: 4})
+	f.Observe(0, 1, 0) // fed while the transport is alive
+
+	// Distinct items so nothing coalesces: the buffer fills, the producer
+	// below blocks on backpressure, and the drainer's next feed dies.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := int64(0); i < 64; i++ {
+			f.Observe(0, 2+i, 0)
+		}
+	}()
+	select {
+	case <-done: // producers unblocked by fail()
+	case <-time.After(5 * time.Second):
+		t.Fatal("producer still blocked on backpressure after the transport died")
+	}
+
+	flushed := make(chan error, 1)
+	go func() { flushed <- f.Flush() }()
+	select {
+	case err := <-flushed:
+		if err == nil {
+			t.Fatal("Flush returned nil after the transport died underneath the drainer")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Flush still blocked after the transport died")
+	}
+
+	// Later observations are shed, not deadlocked.
+	before := f.Dropped()
+	f.ObserveBatch(0, 9, 0, 10)
+	if got := f.Dropped() - before; got != 10 {
+		t.Errorf("post-death ObserveBatch dropped %d elements, want 10", got)
+	}
+	if err := f.Close(); err == nil {
+		t.Error("Close returned nil after a terminal transport failure")
+	}
+	if f.Err() == nil {
+		t.Error("Err returned nil after a terminal transport failure")
+	}
+}
+
+// TestRealTransportClosedUnderneath runs the same regression against a real
+// concurrent transport: the goroutine fabric is Closed out from under the
+// frontend mid-run, and the runtime's use-after-Close guard plus the
+// drainer's recovery turn what used to be a silent in-flight deadlock into
+// a terminal error.
+func TestRealTransportClosedUnderneath(t *testing.T) {
+	p, _ := count.NewProtocol(count.Config{K: 2, Eps: 0.1}, 1)
+	cl := netsim.Start(p)
+	f := New(runtime.New(cl), 2, Options{})
+	for i := 0; i < 100; i++ {
+		f.Observe(i%2, 0, 0)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatalf("healthy Flush: %v", err)
+	}
+	cl.Close() // out from under the frontend
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		f.Observe(0, 0, 0) // wakes the drainer into the dead transport
+		if f.Err() != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("drainer never surfaced the dead transport")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := f.Close(); err == nil {
+		t.Error("Close returned nil after the transport was closed mid-run")
+	}
 }

@@ -93,6 +93,17 @@ type Coordinator interface {
 	SpaceWords() int
 }
 
+// Resyncer is an optional Coordinator capability used by the distributed
+// mode's crash/rejoin recovery: Resync emits the messages that bring a
+// freshly created site machine up to the coordinator's current round or
+// level — the same round broadcast (or level announcement) a live site
+// would have received, replayed for the newcomer. Coordinators whose sites
+// carry no coordinator-fed state (the deterministic baselines) simply
+// don't implement it.
+type Resyncer interface {
+	Resync(emit func(Message))
+}
+
 // Protocol bundles a coordinator with its k sites, ready to be mounted on a
 // runtime.
 type Protocol struct {

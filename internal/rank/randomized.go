@@ -501,6 +501,11 @@ func (c *Coordinator) Quantile(q float64, lo, hi float64) float64 {
 // Round returns the number of round transitions so far.
 func (c *Coordinator) Round() int { return c.rc.Round() }
 
+// Resync implements proto.Resyncer: a rejoining site is brought straight
+// to the current round (chunk size and sampling probability) by replaying
+// the round broadcast.
+func (c *Coordinator) Resync(emit func(proto.Message)) { c.rc.Resync(emit) }
+
 // P returns the current sampling probability.
 func (c *Coordinator) P() float64 { return c.p }
 

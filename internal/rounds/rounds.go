@@ -138,6 +138,17 @@ func (c *Coordinator) Deliver(from int, m proto.Message, broadcast func(proto.Me
 	return false
 }
 
+// Resync emits the current round broadcast for a freshly created site
+// machine (crash/rejoin recovery): the newcomer learns n̄ — and with it the
+// protocol's current sampling probability — immediately instead of running
+// at round 0 until the next natural broadcast. Nothing is emitted before
+// the first round.
+func (c *Coordinator) Resync(emit func(proto.Message)) {
+	if c.nBar > 0 {
+		emit(BroadcastMsg{NBar: c.nBar})
+	}
+}
+
 // NBar returns the last broadcast value (the coordinator's n̄).
 func (c *Coordinator) NBar() int64 { return c.nBar }
 

@@ -1,0 +1,120 @@
+package runtime
+
+import "sync/atomic"
+
+// Barrier realizes the instant-communication quiescence barrier shared by
+// the concurrent transports, with fault-middleware awareness.
+//
+// A token is one unit of in-flight work: an injected arrival or an
+// undelivered message. Tokens are either active (moving through mailboxes,
+// sockets, and handlers) or parked (held inside the fault middleware — a
+// delayed frame, a partitioned link's queue). Settle blocks until no active
+// token remains; what happens to parked tokens then depends on the settle
+// mode:
+//
+//   - Settle(false) — the per-arrival barrier. Once active work drains, the
+//     middleware's onIdle hook is offered the chance to release held
+//     traffic that has come due (release makes those tokens active again,
+//     and settling resumes). Traffic that is not yet due — a frame delayed
+//     across arrivals, a partitioned site's queue — stays parked, and
+//     Settle returns around it: the system is as quiet as the fault plan
+//     allows.
+//   - Settle(true) — the full barrier behind Transport.Quiesce. onIdle is
+//     asked to release everything except partition-held traffic, so
+//     queries and metrics reads observe a state where every deliverable
+//     message has been delivered. Partitioned links still stay parked:
+//     that is precisely the degraded partial-coverage view a partition
+//     inflicts.
+//
+// Without middleware there are no parked tokens and both modes degenerate
+// to the plain in-flight wait the transports always had — and the
+// implementation keeps that path on sync.WaitGroup economics: Add, Done,
+// Park, and Unpark are single atomic adds; only the settling goroutine
+// ever blocks, on a one-slot signal channel fed by zero transitions.
+type Barrier struct {
+	active atomic.Int64
+	parked atomic.Int64
+
+	// sem receives one (coalesced) signal per active-count zero
+	// transition; Settle re-checks the count after every wake, so a stale
+	// or coalesced signal is harmless.
+	sem chan struct{}
+
+	// onIdle, installed by the fault middleware, releases held traffic:
+	// everything deliverable when full, only due traffic otherwise. It
+	// reports whether it unparked anything (progress). Called from the
+	// settling goroutine only, at a no-active-work instant.
+	onIdle func(full bool) bool
+}
+
+func (b *Barrier) init() {
+	if b.sem == nil {
+		b.sem = make(chan struct{}, 1)
+	}
+}
+
+// signalIfZero wakes the settler after a transition to zero active tokens.
+func (b *Barrier) signalIfZero(n int64) {
+	switch {
+	case n == 0:
+		select {
+		case b.sem <- struct{}{}:
+		default: // a wake-up is already pending; one is enough
+		}
+	case n < 0:
+		panic("runtime: barrier token retired twice")
+	}
+}
+
+// Add registers n new active tokens. Like sync.WaitGroup, concurrent Add
+// is safe here because a handler's own token is still active while it Adds
+// for the messages it emits, so the count cannot be observed at zero
+// mid-cascade.
+func (b *Barrier) Add(n int) { b.active.Add(int64(n)) }
+
+// Done retires one active token.
+func (b *Barrier) Done() { b.signalIfZero(b.active.Add(-1)) }
+
+// Park moves one token from active to parked: its message is now held
+// inside the fault middleware instead of moving through the transport.
+func (b *Barrier) Park() {
+	b.parked.Add(1)
+	b.signalIfZero(b.active.Add(-1))
+}
+
+// Unpark moves one token back from parked to active: its held message is
+// being released into the transport.
+func (b *Barrier) Unpark() {
+	b.active.Add(1)
+	if b.parked.Add(-1) < 0 {
+		panic("runtime: barrier unparked more tokens than were parked")
+	}
+}
+
+// SetOnIdle installs the middleware release hook. Install before the first
+// arrival.
+func (b *Barrier) SetOnIdle(fn func(full bool) bool) { b.onIdle = fn }
+
+// Settle blocks until the system is quiescent in the requested mode (see
+// the type comment). Only the single injecting goroutine calls Settle, so
+// there is exactly one waiter: a one-slot channel cannot lose its wake-up
+// (Done's send happens after the count it signals is visible, and Settle
+// re-checks the count after every receive).
+func (b *Barrier) Settle(full bool) {
+	for {
+		for b.active.Load() != 0 {
+			<-b.sem
+		}
+		if b.parked.Load() == 0 || b.onIdle == nil {
+			return
+		}
+		if !b.onIdle(full) {
+			// Nothing releasable: the remaining tokens are held by the
+			// fault plan (not yet due, or partitioned). Quiescent for now.
+			return
+		}
+	}
+}
+
+// Wait is Settle(true): the full quiescence barrier.
+func (b *Barrier) Wait() { b.Settle(true) }

@@ -91,6 +91,52 @@ type FromMsg struct {
 	Msg  proto.Message
 }
 
+// HeldUp asks site From's loop to deliver a message the fault middleware
+// held and has now released. The loop delivers it without re-counting cost
+// (the original send was already charged) and without retiring a token:
+// the message's token, unparked by the middleware, stays active until the
+// coordinator loop processes the delivery.
+type HeldUp struct {
+	Msg proto.Message
+}
+
+// HeldDown asks the coordinator loop to deliver a held coordinator->site
+// message the fault middleware released (see HeldUp).
+type HeldDown struct {
+	To  int
+	Msg proto.Message
+}
+
+// Middleware intercepts every protocol message a Fabric-based transport
+// carries, between cost accounting and delivery. The fault-injection layer
+// (internal/runtime/faulty) is the only implementation; a nil middleware
+// means direct delivery.
+//
+// Up/Down run on the sending loop's goroutine (site i's loop for Up(i,...),
+// the coordinator loop for Down) — per-link calls are serial. To deliver
+// immediately the middleware calls deliver; to hold the message it queues
+// the frame internally and parks its in-flight token (Fabric.Inflight.Park),
+// then releases later from Release (the barrier's idle hook) by unparking
+// the token and re-injecting through the owning loop's mailbox
+// (Fabric.ReleaseUp/ReleaseDown). Once the fabric is Closed, nothing may be
+// released — the loops that would carry it are gone (check Fabric.Closed).
+type Middleware interface {
+	// Up intercepts a site->coordinator message already charged to the
+	// ledger; deliver carries it to the coordinator.
+	Up(from int, m proto.Message, deliver func(m proto.Message))
+	// Down intercepts a coordinator->site message already charged to the
+	// ledger; deliver carries it to site to.
+	Down(to int, m proto.Message, deliver func(m proto.Message))
+	// Release is the barrier's idle hook: release held traffic (everything
+	// deliverable when full, only due traffic otherwise) and report whether
+	// anything was released. Runs on the injecting goroutine at a
+	// no-active-work instant.
+	Release(full bool) bool
+	// LiveSites reports how many sites are currently reachable (not killed
+	// or partitioned by the fault plan).
+	LiveSites() int
+}
+
 // Fabric is the shared core of the concurrent transports (goroutine
 // mailboxes, TCP loopback): per-site injection mailboxes, the in-flight
 // counter that realizes the instant-communication quiescence barrier, the
@@ -114,10 +160,18 @@ type Fabric struct {
 	CoordBox  *Mailbox
 
 	// Inflight counts injected arrivals and undelivered messages;
-	// transports' loops call Inflight.Done() after handling each.
-	Inflight sync.WaitGroup
+	// transports' loops call Inflight.Done() after handling each. Messages
+	// held inside the fault middleware park their token instead (see
+	// Barrier).
+	Inflight Barrier
 
 	tap Tap
+	mw  Middleware
+
+	// closed flips when CloseBoxes runs, turning use-after-Close from a
+	// silent in-flight-accounting deadlock into a loud panic (which the
+	// ingest frontend converts into a terminal error).
+	closed atomic.Bool
 
 	// arr and chunk are reusable injection boxes: the injector has at most
 	// one arrival (or chunk) outstanding — it waits for quiescence before
@@ -152,12 +206,65 @@ func NewFabric(p proto.Protocol) *Fabric {
 	for i := range f.SiteBoxes {
 		f.SiteBoxes[i] = NewMailbox()
 	}
+	f.Inflight.init()
 	f.chunk.Done = f.chunkDone
 	return f
 }
 
 // Protocol returns the mounted protocol.
 func (f *Fabric) Protocol() proto.Protocol { return f.p }
+
+// SetMiddleware installs the fault-injection middleware and hooks it into
+// the quiescence barrier. Install before the first arrival; a nil
+// middleware restores direct delivery.
+func (f *Fabric) SetMiddleware(mw Middleware) {
+	f.mw = mw
+	if mw == nil {
+		f.Inflight.SetOnIdle(nil)
+		return
+	}
+	f.Inflight.SetOnIdle(mw.Release)
+}
+
+// Middleware returns the installed fault middleware (nil when none).
+func (f *Fabric) Middleware() Middleware { return f.mw }
+
+// ChargeUp adds fault-layer overhead traffic — duplicates the receiver
+// discarded, retransmissions of lost frames — to the site->coordinator
+// ledger without delivering anything.
+func (f *Fabric) ChargeUp(msgs, words int64) {
+	atomic.AddInt64(&f.messagesUp, msgs)
+	atomic.AddInt64(&f.wordsUp, words)
+}
+
+// ChargeDown is ChargeUp for the coordinator->site direction.
+func (f *Fabric) ChargeDown(msgs, words int64) {
+	atomic.AddInt64(&f.messagesDown, msgs)
+	atomic.AddInt64(&f.wordsDown, words)
+}
+
+// ReleaseUp re-injects a held site->coordinator message through site from's
+// loop, which will deliver it on its own goroutine (so the loop's delivery
+// resources are never shared across goroutines). The caller must have
+// unparked the message's token first.
+func (f *Fabric) ReleaseUp(from int, m proto.Message) {
+	f.SiteBoxes[from].Put(&HeldUp{Msg: m})
+}
+
+// ReleaseDown re-injects a held coordinator->site message through the
+// coordinator loop (see ReleaseUp).
+func (f *Fabric) ReleaseDown(to int, m proto.Message) {
+	f.CoordBox.Put(&HeldDown{To: to, Msg: m})
+}
+
+// Arrivals returns the number of arrivals injected so far (the fault
+// plan's clock).
+func (f *Fabric) Arrivals() int64 { return atomic.LoadInt64(&f.arrivals) }
+
+// Closed reports whether CloseBoxes has run: the loops are gone, so held
+// traffic can no longer be released (the middleware must stop releasing,
+// or the re-injected tokens would never retire and Quiesce would hang).
+func (f *Fabric) Closed() bool { return f.closed.Load() }
 
 // CountUp brackets one site->coordinator message: in-flight token, ledger,
 // tap. The transport delivers the message after calling it.
@@ -188,13 +295,20 @@ func (f *Fabric) CountBroadcast() {
 
 // Arrive implements Transport: it injects one element at site and blocks
 // until the whole system is quiescent again, matching the paper's model
-// where no element arrives while messages are outstanding.
+// where no element arrives while messages are outstanding. Under fault
+// middleware, "quiescent" means as quiet as the fault plan allows: frames
+// delayed across arrivals or trapped behind a partition stay in flight
+// inside the fault layer (Settle(false)); the full barrier behind Quiesce
+// settles them.
 func (f *Fabric) Arrive(site int, item int64, value float64) {
+	if f.closed.Load() {
+		panic("runtime: transport used after Close")
+	}
 	n := atomic.AddInt64(&f.arrivals, 1)
 	f.Inflight.Add(1)
 	f.arr.Item, f.arr.Value = item, value
 	f.SiteBoxes[site].Put(&f.arr)
-	f.Inflight.Wait()
+	f.Inflight.Settle(false)
 	if f.SpaceProbeEvery > 0 && n%int64(f.SpaceProbeEvery) == 0 {
 		f.Probe()
 	}
@@ -206,13 +320,16 @@ func (f *Fabric) Arrive(site int, item int64, value float64) {
 // so round broadcasts land between arrivals exactly as they would
 // element-at-a-time.
 func (f *Fabric) ArriveBatch(site int, item int64, value float64, count int64) {
+	if f.closed.Load() {
+		panic("runtime: transport used after Close")
+	}
 	every := int64(f.SpaceProbeEvery)
 	for count > 0 {
 		f.Inflight.Add(1)
 		f.chunk.Item, f.chunk.Value, f.chunk.Count = item, value, count
 		f.SiteBoxes[site].Put(&f.chunk)
 		consumed := <-f.chunkDone
-		f.Inflight.Wait()
+		f.Inflight.Settle(false)
 		n := atomic.AddInt64(&f.arrivals, consumed)
 		count -= consumed
 		if every > 0 && n%every < consumed {
@@ -231,6 +348,10 @@ func (f *Fabric) RunSiteLoop(i int, deliver func(m proto.Message)) {
 	box := f.SiteBoxes[i]
 	out := func(m proto.Message) {
 		f.CountUp(i, m)
+		if f.mw != nil {
+			f.mw.Up(i, m, deliver)
+			return
+		}
 		deliver(m)
 	}
 	for {
@@ -243,6 +364,12 @@ func (f *Fabric) RunSiteLoop(i int, deliver func(m proto.Message)) {
 			site.Arrive(msg.Item, msg.Value, out)
 		case *Chunk:
 			msg.Done <- proto.ArriveChunk(site, msg.Item, msg.Value, msg.Count, out)
+		case *HeldUp:
+			// A fault-released message: already charged, token already
+			// unparked and traveling with the delivery — the receiving loop
+			// retires it, not this one.
+			deliver(msg.Msg)
+			continue
 		case proto.Message:
 			site.Receive(msg, out)
 		}
@@ -257,6 +384,10 @@ func (f *Fabric) RunSiteLoop(i int, deliver func(m proto.Message)) {
 func (f *Fabric) RunCoordLoop(deliver func(to int, m proto.Message)) {
 	send := func(to int, m proto.Message) {
 		f.CountDown(to, m)
+		if f.mw != nil {
+			f.mw.Down(to, m, func(m proto.Message) { deliver(to, m) })
+			return
+		}
 		deliver(to, m)
 	}
 	broadcast := func(m proto.Message) {
@@ -270,14 +401,24 @@ func (f *Fabric) RunCoordLoop(deliver func(to int, m proto.Message)) {
 		if !ok {
 			return
 		}
-		cm := v.(FromMsg)
-		f.p.Coord.Receive(cm.From, cm.Msg, send, broadcast)
+		switch cm := v.(type) {
+		case *HeldDown:
+			// A fault-released message; see RunSiteLoop's *HeldUp case.
+			deliver(cm.To, cm.Msg)
+			continue
+		case FromMsg:
+			f.p.Coord.Receive(cm.From, cm.Msg, send, broadcast)
+		}
 		f.Inflight.Done()
 	}
 }
 
-// Quiesce implements Transport.
-func (f *Fabric) Quiesce() { f.Inflight.Wait() }
+// Quiesce implements Transport: the full barrier. Under fault middleware it
+// also settles delayed traffic that has not yet come due — a query forces
+// the reliability layer to deliver everything it can — while traffic held
+// behind a live partition stays in flight (the degraded view a partition
+// inflicts).
+func (f *Fabric) Quiesce() { f.Inflight.Settle(true) }
 
 // Probe implements Transport. The fabric must be quiescent: the in-flight
 // WaitGroup then orders this read after every handler that touched
@@ -301,6 +442,10 @@ func (f *Fabric) SetTap(t Tap) { f.tap = t }
 
 // Metrics implements Transport. Call after Quiesce for a consistent view.
 func (f *Fabric) Metrics() Metrics {
+	live := len(f.p.Sites)
+	if f.mw != nil {
+		live = f.mw.LiveSites()
+	}
 	return Metrics{
 		MessagesUp:    atomic.LoadInt64(&f.messagesUp),
 		MessagesDown:  atomic.LoadInt64(&f.messagesDown),
@@ -310,11 +455,15 @@ func (f *Fabric) Metrics() Metrics {
 		Arrivals:      atomic.LoadInt64(&f.arrivals),
 		MaxSiteSpace:  f.maxSiteSpace,
 		MaxCoordSpace: f.maxCoordSpace,
+		LiveSites:     live,
 	}
 }
 
-// CloseBoxes closes every mailbox, releasing the transport's loops.
+// CloseBoxes closes every mailbox, releasing the transport's loops, and
+// marks the fabric closed so later injections panic instead of hanging on
+// in-flight accounting no loop will ever retire.
 func (f *Fabric) CloseBoxes() {
+	f.closed.Store(true)
 	for _, mb := range f.SiteBoxes {
 		mb.Close()
 	}

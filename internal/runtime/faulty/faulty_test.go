@@ -1,0 +1,212 @@
+package faulty_test
+
+import (
+	"reflect"
+	"testing"
+
+	"disttrack/internal/count"
+	"disttrack/internal/netsim"
+	"disttrack/internal/runtime"
+	"disttrack/internal/runtime/faulty"
+	"disttrack/internal/stats"
+)
+
+const (
+	k    = 4
+	eps  = 0.1
+	n    = 6000
+	seed = 7
+)
+
+// run feeds n round-robin elements into a count protocol on the goroutine
+// transport, optionally under a fault plan, and returns the coordinator's
+// final estimate, the metrics, and the fault stats.
+func run(t *testing.T, plan *faulty.Plan) (float64, runtime.Metrics, faulty.Stats) {
+	t.Helper()
+	p, coord := count.NewProtocol(count.Config{K: k, Eps: eps}, seed)
+	c := netsim.Start(p)
+	var inj *faulty.Injector
+	if plan != nil {
+		inj = faulty.New(c.Fabric, *plan)
+		c.SetMiddleware(inj)
+	}
+	for i := 0; i < n; i++ {
+		c.Arrive(i%k, 0, 0)
+	}
+	c.Quiesce()
+	est := coord.Estimate()
+	m := c.Metrics()
+	var st faulty.Stats
+	if inj != nil {
+		st = inj.Stats()
+	}
+	c.Close()
+	return est, m, st
+}
+
+// TestMaskedFaultsAreEquivalent pins the reliability model: drops,
+// duplicates, and within-cascade reorders are fully masked by the ARQ
+// sublayer, so the protocol's answers and arrival accounting are
+// bit-identical to the fault-free run while the ledger records the
+// recovery traffic.
+func TestMaskedFaultsAreEquivalent(t *testing.T) {
+	cleanEst, cleanM, _ := run(t, nil)
+	plan := faulty.Plan{Seed: 3, Drop: 0.05, Duplicate: 0.05, Reorder: 0.2}
+	est, m, st := run(t, &plan)
+
+	if est != cleanEst {
+		t.Errorf("estimate under masked faults = %g, fault-free = %g", est, cleanEst)
+	}
+	if m.Arrivals != cleanM.Arrivals {
+		t.Errorf("arrivals = %d, want %d", m.Arrivals, cleanM.Arrivals)
+	}
+	if m.LiveSites != k {
+		t.Errorf("LiveSites = %d, want %d", m.LiveSites, k)
+	}
+	if st.Dropped == 0 || st.Duplicated == 0 || st.Reordered == 0 {
+		t.Fatalf("fault schedule fired nothing: %+v", st)
+	}
+	wantMsgs := cleanM.Messages() + st.Retransmits + st.Duplicated + st.Dropped // NACK per drop
+	if m.Messages() != wantMsgs {
+		t.Errorf("messages = %d, want fault-free %d + recovery traffic %d",
+			m.Messages(), cleanM.Messages(), wantMsgs-cleanM.Messages())
+	}
+	if m.Words() <= cleanM.Words() {
+		t.Errorf("words = %d, want > fault-free %d (recovery traffic is charged)", m.Words(), cleanM.Words())
+	}
+}
+
+// TestDeterministicSchedule pins reproducibility: the same plan and seed
+// give bit-identical estimates, metrics, and fault counters.
+func TestDeterministicSchedule(t *testing.T) {
+	plan := faulty.Plan{Seed: 11, Drop: 0.03, Duplicate: 0.02, Reorder: 0.1, Delay: 0.05, DelayArrivals: 3}
+	est1, m1, st1 := run(t, &plan)
+	est2, m2, st2 := run(t, &plan)
+	if est1 != est2 || m1 != m2 || !reflect.DeepEqual(st1, st2) {
+		t.Errorf("two runs of the same seeded plan diverged:\n%g %+v %+v\n%g %+v %+v",
+			est1, m1, st1, est2, m2, st2)
+	}
+}
+
+// TestDelaySpansArrivals pins that a delayed frame genuinely outlives its
+// cascade: with every up message delayed by many arrivals, the coordinator
+// knows nothing until a query's full settle delivers the held traffic.
+func TestDelaySpansArrivals(t *testing.T) {
+	p, coord := count.NewProtocol(count.Config{K: 1, Eps: eps}, seed)
+	c := netsim.Start(p)
+	inj := faulty.New(c.Fabric, faulty.Plan{Seed: 1, Delay: 0.999999999, DelayArrivals: 1 << 40, MaxHeld: 1 << 30})
+	c.SetMiddleware(inj)
+	defer c.Close()
+
+	for i := 0; i < 100; i++ {
+		c.Arrive(0, 0, 0)
+	}
+	if est := coord.Estimate(); est != 0 {
+		t.Fatalf("estimate before any settle = %g, want 0 (all reports held)", est)
+	}
+	if st := inj.Stats(); st.Delayed == 0 {
+		t.Fatal("nothing was delayed")
+	}
+	c.Quiesce() // the full barrier releases everything deliverable
+	if est := coord.Estimate(); est == 0 {
+		t.Fatal("estimate still 0 after Quiesce; held traffic was not settled")
+	}
+}
+
+// TestKillAndRejoin pins the partition lifecycle: while a site is dead its
+// traffic is trapped and LiveSites drops; after the scheduled rejoin the
+// trapped traffic drains and the final estimate recovers the ε guarantee
+// over the full stream.
+func TestKillAndRejoin(t *testing.T) {
+	plan := faulty.Plan{Seed: 5, Kills: []faulty.Kill{{Site: 1, At: n / 4, RejoinAt: n / 2}}}
+	p, coord := count.NewProtocol(count.Config{K: k, Eps: eps}, seed)
+	c := netsim.Start(p)
+	inj := faulty.New(c.Fabric, plan)
+	c.SetMiddleware(inj)
+	defer c.Close()
+
+	sawDead := false
+	for i := 0; i < n; i++ {
+		c.Arrive(i%k, 0, 0)
+		if i == n/3 {
+			c.Quiesce()
+			if live := c.Metrics().LiveSites; live != k-1 {
+				t.Errorf("LiveSites during kill window = %d, want %d", live, k-1)
+			}
+			sawDead = true
+		}
+	}
+	c.Quiesce()
+	if live := c.Metrics().LiveSites; live != k {
+		t.Errorf("LiveSites after rejoin = %d, want %d", live, k)
+	}
+	if !sawDead {
+		t.Fatal("kill window never observed")
+	}
+	if st := inj.Stats(); st.Partitioned == 0 {
+		t.Error("no traffic was trapped behind the partition")
+	}
+	if err := stats.RelErr(coord.Estimate(), float64(n)); err > eps {
+		t.Errorf("final estimate %g is %.3f relative from %d, want <= %g after recovery",
+			coord.Estimate(), err, n, eps)
+	}
+}
+
+// TestNeverRejoiningKillDegrades pins partial coverage: a site that dies
+// and never rejoins keeps its post-kill traffic trapped, the estimate
+// excludes it, and Heal releases it for a final settle.
+func TestNeverRejoiningKillDegrades(t *testing.T) {
+	plan := faulty.Plan{Seed: 9, Kills: []faulty.Kill{{Site: 0, At: 1}}}
+	p, coord := count.NewProtocol(count.Config{K: 2, Eps: eps}, seed)
+	c := netsim.Start(p)
+	inj := faulty.New(c.Fabric, plan)
+	c.SetMiddleware(inj)
+	defer c.Close()
+
+	// Everything lands on the dead site: the coordinator must see nothing.
+	for i := 0; i < 1000; i++ {
+		c.Arrive(0, 0, 0)
+	}
+	c.Quiesce()
+	if est := coord.Estimate(); est != 0 {
+		t.Errorf("estimate with the only reporting site dead = %g, want 0", est)
+	}
+	if live := c.Metrics().LiveSites; live != 1 {
+		t.Errorf("LiveSites = %d, want 1", live)
+	}
+	inj.Heal()
+	c.Quiesce()
+	if est := coord.Estimate(); est == 0 {
+		t.Error("estimate still 0 after Heal + Quiesce")
+	}
+	if live := c.Metrics().LiveSites; live != 2 {
+		t.Errorf("LiveSites after Heal = %d, want 2", live)
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	plan, err := faulty.ParsePlan("drop=0.02, dup=0.01,reorder=0.05,delay=0.1@4,maxheld=16,seed=7,kill=1@5000:+3000,kill=2@8000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := faulty.Plan{
+		Seed: 7, Drop: 0.02, Duplicate: 0.01, Reorder: 0.05, Delay: 0.1,
+		DelayArrivals: 4, MaxHeld: 16,
+		Kills: []faulty.Kill{{Site: 1, At: 5000, RejoinAt: 8000}, {Site: 2, At: 8000}},
+	}
+	if !reflect.DeepEqual(plan, want) {
+		t.Errorf("ParsePlan = %+v, want %+v", plan, want)
+	}
+	if p, err := faulty.ParsePlan(""); err != nil || !reflect.DeepEqual(p, faulty.Plan{}) {
+		t.Errorf("empty spec = %+v, %v; want zero plan", p, err)
+	}
+	for _, bad := range []string{
+		"drop", "drop=1.5", "drop=1", "drop=-0.1", "dup=1.01", "delay=0.1@x",
+		"kill=1", "kill=x@5", "kill=1@5:4x", "kill=1@0", "kill=1@5:4",
+		"kill=-1@5", "wat=1", "maxheld=abc",
+	} {
+		if _, err := faulty.ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted a bad spec", bad)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package faulty
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePlan parses the compact fault-spec syntax used by cmd/tracksim's
+// -faults flag into a Plan:
+//
+//		drop=0.02,dup=0.01,reorder=0.05,delay=0.1@4,maxheld=8,seed=7,kill=1@5000:9000,kill=2@8000
+//
+//	  - drop, dup, reorder: per-message probabilities;
+//	  - delay=P@D: probability P of holding a frame for D arrivals (plain
+//	    delay=P means D=1);
+//	  - maxheld: per-link hold-queue bound;
+//	  - seed: the dice seed;
+//	  - kill=SITE@AT[:REJOIN]: cut site SITE off at global arrival AT,
+//	    rejoining at REJOIN (absolute, or +DUR for AT+DUR; omitted = never).
+//
+// Repeated kill clauses accumulate; everything else last-wins.
+func ParsePlan(spec string) (Plan, error) {
+	var p Plan
+	if strings.TrimSpace(spec) == "" {
+		return p, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return p, fmt.Errorf("faulty: %q is not key=value", field)
+		}
+		var err error
+		switch key {
+		case "drop":
+			if p.Drop, err = parseProb(val); err == nil && p.Drop >= 1 {
+				// drop=1 would retransmit forever; New rejects it too.
+				err = fmt.Errorf("drop probability must be < 1")
+			}
+		case "dup":
+			p.Duplicate, err = parseProb(val)
+		case "reorder":
+			p.Reorder, err = parseProb(val)
+		case "delay":
+			prob, dur, cut := strings.Cut(val, "@")
+			if p.Delay, err = parseProb(prob); err == nil && cut {
+				p.DelayArrivals, err = strconv.ParseInt(dur, 10, 64)
+			}
+		case "maxheld":
+			var v int64
+			v, err = strconv.ParseInt(val, 10, 32)
+			p.MaxHeld = int(v)
+		case "seed":
+			p.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "kill":
+			var kl Kill
+			kl, err = parseKill(val)
+			p.Kills = append(p.Kills, kl)
+		default:
+			return p, fmt.Errorf("faulty: unknown fault key %q", key)
+		}
+		if err != nil {
+			return p, fmt.Errorf("faulty: bad %s clause %q: %w", key, val, err)
+		}
+	}
+	return p, nil
+}
+
+// parseProb accepts the same domain New does for dup/reorder/delay: [0,1].
+// The drop clause tightens its own bound to < 1 above.
+func parseProb(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v > 1 {
+		return 0, fmt.Errorf("probability %g outside [0,1]", v)
+	}
+	return v, nil
+}
+
+func parseKill(s string) (Kill, error) {
+	site, window, ok := strings.Cut(s, "@")
+	if !ok {
+		return Kill{}, fmt.Errorf("want SITE@AT[:REJOIN]")
+	}
+	var kl Kill
+	v, err := strconv.ParseInt(site, 10, 32)
+	if err != nil {
+		return Kill{}, err
+	}
+	kl.Site = int(v)
+	at, rejoin, hasRejoin := strings.Cut(window, ":")
+	if kl.At, err = strconv.ParseInt(at, 10, 64); err != nil {
+		return Kill{}, err
+	}
+	if hasRejoin {
+		rel := strings.HasPrefix(rejoin, "+")
+		if kl.RejoinAt, err = strconv.ParseInt(strings.TrimPrefix(rejoin, "+"), 10, 64); err != nil {
+			return Kill{}, err
+		}
+		if rel {
+			kl.RejoinAt += kl.At
+		}
+	}
+	// Everything k-independent is validated here so a bad spec is a parse
+	// error, not a panic later at New; the site range needs k and stays
+	// New's (or the CLI's) job.
+	if kl.Site < 0 {
+		return Kill{}, fmt.Errorf("negative kill site")
+	}
+	if kl.At <= 0 || (kl.RejoinAt != 0 && kl.RejoinAt <= kl.At) {
+		return Kill{}, fmt.Errorf("kill window must satisfy 0 < AT < REJOIN")
+	}
+	return kl, nil
+}

@@ -46,6 +46,14 @@ type Metrics struct {
 	// meaningful on every transport.
 	MaxSiteSpace  int
 	MaxCoordSpace int
+
+	// LiveSites is the number of sites currently reachable from the
+	// coordinator: k on a healthy transport, fewer while a fault plan has
+	// sites killed or partitioned (in-process fault middleware) or while
+	// crashed site processes have not rejoined (distributed mode). Queries
+	// made while LiveSites < k cover only the live sites' recent data —
+	// the documented partial-coverage degradation.
+	LiveSites int
 }
 
 // Messages returns the total message count.

@@ -53,13 +53,25 @@ type Server struct {
 	// the run forever or abort it.
 	HandshakeTimeout time.Duration
 
+	// RejoinWait is how long a crashed site's slot stays open for a Rejoin
+	// dial before the site is declared lost. While a site is dead the run
+	// continues on the remaining sites (Metrics.LiveSites reflects the
+	// degraded coverage); a site that rejoins in time resumes its slot
+	// with a Resync handshake. 0 preserves the legacy behavior: a dropped
+	// connection is an immediate loss.
+	RejoinWait time.Duration
+
 	// Rejects counts connections dropped during the handshake (garbage
 	// frames, non-Hello traffic, timeouts, dialers aborted when the K
-	// sites finished assembling without them). Every counted connection
-	// settles before the message loop starts, and connections accepted
-	// after assembly are closed without being counted, so the field is
+	// sites finished assembling without them, and Rejoin dials for slots
+	// that are not open). Every counted connection settles before the
+	// message loop starts or is settled by the serve loop, so the field is
 	// final once Serve returns; plain reads are safe then.
 	Rejects int64
+
+	// Rejoins counts crashed-site slots successfully resumed by a Rejoin
+	// handshake. Final once Serve returns.
+	Rejoins int64
 
 	// Cost counters; only the Serve goroutine touches them (sends,
 	// dispatch, and the Report callback all run there), so they are plain
@@ -68,6 +80,37 @@ type Server struct {
 	wordsUp, wordsDown       int64
 	broadcasts               int64
 	siteArrivals             []int64 // running counts from Progress frames, final from Done
+	liveCount                int     // sites currently connected or cleanly finished
+
+	// serving gates rejoin handoffs from handshake goroutines into the
+	// serve loop's mailbox, so a Rejoin landing during teardown is closed
+	// instead of stranded.
+	serving atomic.Bool
+
+	// Post-assembly (rejoin-candidate) handshakes run on their own
+	// goroutines; hsConns tracks their connections so Serve's teardown can
+	// abort the reads, and hsWG joins them before Serve returns — keeping
+	// the "Rejects/Rejoins are final once Serve returns" contract honest.
+	// Both are guarded by hsMu; a nil hsConns means no more may start.
+	hsMu    sync.Mutex
+	hsConns map[net.Conn]struct{}
+	hsWG    sync.WaitGroup
+}
+
+// rejoinReq hands a completed post-assembly Rejoin handshake to the serve
+// loop, which decides whether the slot is open.
+type rejoinReq struct {
+	site     int
+	arrivals int64
+	conn     net.Conn
+}
+
+// rejoinTimeout declares a dead site lost if it has not rejoined by the
+// time the timer fired. epoch guards against a slot that died, rejoined,
+// and died again since the timer was armed.
+type rejoinTimeout struct {
+	site  int
+	epoch int
 }
 
 // assemble accepts connections on ln until all s.K sites have completed
@@ -79,8 +122,10 @@ type Server struct {
 // it. Only a well-formed Hello that contradicts the deployment (bad or
 // duplicate site index, k or fingerprint mismatch) is a loud, fatal
 // error. Accepting continues in the background until the caller closes
-// ln; post-assembly dials are closed immediately.
-func (s *Server) assemble(ln net.Listener, conns []net.Conn) error {
+// ln; post-assembly dials are handshaken as Rejoin candidates — a valid
+// Rejoin for this deployment is handed to the serve loop via rejoin,
+// anything else is rejected.
+func (s *Server) assemble(ln net.Listener, conns []net.Conn, rejoin func(wire.Rejoin, net.Conn)) error {
 	timeout := s.HandshakeTimeout
 	if timeout == 0 {
 		timeout = 10 * time.Second
@@ -92,6 +137,11 @@ func (s *Server) assemble(ln net.Listener, conns []net.Conn) error {
 		done       bool
 		inflight   = map[net.Conn]bool{}
 		hsWG       sync.WaitGroup
+		// rejoinedSlot marks slots filled by a Rejoin during assembly: a
+		// Hello colliding with such a slot is the crashed predecessor's
+		// stale handshake surfacing late, not a misdeployed duplicate
+		// site, and must not abort the run.
+		rejoinedSlot = make([]bool, s.K)
 	)
 	assembled := make(chan struct{})
 	// finish, called with mu held, ends assembly (success or fatal) and
@@ -129,33 +179,91 @@ func (s *Server) assemble(ln net.Listener, conns []net.Conn) error {
 			atomic.AddInt64(&s.Rejects, 1)
 			return
 		}
-		hello, ok := m.(wire.Hello)
-		if !ok {
+		// A Rejoin during assembly is a site whose Hello the server never
+		// registered — its first connection died (with the Hello possibly
+		// still in a network buffer) and it redialed before assembly
+		// completed. It registers like a Hello, but mismatches are
+		// rejected non-fatally (the dialer retries; once assembly ends the
+		// serve loop arbitrates rejoins properly).
+		site, hk, hcfg := -1, 0, uint64(0)
+		isRejoin := false
+		switch h := m.(type) {
+		case wire.Hello:
+			site, hk, hcfg = h.Site, h.K, h.Config
+		case wire.Rejoin:
+			site, hk, hcfg, isRejoin = h.Site, h.K, h.Config, true
+		default:
 			conn.Close()
 			atomic.AddInt64(&s.Rejects, 1)
 			return
 		}
 		switch {
-		case hello.Site < 0 || hello.Site >= s.K || conns[hello.Site] != nil:
+		case site >= 0 && site < s.K && conns[site] != nil && rejoinedSlot[site] && !isRejoin:
+			// The slot was resumed by a replacement process while this —
+			// the crashed predecessor's — Hello was still in flight.
+			conn.Close()
+			atomic.AddInt64(&s.Rejects, 1)
+			return
+		case site < 0 || site >= s.K || conns[site] != nil:
 			fatalErr = fmt.Errorf("tcp: serve handshake: unexpected %#v", m)
-		case hello.K != s.K:
+		case hk != s.K:
 			fatalErr = fmt.Errorf("tcp: site %d dialed with k=%d, server has k=%d",
-				hello.Site, hello.K, s.K)
-		case hello.Config != s.Config:
+				site, hk, s.K)
+		case hcfg != s.Config:
 			fatalErr = fmt.Errorf(
 				"tcp: site %d dialed with configuration fingerprint %#x, server has %#x (mismatched problem/algorithm/ε?)",
-				hello.Site, hello.Config, s.Config)
+				site, hcfg, s.Config)
 		default:
+			if isRejoin {
+				// Acknowledge so the dialer's rejoin handshake completes;
+				// nothing has been acknowledged or broadcast yet, so the
+				// Resync is empty.
+				if frame, err := wire.AppendFrame(nil, wire.Resync{}); err == nil {
+					conn.Write(frame)
+				}
+				atomic.AddInt64(&s.Rejoins, 1)
+				rejoinedSlot[site] = true
+			}
 			conn.SetReadDeadline(time.Time{})
-			conns[hello.Site] = conn
+			conns[site] = conn
 			registered++
 			if registered == s.K {
 				finish()
 			}
 			return
 		}
+		if isRejoin {
+			// A mis-shaped rejoin must not abort a healthy assembly.
+			fatalErr = nil
+			conn.Close()
+			atomic.AddInt64(&s.Rejects, 1)
+			return
+		}
 		conn.Close()
 		finish()
+	}
+
+	// rejoinHandshake vets a post-assembly dial: only a well-formed Rejoin
+	// frame matching this deployment reaches the serve loop; everything
+	// else — garbage, silent dials, mismatched shapes — is rejected, never
+	// fatal (a running system must shrug off strays).
+	rejoinHandshake := func(conn net.Conn) {
+		defer s.hsWG.Done()
+		conn.SetReadDeadline(time.Now().Add(timeout))
+		m, _, err := wire.ReadFrame(conn, nil)
+		s.hsMu.Lock()
+		delete(s.hsConns, conn)
+		s.hsMu.Unlock()
+		if err == nil {
+			if rj, ok := m.(wire.Rejoin); ok &&
+				rj.Site >= 0 && rj.Site < s.K && rj.K == s.K && rj.Config == s.Config {
+				conn.SetReadDeadline(time.Time{})
+				rejoin(rj, conn)
+				return
+			}
+		}
+		conn.Close()
+		atomic.AddInt64(&s.Rejects, 1)
 	}
 
 	go func() {
@@ -172,7 +280,19 @@ func (s *Server) assemble(ln net.Listener, conns []net.Conn) error {
 			}
 			if done {
 				mu.Unlock()
-				conn.Close()
+				// Register under hsMu so Serve's teardown (which nils the
+				// map, closes the registered conns, and joins hsWG) can
+				// never race a late handshake spawn.
+				s.hsMu.Lock()
+				if s.hsConns == nil {
+					s.hsMu.Unlock()
+					conn.Close() // the run is over; post-run strays just go away
+					continue
+				}
+				s.hsConns[conn] = struct{}{}
+				s.hsWG.Add(1)
+				s.hsMu.Unlock()
+				go rejoinHandshake(conn)
 				continue
 			}
 			inflight[conn] = true
@@ -208,7 +328,32 @@ func (s *Server) Serve(ln net.Listener) (runtime.Metrics, error) {
 	}()
 
 	s.siteArrivals = make([]int64, s.K)
-	if err := s.assemble(ln, conns); err != nil {
+	s.liveCount = s.K
+	box := runtime.NewMailbox()
+	s.hsConns = map[net.Conn]struct{}{}
+	s.serving.Store(true)
+	defer s.serving.Store(false)
+	rejoinHandoff := func(rj wire.Rejoin, conn net.Conn) {
+		if !s.serving.Load() {
+			conn.Close()
+			atomic.AddInt64(&s.Rejects, 1)
+			return
+		}
+		box.Put(rejoinReq{site: rj.Site, arrivals: rj.Arrivals, conn: conn})
+	}
+	// stopHandshakes aborts and joins the post-assembly handshake probes;
+	// after it, no goroutine touches Rejects/Rejoins again.
+	stopHandshakes := func() {
+		s.hsMu.Lock()
+		for conn := range s.hsConns {
+			conn.Close()
+		}
+		s.hsConns = nil
+		s.hsMu.Unlock()
+		s.hsWG.Wait()
+	}
+	if err := s.assemble(ln, conns, rejoinHandoff); err != nil {
+		stopHandshakes()
 		return runtime.Metrics{}, err
 	}
 
@@ -218,18 +363,17 @@ func (s *Server) Serve(ln net.Listener) (runtime.Metrics, error) {
 	// finished site still answers round broadcasts triggered by the other
 	// sites' traffic (e.g. the count tracker's AdjustMsg re-randomization),
 	// and those protocol messages must reach the coordinator. Readers exit
-	// only when their connection ends — which Serve forces by closing every
-	// connection once all k sites have reported Done.
-	box := runtime.NewMailbox()
+	// only when their connection ends — the site crashed (its slot then
+	// waits RejoinWait for a Rejoin dial) or Serve hung up at run end.
 	var rg sync.WaitGroup
-	for i := range conns {
+	startReader := func(i int, conn net.Conn) {
 		rg.Add(1)
-		go func(i int) {
+		go func() {
 			defer rg.Done()
 			doneSeen := false
 			var buf []byte
 			for {
-				m, b, err := wire.ReadFrame(conns[i], buf)
+				m, b, err := wire.ReadFrame(conn, buf)
 				buf = b
 				if err != nil {
 					if !doneSeen {
@@ -242,7 +386,10 @@ func (s *Server) Serve(ln net.Listener) (runtime.Metrics, error) {
 				}
 				box.Put(runtime.FromMsg{From: i, Msg: m})
 			}
-		}(i)
+		}()
+	}
+	for i := range conns {
+		startReader(i, conns[i])
 	}
 
 	var frame []byte
@@ -265,17 +412,86 @@ func (s *Server) Serve(ln net.Listener) (runtime.Metrics, error) {
 
 	remaining, lost := s.K, 0
 	finished := make([]bool, s.K) // per-site Done/lost bookkeeping
+	live := make([]bool, s.K)     // per-site connection state
+	epoch := make([]int, s.K)     // guards stale rejoin timers
+	for i := range live {
+		live[i] = true
+	}
+	declareLost := func(site int) {
+		finished[site] = true
+		remaining--
+		lost++
+	}
 	var processed int64
 	for remaining > 0 {
 		v, _ := box.Get()
+		switch ev := v.(type) {
+		case rejoinReq:
+			if finished[ev.site] || live[ev.site] {
+				// The slot is not open: the site finished, was declared
+				// lost, or a previous connection is still considered live
+				// (its reader has not reported the loss yet — the dialer
+				// retries and will land once it has).
+				ev.conn.Close()
+				atomic.AddInt64(&s.Rejects, 1)
+				continue
+			}
+			// Resume the slot: acknowledge with a Resync carrying the
+			// coordinator's round and the site's last acknowledged arrival
+			// count (control traffic, not charged), then replay the
+			// protocol messages that bring a fresh site machine to the
+			// current round (charged — recovery has a real communication
+			// cost).
+			epoch[ev.site]++
+			conns[ev.site] = ev.conn
+			live[ev.site] = true
+			s.liveCount++
+			atomic.AddInt64(&s.Rejoins, 1)
+			round := int64(0)
+			if rc, ok := s.Coord.(interface{ Round() int }); ok {
+				round = int64(rc.Round())
+			}
+			var err error
+			frame, err = wire.AppendFrame(frame[:0], wire.Resync{
+				Round: round, Arrivals: s.siteArrivals[ev.site]})
+			if err == nil {
+				_, err = ev.conn.Write(frame)
+			}
+			_ = err // a re-crash is caught by the new reader
+			if rs, ok := s.Coord.(proto.Resyncer); ok {
+				rs.Resync(func(m proto.Message) { send(ev.site, m) })
+			}
+			startReader(ev.site, ev.conn)
+			continue
+		case rejoinTimeout:
+			if !finished[ev.site] && !live[ev.site] && epoch[ev.site] == ev.epoch {
+				declareLost(ev.site)
+			}
+			continue
+		}
 		cm := v.(runtime.FromMsg)
 		switch m := cm.Msg.(type) {
 		case nil:
-			if !finished[cm.From] { // connection lost before Done
-				finished[cm.From] = true
-				remaining--
-				lost++
+			if finished[cm.From] || !live[cm.From] {
+				break // stale loss report for an already-settled slot
 			}
+			// Connection lost before Done: the slot goes dark. With a
+			// rejoin window the run continues degraded and the slot waits;
+			// without one the site is lost immediately (legacy behavior).
+			conns[cm.From].Close() // release the dead descriptor now
+			live[cm.From] = false
+			s.liveCount--
+			epoch[cm.From]++
+			if s.RejoinWait <= 0 {
+				declareLost(cm.From)
+				break
+			}
+			site, e := cm.From, epoch[cm.From]
+			time.AfterFunc(s.RejoinWait, func() {
+				if s.serving.Load() {
+					box.Put(rejoinTimeout{site: site, epoch: e})
+				}
+			})
 		case wire.Done:
 			// A misbehaving site repeating its Done frame must not
 			// decrement remaining twice — that would end the run while a
@@ -291,6 +507,9 @@ func (s *Server) Serve(ln net.Listener) (runtime.Metrics, error) {
 			if !finished[cm.From] {
 				s.siteArrivals[cm.From] = m.Arrivals
 			}
+		case wire.Rejoin:
+			// A Rejoin frame on an established connection is protocol
+			// abuse; drop it (the handshake path is the only way in).
 		default:
 			s.messagesUp++
 			s.wordsUp += int64(cm.Msg.Words())
@@ -301,10 +520,16 @@ func (s *Server) Serve(ln net.Listener) (runtime.Metrics, error) {
 			}
 		}
 	}
-	// Every site has finished: hang up so the (still-draining) readers see
-	// EOF and exit, then collect them.
+	// Every site has finished: stop accepting rejoins, abort and join the
+	// handshakes still probing (so Rejects/Rejoins really are final when
+	// Serve returns), and hang up so the (still-draining) readers see EOF
+	// and exit, then collect them.
+	s.serving.Store(false)
+	stopHandshakes()
 	for _, conn := range conns {
-		conn.Close()
+		if conn != nil {
+			conn.Close()
+		}
 	}
 	rg.Wait()
 	// Protocol messages that were already received but queued behind the
@@ -320,9 +545,16 @@ func (s *Server) Serve(ln net.Listener) (runtime.Metrics, error) {
 		if !ok {
 			break
 		}
-		cm := v.(runtime.FromMsg)
+		cm, ok := v.(runtime.FromMsg)
+		if !ok {
+			if rj, isRejoin := v.(rejoinReq); isRejoin {
+				rj.conn.Close() // a rejoin that raced run end
+				atomic.AddInt64(&s.Rejects, 1)
+			}
+			continue
+		}
 		switch cm.Msg.(type) {
-		case nil, wire.Done, wire.Progress: // control events, already accounted
+		case nil, wire.Done, wire.Progress, wire.Rejoin: // control events, already accounted
 		default:
 			s.messagesUp++
 			s.wordsUp += int64(cm.Msg.Words())
@@ -348,6 +580,7 @@ func (s *Server) metrics() runtime.Metrics {
 		WordsDown:    s.wordsDown,
 		Broadcasts:   s.broadcasts,
 		Arrivals:     arrivals,
+		LiveSites:    s.liveCount,
 	}
 }
 
@@ -356,10 +589,19 @@ func (s *Server) metrics() runtime.Metrics {
 // the Done frame. A background reader applies coordinator broadcasts to the
 // site machine as they land; a mutex serializes the machine between the
 // feeding goroutine and the reader.
+//
+// With AutoReconnect set, a connection that dies under the site (a network
+// blip, a coordinator-side drop) is transparently re-established: the next
+// failed send dials the server again with a Rejoin handshake, waits for
+// its Resync, and retransmits — the protocols' absolute-state messages
+// make the blip invisible beyond its communication cost. A site process
+// that itself crashed uses RejoinSite from the replacement process instead.
 type SiteConn struct {
-	site int
-	s    proto.Site
-	conn net.Conn
+	site   int
+	k      int
+	config uint64
+	addr   string
+	s      proto.Site
 
 	// ProgressEvery makes the site ship a Progress control frame with its
 	// running arrival count every that many arrivals, so the server's
@@ -368,16 +610,32 @@ type SiteConn struct {
 	// or disable with a negative value — before the first Arrive.
 	ProgressEvery int64
 
-	mu       sync.Mutex // guards s, frame, and conn writes
+	// AutoReconnect turns on the reconnection loop: a failed send redials
+	// the server with a Rejoin handshake (RedialAttempts tries,
+	// RedialWait apart) and retransmits. Set before the first Arrive.
+	AutoReconnect  bool
+	RedialWait     time.Duration // default DefaultRedialWait
+	RedialAttempts int           // default DefaultRedialAttempts
+
+	mu       sync.Mutex // guards s, frame, conn, and conn writes
+	conn     net.Conn
 	frame    []byte
 	arrivals int64
 	sendErr  error
+	rejoins  int64
+	resync   wire.Resync // last Resync received (rejoin handshakes)
 
-	readerDone chan struct{}
+	readers sync.WaitGroup
 }
 
 // DefaultProgressEvery is the Progress-frame cadence DialSite installs.
 const DefaultProgressEvery = 4096
+
+// Reconnection-loop defaults: up to 40 redials 50ms apart (~2s of outage).
+const (
+	DefaultRedialWait     = 50 * time.Millisecond
+	DefaultRedialAttempts = 40
+)
 
 // DialSite connects site machine s with index site to the server at addr.
 // config must match the server's configuration fingerprint (see
@@ -387,8 +645,7 @@ func DialSite(addr string, site, k int, config uint64, s proto.Site) (*SiteConn,
 	if err != nil {
 		return nil, fmt.Errorf("tcp: dial %s: %w", addr, err)
 	}
-	sc := &SiteConn{site: site, s: s, conn: conn,
-		ProgressEvery: DefaultProgressEvery, readerDone: make(chan struct{})}
+	sc := newSiteConn(addr, site, k, config, s, conn)
 	sc.frame, err = wire.AppendFrame(sc.frame[:0], wire.Hello{Site: site, K: k, Config: config})
 	if err == nil {
 		_, err = conn.Write(sc.frame)
@@ -397,36 +654,162 @@ func DialSite(addr string, site, k int, config uint64, s proto.Site) (*SiteConn,
 		conn.Close()
 		return nil, fmt.Errorf("tcp: handshake: %w", err)
 	}
-	go sc.reader()
+	sc.startReader(conn)
 	return sc, nil
 }
 
-// out ships one site message; callers hold sc.mu.
-func (sc *SiteConn) out(m proto.Message) {
+// RejoinSite reconnects a crashed site's replacement process: it dials the
+// server with a Rejoin handshake and returns once the server's Resync
+// lands. s is a freshly built site machine (the crash lost the old one);
+// the Resync replay brings it to the coordinator's current round, and the
+// returned Resync carries the server's last acknowledged arrival count for
+// this slot — a replayable stream source replays from 0 (the protocols'
+// absolute-state messages make that reconverge exactly), a non-replayable
+// one resumes and accepts the documented gap. arrivals is this process's
+// local count (0 after a full crash).
+func RejoinSite(addr string, site, k int, config uint64, arrivals int64, s proto.Site) (*SiteConn, wire.Resync, error) {
+	conn, rs, err := dialRejoin(addr, site, k, config, arrivals)
+	if err != nil {
+		return nil, wire.Resync{}, err
+	}
+	sc := newSiteConn(addr, site, k, config, s, conn)
+	sc.resync, sc.rejoins = rs, 1
+	sc.startReader(conn)
+	return sc, rs, nil
+}
+
+func newSiteConn(addr string, site, k int, config uint64, s proto.Site, conn net.Conn) *SiteConn {
+	return &SiteConn{site: site, k: k, config: config, addr: addr, s: s, conn: conn,
+		ProgressEvery:  DefaultProgressEvery,
+		RedialWait:     DefaultRedialWait,
+		RedialAttempts: DefaultRedialAttempts,
+	}
+}
+
+// dialRejoin performs one Rejoin handshake: dial, send the Rejoin frame,
+// wait for the server's Resync. A server that rejects (slot not open, run
+// over) just closes the connection, which surfaces here as a read error.
+func dialRejoin(addr string, site, k int, config uint64, arrivals int64) (net.Conn, wire.Resync, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, wire.Resync{}, fmt.Errorf("tcp: rejoin dial %s: %w", addr, err)
+	}
+	frame, err := wire.AppendFrame(nil, wire.Rejoin{Site: site, K: k, Config: config, Arrivals: arrivals})
+	if err == nil {
+		_, err = conn.Write(frame)
+	}
+	if err != nil {
+		conn.Close()
+		return nil, wire.Resync{}, fmt.Errorf("tcp: rejoin handshake: %w", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	m, _, err := wire.ReadFrame(conn, nil)
+	if err != nil {
+		conn.Close()
+		return nil, wire.Resync{}, fmt.Errorf("tcp: rejoin rejected: %w", err)
+	}
+	rs, ok := m.(wire.Resync)
+	if !ok {
+		conn.Close()
+		return nil, wire.Resync{}, fmt.Errorf("tcp: rejoin handshake: unexpected %#v", m)
+	}
+	conn.SetReadDeadline(time.Time{})
+	return conn, rs, nil
+}
+
+// write ships one frame on the current connection; callers hold sc.mu.
+func (sc *SiteConn) write(m proto.Message) error {
 	var err error
 	sc.frame, err = wire.AppendFrame(sc.frame[:0], m)
 	if err == nil {
 		_, err = sc.conn.Write(sc.frame)
+	}
+	return err
+}
+
+// out ships one site message, driving the reconnection loop on failure;
+// callers hold sc.mu.
+func (sc *SiteConn) out(m proto.Message) {
+	err := sc.write(m)
+	if err == nil {
+		return
+	}
+	if sc.AutoReconnect {
+		if err = sc.reconnect(); err == nil {
+			err = sc.write(m) // retransmit on the fresh connection
+		}
 	}
 	if err != nil && sc.sendErr == nil {
 		sc.sendErr = err
 	}
 }
 
-// reader applies coordinator messages to the site machine as they arrive.
-func (sc *SiteConn) reader() {
-	defer close(sc.readerDone)
-	var buf []byte
-	for {
-		m, b, err := wire.ReadFrame(sc.conn, buf)
-		buf = b
-		if err != nil {
-			return
-		}
-		sc.mu.Lock()
-		sc.s.Receive(m, sc.out)
-		sc.mu.Unlock()
+// reconnect re-establishes the connection with a Rejoin handshake; callers
+// hold sc.mu. The old reader exits on its own once the dead connection is
+// closed.
+func (sc *SiteConn) reconnect() error {
+	sc.conn.Close()
+	attempts := sc.RedialAttempts
+	if attempts < 1 {
+		attempts = 1
 	}
+	var lastErr error
+	for try := 0; try < attempts; try++ {
+		if try > 0 && sc.RedialWait > 0 {
+			time.Sleep(sc.RedialWait)
+		}
+		conn, rs, err := dialRejoin(sc.addr, sc.site, sc.k, sc.config, sc.arrivals)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		sc.conn = conn
+		sc.resync = rs
+		sc.rejoins++
+		sc.startReader(conn)
+		return nil
+	}
+	return fmt.Errorf("tcp: site %d could not rejoin after %d attempts: %w", sc.site, attempts, lastErr)
+}
+
+// startReader launches a reader for one connection generation. It applies
+// coordinator messages to the site machine as they arrive and exits when
+// its connection dies (a reconnect starts a successor for the new one).
+func (sc *SiteConn) startReader(conn net.Conn) {
+	sc.readers.Add(1)
+	go func() {
+		defer sc.readers.Done()
+		var buf []byte
+		for {
+			m, b, err := wire.ReadFrame(conn, buf)
+			buf = b
+			if err != nil {
+				return
+			}
+			if _, ctl := m.(wire.Resync); ctl {
+				continue // control traffic; handshakes consume theirs synchronously
+			}
+			sc.mu.Lock()
+			sc.s.Receive(m, sc.out)
+			sc.mu.Unlock()
+		}
+	}()
+}
+
+// Rejoins returns how many times this connection re-established itself (or
+// was created by RejoinSite).
+func (sc *SiteConn) Rejoins() int64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.rejoins
+}
+
+// LastResync returns the most recent Resync handshake received (zero if
+// the connection never rejoined).
+func (sc *SiteConn) LastResync() wire.Resync {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.resync
 }
 
 // maybeProgress ships a Progress frame when the arrival count crossed a
@@ -469,10 +852,15 @@ func (sc *SiteConn) Arrivals() int64 {
 }
 
 // Abort drops the connection without a Done frame, simulating a site
-// process dying mid-stream (tests; a real crash has the same effect).
+// process dying mid-stream (tests and chaos harnesses; a real crash has
+// the same effect). It never reconnects, whatever AutoReconnect says.
 func (sc *SiteConn) Abort() {
-	sc.conn.Close()
-	<-sc.readerDone
+	sc.mu.Lock()
+	sc.AutoReconnect = false
+	conn := sc.conn
+	sc.mu.Unlock()
+	conn.Close()
+	sc.readers.Wait()
 }
 
 // Close sends the Done frame, waits for the server to hang up, and closes
@@ -486,7 +874,9 @@ func (sc *SiteConn) Close() error {
 	sc.out(wire.Done{Arrivals: sc.arrivals})
 	err := sc.sendErr
 	sc.mu.Unlock()
-	<-sc.readerDone
+	sc.readers.Wait()
+	sc.mu.Lock()
 	sc.conn.Close()
+	sc.mu.Unlock()
 	return err
 }

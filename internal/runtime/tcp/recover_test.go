@@ -1,0 +1,311 @@
+package tcp_test
+
+import (
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"disttrack/internal/count"
+	"disttrack/internal/runtime"
+	"disttrack/internal/runtime/tcp"
+	"disttrack/internal/stats"
+	"disttrack/internal/wire"
+)
+
+// rejoinWithRetry dials RejoinSite until the server has noticed the crash
+// and opened the slot (a rejoin racing the server's loss detection is
+// rejected and must simply be retried — exactly what SiteConn's own
+// reconnection loop does).
+func rejoinWithRetry(t *testing.T, addr string, site, k int, config uint64, s *count.Site) (*tcp.SiteConn, wire.Resync) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sc, rs, err := tcp.RejoinSite(addr, site, k, config, 0, s)
+		if err == nil {
+			return sc, rs
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rejoin never accepted: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCrashAndRejoin pins the recovery protocol end to end: a site process
+// crashes mid-stream (no Done frame), the run continues degraded, a
+// replacement process rejoins with a fresh machine and replays its stream
+// from 0, and the run completes with exact arrival accounting, full live
+// coverage, and the ε guarantee intact — the protocols' absolute-state
+// messages make a full replay reconverge exactly.
+func TestCrashAndRejoin(t *testing.T) {
+	const (
+		k   = 2
+		n0  = 6000
+		n1  = 4000
+		eps = 0.1
+	)
+	cfg := count.Config{K: k, Eps: eps}
+	srv := &tcp.Server{Coord: count.NewCoordinator(cfg), K: k, RejoinWait: 5 * time.Second}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type served struct {
+		m   runtime.Metrics
+		err error
+	}
+	res := make(chan served, 1)
+	go func() {
+		m, err := srv.Serve(ln)
+		res <- served{m, err}
+	}()
+	addr := ln.Addr().String()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // site 0: healthy, streams everything
+		defer wg.Done()
+		sc, err := tcp.DialSite(addr, 0, k, 0, count.NewSite(cfg, stats.New(1)))
+		if err != nil {
+			t.Errorf("site 0: %v", err)
+			return
+		}
+		for i := 0; i < n0; i++ {
+			sc.Arrive(0, 0)
+		}
+		if err := sc.Close(); err != nil {
+			t.Errorf("site 0 close: %v", err)
+		}
+	}()
+	go func() { // site 1: crashes halfway, replacement replays from 0
+		defer wg.Done()
+		sc, err := tcp.DialSite(addr, 1, k, 0, count.NewSite(cfg, stats.New(2)))
+		if err != nil {
+			t.Errorf("site 1: %v", err)
+			return
+		}
+		sc.ProgressEvery = 256 // so the coordinator acknowledges pre-crash progress
+		for i := 0; i < n1/2; i++ {
+			sc.Arrive(0, 0)
+		}
+		sc.Abort() // crash: no Done frame, local machine state lost
+
+		// The replacement process: fresh machine (same seed — a replayable
+		// source), full replay. The Resync's acknowledged-arrival count is
+		// advisory only: the crash usually leaves the last Progress frame
+		// acknowledged, but an RST (unread broadcasts in the dying site's
+		// receive buffer at close) can legitimately destroy the buffered
+		// Progress frames in flight, so 0 is a valid acknowledgment too —
+		// replay-from-0 is correct either way.
+		sc2, rs := rejoinWithRetry(t, addr, 1, k, 0, count.NewSite(cfg, stats.New(2)))
+		t.Logf("Resync acknowledged %d arrivals (site streamed %d before crashing)", rs.Arrivals, n1/2)
+		for i := 0; i < n1; i++ {
+			sc2.Arrive(0, 0)
+		}
+		if err := sc2.Close(); err != nil {
+			t.Errorf("site 1 rejoin close: %v", err)
+		}
+	}()
+	wg.Wait()
+
+	sr := <-res
+	if sr.err != nil {
+		t.Fatalf("serve: %v", sr.err)
+	}
+	if sr.m.Arrivals != n0+n1 {
+		t.Errorf("arrivals = %d, want %d (full replay must supersede the crashed stream)", sr.m.Arrivals, n0+n1)
+	}
+	if sr.m.LiveSites != k {
+		t.Errorf("final LiveSites = %d, want %d", sr.m.LiveSites, k)
+	}
+	if srv.Rejoins != 1 {
+		t.Errorf("Rejoins = %d, want 1", srv.Rejoins)
+	}
+	est := srv.Coord.(*count.Coordinator).Estimate()
+	if relErr := stats.RelErr(est, float64(n0+n1)); relErr > 2*eps {
+		t.Errorf("estimate after recovery = %.0f (rel err %.3f from %d), want within %g",
+			est, relErr, n0+n1, 2*eps)
+	}
+}
+
+// TestRejoinWaitExpires pins graceful degradation when a crashed site never
+// returns: the run completes on the surviving sites, Serve reports the
+// partial coverage as an error, and the metrics carry the reduced live-site
+// count.
+func TestRejoinWaitExpires(t *testing.T) {
+	const k = 2
+	cfg := count.Config{K: k, Eps: 0.1}
+	srv := &tcp.Server{Coord: count.NewCoordinator(cfg), K: k, RejoinWait: 100 * time.Millisecond}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type served struct {
+		m   runtime.Metrics
+		err error
+	}
+	res := make(chan served, 1)
+	go func() {
+		m, err := srv.Serve(ln)
+		res <- served{m, err}
+	}()
+	addr := ln.Addr().String()
+
+	ghost, err := tcp.DialSite(addr, 1, k, 0, count.NewSite(cfg, stats.New(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := tcp.DialSite(addr, 0, k, 0, count.NewSite(cfg, stats.New(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		ghost.Arrive(0, 0)
+	}
+	ghost.Abort() // dies and never comes back
+
+	const n = 3000
+	for i := 0; i < n; i++ {
+		sc.Arrive(0, 0)
+	}
+	if err := sc.Close(); err != nil {
+		t.Fatalf("healthy site close: %v", err)
+	}
+	sr := <-res
+	if sr.err == nil || !strings.Contains(sr.err.Error(), "1 of 2 sites disconnected") {
+		t.Fatalf("serve error = %v, want a 1-of-2-sites-lost report", sr.err)
+	}
+	if sr.m.LiveSites != k-1 {
+		t.Errorf("LiveSites = %d, want %d", sr.m.LiveSites, k-1)
+	}
+	if sr.m.Arrivals != n+100 {
+		// The ghost's 100 pre-crash arrivals were acknowledged via
+		// Progress/Done? No Done was sent; they count only if a Progress
+		// frame landed, which 100 arrivals at the default cadence does not
+		// trigger — the healthy site's stream must be complete regardless.
+		if sr.m.Arrivals != n {
+			t.Errorf("arrivals = %d, want %d (healthy stream) or %d", sr.m.Arrivals, n, n+100)
+		}
+	}
+}
+
+// flakyProxy forwards TCP connections to a backend and can sever every
+// live pairing on demand, simulating a network blip between a site and the
+// coordinator without killing either process.
+type flakyProxy struct {
+	ln      net.Listener
+	backend string
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func newFlakyProxy(t *testing.T, backend string) *flakyProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &flakyProxy{ln: ln, backend: backend}
+	go p.accept()
+	return p
+}
+
+func (p *flakyProxy) accept() {
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		b, err := net.Dial("tcp", p.backend)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		p.mu.Lock()
+		p.conns = append(p.conns, c, b)
+		p.mu.Unlock()
+		go func() { io.Copy(b, c); b.Close(); c.Close() }()
+		go func() { io.Copy(c, b); b.Close(); c.Close() }()
+	}
+}
+
+// sever kills every live pairing; later dials pass through again.
+func (p *flakyProxy) sever() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.conns {
+		c.Close()
+	}
+	p.conns = p.conns[:0]
+}
+
+func (p *flakyProxy) addr() string { return p.ln.Addr().String() }
+func (p *flakyProxy) close()       { p.ln.Close(); p.sever() }
+
+// TestAutoReconnect pins SiteConn's reconnection loop: a mid-run network
+// blip (connection severed, processes alive) is healed by the next failed
+// send's Rejoin handshake, and the run completes with exact accounting —
+// the site machine's state survived, so nothing is even replayed.
+func TestAutoReconnect(t *testing.T) {
+	const (
+		k = 1
+		n = 20000
+	)
+	cfg := count.Config{K: k, Eps: 0.1}
+	srv := &tcp.Server{Coord: count.NewCoordinator(cfg), K: k, RejoinWait: 10 * time.Second}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type served struct {
+		m   runtime.Metrics
+		err error
+	}
+	res := make(chan served, 1)
+	go func() {
+		m, err := srv.Serve(ln)
+		res <- served{m, err}
+	}()
+
+	proxy := newFlakyProxy(t, ln.Addr().String())
+	defer proxy.close()
+
+	sc, err := tcp.DialSite(proxy.addr(), 0, k, 0, count.NewSite(cfg, stats.New(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.AutoReconnect = true
+	for i := 0; i < n; i++ {
+		if i == n/3 || i == 2*n/3 {
+			proxy.sever() // two blips mid-run
+		}
+		sc.Arrive(0, 0)
+	}
+	if err := sc.Close(); err != nil {
+		t.Fatalf("close after blips: %v", err)
+	}
+	sr := <-res
+	if sr.err != nil {
+		t.Fatalf("serve: %v", sr.err)
+	}
+	if sr.m.Arrivals != n {
+		t.Errorf("arrivals = %d, want %d", sr.m.Arrivals, n)
+	}
+	if sc.Rejoins() < 1 {
+		t.Error("the connection never rejoined; the blips were not exercised")
+	}
+	if srv.Rejoins < 1 {
+		t.Error("server recorded no rejoins")
+	}
+	est := srv.Coord.(*count.Coordinator).Estimate()
+	if relErr := stats.RelErr(est, n); relErr > 0.2 {
+		t.Errorf("estimate = %.0f (rel err %.3f), want within 0.2 of %d", est, relErr, n)
+	}
+}

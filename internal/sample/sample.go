@@ -204,6 +204,15 @@ func (c *Coordinator) Rank(x float64) float64 {
 // Level returns the current sampling level.
 func (c *Coordinator) Level() int { return c.level }
 
+// Resync implements proto.Resyncer: a rejoining site learns the current
+// sampling level from the replayed level announcement, so it samples at
+// 2^-level immediately instead of flooding the coordinator at level 0.
+func (c *Coordinator) Resync(emit func(proto.Message)) {
+	if c.level > 0 {
+		emit(LevelMsg{Level: c.level})
+	}
+}
+
 // SampleLen returns the current retained-sample size.
 func (c *Coordinator) SampleLen() int { return len(c.sample) }
 

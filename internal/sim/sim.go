@@ -71,6 +71,7 @@ func New(p proto.Protocol) *Harness {
 		panic("sim: protocol needs a coordinator and at least one site")
 	}
 	h := &Harness{p: p, SpaceProbeEvery: 1024}
+	h.metrics.LiveSites = len(p.Sites) // the sequential fabric never faults
 	h.siteOuts = make([]func(proto.Message), len(p.Sites))
 	h.batch = make([]proto.BatchSite, len(p.Sites))
 	for i := range p.Sites {

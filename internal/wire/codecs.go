@@ -35,6 +35,8 @@ const (
 	tagHello           byte = 17
 	tagDone            byte = 18
 	tagProgress        byte = 19
+	tagRejoin          byte = 20
+	tagResync          byte = 21
 )
 
 // Hello is the handshake frame a site sends when its connection to the
@@ -73,6 +75,40 @@ type Progress struct {
 
 // Words implements proto.Message.
 func (Progress) Words() int { return 1 }
+
+// Rejoin is the handshake frame a previously connected site sends instead
+// of Hello when it reconnects after a crash or a dropped connection
+// (control traffic). Site, K, and Config are validated exactly like
+// Hello's; Arrivals carries the site's local arrival count at reconnect
+// time (0 after a crash that lost local state), so the coordinator can
+// log how much of the stream the site believes it has delivered.
+type Rejoin struct {
+	Site     int
+	K        int
+	Config   uint64
+	Arrivals int64
+}
+
+// Words implements proto.Message.
+func (Rejoin) Words() int { return 4 }
+
+// Resync is the coordinator's acceptance of a Rejoin (control traffic). It
+// carries the coordinator's current protocol round (0 when the protocol
+// has no round structure) and the site's last coordinator-acknowledged
+// arrival count — the recovery point: a crashed site whose stream source
+// is replayable replays from 0 (the protocols' absolute-state messages
+// make that reconverge exactly); one that cannot replay resumes from its
+// own position and the coordinator keeps the pre-crash contribution it
+// last acknowledged. Ordinary protocol frames that bring the fresh site
+// machine to the current round (the coordinator's Resync replay, see
+// proto.Resyncer) follow immediately after this frame.
+type Resync struct {
+	Round    int64
+	Arrivals int64
+}
+
+// Words implements proto.Message.
+func (Resync) Words() int { return 2 }
 
 func init() {
 	Register(tagRoundsUp, rounds.UpMsg{},
@@ -370,6 +406,43 @@ func init() {
 		func(b []byte) (proto.Message, []byte, error) {
 			n, b, err := ReadInt(b)
 			return Done{Arrivals: n}, b, err
+		})
+
+	Register(tagRejoin, Rejoin{},
+		func(b []byte, m proto.Message) []byte {
+			r := m.(Rejoin)
+			b = AppendInt(AppendInt(b, int64(r.Site)), int64(r.K))
+			return AppendInt(AppendInt(b, int64(r.Config)), r.Arrivals)
+		},
+		func(b []byte) (proto.Message, []byte, error) {
+			site, b, err := ReadInt(b)
+			if err != nil {
+				return nil, b, err
+			}
+			k, b, err := ReadInt(b)
+			if err != nil {
+				return nil, b, err
+			}
+			cfg, b, err := ReadInt(b)
+			if err != nil {
+				return nil, b, err
+			}
+			n, b, err := ReadInt(b)
+			return Rejoin{Site: int(site), K: int(k), Config: uint64(cfg), Arrivals: n}, b, err
+		})
+
+	Register(tagResync, Resync{},
+		func(b []byte, m proto.Message) []byte {
+			r := m.(Resync)
+			return AppendInt(AppendInt(b, r.Round), r.Arrivals)
+		},
+		func(b []byte) (proto.Message, []byte, error) {
+			round, b, err := ReadInt(b)
+			if err != nil {
+				return nil, b, err
+			}
+			n, b, err := ReadInt(b)
+			return Resync{Round: round, Arrivals: n}, b, err
 		})
 }
 

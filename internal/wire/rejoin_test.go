@@ -1,0 +1,55 @@
+package wire_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"disttrack/internal/proto"
+	"disttrack/internal/wire"
+)
+
+// TestRejoinResyncFrames pins the crash-recovery control frames: framed
+// round trips, Words() size cross-checks, and bounds behavior on truncated
+// input. The generic property and fuzz harnesses cover these types too
+// (they enumerate wire.Registered()); this test keeps the recovery frames'
+// contract explicit.
+func TestRejoinResyncFrames(t *testing.T) {
+	r := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 100; trial++ {
+		for _, m := range []proto.Message{
+			wire.Rejoin{Site: r.Intn(1 << 16), K: r.Intn(1 << 16), Config: r.Uint64(), Arrivals: r.Int63()},
+			wire.Resync{Round: r.Int63n(1 << 40), Arrivals: r.Int63()},
+		} {
+			frame, err := wire.AppendFrame(nil, m)
+			if err != nil {
+				t.Fatalf("%T: %v", m, err)
+			}
+			// Length prefix (4) + tag (1) + one machine word per field:
+			// these control frames carry no structural overhead, so the
+			// wire size is exactly the Words() accounting.
+			if want := 4 + 1 + 8*m.Words(); len(frame) != want {
+				t.Fatalf("%T: frame is %d bytes, want %d", m, len(frame), want)
+			}
+			got, _, err := wire.ReadFrame(bytes.NewReader(frame), nil)
+			if err != nil {
+				t.Fatalf("%T: ReadFrame: %v", m, err)
+			}
+			if !reflect.DeepEqual(got, m) {
+				t.Fatalf("%T: framed round trip changed the message: %#v -> %#v", m, m, got)
+			}
+
+			// Every truncation of the payload must fail cleanly with
+			// ErrShort — a torn rejoin handshake is corruption, not a
+			// partial message.
+			enc := frame[4:]
+			for cut := 1; cut < len(enc); cut++ {
+				if _, _, err := wire.Decode(enc[:cut]); !errors.Is(err, wire.ErrShort) {
+					t.Fatalf("%T truncated to %d bytes: err = %v, want ErrShort", m, cut, err)
+				}
+			}
+		}
+	}
+}

@@ -102,6 +102,11 @@ func gen(r *rand.Rand, prototype proto.Message) proto.Message {
 		return wire.Done{Arrivals: r.Int63()}
 	case wire.Progress:
 		return wire.Progress{Arrivals: r.Int63()}
+	case wire.Rejoin:
+		return wire.Rejoin{Site: r.Intn(1 << 20), K: r.Intn(1 << 20),
+			Config: r.Uint64(), Arrivals: r.Int63()}
+	case wire.Resync:
+		return wire.Resync{Round: r.Int63n(1 << 40), Arrivals: r.Int63()}
 	default:
 		panic("no generator for registered message type " + reflect.TypeOf(prototype).String())
 	}

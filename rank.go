@@ -40,7 +40,7 @@ func NewRankTracker(opt Options) *RankTracker {
 			for i := range ps {
 				ps[i], coords[i] = rank.NewProtocol(cfg, root.Uint64())
 			}
-			t.eng = mount(opt, boost.Wrap(ps))
+			t.eng, t.inj = mount(opt, boost.Wrap(ps))
 			t.rankFn = func(x float64) float64 {
 				ests := make([]float64, len(coords))
 				for i, c := range coords {
@@ -53,17 +53,17 @@ func NewRankTracker(opt Options) *RankTracker {
 			return t
 		}
 		p, coord := rank.NewProtocol(cfg, opt.Seed)
-		t.eng = mount(opt, p)
+		t.eng, t.inj = mount(opt, p)
 		t.rankFn = coord.Rank
 		t.quantile = coord.Quantile
 	case AlgorithmDeterministic:
 		p, coord := rank.NewDetProtocol(opt.K, opt.Epsilon)
-		t.eng = mount(opt, p)
+		t.eng, t.inj = mount(opt, p)
 		t.rankFn = coord.Rank
 		t.quantile = coord.Quantile
 	case AlgorithmSampling:
 		p, coord := sample.NewProtocol(sample.Config{K: opt.K, Eps: opt.Epsilon}, opt.Seed)
-		t.eng = mount(opt, p)
+		t.eng, t.inj = mount(opt, p)
 		t.rankFn = coord.Rank
 		t.quantile = bisect(coord.Rank)
 	default:

@@ -58,5 +58,10 @@ func (f *FrequencyViaRank) Estimate(item int64) float64 {
 // Metrics returns the underlying rank tracker's cost ledger.
 func (f *FrequencyViaRank) Metrics() Metrics { return f.rt.Metrics() }
 
-// Close stops the underlying tracker's concurrent runtime, if any.
-func (f *FrequencyViaRank) Close() { f.rt.Close() }
+// Flush forwards the underlying tracker's ingestion barrier; the returned
+// error is terminal (the transport failed under concurrent ingestion).
+func (f *FrequencyViaRank) Flush() error { return f.rt.Flush() }
+
+// Close stops the underlying tracker's concurrent runtime, if any,
+// returning its terminal error (nil when the run was healthy).
+func (f *FrequencyViaRank) Close() error { return f.rt.Close() }
