@@ -36,12 +36,15 @@ import (
 	"math"
 	"net"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"disttrack"
 	"disttrack/internal/count"
 	"disttrack/internal/freq"
+	"disttrack/internal/persist"
 	"disttrack/internal/proto"
 	"disttrack/internal/rank"
 	"disttrack/internal/runtime"
@@ -476,7 +479,19 @@ func serveMain(args []string) {
 	reportEvery := fs.Int64("report", 200, "print an estimate every N protocol messages (0 = never)")
 	rejoinWait := fs.Duration("rejoinwait", 10*time.Second,
 		"how long a crashed site's slot stays open for a rejoin before it is declared lost (0 = immediate loss)")
+	walDir := fs.String("wal", "",
+		"directory for durable coordinator state (write-ahead log + snapshots); empty = no persistence")
+	snapEvery := fs.Int64("snapevery", 0,
+		"snapshot cadence in logged coordinator frames (0 = default 4096; needs -wal)")
+	resume := fs.Bool("resume", false,
+		"recover coordinator state from -wal (snapshot + log replay) before accepting sites")
 	fs.Parse(args)
+	if *resume && *walDir == "" {
+		fatalf("-resume needs -wal")
+	}
+	if *snapEvery != 0 && *walDir == "" {
+		fatalf("-snapevery needs -wal")
+	}
 
 	coord, report := cfg.coordinator()
 	ln, err := net.Listen("tcp", *addr)
@@ -499,8 +514,44 @@ func serveMain(args []string) {
 			report()
 		},
 	}
+	if *walDir != "" {
+		store, err := disttrack.OpenDiskStore(*walDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer store.Close()
+		srv.Persist, srv.SnapshotEvery, srv.Resume = store, *snapEvery, *resume
+		if *resume {
+			fmt.Printf("resuming coordinator state from %s\n", *walDir)
+		}
+	}
+
+	// SIGINT/SIGTERM shut down gracefully: the serve loop drains what it
+	// already received, writes a final snapshot, and syncs the WAL, so a
+	// later serve -resume picks up exactly where this one stopped.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		sig, ok := <-sigc
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "\nreceived %v; shutting down gracefully\n", sig)
+		if !srv.Shutdown() {
+			os.Exit(1)
+		}
+	}()
+
 	m, err := srv.Serve(ln)
-	if err != nil {
+	switch {
+	case err == tcp.ErrShutdown:
+		fmt.Printf("\nshut down before all sites finished; coordinator state sealed")
+		if *walDir != "" {
+			fmt.Printf(" (restart with -resume to continue)")
+		}
+		fmt.Println()
+	case err != nil:
 		// A handshake failure is fatal; lost sites still leave a partial
 		// final state worth printing alongside the warning.
 		if m.Arrivals == 0 && m.MessagesUp == 0 {
@@ -508,7 +559,7 @@ func serveMain(args []string) {
 		}
 		fmt.Fprintf(os.Stderr, "warning: %v\n", err)
 		fmt.Printf("\nrun ended with lost sites; partial final state:\n")
-	} else {
+	default:
 		fmt.Printf("\nall %d sites finished; final state:\n", cfg.k)
 	}
 	report()
@@ -517,6 +568,10 @@ func serveMain(args []string) {
 	fmt.Printf("words:      %d\n", m.Words())
 	fmt.Printf("broadcasts: %d\n", m.Broadcasts)
 	fmt.Printf("live sites: %d of %d\n", m.LiveSites, cfg.k)
+	if *walDir != "" {
+		fmt.Printf("durability: %d snapshots, %d WAL frames replayed on start, %d resyncs served\n",
+			m.Snapshots, m.ReplayedFrames, m.Resyncs)
+	}
 	if srv.Rejoins > 0 {
 		fmt.Printf("recovered %d crashed-site connection(s) via rejoin\n", srv.Rejoins)
 	}
@@ -550,6 +605,10 @@ func connectMain(args []string) {
 	seed := fs.Uint64("seed", 0, "site RNG seed (default: site index + 1)")
 	reconnect := fs.Bool("reconnect", true,
 		"transparently redial the coordinator (rejoin handshake) if the connection drops mid-run")
+	redialWait := fs.Duration("redialwait", tcp.DefaultRedialWait,
+		"delay between reconnection attempts (with -reconnect)")
+	redialAttempts := fs.Int("redialattempts", tcp.DefaultRedialAttempts,
+		"reconnection attempts before giving up (with -reconnect); raise to ride out a coordinator restart")
 	fs.Parse(args)
 	if *site < 0 || *site >= cfg.k {
 		fatalf("site %d out of range [0, %d)", *site, cfg.k)
@@ -564,6 +623,7 @@ func connectMain(args []string) {
 		fatalf("%v", err)
 	}
 	sc.AutoReconnect = *reconnect
+	sc.RedialWait, sc.RedialAttempts = *redialWait, *redialAttempts
 	fmt.Printf("site %d: connected to %s, streaming %d elements\n", *site, *addr, *n)
 
 	items := workload.ZipfItems(1000, 1.1, stats.New(*seed^0xfeed))
@@ -587,7 +647,13 @@ func connectMain(args []string) {
 // reconverge exactly, so the run must finish with every arrival accounted
 // and (for count) the ε guarantee intact. Exits non-zero otherwise.
 //
+// With -coordkill the coordinator itself also crashes mid-run — abruptly,
+// no final snapshot — and a replacement recovers its state from the durable
+// store (snapshot + write-ahead-log replay) while every site rides the
+// outage through its reconnection loop.
+//
 //	go run ./cmd/tracksim chaos -k 4 -n 50000 -kills 2 -seed 7
+//	go run ./cmd/tracksim chaos -k 4 -n 50000 -kills 1 -coordkill
 func chaosMain(args []string) {
 	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
 	cfg := distFlags(fs)
@@ -595,6 +661,9 @@ func chaosMain(args []string) {
 	kills := fs.Int("kills", 1, "how many sites crash and rejoin (at seeded points mid-stream)")
 	seed := fs.Uint64("seed", 1, "chaos schedule seed")
 	rejoinWait := fs.Duration("rejoinwait", 30*time.Second, "server-side rejoin window")
+	coordKill := fs.Bool("coordkill", false,
+		"also crash the coordinator mid-run (abrupt, no final snapshot) and resume it from its durable store")
+	snapEvery := fs.Int64("snapevery", 32, "snapshot cadence in logged frames for the -coordkill store")
 	fs.Parse(args)
 	if *kills < 0 || *kills > cfg.k {
 		fatalf("-kills %d out of range [0, %d]", *kills, cfg.k)
@@ -607,6 +676,22 @@ func chaosMain(args []string) {
 	}
 	defer ln.Close()
 	srv := &tcp.Server{Coord: coord, K: cfg.k, Config: cfg.fingerprint(), RejoinWait: *rejoinWait}
+	truth := int64(cfg.k) * int64(*n)
+	var store persist.Store
+	if *coordKill {
+		// The serve loop trips its own kill once a quarter of the stream
+		// has landed (Report runs on the loop; Kill just posts an event).
+		store = persist.NewMem()
+		srv.Persist, srv.SnapshotEvery = store, *snapEvery
+		tripped := false
+		srv.ReportEvery = 64
+		srv.Report = func(m runtime.Metrics) {
+			if !tripped && m.Arrivals >= truth/4 {
+				tripped = true
+				srv.Kill()
+			}
+		}
+	}
 	type served struct {
 		m   runtime.Metrics
 		err error
@@ -629,6 +714,16 @@ func chaosMain(args []string) {
 	fmt.Printf("chaos: problem=%s alg=%s k=%d eps=%g n=%d/site kills=%d seed=%d\n",
 		cfg.problem, cfg.alg, cfg.k, cfg.eps, *n, *kills, *seed)
 	start := time.Now()
+	// harden tunes a site connection for the drill: tight progress frames,
+	// and with -coordkill a redial budget wide enough to ride out the
+	// coordinator's death and resumed restart.
+	harden := func(sc *tcp.SiteConn) {
+		sc.ProgressEvery = 1024
+		if *coordKill {
+			sc.AutoReconnect = true
+			sc.RedialAttempts = 400 // 20s at the default 50ms spacing
+		}
+	}
 	var wg sync.WaitGroup
 	for site := 0; site < cfg.k; site++ {
 		wg.Add(1)
@@ -640,10 +735,20 @@ func chaosMain(args []string) {
 			if err != nil {
 				fatalf("site %d: %v", site, err)
 			}
-			sc.ProgressEvery = 1024
+			harden(sc)
+			// With -coordkill the sites pace themselves slightly so the
+			// coordinator's serve loop keeps up — the kill must land while
+			// they are still mid-stream, or the drill degenerates into a
+			// resume of an already-finished run.
+			throttle := func(i int) {
+				if *coordKill && i%256 == 255 {
+					time.Sleep(time.Millisecond)
+				}
+			}
 			if killAt[site] > 0 {
 				for i := 0; i < killAt[site]; i++ {
 					streamOne(cfg, sc, site, i, items)
+					throttle(i)
 				}
 				sc.Abort() // crash: no Done, machine state lost
 				fmt.Printf("chaos: site %d crashed at %d/%d arrivals\n", site, killAt[site], *n)
@@ -660,18 +765,46 @@ func chaosMain(args []string) {
 					}
 					time.Sleep(20 * time.Millisecond)
 				}
-				sc.ProgressEvery = 1024
+				harden(sc)
 				fmt.Printf("chaos: site %d rejoined (coordinator had acknowledged %d arrivals), replaying\n",
 					site, sc.LastResync().Arrivals)
 				items = workload.ZipfItems(1000, 1.1, stats.New(siteSeed^0xfeed))
 			}
 			for i := 0; i < *n; i++ {
 				streamOne(cfg, sc, site, i, items)
+				throttle(i)
 			}
 			if err := sc.Close(); err != nil {
 				fatalf("site %d: %v", site, err)
 			}
 		}(site)
+	}
+	var priorRejoins int64
+	if *coordKill {
+		// The first Serve returns at the kill, while the sites are still
+		// streaming (their sends stall in the redial loop). Restart on the
+		// same address with a fresh coordinator machine recovered from the
+		// store; every site rejoins through the assembly-time resync.
+		sr := <-res
+		if sr.err != tcp.ErrKilled {
+			fatalf("chaos: expected the coordinator kill, got: %v", sr.err)
+		}
+		priorRejoins = srv.Rejoins
+		fmt.Printf("chaos: coordinator killed at %d arrivals (%d snapshots taken); restarting with resume\n",
+			sr.m.Arrivals, sr.m.Snapshots)
+		ln.Close() // the old accept loop dies with the listener
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			fatalf("chaos: re-listen %s: %v", addr, err)
+		}
+		defer ln2.Close()
+		coord, _ = cfg.coordinator() // fresh machine; recovery fills it from the store
+		srv = &tcp.Server{Coord: coord, K: cfg.k, Config: cfg.fingerprint(),
+			RejoinWait: *rejoinWait, Persist: store, SnapshotEvery: *snapEvery, Resume: true}
+		go func() {
+			m, err := srv.Serve(ln2)
+			res <- served{m, err}
+		}()
 	}
 	wg.Wait()
 	sr := <-res
@@ -679,19 +812,26 @@ func chaosMain(args []string) {
 		fatalf("chaos: serve: %v", sr.err)
 	}
 
-	truth := int64(cfg.k) * int64(*n)
+	totalRejoins := priorRejoins + srv.Rejoins
 	fmt.Printf("\nchaos: run completed in %v\n", time.Since(start).Round(time.Millisecond))
 	fmt.Printf("arrivals:   %d (truth %d)\n", sr.m.Arrivals, truth)
 	fmt.Printf("messages:   %d, words: %d\n", sr.m.Messages(), sr.m.Words())
-	fmt.Printf("live sites: %d of %d, rejoins: %d\n", sr.m.LiveSites, cfg.k, srv.Rejoins)
+	fmt.Printf("live sites: %d of %d, rejoins: %d\n", sr.m.LiveSites, cfg.k, totalRejoins)
+	if *coordKill {
+		fmt.Printf("durability: %d snapshots, %d WAL frames replayed on resume, %d resyncs served\n",
+			sr.m.Snapshots, sr.m.ReplayedFrames, sr.m.Resyncs)
+		if cfg.alg != "deterministic" && sr.m.Snapshots < 1 {
+			fatalf("chaos: no snapshot was ever written")
+		}
+	}
 	if sr.m.Arrivals != truth {
 		fatalf("chaos: arrival accounting broken: %d != %d", sr.m.Arrivals, truth)
 	}
 	if sr.m.LiveSites != cfg.k {
 		fatalf("chaos: %d sites still dark at run end", cfg.k-sr.m.LiveSites)
 	}
-	if srv.Rejoins < int64(*kills) {
-		fatalf("chaos: only %d rejoins recorded for %d kills", srv.Rejoins, *kills)
+	if totalRejoins < int64(*kills) {
+		fatalf("chaos: only %d rejoins recorded for %d kills", totalRejoins, *kills)
 	}
 	if cfg.problem == "count" && cfg.alg == "randomized" {
 		est := coord.(*count.Coordinator).Estimate()

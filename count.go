@@ -2,6 +2,7 @@ package disttrack
 
 import (
 	"disttrack/internal/count"
+	"disttrack/internal/proto"
 	"disttrack/internal/sample"
 )
 
@@ -28,20 +29,20 @@ func NewCountTracker(opt Options) *CountTracker {
 		cfg := count.Config{K: opt.K, Eps: opt.Epsilon, Rescale: opt.Rescale}
 		if opt.Copies > 1 {
 			p, coord := count.NewMedianProtocol(cfg, opt.Copies, opt.Seed)
-			t.eng, t.inj = mount(opt, p)
+			t.mountCore(opt, p)
 			t.est = coord.Estimate
 		} else {
 			p, coord := count.NewProtocol(cfg, opt.Seed)
-			t.eng, t.inj = mount(opt, p)
+			t.mountCore(opt, p)
 			t.est = coord.Estimate
 		}
 	case AlgorithmDeterministic:
 		p, coord := count.NewDetProtocol(opt.K, opt.Epsilon)
-		t.eng, t.inj = mount(opt, p)
+		t.mountCore(opt, p)
 		t.est = coord.Estimate
 	case AlgorithmSampling:
 		p, coord := sample.NewProtocol(sample.Config{K: opt.K, Eps: opt.Epsilon}, opt.Seed)
-		t.eng, t.inj = mount(opt, p)
+		t.mountCore(opt, p)
 		t.est = coord.Count
 	default:
 		panic("disttrack: unknown Algorithm")
@@ -88,4 +89,40 @@ func (t *CountTracker) Estimate() float64 {
 	var v float64
 	t.query(func() { v = t.est() })
 	return v
+}
+
+// CrashRestartCoordinator simulates a coordinator crash and durable
+// restart: the live coordinator is discarded and a freshly built one
+// recovers from Options.Persist (snapshot restore plus write-ahead-log
+// replay), remounting over the same site machines. The recovered
+// coordinator is bit-identical to the crashed one at its last logged
+// frame, so estimates and Metrics carry on exactly. Requires
+// Options.Persist; incompatible with ConcurrentIngest and FaultPlan.
+func (t *CountTracker) CrashRestartCoordinator() error {
+	var est func() float64
+	var fresh proto.Coordinator
+	switch t.opt.Algorithm {
+	case AlgorithmRandomized:
+		cfg := count.Config{K: t.opt.K, Eps: t.opt.Epsilon, Rescale: t.opt.Rescale}
+		if t.opt.Copies > 1 {
+			coord := count.NewMedianCoordinator(cfg, t.opt.Copies)
+			fresh, est = coord, coord.Estimate
+		} else {
+			coord := count.NewCoordinator(cfg)
+			fresh, est = coord, coord.Estimate
+		}
+	case AlgorithmDeterministic:
+		coord := count.NewDetCoordinator(t.opt.K, t.opt.Epsilon)
+		fresh, est = coord, coord.Estimate
+	case AlgorithmSampling:
+		coord := sample.NewCoordinator(sample.Config{K: t.opt.K, Eps: t.opt.Epsilon})
+		fresh, est = coord, coord.Count
+	default:
+		panic("disttrack: unknown Algorithm")
+	}
+	if _, err := t.crashRestartCoordinator(func() proto.Coordinator { return fresh }); err != nil {
+		return err
+	}
+	t.est = est
+	return nil
 }

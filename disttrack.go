@@ -61,6 +61,7 @@ import (
 
 	"disttrack/internal/ingest"
 	"disttrack/internal/netsim"
+	"disttrack/internal/persist"
 	"disttrack/internal/proto"
 	"disttrack/internal/runtime"
 	"disttrack/internal/runtime/faulty"
@@ -190,7 +191,42 @@ type Options struct {
 	// sequential simulator has no message layer to perturb. See FaultPlan
 	// for the fault model and its guarantees.
 	FaultPlan *FaultPlan
+	// Persist, when non-nil, makes the coordinator's state durable: every
+	// coordinator-bound protocol message is appended to the store's
+	// write-ahead log before the coordinator applies it, and the log is
+	// periodically compacted into a snapshot of the coordinator's state —
+	// so a crashed coordinator rebuilds bit-identical state by loading the
+	// snapshot and replaying the log tail (all protocol randomness lives
+	// site-side, making the coordinator a deterministic function of the
+	// logged delivery sequence). Use NewMemStore for in-memory durability
+	// drills or OpenDiskStore for a directory that survives process
+	// crashes. The tracker wires the store but does not own it: Close
+	// leaves it loadable; a write failure mid-run panics (continuing would
+	// silently void the durability contract). Works on every transport.
+	// When disabled (nil), the observation hot path is untouched.
+	Persist PersistStore
+	// SnapshotEvery is the snapshot cadence in logged coordinator-bound
+	// frames (0 = the persistence layer's default, 4096). Smaller values
+	// bound crash-recovery replay tighter at more serialization cost.
+	// Requires Persist.
+	SnapshotEvery int
 }
+
+// PersistStore is the pluggable durability backend for Options.Persist: an
+// append-only write-ahead log of coordinator-bound frames plus an
+// atomically installed coordinator-state snapshot (internal/persist.Store).
+type PersistStore = persist.Store
+
+// NewMemStore returns an in-memory PersistStore: durable across an
+// in-process coordinator restart, gone with the process. Meant for tests
+// and crash drills.
+func NewMemStore() PersistStore { return persist.NewMem() }
+
+// OpenDiskStore opens (creating it if needed) a directory-backed
+// PersistStore whose contents survive process crashes: an append-only WAL
+// file plus generation-numbered, atomically installed snapshot files. The
+// error reports a missing, unusable, or unwritable directory.
+func OpenDiskStore(dir string) (PersistStore, error) { return persist.OpenDisk(dir) }
 
 // FaultPlan is a seeded, deterministic fault schedule for the transport's
 // message layer. The model is a lossy, delaying network under a
@@ -353,6 +389,12 @@ func (o Options) validate() {
 	if o.FaultPlan != nil && o.transport() == TransportSequential {
 		panic("disttrack: Options.FaultPlan requires TransportGoroutine or TransportTCP (the sequential simulator has no message layer to perturb)")
 	}
+	if o.SnapshotEvery < 0 {
+		panic("disttrack: negative Options.SnapshotEvery")
+	}
+	if o.SnapshotEvery > 0 && o.Persist == nil {
+		panic("disttrack: Options.SnapshotEvery requires Options.Persist")
+	}
 }
 
 // Metrics reports a tracker's accumulated cost in the paper's units.
@@ -386,30 +428,56 @@ type Metrics struct {
 	// documented partial-coverage degradation); they recover once the
 	// fault plan rejoins the site.
 	LiveSites int
+	// Snapshots is the number of coordinator-state snapshots written to
+	// Options.Persist over the store's lifetime (0 without a store).
+	Snapshots int64
+	// ReplayedFrames is the number of write-ahead-log frames replayed by
+	// the most recent coordinator recovery (0 when no recovery happened).
+	ReplayedFrames int64
+	// Resyncs counts the site resync replays served: rejoining sites
+	// brought to the coordinator's current round by replayed state.
+	Resyncs int64
 }
 
 // metricsFrom converts the runtime seam's ledger into the public form.
 func metricsFrom(m runtime.Metrics) Metrics {
 	return Metrics{
-		Messages:      m.Messages(),
-		Words:         m.Words(),
-		Broadcasts:    m.Broadcasts,
-		Arrivals:      m.Arrivals,
-		MaxSiteSpace:  m.MaxSiteSpace,
-		MaxCoordSpace: m.MaxCoordSpace,
-		LiveSites:     m.LiveSites,
+		Messages:       m.Messages(),
+		Words:          m.Words(),
+		Broadcasts:     m.Broadcasts,
+		Arrivals:       m.Arrivals,
+		MaxSiteSpace:   m.MaxSiteSpace,
+		MaxCoordSpace:  m.MaxCoordSpace,
+		LiveSites:      m.LiveSites,
+		Snapshots:      m.Snapshots,
+		ReplayedFrames: m.ReplayedFrames,
+		Resyncs:        m.Resyncs,
 	}
+}
+
+// mounted is what mount hands back to the core: the runtime plus the
+// optional fault injector and write-ahead logger, and the transport's
+// ledger-seeding hook (a concrete method on each fabric, not part of the
+// runtime.Transport interface — only coordinator crash-restarts need it).
+type mounted struct {
+	eng  *runtime.Runtime
+	inj  *faulty.Injector
+	log  *persist.Logger
+	seed func(runtime.Metrics)
 }
 
 // mount places a protocol on the transport selected by the options. Every
 // transport sits behind the same runtime seam (internal/runtime), so the
 // trackers never see which fabric carries their messages. With an
 // Options.FaultPlan, the fault-injection middleware is installed on the
-// concurrent transport's fabric before any message flows; the returned
-// injector is nil otherwise.
-func mount(o Options, p proto.Protocol) (*runtime.Runtime, *faulty.Injector) {
+// concurrent transport's fabric before any message flows; with an
+// Options.Persist, the write-ahead logger is hooked into the transport's
+// coordinator-delivery path before any message flows.
+func mount(o Options, p proto.Protocol) mounted {
 	var t runtime.Transport
 	var fab *runtime.Fabric
+	var setLog func(func(from int, m proto.Message))
+	var seed func(runtime.Metrics)
 	switch o.transport() {
 	case TransportGoroutine:
 		c := netsim.Start(p)
@@ -417,6 +485,7 @@ func mount(o Options, p proto.Protocol) (*runtime.Runtime, *faulty.Injector) {
 			c.SpaceProbeEvery = o.SpaceProbeEvery
 		}
 		t, fab = c, c.Fabric
+		setLog, seed = c.Fabric.SetCoordLog, c.Fabric.SeedLedger
 	case TransportTCP:
 		c, err := tcp.StartLoopback(p)
 		if err != nil {
@@ -426,19 +495,30 @@ func mount(o Options, p proto.Protocol) (*runtime.Runtime, *faulty.Injector) {
 			c.SpaceProbeEvery = o.SpaceProbeEvery
 		}
 		t, fab = c, c.Fabric
+		setLog, seed = c.Fabric.SetCoordLog, c.Fabric.SeedLedger
 	default:
 		h := sim.New(p)
 		if o.SpaceProbeEvery > 0 {
 			h.SpaceProbeEvery = o.SpaceProbeEvery
 		}
 		t = h
+		setLog, seed = h.SetCoordLog, h.SeedLedger
 	}
-	var inj *faulty.Injector
+	m := mounted{seed: seed}
+	if o.Persist != nil {
+		m.log = persist.NewLogger(o.Persist, p.Coord, int64(o.SnapshotEvery), nil)
+		setLog(func(from int, msg proto.Message) {
+			if err := m.log.Log(from, msg); err != nil {
+				panic(fmt.Sprintf("disttrack: write-ahead log: %v", err))
+			}
+		})
+	}
 	if o.FaultPlan != nil && fab != nil {
-		inj = faulty.New(fab, o.FaultPlan.plan())
-		fab.SetMiddleware(inj)
+		m.inj = faulty.New(fab, o.FaultPlan.plan())
+		fab.SetMiddleware(m.inj)
 	}
-	return runtime.New(t), inj
+	m.eng = runtime.New(t)
+	return m
 }
 
 // frontend starts the concurrent ingestion frontend over a mounted runtime
@@ -464,6 +544,57 @@ type core struct {
 	eng *runtime.Runtime
 	fe  *ingest.Frontend
 	inj *faulty.Injector // non-nil iff Options.FaultPlan
+
+	// Durability state (zero without Options.Persist): the write-ahead
+	// logger, the options and protocol retained so a coordinator
+	// crash-restart can remount, the transport's ledger-seeding hook, and
+	// the recovery counters surfaced through Metrics.
+	log      *persist.Logger
+	opt      Options
+	prot     proto.Protocol
+	seed     func(runtime.Metrics)
+	replayed int64
+}
+
+// mountCore mounts the protocol and wires the engine half into the core.
+func (c *core) mountCore(o Options, p proto.Protocol) {
+	c.opt, c.prot = o, p
+	m := mount(o, p)
+	c.eng, c.inj, c.log, c.seed = m.eng, m.inj, m.log, m.seed
+}
+
+// crashRestartCoordinator simulates a coordinator crash and durable restart
+// without losing the site machines (the in-process recovery drill, used by
+// the chaos tests; cmd/tracksim's serve -resume is the cross-process
+// equivalent): the transport is torn down, a freshly constructed
+// coordinator — built by newCoord exactly as at the start of the run —
+// recovers from Options.Persist (snapshot restore plus write-ahead-log
+// replay), and the protocol remounts over the same sites on a fresh
+// transport of the same kind, carrying the live cost ledger across. The
+// rebuilt coordinator is bit-identical to the crashed one at its last
+// logged frame; arrival accounting is exact because the in-process drill
+// quiesces before crashing (a real crash instead loses only the in-flight
+// window, which replay bounds by SnapshotEvery). Incompatible with
+// ConcurrentIngest and FaultPlan — their goroutines hold the transport.
+func (c *core) crashRestartCoordinator(newCoord func() proto.Coordinator) (persist.Result, error) {
+	if c.opt.Persist == nil {
+		return persist.Result{}, fmt.Errorf("disttrack: coordinator crash-restart needs Options.Persist")
+	}
+	if c.fe != nil || c.inj != nil {
+		return persist.Result{}, fmt.Errorf("disttrack: coordinator crash-restart is incompatible with ConcurrentIngest and FaultPlan")
+	}
+	ledger := c.eng.Metrics() // quiesces first: the drill crashes at a clean instant
+	c.eng.Close()
+	fresh := newCoord()
+	res, err := persist.Recover(c.opt.Persist, fresh, nil)
+	if err != nil {
+		return res, err
+	}
+	c.mountCore(c.opt, proto.Protocol{Coord: fresh, Sites: c.prot.Sites})
+	c.log.SeedSnapshots(res.Meta.Snapshots)
+	c.seed(ledger)
+	c.replayed = res.ReplayedFrames
+	return res, nil
 }
 
 // FaultStats returns the fault events injected so far by Options.FaultPlan
@@ -524,14 +655,22 @@ func (c *core) Flush() error {
 
 // Metrics returns the accumulated communication and space costs.
 func (c *core) Metrics() Metrics {
+	var pm Metrics
 	if c.fe != nil {
 		var m runtime.Metrics
 		c.fe.Query(func() { m = c.eng.Metrics() })
-		pm := metricsFrom(m)
+		pm = metricsFrom(m)
 		pm.Dropped = c.fe.Dropped()
-		return pm
+	} else {
+		pm = metricsFrom(c.eng.Metrics())
 	}
-	return metricsFrom(c.eng.Metrics())
+	// The in-process transports don't track durability themselves; the
+	// counters live on the core's logger and recovery state.
+	if c.log != nil {
+		pm.Snapshots = c.log.Snapshots()
+	}
+	pm.ReplayedFrames = c.replayed
+	return pm
 }
 
 // Close drains the concurrent ingestion frontend (when enabled) and stops
@@ -545,5 +684,17 @@ func (c *core) Close() error {
 		err = c.fe.Close()
 	}
 	c.eng.Close()
+	if c.log != nil {
+		// Seal the store: a final snapshot and sync make it a clean resume
+		// point with nothing left to replay. The transport is down, so the
+		// coordinator is quiescent and safe to serialize.
+		serr := c.log.Snapshot()
+		if serr == nil {
+			serr = c.log.Sync()
+		}
+		if err == nil {
+			err = serr
+		}
+	}
 	return err
 }

@@ -37,7 +37,7 @@ func NewFrequencyTracker(opt Options) *FrequencyTracker {
 			for i := range ps {
 				ps[i], coords[i] = freq.NewProtocol(cfg, root.Uint64())
 			}
-			t.eng, t.inj = mount(opt, boost.Wrap(ps))
+			t.mountCore(opt, boost.Wrap(ps))
 			t.est = func(item int64) float64 {
 				ests := make([]float64, len(coords))
 				for i, c := range coords {
@@ -49,15 +49,15 @@ func NewFrequencyTracker(opt Options) *FrequencyTracker {
 			return t
 		}
 		p, coord := freq.NewProtocol(cfg, opt.Seed)
-		t.eng, t.inj = mount(opt, p)
+		t.mountCore(opt, p)
 		t.est = coord.Estimate
 	case AlgorithmDeterministic:
 		p, coord := freq.NewDetProtocol(opt.K, opt.Epsilon)
-		t.eng, t.inj = mount(opt, p)
+		t.mountCore(opt, p)
 		t.est = coord.Estimate
 	case AlgorithmSampling:
 		p, coord := sample.NewProtocol(sample.Config{K: opt.K, Eps: opt.Epsilon}, opt.Seed)
-		t.eng, t.inj = mount(opt, p)
+		t.mountCore(opt, p)
 		t.est = coord.Freq
 	default:
 		panic("disttrack: unknown Algorithm")
@@ -105,4 +105,48 @@ func (t *FrequencyTracker) Estimate(item int64) float64 {
 	var v float64
 	t.query(func() { v = t.est(item) })
 	return v
+}
+
+// CrashRestartCoordinator simulates a coordinator crash and durable
+// restart; see CountTracker.CrashRestartCoordinator. Requires
+// Options.Persist; incompatible with ConcurrentIngest and FaultPlan.
+func (t *FrequencyTracker) CrashRestartCoordinator() error {
+	var est func(item int64) float64
+	var fresh proto.Coordinator
+	switch t.opt.Algorithm {
+	case AlgorithmRandomized:
+		cfg := freq.Config{K: t.opt.K, Eps: t.opt.Epsilon, Rescale: t.opt.Rescale}
+		if t.opt.Copies > 1 {
+			coords := make([]*freq.Coordinator, t.opt.Copies)
+			inner := make([]proto.Coordinator, t.opt.Copies)
+			for i := range coords {
+				coords[i] = freq.NewCoordinator(cfg)
+				inner[i] = coords[i]
+			}
+			fresh = boost.WrapCoordinators(inner)
+			est = func(item int64) float64 {
+				ests := make([]float64, len(coords))
+				for i, c := range coords {
+					ests[i] = c.Estimate(item)
+				}
+				return stats.Median(ests)
+			}
+		} else {
+			coord := freq.NewCoordinator(cfg)
+			fresh, est = coord, coord.Estimate
+		}
+	case AlgorithmDeterministic:
+		coord := freq.NewDetCoordinator(t.opt.K)
+		fresh, est = coord, coord.Estimate
+	case AlgorithmSampling:
+		coord := sample.NewCoordinator(sample.Config{K: t.opt.K, Eps: t.opt.Epsilon})
+		fresh, est = coord, coord.Freq
+	default:
+		panic("disttrack: unknown Algorithm")
+	}
+	if _, err := t.crashRestartCoordinator(func() proto.Coordinator { return fresh }); err != nil {
+		return err
+	}
+	t.est = est
+	return nil
 }

@@ -100,6 +100,31 @@ func (c *coordinator) Resync(emit func(proto.Message)) {
 	}
 }
 
+// SnapshotState implements proto.Snapshotter: each copy's records, wrapped
+// with its copy index exactly like live traffic. Copies that cannot
+// snapshot contribute nothing — in practice every boosted coordinator
+// implements proto.Snapshotter, so nothing is lost.
+func (c *coordinator) SnapshotState(emit func(from int, m proto.Message)) {
+	for idx, cp := range c.copies {
+		if sn, ok := cp.(proto.Snapshotter); ok {
+			sn.SnapshotState(func(from int, inner proto.Message) {
+				emit(from, Msg{Copy: idx, Inner: inner})
+			})
+		}
+	}
+}
+
+// RestoreState implements proto.Snapshotter.
+func (c *coordinator) RestoreState(from int, m proto.Message) {
+	bm, ok := m.(Msg)
+	if !ok || bm.Copy < 0 || bm.Copy >= len(c.copies) {
+		return
+	}
+	if sn, ok := c.copies[bm.Copy].(proto.Snapshotter); ok {
+		sn.RestoreState(from, bm.Inner)
+	}
+}
+
 // SpaceWords implements proto.Coordinator.
 func (c *coordinator) SpaceWords() int {
 	w := 0
@@ -135,4 +160,14 @@ func Wrap(copies []proto.Protocol) proto.Protocol {
 		mc.copies[ci] = p.Coord
 	}
 	return proto.Protocol{Coord: mc, Sites: sites}
+}
+
+// WrapCoordinators fuses just the copies' coordinators — the coordinator
+// half of Wrap, for rebuilding a crashed boosted coordinator over the
+// surviving site machines (durable crash-restart recovery).
+func WrapCoordinators(coords []proto.Coordinator) proto.Coordinator {
+	if len(coords) == 0 {
+		panic("boost: need at least one copy")
+	}
+	return &coordinator{copies: coords}
 }

@@ -131,6 +131,23 @@ func (c *MedianCoordinator) Resync(emit func(proto.Message)) {
 	}
 }
 
+// SnapshotState implements proto.Snapshotter: each copy's records, wrapped
+// with its copy index exactly like live traffic.
+func (c *MedianCoordinator) SnapshotState(emit func(from int, m proto.Message)) {
+	for idx, cp := range c.copies {
+		cp.SnapshotState(func(from int, inner proto.Message) {
+			emit(from, CopyMsg{Copy: idx, Inner: inner})
+		})
+	}
+}
+
+// RestoreState implements proto.Snapshotter.
+func (c *MedianCoordinator) RestoreState(from int, m proto.Message) {
+	if cm, ok := m.(CopyMsg); ok && cm.Copy >= 0 && cm.Copy < len(c.copies) {
+		c.copies[cm.Copy].RestoreState(from, cm.Inner)
+	}
+}
+
 // Estimate returns the median of the copies' estimates.
 func (c *MedianCoordinator) Estimate() float64 {
 	ests := make([]float64, len(c.copies))

@@ -238,6 +238,30 @@ func (c *Coordinator) Round() int { return c.rc.Round() }
 // broadcast.
 func (c *Coordinator) Resync(emit func(proto.Message)) { c.rc.Resync(emit) }
 
+// SnapshotState implements proto.Snapshotter: the round component's
+// records, then each site's last report as the protocol's own UpdateMsg
+// (absolute state, so no AdjustMsg distinction survives — none is needed).
+func (c *Coordinator) SnapshotState(emit func(from int, m proto.Message)) {
+	c.rc.SnapshotState(emit)
+	for i, nb := range c.nBar {
+		if nb != 0 {
+			emit(i, UpdateMsg{N: nb})
+		}
+	}
+}
+
+// RestoreState implements proto.Snapshotter. Unlike Receive, a restored
+// round record triggers no broadcast; p is recomputed from the restored n̄.
+func (c *Coordinator) RestoreState(from int, m proto.Message) {
+	if c.rc.RestoreState(from, m) {
+		c.p = rounds.P(c.rc.NBar(), c.cfg.K, c.cfg.effEps())
+		return
+	}
+	if msg, ok := m.(UpdateMsg); ok && from >= 0 && from < len(c.nBar) {
+		c.nBar[from] = msg.N
+	}
+}
+
 // SpaceWords implements proto.Coordinator: O(k) words.
 func (c *Coordinator) SpaceWords() int { return c.rc.SpaceWords() + len(c.nBar) + 1 }
 

@@ -228,12 +228,13 @@ func (s *Site) P() float64 { return s.p }
 
 // vsite is the coordinator's record of one virtual-site incarnation.
 type vsite struct {
-	cbar map[int64]int64 // last reported counter per item
-	d    map[int64]int64 // independent-sample counts per item
+	owner int             // physical site the incarnation belongs to
+	cbar  map[int64]int64 // last reported counter per item
+	d     map[int64]int64 // independent-sample counts per item
 }
 
-func newVsite() *vsite {
-	return &vsite{cbar: make(map[int64]int64), d: make(map[int64]int64)}
+func newVsite(owner int) *vsite {
+	return &vsite{owner: owner, cbar: make(map[int64]int64), d: make(map[int64]int64)}
 }
 
 // roundState is the coordinator's record of one round.
@@ -246,7 +247,7 @@ type roundState struct {
 func newRoundState(k int, p float64) *roundState {
 	rs := &roundState{p: p, cur: make([]*vsite, k)}
 	for i := range rs.cur {
-		v := newVsite()
+		v := newVsite(i)
 		rs.cur[i] = v
 		rs.all = append(rs.all, v)
 	}
@@ -259,6 +260,13 @@ type Coordinator struct {
 	cfg  Config
 	rc   *rounds.Coordinator
 	rnds []*roundState
+
+	// Restore cursors, live only while RestoreState streams snapshot
+	// records: snapV is the incarnation the next counter/sample records
+	// belong to, and snapFresh marks that the constructed round list has
+	// been replaced by restored rounds.
+	snapV     *vsite
+	snapFresh bool
 }
 
 // NewCoordinator returns the coordinator for the randomized tracker.
@@ -283,7 +291,7 @@ func (c *Coordinator) Receive(from int, m proto.Message, send func(int, proto.Me
 	case SampleMsg:
 		cur.cur[from].d[msg.Item]++
 	case ResetMsg:
-		v := newVsite()
+		v := newVsite(from)
 		cur.cur[from] = v
 		cur.all = append(cur.all, v)
 	}
@@ -316,6 +324,72 @@ func (c *Coordinator) Round() int { return c.rc.Round() }
 // broadcast; it starts a fresh virtual-site incarnation on its first
 // counter activity, exactly as a space reset would.
 func (c *Coordinator) Resync(emit func(proto.Message)) { c.rc.Resync(emit) }
+
+// Snapshot-record keys (the range 1..9 belongs to the embedded rounds
+// component; see rounds.Coordinator.SnapshotState).
+const (
+	stateRound  = 10 // F = the round's sampling probability p
+	stateVsite  = 11 // from = owning site: opens one incarnation
+	stateDCount = 12 // A = item, B = its independent-sample count
+)
+
+// SnapshotState implements proto.Snapshotter: the round component's
+// records, then every round in order — its p, then every incarnation in
+// creation order with its counters (the protocol's own CounterMsg) and
+// sample counts. Replaying incarnations in creation order makes the
+// current-incarnation pointers come out right by last-wins, exactly as the
+// live ResetMsg path built them.
+func (c *Coordinator) SnapshotState(emit func(from int, m proto.Message)) {
+	c.rc.SnapshotState(emit)
+	for _, r := range c.rnds {
+		emit(-1, proto.StateMsg{Key: stateRound, F: r.p})
+		for _, v := range r.all {
+			emit(v.owner, proto.StateMsg{Key: stateVsite})
+			for item, cnt := range v.cbar {
+				emit(v.owner, CounterMsg{Item: item, Count: cnt})
+			}
+			for item, cnt := range v.d {
+				emit(v.owner, proto.StateMsg{Key: stateDCount, A: item, B: cnt})
+			}
+		}
+	}
+}
+
+// RestoreState implements proto.Snapshotter. Unlike Receive, restored
+// records never open rounds via the round machinery — the first round
+// record replaces the constructed round 0 wholesale.
+func (c *Coordinator) RestoreState(from int, m proto.Message) {
+	if c.rc.RestoreState(from, m) {
+		return
+	}
+	switch msg := m.(type) {
+	case proto.StateMsg:
+		switch msg.Key {
+		case stateRound:
+			if !c.snapFresh {
+				c.rnds, c.snapFresh = nil, true
+			}
+			c.rnds = append(c.rnds, &roundState{p: msg.F, cur: make([]*vsite, c.cfg.K)})
+		case stateVsite:
+			if from < 0 || from >= c.cfg.K || len(c.rnds) == 0 {
+				return
+			}
+			r := c.rnds[len(c.rnds)-1]
+			v := newVsite(from)
+			r.cur[from] = v
+			r.all = append(r.all, v)
+			c.snapV = v
+		case stateDCount:
+			if c.snapV != nil {
+				c.snapV.d[msg.A] = msg.B
+			}
+		}
+	case CounterMsg:
+		if c.snapV != nil {
+			c.snapV.cbar[msg.Item] = msg.Count
+		}
+	}
+}
 
 // P returns the current round's sampling probability.
 func (c *Coordinator) P() float64 { return c.rnds[len(c.rnds)-1].p }

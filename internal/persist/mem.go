@@ -1,0 +1,74 @@
+package persist
+
+import "errors"
+
+// Mem is the in-memory Store: same semantics as the disk store — atomic
+// snapshot installation, append-only log — with byte slices for media. It
+// survives a simulated coordinator crash (the in-process chaos drills drop
+// the coordinator and keep the store) but not the process. The zero value
+// is ready to use.
+//
+// Unlike the other Store methods, Load on a Mem store may be called from a
+// different goroutine than the writer as long as the writer has stopped —
+// the crash-drill shape.
+type Mem struct {
+	snap   []byte
+	wal    []byte
+	closed bool
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem { return &Mem{} }
+
+// AppendWAL implements Store.
+func (s *Mem) AppendWAL(frame []byte) error {
+	if s.closed {
+		return errors.New("persist: store is closed")
+	}
+	s.wal = append(s.wal, frame...)
+	return nil
+}
+
+// WriteSnapshot implements Store.
+func (s *Mem) WriteSnapshot(snap []byte) error {
+	if s.closed {
+		return errors.New("persist: store is closed")
+	}
+	s.snap = append(s.snap[:0], snap...)
+	s.wal = s.wal[:0]
+	return nil
+}
+
+// Load implements Store.
+func (s *Mem) Load() (snap, wal []byte, err error) {
+	if len(s.snap) > 0 {
+		snap = append([]byte(nil), s.snap...)
+	}
+	wal = append([]byte(nil), s.wal...)
+	return snap, wal, nil
+}
+
+// Sync implements Store (memory is as stable as it gets).
+func (s *Mem) Sync() error { return nil }
+
+// Close implements Store. The contents remain loadable: a reopened run
+// passes the same *Mem to resume from it.
+func (s *Mem) Close() error {
+	s.closed = true
+	return nil
+}
+
+// Reopen makes a closed store writable again, as reopening a disk store's
+// directory would.
+func (s *Mem) Reopen() { s.closed = false }
+
+// TruncateWAL chops the log to n bytes — the crash-mid-write simulation
+// the torn-tail tests use.
+func (s *Mem) TruncateWAL(n int) {
+	if n < len(s.wal) {
+		s.wal = s.wal[:n]
+	}
+}
+
+// WALSize returns the current log length in bytes.
+func (s *Mem) WALSize() int { return len(s.wal) }

@@ -1,0 +1,255 @@
+package persist
+
+import (
+	"path/filepath"
+	"testing"
+
+	"disttrack/internal/proto"
+	_ "disttrack/internal/wire" // codec registry for StateMsg/Logged/SnapMeta
+)
+
+// sumCoord is a minimal snapshottable coordinator: it accumulates the Key
+// field of every StateMsg it receives, per site. Its state is a pure
+// function of the delivered (from, msg) sequence — exactly the property
+// the WAL/snapshot design leans on — so equality of sums is equality of
+// state.
+type sumCoord struct {
+	sums []int64
+}
+
+func newSumCoord(k int) *sumCoord { return &sumCoord{sums: make([]int64, k)} }
+
+func (c *sumCoord) Receive(from int, m proto.Message, send func(int, proto.Message), broadcast func(proto.Message)) {
+	if s, ok := m.(proto.StateMsg); ok {
+		c.sums[from] += s.Key
+	}
+}
+
+func (c *sumCoord) SpaceWords() int { return len(c.sums) }
+
+func (c *sumCoord) SnapshotState(emit func(from int, m proto.Message)) {
+	for i, s := range c.sums {
+		emit(i, proto.StateMsg{Key: s})
+	}
+}
+
+func (c *sumCoord) RestoreState(from int, m proto.Message) {
+	if s, ok := m.(proto.StateMsg); ok {
+		c.sums[from] = s.Key
+	}
+}
+
+// walOnlyCoord is sumCoord without the Snapshotter capability, standing in
+// for the deterministic baselines: the Logger must run WAL-only and
+// Recover must replay the full log.
+type walOnlyCoord struct{ inner *sumCoord }
+
+func (c *walOnlyCoord) Receive(from int, m proto.Message, send func(int, proto.Message), broadcast func(proto.Message)) {
+	c.inner.Receive(from, m, send, broadcast)
+}
+func (c *walOnlyCoord) SpaceWords() int { return c.inner.SpaceWords() }
+
+const testK = 3
+
+// feed logs and applies n frames, mimicking the hosts' log-before-apply
+// ordering.
+func feed(t *testing.T, l *Logger, c proto.Coordinator, lo, hi int) {
+	t.Helper()
+	for i := lo; i < hi; i++ {
+		from := i % testK
+		m := proto.StateMsg{Key: int64(i)}
+		if err := l.Log(from, m); err != nil {
+			t.Fatalf("log frame %d: %v", i, err)
+		}
+		c.Receive(from, m, nil, nil)
+	}
+}
+
+func TestMemRoundTrip(t *testing.T) {
+	const n, every = 100, 16
+	store := NewMem()
+	live := newSumCoord(testK)
+	l := NewLogger(store, live, every, nil)
+	feed(t, l, live, 0, n)
+
+	// Log snapshots lazily, BEFORE the frame that crosses the cadence, so
+	// with n=100/every=16 the log has taken floor((n-1)/every) snapshots.
+	if want := int64((n - 1) / every); l.Snapshots() != want {
+		t.Fatalf("snapshots = %d, want %d", l.Snapshots(), want)
+	}
+
+	fresh := newSumCoord(testK)
+	res, err := Recover(store, fresh, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasSnapshot {
+		t.Fatal("no snapshot restored")
+	}
+	if res.Meta.Snapshots != l.Snapshots() {
+		t.Fatalf("meta snapshots = %d, want %d", res.Meta.Snapshots, l.Snapshots())
+	}
+	if res.TornTail {
+		t.Fatal("intact store reported a torn tail")
+	}
+	// The WAL holds exactly the frames logged since the last snapshot —
+	// the snapshot fired just before frame every*Snapshots was appended.
+	if want := int64(n) - int64(every)*l.Snapshots(); res.ReplayedFrames != want {
+		t.Fatalf("replayed %d frames, want %d", res.ReplayedFrames, want)
+	}
+	for i := range live.sums {
+		if fresh.sums[i] != live.sums[i] {
+			t.Fatalf("site %d sum = %d, want %d", i, fresh.sums[i], live.sums[i])
+		}
+	}
+}
+
+func TestWALOnlyMode(t *testing.T) {
+	const n = 50
+	store := NewMem()
+	live := &walOnlyCoord{inner: newSumCoord(testK)}
+	l := NewLogger(store, live, 8, nil)
+	feed(t, l, live, 0, n)
+	if l.Snapshots() != 0 {
+		t.Fatalf("WAL-only logger took %d snapshots", l.Snapshots())
+	}
+	if err := l.Snapshot(); err != nil {
+		t.Fatalf("explicit snapshot on WAL-only logger: %v", err)
+	}
+
+	fresh := &walOnlyCoord{inner: newSumCoord(testK)}
+	res, err := Recover(store, fresh, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HasSnapshot {
+		t.Fatal("WAL-only store produced a snapshot")
+	}
+	if res.ReplayedFrames != n {
+		t.Fatalf("replayed %d frames, want %d", res.ReplayedFrames, n)
+	}
+	for i := range live.inner.sums {
+		if fresh.inner.sums[i] != live.inner.sums[i] {
+			t.Fatalf("site %d sum = %d, want %d", i, fresh.inner.sums[i], live.inner.sums[i])
+		}
+	}
+}
+
+func TestTornTailDropped(t *testing.T) {
+	const n = 20
+	store := NewMem()
+	live := &walOnlyCoord{inner: newSumCoord(testK)}
+	l := NewLogger(store, live, 0, nil)
+	feed(t, l, live, 0, n)
+
+	// A crash mid-append leaves a partial record at the end of the log.
+	if err := store.AppendWAL([]byte{0x07, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	fresh := &walOnlyCoord{inner: newSumCoord(testK)}
+	res, err := Recover(store, fresh, nil)
+	if err != nil {
+		t.Fatalf("torn recover: %v", err)
+	}
+	if !res.TornTail {
+		t.Fatal("partial trailing record not reported as torn")
+	}
+	if res.ReplayedFrames != n {
+		t.Fatalf("replayed %d frames, want %d", res.ReplayedFrames, n)
+	}
+}
+
+func TestRecoverReplayHook(t *testing.T) {
+	const n = 10
+	store := NewMem()
+	live := &walOnlyCoord{inner: newSumCoord(testK)}
+	l := NewLogger(store, live, 0, nil)
+	feed(t, l, live, 0, n)
+
+	// A custom replay sees every frame in logged order with its site.
+	fresh := &walOnlyCoord{inner: newSumCoord(testK)}
+	var order []int
+	res, err := Recover(store, fresh, func(from int, m proto.Message) {
+		order = append(order, from)
+		fresh.Receive(from, m, nil, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReplayedFrames != n || len(order) != n {
+		t.Fatalf("replayed %d frames (%d hook calls), want %d", res.ReplayedFrames, len(order), n)
+	}
+	for i, from := range order {
+		if from != i%testK {
+			t.Fatalf("frame %d came from site %d, want %d", i, from, i%testK)
+		}
+	}
+}
+
+func TestDiskGenerationsAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, every = 60, 8
+	live := newSumCoord(testK)
+	l := NewLogger(store, live, every, nil)
+	feed(t, l, live, 0, n)
+	if err := l.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Superseded generations are garbage-collected: exactly one snapshot
+	// and one WAL file remain.
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	wals, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(snaps) != 1 || len(wals) != 1 {
+		t.Fatalf("dir holds %d snapshots and %d WALs, want 1 and 1", len(snaps), len(wals))
+	}
+
+	reopened, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	fresh := newSumCoord(testK)
+	res, err := Recover(reopened, fresh, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasSnapshot {
+		t.Fatal("reopened store lost its snapshot")
+	}
+	if res.ReplayedFrames != 0 {
+		t.Fatalf("sealed store replayed %d frames, want 0", res.ReplayedFrames)
+	}
+	for i := range live.sums {
+		if fresh.sums[i] != live.sums[i] {
+			t.Fatalf("site %d sum = %d, want %d", i, fresh.sums[i], live.sums[i])
+		}
+	}
+
+	// A resumed logger keeps appending to the recovered generation.
+	l2 := NewLogger(reopened, fresh, every, nil)
+	l2.SeedSnapshots(res.Meta.Snapshots)
+	if l2.Snapshots() != res.Meta.Snapshots {
+		t.Fatalf("seeded snapshots = %d, want %d", l2.Snapshots(), res.Meta.Snapshots)
+	}
+	feed(t, l2, fresh, n, n+5)
+	final := newSumCoord(testK)
+	if _, err := Recover(reopened, final, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range fresh.sums {
+		if final.sums[i] != fresh.sums[i] {
+			t.Fatalf("site %d sum = %d, want %d after resume", i, final.sums[i], fresh.sums[i])
+		}
+	}
+}

@@ -104,6 +104,48 @@ type Resyncer interface {
 	Resync(emit func(Message))
 }
 
+// Snapshotter is an optional Coordinator capability used by the durability
+// layer (internal/persist): SnapshotState serializes the coordinator's
+// entire state as a stream of (from, message) records, and RestoreState
+// rebuilds that state record by record into a freshly constructed
+// coordinator. The records reuse the protocol's own message types (plus
+// StateMsg for pieces no protocol message carries), so they ride the
+// existing wire codecs; from is the site a record is attributed to, or -1
+// for global records. RestoreState must be a pure state write — it never
+// emits messages and never triggers round transitions, compactions, or any
+// other Receive-path side effect — and a SnapshotState/RestoreState round
+// trip through a fresh coordinator must reproduce the original state
+// exactly. Records must be replayed in emission order. RestoreState
+// ignores records it does not recognize and bounds-checks from before
+// indexing per-site state, so a corrupt log degrades to an error or a
+// partial restore, never a panic.
+//
+// Coordinators that don't implement Snapshotter (the deterministic
+// baselines) still recover — the persistence layer falls back to replaying
+// the full write-ahead log from an empty coordinator, it just cannot
+// compact the log with snapshots.
+type Snapshotter interface {
+	SnapshotState(emit func(from int, m Message))
+	RestoreState(from int, m Message)
+}
+
+// StateMsg is a generic snapshot record for coordinator state that no
+// protocol message carries (round indices, per-round probabilities,
+// per-site thresholds). Key identifies the field — each coordinator
+// package owns a disjoint key range, because records from an embedded
+// rounds.Coordinator flow through the embedding coordinator's
+// RestoreState — and A, B, F carry the value. StateMsg never crosses the
+// site/coordinator links; it exists only inside snapshots and write-ahead
+// logs, but implements Message so it can ride the wire codec registry.
+type StateMsg struct {
+	Key  int64
+	A, B int64
+	F    float64
+}
+
+// Words implements Message.
+func (StateMsg) Words() int { return 4 }
+
 // Protocol bundles a coordinator with its k sites, ready to be mounted on a
 // runtime.
 type Protocol struct {

@@ -506,6 +506,90 @@ func (c *Coordinator) Round() int { return c.rc.Round() }
 // the round broadcast.
 func (c *Coordinator) Resync(emit func(proto.Message)) { c.rc.Resync(emit) }
 
+// stateChunk opens one chunk record in a snapshot (the range 1..9 belongs
+// to the embedded rounds component): from = site, A = chunk id, B = the
+// block size b the chunk was created with, F = its sampling probability.
+// b and p are captured at chunk creation from the then-current round, so
+// they must be persisted — they are not derivable from the restored round
+// state.
+const stateChunk = 20
+
+// SnapshotState implements proto.Snapshotter: the round component's
+// records, then every chunk — its creation-time parameters, its node
+// summaries, and its samples in index order (the protocol's own message
+// types carry them).
+func (c *Coordinator) SnapshotState(emit func(from int, m proto.Message)) {
+	c.rc.SnapshotState(emit)
+	for site, siteChunks := range c.chunks {
+		for id, v := range siteChunks {
+			if v == nil {
+				continue
+			}
+			emit(site, proto.StateMsg{Key: stateChunk, A: int64(id), B: v.b, F: v.p})
+			for level, lvl := range v.levels {
+				for pos, sn := range lvl {
+					if sn.N > 0 {
+						emit(site, SummaryMsg{Chunk: int64(id), Level: level, Pos: pos, Snap: sn})
+					}
+				}
+			}
+			for _, sm := range v.samples {
+				emit(site, SampleMsg{Chunk: int64(id), Index: sm.index, Value: sm.value})
+			}
+		}
+	}
+}
+
+// RestoreState implements proto.Snapshotter. A chunk record re-creates the
+// view with its captured b and p (never through view(), which would use
+// the current round's); the summary and sample records that follow replay
+// through the same partition logic as Receive, which converges to the
+// identical leaves/tail state because summaries precede samples.
+func (c *Coordinator) RestoreState(from int, m proto.Message) {
+	if c.rc.RestoreState(from, m) {
+		c.p = rounds.P(c.rc.NBar(), c.cfg.K, c.cfg.effEps())
+		return
+	}
+	if from < 0 || from >= len(c.chunks) {
+		return
+	}
+	restored := func(id int64) *chunkView {
+		if id < 0 || id >= int64(len(c.chunks[from])) {
+			return nil
+		}
+		return c.chunks[from][id]
+	}
+	switch msg := m.(type) {
+	case proto.StateMsg:
+		if msg.Key != stateChunk || msg.A < 0 {
+			return
+		}
+		for msg.A >= int64(len(c.chunks[from])) {
+			c.chunks[from] = append(c.chunks[from], nil)
+		}
+		c.chunks[from][msg.A] = &chunkView{p: msg.F, b: msg.B, dirty: true}
+	case SummaryMsg:
+		v := restored(msg.Chunk)
+		if v == nil || msg.Level < 0 || msg.Pos < 0 {
+			return
+		}
+		v.setNode(msg.Level, msg.Pos, msg.Snap)
+		if msg.Level == 0 && msg.Pos+1 > v.leaves {
+			v.leaves = msg.Pos + 1
+			v.advanceTail()
+		}
+	case SampleMsg:
+		v := restored(msg.Chunk)
+		if v == nil {
+			return
+		}
+		v.samples = append(v.samples, sample{index: msg.Index, value: msg.Value})
+		if msg.Index <= int64(v.leaves)*v.b {
+			v.tail = len(v.samples)
+		}
+	}
+}
+
 // P returns the current sampling probability.
 func (c *Coordinator) P() float64 { return c.p }
 

@@ -149,6 +149,50 @@ func (c *Coordinator) Resync(emit func(proto.Message)) {
 	}
 }
 
+// Snapshot-record keys. Every protocol coordinator embedding this
+// component forwards unrecognized state records here, so the key range
+// [stateMeta, stateNPrime] is reserved across all coordinator packages
+// (freq uses 10+, rank 20+, sample 30+).
+const (
+	stateMeta   = 1 // A = n̄, B = round
+	stateNPrime = 2 // from = site, A = its last doubling report
+)
+
+// SnapshotState implements half of proto.Snapshotter: the component's
+// state as one global record plus one record per site that has reported.
+func (c *Coordinator) SnapshotState(emit func(from int, m proto.Message)) {
+	emit(-1, proto.StateMsg{Key: stateMeta, A: c.nBar, B: int64(c.round)})
+	for i, np := range c.nPrime {
+		if np != 0 {
+			emit(i, proto.StateMsg{Key: stateNPrime, A: np})
+		}
+	}
+}
+
+// RestoreState applies one snapshot record, reporting whether it was one
+// of this component's (embedding coordinators forward records here first
+// and handle their own on false). n′'s sum is maintained incrementally, so
+// record order doesn't matter within the component.
+func (c *Coordinator) RestoreState(from int, m proto.Message) bool {
+	sm, ok := m.(proto.StateMsg)
+	if !ok {
+		return false
+	}
+	switch sm.Key {
+	case stateMeta:
+		c.nBar, c.round = sm.A, int(sm.B)
+	case stateNPrime:
+		if from < 0 || from >= len(c.nPrime) {
+			return true // corrupt site index: drop the record
+		}
+		c.sum += sm.A - c.nPrime[from]
+		c.nPrime[from] = sm.A
+	default:
+		return false
+	}
+	return true
+}
+
 // NBar returns the last broadcast value (the coordinator's n̄).
 func (c *Coordinator) NBar() int64 { return c.nBar }
 

@@ -168,6 +168,13 @@ type Fabric struct {
 	tap Tap
 	mw  Middleware
 
+	// coordLog, when set, observes every coordinator-bound protocol
+	// message on the coordinator loop immediately before the coordinator
+	// applies it — the durability layer's write-ahead hook (it must panic
+	// or abort on failure; a frame applied but not logged would be lost by
+	// recovery). Nil costs one predictable branch on the delivery path.
+	coordLog func(from int, m proto.Message)
+
 	// closed flips when CloseBoxes runs, turning use-after-Close from a
 	// silent in-flight-accounting deadlock into a loud panic (which the
 	// ingest frontend converts into a terminal error).
@@ -407,6 +414,9 @@ func (f *Fabric) RunCoordLoop(deliver func(to int, m proto.Message)) {
 			deliver(cm.To, cm.Msg)
 			continue
 		case FromMsg:
+			if f.coordLog != nil {
+				f.coordLog(cm.From, cm.Msg)
+			}
 			f.p.Coord.Receive(cm.From, cm.Msg, send, broadcast)
 		}
 		f.Inflight.Done()
@@ -439,6 +449,26 @@ func (f *Fabric) Probe() {
 // (per-link order matches delivery order; different links may call it
 // concurrently). Install before the first arrival.
 func (f *Fabric) SetTap(t Tap) { f.tap = t }
+
+// SetCoordLog installs the durability layer's write-ahead hook: fn runs on
+// the coordinator loop for every coordinator-bound protocol message, just
+// before the coordinator applies it. Install before the first arrival; a
+// nil fn removes it.
+func (f *Fabric) SetCoordLog(fn func(from int, m proto.Message)) { f.coordLog = fn }
+
+// SeedLedger pre-loads the cost ledger — a replacement fabric mounted
+// after a coordinator crash carries the crashed run's counters forward, so
+// Metrics span the whole logical run. Call before the first arrival.
+func (f *Fabric) SeedLedger(m Metrics) {
+	atomic.StoreInt64(&f.messagesUp, m.MessagesUp)
+	atomic.StoreInt64(&f.messagesDown, m.MessagesDown)
+	atomic.StoreInt64(&f.wordsUp, m.WordsUp)
+	atomic.StoreInt64(&f.wordsDown, m.WordsDown)
+	atomic.StoreInt64(&f.broadcasts, m.Broadcasts)
+	atomic.StoreInt64(&f.arrivals, m.Arrivals)
+	f.maxSiteSpace = m.MaxSiteSpace
+	f.maxCoordSpace = m.MaxCoordSpace
+}
 
 // Metrics implements Transport. Call after Quiesce for a consistent view.
 func (f *Fabric) Metrics() Metrics {

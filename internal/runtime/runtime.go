@@ -54,6 +54,16 @@ type Metrics struct {
 	// made while LiveSites < k cover only the live sites' recent data —
 	// the documented partial-coverage degradation.
 	LiveSites int
+
+	// Durability counters (internal/persist), zero when persistence is
+	// off: Snapshots is the number of coordinator-state snapshots taken
+	// over the store's lifetime, ReplayedFrames the write-ahead-log frames
+	// replayed by the most recent recovery, and Resyncs the site resync
+	// replays served (rejoins answered with state replay — distributed
+	// mode and in-process coordinator restarts).
+	Snapshots      int64
+	ReplayedFrames int64
+	Resyncs        int64
 }
 
 // Messages returns the total message count.

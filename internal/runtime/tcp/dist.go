@@ -1,12 +1,14 @@
 package tcp
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"disttrack/internal/persist"
 	"disttrack/internal/proto"
 	"disttrack/internal/runtime"
 	"disttrack/internal/wire"
@@ -61,6 +63,27 @@ type Server struct {
 	// connection is an immediate loss.
 	RejoinWait time.Duration
 
+	// Persist, when non-nil, is the durability seam: every coordinator-bound
+	// frame — protocol messages plus the Done/Progress control frames that
+	// carry the sites' arrival counts — is appended to its write-ahead log
+	// before the coordinator applies it, and the log is compacted into a
+	// coordinator-state snapshot every SnapshotEvery logged frames (0 =
+	// persist.DefaultEvery). The caller owns the store: Serve seals it with
+	// a final snapshot and sync on any exit except Kill, but never closes
+	// it.
+	Persist       persist.Store
+	SnapshotEvery int64
+
+	// Resume recovers the coordinator from Persist before accepting sites:
+	// the latest snapshot is restored, the write-ahead-log tail is replayed
+	// (re-deriving the cost ledger and per-site arrival counts), and the
+	// server then waits for its K sites to reconnect — a site dialing with
+	// a Rejoin handshake is resynced into the recovered round during
+	// assembly, exactly as a mid-run rejoin would be. Resume targets
+	// mid-stream coordinator crashes; a run whose sites all finished has
+	// nothing left to serve.
+	Resume bool
+
 	// Rejects counts connections dropped during the handshake (garbage
 	// frames, non-Hello traffic, timeouts, dialers aborted when the K
 	// sites finished assembling without them, and Rejoin dials for slots
@@ -76,11 +99,34 @@ type Server struct {
 	// Cost counters; only the Serve goroutine touches them (sends,
 	// dispatch, and the Report callback all run there), so they are plain
 	// fields — unlike runtime.Fabric, no cross-goroutine sharing exists.
+	// (Assembly-time rejoin replays also touch them, but strictly before
+	// the serve loop starts, under assemble's handshake mutex.)
 	messagesUp, messagesDown int64
 	wordsUp, wordsDown       int64
 	broadcasts               int64
 	siteArrivals             []int64 // running counts from Progress frames, final from Done
 	liveCount                int     // sites currently connected or cleanly finished
+	// finished marks sites whose Done frame was durably applied (directly,
+	// or recovered from the store). A resumed server does not wait for
+	// these sites during assembly, and a finished site that redials —
+	// because the previous coordinator crashed before acknowledging its
+	// Done — is answered with an acknowledging Resync and hung up.
+	// ackDelivered records which of those completion acks were written
+	// without error, so the post-run linger knows when every
+	// recovered-finished site has been told its work is durable.
+	finished     []bool
+	ackDelivered []bool
+
+	// Durability state: the write-ahead logger over Persist, the number of
+	// WAL frames the last recovery replayed, and the number of site resync
+	// replays served (assembly-time and mid-run rejoins).
+	log      *persist.Logger
+	replayed int64
+	resyncs  int64
+
+	// box is the serve loop's mailbox, published before serving flips true
+	// so Shutdown and Kill can signal the loop from other goroutines.
+	box *runtime.Mailbox
 
 	// serving gates rejoin handoffs from handshake goroutines into the
 	// serve loop's mailbox, so a Rejoin landing during teardown is closed
@@ -113,6 +159,149 @@ type rejoinTimeout struct {
 	epoch int
 }
 
+// lingerTimeout closes the post-run linger window in which a resumed
+// server keeps answering finished sites' redials with completion acks.
+type lingerTimeout struct{}
+
+// shutdownReq asks the serve loop to stop gracefully (drain, final
+// snapshot, sync); killReq asks it to stop abruptly (simulated crash).
+type (
+	shutdownReq struct{}
+	killReq     struct{}
+)
+
+// ErrShutdown is returned by Serve when Shutdown stopped it before every
+// site finished; ErrKilled likewise for Kill.
+var (
+	ErrShutdown = errors.New("tcp: server shut down before the sites finished")
+	ErrKilled   = errors.New("tcp: server killed")
+)
+
+// Shutdown asks a running Serve to stop gracefully: the loop stops
+// dispatching new traffic, frames already queued are drained into the
+// coordinator (and the write-ahead log), a final snapshot is written, and
+// the store is synced — so a later Serve with Resume picks up exactly
+// where this one stopped. Serve returns ErrShutdown. Reports whether a
+// running serve loop was signaled. Safe to call from any goroutine (signal
+// handlers in particular).
+func (s *Server) Shutdown() bool { return s.signal(shutdownReq{}) }
+
+// Kill asks a running Serve to stop abruptly: no drain, no final snapshot,
+// no sync — the write-ahead log keeps exactly what was appended before the
+// kill, simulating a coordinator crash for chaos drills. Serve returns
+// ErrKilled.
+func (s *Server) Kill() bool { return s.signal(killReq{}) }
+
+func (s *Server) signal(ev any) bool {
+	if !s.serving.Load() {
+		return false
+	}
+	// serving was set after box, so the load above ordered this read; a
+	// teardown racing the Put is benign (the drain discards unknown events).
+	s.box.Put(ev)
+	return true
+}
+
+// coordRound reports the coordinator's current round when it exposes one
+// (the rounds-framework trackers do); deterministic baselines report 0.
+func (s *Server) coordRound() int64 {
+	if rc, ok := s.Coord.(interface{ Round() int }); ok {
+		return int64(rc.Round())
+	}
+	return 0
+}
+
+// snapMeta captures the server's cost ledger for a snapshot header; the
+// Logger fills the Snapshots field itself. Called from the serve loop (and
+// from recovery/teardown on the Serve goroutine), never concurrently.
+func (s *Server) snapMeta() wire.SnapMeta {
+	return wire.SnapMeta{
+		Config:       s.Config,
+		MessagesUp:   s.messagesUp,
+		MessagesDown: s.messagesDown,
+		WordsUp:      s.wordsUp,
+		WordsDown:    s.wordsDown,
+		Broadcasts:   s.broadcasts,
+		Resyncs:      s.resyncs,
+		SiteArrivals: append([]int64(nil), s.siteArrivals...),
+		Finished:     append([]bool(nil), s.finished...),
+	}
+}
+
+// recover rebuilds the coordinator from the store before any site
+// connects: snapshot first, then the write-ahead-log tail. Protocol frames
+// re-apply through the coordinator with sends counted but not transmitted
+// (no site is connected yet; each reconnecting site is resynced instead),
+// so the ledger re-derives exactly. Done and Progress records only update
+// the per-site arrival counts.
+func (s *Server) recover() error {
+	countSend := func(to int, m proto.Message) {
+		s.messagesDown++
+		s.wordsDown += int64(m.Words())
+	}
+	countCast := func(m proto.Message) {
+		s.broadcasts++
+		for i := 0; i < s.K; i++ {
+			countSend(i, m)
+		}
+	}
+	res, err := persist.Recover(s.Persist, s.Coord, func(from int, m proto.Message) {
+		switch msg := m.(type) {
+		case wire.Done:
+			if from >= 0 && from < s.K {
+				s.siteArrivals[from] = msg.Arrivals
+				s.finished[from] = true
+			}
+		case wire.Progress:
+			if from >= 0 && from < s.K {
+				s.siteArrivals[from] = msg.Arrivals
+			}
+		default:
+			s.messagesUp++
+			s.wordsUp += int64(m.Words())
+			s.Coord.Receive(from, m, countSend, countCast)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if res.HasSnapshot {
+		meta := res.Meta
+		if s.Config != 0 && meta.Config != 0 && meta.Config != s.Config {
+			return fmt.Errorf(
+				"tcp: resume: store was written by configuration fingerprint %#x, server has %#x (mismatched problem/algorithm/ε?)",
+				meta.Config, s.Config)
+		}
+		// The header's ledger covers everything up to the snapshot; the
+		// replay above re-counted the tail. Arrival counts take the larger
+		// of the two (the WAL tail's Progress/Done records supersede the
+		// header's values when present).
+		s.messagesUp += meta.MessagesUp
+		s.messagesDown += meta.MessagesDown
+		s.wordsUp += meta.WordsUp
+		s.wordsDown += meta.WordsDown
+		s.broadcasts += meta.Broadcasts
+		s.resyncs += meta.Resyncs
+		if len(meta.SiteArrivals) == s.K {
+			for i, a := range meta.SiteArrivals {
+				if a > s.siteArrivals[i] {
+					s.siteArrivals[i] = a
+				}
+			}
+		}
+		if len(meta.Finished) == s.K {
+			for i, f := range meta.Finished {
+				if f {
+					s.finished[i] = true
+				}
+			}
+		}
+		s.log.SeedSnapshots(meta.Snapshots)
+	}
+	s.replayed = res.ReplayedFrames
+	return nil
+}
+
 // assemble accepts connections on ln until all s.K sites have completed
 // their Hello handshake, filling conns. Each accepted connection is
 // handshaken on its own goroutine with a read deadline, so a stray
@@ -143,6 +332,15 @@ func (s *Server) assemble(ln net.Listener, conns []net.Conn, rejoin func(wire.Re
 		// site, and must not abort the run.
 		rejoinedSlot = make([]bool, s.K)
 	)
+	// Sites whose Done a resumed coordinator recovered from its store are
+	// not expected back: assembly completes when the unfinished sites are
+	// present. (On a fresh server every slot is unfinished and target == K.)
+	target := 0
+	for i := 0; i < s.K; i++ {
+		if !s.finished[i] {
+			target++
+		}
+	}
 	assembled := make(chan struct{})
 	// finish, called with mu held, ends assembly (success or fatal) and
 	// aborts the handshakes still in flight — a connection that has not
@@ -198,6 +396,19 @@ func (s *Server) assemble(ln net.Listener, conns []net.Conn, rejoin func(wire.Re
 			return
 		}
 		switch {
+		case site >= 0 && site < s.K && s.finished[site]:
+			// The site's Done is already durable — it is dialing back only
+			// because the previous coordinator crashed before acknowledging
+			// it. Acknowledge with a Resync carrying its final arrival count
+			// and hang up; the slot stays out of the assembly count.
+			if frame, err := wire.AppendFrame(nil, wire.Resync{
+				Round: wire.ResyncComplete, Arrivals: s.siteArrivals[site]}); err == nil {
+				if _, werr := conn.Write(frame); werr == nil {
+					s.ackDelivered[site] = true
+				}
+			}
+			conn.Close()
+			return
 		case site >= 0 && site < s.K && conns[site] != nil && rejoinedSlot[site] && !isRejoin:
 			// The slot was resumed by a replacement process while this —
 			// the crashed predecessor's — Hello was still in flight.
@@ -215,11 +426,30 @@ func (s *Server) assemble(ln net.Listener, conns []net.Conn, rejoin func(wire.Re
 				site, hcfg, s.Config)
 		default:
 			if isRejoin {
-				// Acknowledge so the dialer's rejoin handshake completes;
-				// nothing has been acknowledged or broadcast yet, so the
-				// Resync is empty.
-				if frame, err := wire.AppendFrame(nil, wire.Resync{}); err == nil {
+				// Acknowledge so the dialer's rejoin handshake completes. On
+				// a resumed server the coordinator already carries recovered
+				// state, so the Resync reports the real round and this slot's
+				// last logged arrival count, and the fresh site machine is
+				// replayed into the current round — exactly as a mid-run
+				// rejoin would be. On a fresh server all of that is zero and
+				// the replay emits nothing. Counters are safe here: the serve
+				// loop starts only after assemble joins every handshake.
+				if frame, err := wire.AppendFrame(nil, wire.Resync{
+					Round: s.coordRound(), Arrivals: s.siteArrivals[site]}); err == nil {
 					conn.Write(frame)
+				}
+				if rs, ok := s.Coord.(proto.Resyncer); ok {
+					var frame []byte
+					rs.Resync(func(m proto.Message) {
+						s.messagesDown++
+						s.wordsDown += int64(m.Words())
+						var err error
+						frame, err = wire.AppendFrame(frame[:0], m)
+						if err == nil {
+							conn.Write(frame)
+						}
+					})
+					s.resyncs++
 				}
 				atomic.AddInt64(&s.Rejoins, 1)
 				rejoinedSlot[site] = true
@@ -227,7 +457,7 @@ func (s *Server) assemble(ln net.Listener, conns []net.Conn, rejoin func(wire.Re
 			conn.SetReadDeadline(time.Time{})
 			conns[site] = conn
 			registered++
-			if registered == s.K {
+			if registered == target {
 				finish()
 			}
 			return
@@ -264,6 +494,14 @@ func (s *Server) assemble(ln net.Listener, conns []net.Conn, rejoin func(wire.Re
 		}
 		conn.Close()
 		atomic.AddInt64(&s.Rejects, 1)
+	}
+
+	if target == 0 {
+		// Every site already finished (a resume of a completed run): there
+		// is nothing to assemble; dials from here on are rejoin candidates.
+		mu.Lock()
+		finish()
+		mu.Unlock()
 	}
 
 	go func() {
@@ -328,8 +566,22 @@ func (s *Server) Serve(ln net.Listener) (runtime.Metrics, error) {
 	}()
 
 	s.siteArrivals = make([]int64, s.K)
+	s.finished = make([]bool, s.K)
+	s.ackDelivered = make([]bool, s.K)
 	s.liveCount = s.K
+	if s.Resume && s.Persist == nil {
+		return runtime.Metrics{}, fmt.Errorf("tcp: Resume needs a Persist store")
+	}
+	if s.Persist != nil {
+		s.log = persist.NewLogger(s.Persist, s.Coord, s.SnapshotEvery, s.snapMeta)
+		if s.Resume {
+			if err := s.recover(); err != nil {
+				return runtime.Metrics{}, err
+			}
+		}
+	}
 	box := runtime.NewMailbox()
+	s.box = box
 	s.hsConns = map[net.Conn]struct{}{}
 	s.serving.Store(true)
 	defer s.serving.Store(false)
@@ -389,13 +641,18 @@ func (s *Server) Serve(ln net.Listener) (runtime.Metrics, error) {
 		}()
 	}
 	for i := range conns {
-		startReader(i, conns[i])
+		if conns[i] != nil { // nil = recovered-finished slot, nobody dialed
+			startReader(i, conns[i])
+		}
 	}
 
 	var frame []byte
 	send := func(to int, m proto.Message) {
 		s.messagesDown++
 		s.wordsDown += int64(m.Words())
+		if conns[to] == nil {
+			return // recovered-finished slot: charged (ledger parity) but gone
+		}
 		var err error
 		frame, err = wire.AppendFrame(frame[:0], m)
 		if err == nil {
@@ -410,12 +667,20 @@ func (s *Server) Serve(ln net.Listener) (runtime.Metrics, error) {
 		}
 	}
 
-	remaining, lost := s.K, 0
+	// finished settles a slot (Done applied, or declared lost); s.finished
+	// additionally marks the Done-applied subset, which snapshots persist
+	// and redials are acknowledged from. Slots the recovery already settled
+	// never count toward remaining, and have no connection.
+	remaining, lost := 0, 0
 	finished := make([]bool, s.K) // per-site Done/lost bookkeeping
 	live := make([]bool, s.K)     // per-site connection state
 	epoch := make([]int, s.K)     // guards stale rejoin timers
 	for i := range live {
-		live[i] = true
+		finished[i] = s.finished[i]
+		live[i] = conns[i] != nil
+		if !finished[i] {
+			remaining++
+		}
 	}
 	declareLost := func(site int) {
 		finished[site] = true
@@ -423,10 +688,33 @@ func (s *Server) Serve(ln net.Listener) (runtime.Metrics, error) {
 		lost++
 	}
 	var processed int64
+	var stopErr error // set when Shutdown, Kill, or a store failure ends the loop early
+serve:
 	for remaining > 0 {
 		v, _ := box.Get()
 		switch ev := v.(type) {
+		case shutdownReq:
+			stopErr = ErrShutdown
+			break serve
+		case killReq:
+			stopErr = ErrKilled
+			break serve
 		case rejoinReq:
+			if s.finished[ev.site] {
+				// The site's Done is already durable; it is redialing only
+				// because a previous coordinator crashed before
+				// acknowledging it. Acknowledge and hang up.
+				var err error
+				frame, err = wire.AppendFrame(frame[:0], wire.Resync{
+					Round: wire.ResyncComplete, Arrivals: s.siteArrivals[ev.site]})
+				if err == nil {
+					if _, werr := ev.conn.Write(frame); werr == nil {
+						s.ackDelivered[ev.site] = true
+					}
+				}
+				ev.conn.Close()
+				continue
+			}
 			if finished[ev.site] || live[ev.site] {
 				// The slot is not open: the site finished, was declared
 				// lost, or a previous connection is still considered live
@@ -447,19 +735,16 @@ func (s *Server) Serve(ln net.Listener) (runtime.Metrics, error) {
 			live[ev.site] = true
 			s.liveCount++
 			atomic.AddInt64(&s.Rejoins, 1)
-			round := int64(0)
-			if rc, ok := s.Coord.(interface{ Round() int }); ok {
-				round = int64(rc.Round())
-			}
 			var err error
 			frame, err = wire.AppendFrame(frame[:0], wire.Resync{
-				Round: round, Arrivals: s.siteArrivals[ev.site]})
+				Round: s.coordRound(), Arrivals: s.siteArrivals[ev.site]})
 			if err == nil {
 				_, err = ev.conn.Write(frame)
 			}
 			_ = err // a re-crash is caught by the new reader
 			if rs, ok := s.Coord.(proto.Resyncer); ok {
 				rs.Resync(func(m proto.Message) { send(ev.site, m) })
+				s.resyncs++
 			}
 			startReader(ev.site, ev.conn)
 			continue
@@ -470,6 +755,19 @@ func (s *Server) Serve(ln net.Listener) (runtime.Metrics, error) {
 			continue
 		}
 		cm := v.(runtime.FromMsg)
+		if s.log != nil && cm.Msg != nil {
+			// Write-ahead: durably log the frame before anything observes
+			// it. Rejoin frames are connection control and never logged;
+			// Done and Progress are logged so a recovery re-derives the
+			// per-site arrival counts. A store failure aborts the run —
+			// carrying on would silently void the durability contract.
+			if _, ctl := cm.Msg.(wire.Rejoin); !ctl {
+				if err := s.log.Log(cm.From, cm.Msg); err != nil {
+					stopErr = err
+					break serve
+				}
+			}
+		}
 		switch m := cm.Msg.(type) {
 		case nil:
 			if finished[cm.From] || !live[cm.From] {
@@ -498,6 +796,7 @@ func (s *Server) Serve(ln net.Listener) (runtime.Metrics, error) {
 			// healthy site is still streaming. First Done wins.
 			if !finished[cm.From] {
 				finished[cm.From] = true
+				s.finished[cm.From] = true
 				s.siteArrivals[cm.From] = m.Arrivals
 				remaining--
 			}
@@ -520,12 +819,112 @@ func (s *Server) Serve(ln net.Listener) (runtime.Metrics, error) {
 			}
 		}
 	}
-	// Every site has finished: stop accepting rejoins, abort and join the
-	// handshakes still probing (so Rejects/Rejoins really are final when
-	// Serve returns), and hang up so the (still-draining) readers see EOF
-	// and exit, then collect them.
+	// A resumed run can end before a recovered-finished site redials: its
+	// Done is durable from a previous incarnation, the crash ate its
+	// completion ack, and its slot has no connection for the teardown ack
+	// below to reach it on. Linger within the rejoin window answering those
+	// redials, so every such site learns its work is durable instead of
+	// exhausting its redial budget against a server that has already gone —
+	// ending early once all have been told.
+	if stopErr == nil && lost == 0 && s.RejoinWait > 0 {
+		pending := 0
+		for i := 0; i < s.K; i++ {
+			if s.finished[i] && conns[i] == nil && !s.ackDelivered[i] {
+				pending++
+			}
+		}
+		if pending > 0 {
+			timer := time.AfterFunc(s.RejoinWait, func() {
+				if s.serving.Load() {
+					box.Put(lingerTimeout{})
+				}
+			})
+		linger:
+			for pending > 0 {
+				v, _ := box.Get()
+				switch ev := v.(type) {
+				case lingerTimeout, shutdownReq:
+					break linger
+				case killReq:
+					stopErr = ErrKilled
+					break linger
+				case rejoinReq:
+					if !s.finished[ev.site] {
+						ev.conn.Close()
+						atomic.AddInt64(&s.Rejects, 1)
+						continue
+					}
+					var err error
+					frame, err = wire.AppendFrame(frame[:0], wire.Resync{
+						Round: wire.ResyncComplete, Arrivals: s.siteArrivals[ev.site]})
+					if err == nil {
+						_, err = ev.conn.Write(frame)
+					}
+					ev.conn.Close()
+					if err == nil && !s.ackDelivered[ev.site] {
+						s.ackDelivered[ev.site] = true
+						pending--
+					}
+				case runtime.FromMsg:
+					// Late protocol frames from the still-draining readers
+					// belong to the run; handle them exactly as the post-run
+					// drain below would.
+					switch ev.Msg.(type) {
+					case nil, wire.Done, wire.Progress, wire.Rejoin:
+					default:
+						if s.log != nil {
+							if err := s.log.Log(ev.From, ev.Msg); err != nil {
+								stopErr = err
+								break linger
+							}
+						}
+						s.messagesUp++
+						s.wordsUp += int64(ev.Msg.Words())
+						s.Coord.Receive(ev.From, ev.Msg, send, broadcast)
+					}
+				}
+			}
+			timer.Stop()
+		}
+	}
+	// Every site has finished (or a stop event landed): stop accepting
+	// rejoins, abort and join the handshakes still probing (so
+	// Rejects/Rejoins really are final when Serve returns), and hang up so
+	// the (still-draining) readers see EOF and exit, then collect them.
 	s.serving.Store(false)
 	stopHandshakes()
+	// On any orderly exit, acknowledge each connected site with a final
+	// Resync carrying its last applied arrival count before hanging up —
+	// the durable-completion ack a reconnecting site's Close waits for.
+	// With persistence the write-ahead log is synced first, so the ack
+	// never promises more than the store holds. A kill sends nothing: the
+	// missing ack is exactly what makes the sites redial the resumed
+	// coordinator.
+	if stopErr != ErrKilled {
+		acked := s.log == nil
+		if s.log != nil {
+			if err := s.log.Sync(); err != nil {
+				if stopErr == nil {
+					stopErr = err
+				}
+			} else {
+				acked = true
+			}
+		}
+		if acked {
+			for i, conn := range conns {
+				if conn == nil {
+					continue
+				}
+				var err error
+				frame, err = wire.AppendFrame(frame[:0], wire.Resync{
+					Round: wire.ResyncComplete, Arrivals: s.siteArrivals[i]})
+				if err == nil {
+					conn.Write(frame)
+				}
+			}
+		}
+	}
 	for _, conn := range conns {
 		if conn != nil {
 			conn.Close()
@@ -553,13 +952,40 @@ func (s *Server) Serve(ln net.Listener) (runtime.Metrics, error) {
 			}
 			continue
 		}
+		if stopErr == ErrKilled {
+			continue // a killed coordinator loses its in-flight queue
+		}
 		switch cm.Msg.(type) {
 		case nil, wire.Done, wire.Progress, wire.Rejoin: // control events, already accounted
 		default:
+			if s.log != nil {
+				if err := s.log.Log(cm.From, cm.Msg); err != nil {
+					if stopErr == nil {
+						stopErr = err
+					}
+					continue // unloggable frames must not be applied
+				}
+			}
 			s.messagesUp++
 			s.wordsUp += int64(cm.Msg.Words())
 			s.Coord.Receive(cm.From, cm.Msg, send, broadcast)
 		}
+	}
+	// Seal the store on every exit except a simulated crash: a final
+	// snapshot and sync make it a clean resume point (and bound a future
+	// replay to zero frames). A kill leaves exactly the appended log, which
+	// is the point of the drill.
+	if s.log != nil && stopErr != ErrKilled {
+		if err := s.log.Snapshot(); err != nil {
+			if stopErr == nil {
+				stopErr = err
+			}
+		} else if err := s.log.Sync(); err != nil && stopErr == nil {
+			stopErr = err
+		}
+	}
+	if stopErr != nil {
+		return s.metrics(), stopErr
 	}
 	if lost > 0 {
 		return s.metrics(), fmt.Errorf(
@@ -573,15 +999,21 @@ func (s *Server) metrics() runtime.Metrics {
 	for _, a := range s.siteArrivals {
 		arrivals += a
 	}
-	return runtime.Metrics{
-		MessagesUp:   s.messagesUp,
-		MessagesDown: s.messagesDown,
-		WordsUp:      s.wordsUp,
-		WordsDown:    s.wordsDown,
-		Broadcasts:   s.broadcasts,
-		Arrivals:     arrivals,
-		LiveSites:    s.liveCount,
+	m := runtime.Metrics{
+		MessagesUp:     s.messagesUp,
+		MessagesDown:   s.messagesDown,
+		WordsUp:        s.wordsUp,
+		WordsDown:      s.wordsDown,
+		Broadcasts:     s.broadcasts,
+		Arrivals:       arrivals,
+		LiveSites:      s.liveCount,
+		ReplayedFrames: s.replayed,
+		Resyncs:        s.resyncs,
 	}
+	if s.log != nil {
+		m.Snapshots = s.log.Snapshots()
+	}
+	return m
 }
 
 // SiteConn drives one protocol site machine in a site process, connected to
@@ -624,6 +1056,11 @@ type SiteConn struct {
 	sendErr  error
 	rejoins  int64
 	resync   wire.Resync // last Resync received (rejoin handshakes)
+	// closing flips once Close has sent the Done frame. From then on a
+	// failed reply to a late broadcast is best-effort (the server may
+	// legitimately have hung up already) and neither reconnects nor sets
+	// sendErr — Close's ack-wait loop owns recovery of the Done itself.
+	closing bool
 
 	readers sync.WaitGroup
 }
@@ -734,6 +1171,11 @@ func (sc *SiteConn) out(m proto.Message) {
 	if err == nil {
 		return
 	}
+	if sc.closing {
+		if _, isDone := m.(wire.Done); !isDone {
+			return // post-Done reply: best-effort once the run is winding down
+		}
+	}
 	if sc.AutoReconnect {
 		if err = sc.reconnect(); err == nil {
 			err = sc.write(m) // retransmit on the fresh connection
@@ -786,8 +1228,15 @@ func (sc *SiteConn) startReader(conn net.Conn) {
 			if err != nil {
 				return
 			}
-			if _, ctl := m.(wire.Resync); ctl {
-				continue // control traffic; handshakes consume theirs synchronously
+			if rs, ctl := m.(wire.Resync); ctl {
+				// Control traffic; handshakes consume theirs synchronously.
+				// Mid-stream, a Resync is the server's completion ack —
+				// record it so Close can tell an orderly hangup from a
+				// coordinator crash.
+				sc.mu.Lock()
+				sc.resync = rs
+				sc.mu.Unlock()
+				continue
 			}
 			sc.mu.Lock()
 			sc.s.Receive(m, sc.out)
@@ -869,14 +1318,39 @@ func (sc *SiteConn) Abort() {
 // site's machine responsive to round broadcasts (and their reply messages)
 // triggered by the other sites' remaining traffic. It returns the first
 // send error seen, if any.
+//
+// The server acknowledges an orderly hangup with a final Resync covering
+// this site's arrival count. With AutoReconnect set, a hangup without that
+// ack means the coordinator may have crashed before the Done was durably
+// applied: Close redials (riding the same rejoin loop as mid-stream
+// failures) and repeats the Done until a resumed coordinator acknowledges
+// it, or the redial budget decides nobody is coming back.
 func (sc *SiteConn) Close() error {
 	sc.mu.Lock()
+	sc.closing = true
 	sc.out(wire.Done{Arrivals: sc.arrivals})
-	err := sc.sendErr
 	sc.mu.Unlock()
-	sc.readers.Wait()
-	sc.mu.Lock()
+	acked := func() bool {
+		return sc.resync.Round == wire.ResyncComplete && sc.resync.Arrivals >= sc.arrivals
+	}
+	for {
+		sc.readers.Wait() // the connection ended: orderly hangup or a crash
+		sc.mu.Lock()
+		if acked() || !sc.AutoReconnect || sc.sendErr != nil {
+			break
+		}
+		if err := sc.reconnect(); err != nil {
+			sc.sendErr = err // the coordinator never came back
+			break
+		}
+		if acked() {
+			break // the rejoin handshake already acknowledged our Done
+		}
+		sc.out(wire.Done{Arrivals: sc.arrivals})
+		sc.mu.Unlock()
+	}
 	sc.conn.Close()
+	err := sc.sendErr
 	sc.mu.Unlock()
 	return err
 }

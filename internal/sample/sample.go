@@ -213,6 +213,35 @@ func (c *Coordinator) Resync(emit func(proto.Message)) {
 	}
 }
 
+// stateLevel is the coordinator's snapshot-record key (range 30+; see
+// rounds.Coordinator.SnapshotState for the reservation scheme): A = the
+// current sampling level.
+const stateLevel = 30
+
+// SnapshotState implements proto.Snapshotter: the level, then every
+// retained element as the protocol's own ElementMsg.
+func (c *Coordinator) SnapshotState(emit func(from int, m proto.Message)) {
+	emit(-1, proto.StateMsg{Key: stateLevel, A: int64(c.level)})
+	for _, e := range c.sample {
+		emit(-1, ElementMsg{Item: e.item, Value: e.value, Level: e.level})
+	}
+}
+
+// RestoreState implements proto.Snapshotter. Unlike Receive, restored
+// elements never trigger compaction (the snapshotted sample is already
+// within budget) and the level record never broadcasts.
+func (c *Coordinator) RestoreState(from int, m proto.Message) {
+	switch msg := m.(type) {
+	case proto.StateMsg:
+		if msg.Key == stateLevel {
+			c.level = int(msg.A)
+		}
+	case ElementMsg:
+		c.sample = append(c.sample, element{item: msg.Item, value: msg.Value, level: msg.Level})
+		c.counts[msg.Item]++
+	}
+}
+
 // SampleLen returns the current retained-sample size.
 func (c *Coordinator) SampleLen() int { return len(c.sample) }
 

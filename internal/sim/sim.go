@@ -56,6 +56,11 @@ type Harness struct {
 
 	// tap, when set, observes every delivered message (runtime.Tap).
 	tap runtime.Tap
+
+	// coordLog, when set, observes every coordinator-bound message just
+	// before the coordinator applies it (the durability layer's
+	// write-ahead hook; see runtime.Fabric.SetCoordLog).
+	coordLog func(from int, m proto.Message)
 }
 
 type envelope struct {
@@ -110,6 +115,20 @@ func (h *Harness) SetTap(t runtime.Tap) { h.tap = t }
 
 // Close implements runtime.Transport (nothing to release).
 func (h *Harness) Close() {}
+
+// SetCoordLog installs the durability layer's write-ahead hook (see
+// runtime.Fabric.SetCoordLog). Install before the first arrival; a nil fn
+// removes it.
+func (h *Harness) SetCoordLog(fn func(from int, m proto.Message)) { h.coordLog = fn }
+
+// SeedLedger pre-loads the cost ledger, so a harness mounted over a
+// recovered coordinator reports Metrics spanning the whole logical run.
+// Call before the first arrival.
+func (h *Harness) SeedLedger(m Metrics) {
+	live := h.metrics.LiveSites
+	h.metrics = m
+	h.metrics.LiveSites = live
+}
 
 // Arrive delivers one element to site and runs the protocol to quiescence.
 func (h *Harness) Arrive(site int, item int64, value float64) {
@@ -174,6 +193,9 @@ func (h *Harness) drain() {
 			h.metrics.WordsUp += int64(env.msg.Words())
 			if h.tap != nil {
 				h.tap.Up(env.from, env.msg)
+			}
+			if h.coordLog != nil {
+				h.coordLog(env.from, env.msg)
 			}
 			h.p.Coord.Receive(env.from, env.msg, h.coordSend, h.coordCast)
 		} else {

@@ -107,6 +107,14 @@ type Resync struct {
 	Arrivals int64
 }
 
+// ResyncComplete in Resync.Round marks a completion acknowledgment rather
+// than a rejoin acceptance: the run is over (or this site's part of it is),
+// and everything up to Arrivals is durably applied. The server sends it to
+// every connected site before an orderly hangup, and to a finished site
+// that redials a resumed coordinator — the signal SiteConn.Close uses to
+// tell an orderly end from a coordinator crash.
+const ResyncComplete int64 = -1
+
 // Words implements proto.Message.
 func (Resync) Words() int { return 2 }
 
@@ -460,12 +468,14 @@ func checkCopy(idx int64) error {
 	return nil
 }
 
-// checkInner rejects a multiplexer wrapper nested inside another wrapper.
-// The protocols never produce one (boost and median wrap base messages
-// only), and refusing them bounds decode recursion on corrupt input.
+// checkInner rejects a multiplexer wrapper nested inside another wrapper,
+// and persistence records (Logged, SnapMeta) nested inside a multiplexer.
+// The protocols never produce either (boost and median wrap base messages
+// only; persistence records wrap, they are never wrapped), and refusing
+// them bounds decode recursion on corrupt input.
 func checkInner(inner proto.Message) error {
 	switch inner.(type) {
-	case count.CopyMsg, boost.Msg:
+	case count.CopyMsg, boost.Msg, Logged, SnapMeta:
 		return fmt.Errorf("wire: nested multiplexer message %T", inner)
 	}
 	return nil

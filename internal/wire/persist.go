@@ -1,0 +1,181 @@
+package wire
+
+import (
+	"fmt"
+
+	"disttrack/internal/proto"
+)
+
+// Durability-layer tags (internal/persist). Stable, never renumber.
+const (
+	tagState    byte = 22
+	tagLogged   byte = 23
+	tagSnapMeta byte = 24
+)
+
+// Logged is the record wrapper the durability layer writes: one
+// coordinator-bound message together with the site it came from (-1 for
+// global snapshot records). It wraps any registered message — including the
+// multiplexer wrappers — but never another Logged, which bounds decode
+// recursion on corrupt input. Words follows the accounting convention so
+// the type can ride the shared codec machinery; Logged frames live in logs
+// and snapshots only and are never charged to the protocol's cost ledger.
+type Logged struct {
+	From int
+	Msg  proto.Message
+}
+
+// Words implements proto.Message.
+func (l Logged) Words() int { return 1 + l.Msg.Words() }
+
+// MaxSites bounds the site index a decoded Logged record may carry.
+// Deployments run k in the hundreds at most, so anything near this limit
+// is corruption; rejecting it here keeps a decoded index from reaching
+// per-site state arrays wildly out of range.
+const MaxSites = 1 << 24
+
+// SnapMeta is the header record of a snapshot: the deployment fingerprint
+// (0 when the host keeps none) and the cost ledger at the instant the
+// snapshot was taken, including the per-site acknowledged arrival counts
+// the distributed server resumes its Resync bookkeeping from (len(
+// SiteArrivals) == k; empty for hosts that don't track it). Finished marks
+// the sites whose Done frame the coordinator had durably applied — a
+// resumed server must not wait for those sites to dial back in. It appears
+// exactly once, first, in every snapshot blob.
+type SnapMeta struct {
+	Config       uint64
+	MessagesUp   int64
+	MessagesDown int64
+	WordsUp      int64
+	WordsDown    int64
+	Broadcasts   int64
+	Snapshots    int64
+	Resyncs      int64
+	SiteArrivals []int64
+	Finished     []bool
+}
+
+// Words implements proto.Message.
+func (m SnapMeta) Words() int { return 8 + len(m.SiteArrivals) + len(m.Finished) }
+
+func init() {
+	Register(tagState, proto.StateMsg{},
+		func(b []byte, m proto.Message) []byte {
+			s := m.(proto.StateMsg)
+			return AppendFloat(AppendInt(AppendInt(AppendInt(b, s.Key), s.A), s.B), s.F)
+		},
+		func(b []byte) (proto.Message, []byte, error) {
+			key, b, err := ReadInt(b)
+			if err != nil {
+				return nil, b, err
+			}
+			a, b, err := ReadInt(b)
+			if err != nil {
+				return nil, b, err
+			}
+			bb, b, err := ReadInt(b)
+			if err != nil {
+				return nil, b, err
+			}
+			f, b, err := ReadFloat(b)
+			return proto.StateMsg{Key: key, A: a, B: bb, F: f}, b, err
+		})
+
+	Register(tagLogged, Logged{},
+		func(b []byte, m proto.Message) []byte {
+			l := m.(Logged)
+			b = AppendInt(b, int64(l.From))
+			b, err := Append(b, l.Msg)
+			if err != nil {
+				panic(err) // a Logged can only wrap registered messages
+			}
+			return b
+		},
+		func(b []byte) (proto.Message, []byte, error) {
+			from, b, err := ReadInt(b)
+			if err != nil {
+				return nil, b, err
+			}
+			if from < -1 || from >= MaxSites {
+				return nil, b, fmt.Errorf("wire: logged site index %d out of range", from)
+			}
+			inner, b, err := Decode(b)
+			if err != nil {
+				return nil, b, err
+			}
+			switch inner.(type) {
+			case Logged, SnapMeta:
+				return nil, b, fmt.Errorf("wire: nested persistence record %T", inner)
+			}
+			return Logged{From: int(from), Msg: inner}, b, nil
+		})
+
+	Register(tagSnapMeta, SnapMeta{},
+		func(b []byte, m proto.Message) []byte {
+			s := m.(SnapMeta)
+			b = AppendInt(b, int64(s.Config))
+			b = AppendInt(AppendInt(b, s.MessagesUp), s.MessagesDown)
+			b = AppendInt(AppendInt(b, s.WordsUp), s.WordsDown)
+			b = AppendInt(AppendInt(AppendInt(b, s.Broadcasts), s.Snapshots), s.Resyncs)
+			b = AppendInt(b, int64(len(s.SiteArrivals)))
+			for _, a := range s.SiteArrivals {
+				b = AppendInt(b, a)
+			}
+			b = AppendInt(b, int64(len(s.Finished)))
+			for _, f := range s.Finished {
+				var v int64
+				if f {
+					v = 1
+				}
+				b = AppendInt(b, v)
+			}
+			return b
+		},
+		func(b []byte) (proto.Message, []byte, error) {
+			var m SnapMeta
+			cfg, b, err := ReadInt(b)
+			if err != nil {
+				return nil, b, err
+			}
+			m.Config = uint64(cfg)
+			for _, dst := range []*int64{
+				&m.MessagesUp, &m.MessagesDown, &m.WordsUp, &m.WordsDown,
+				&m.Broadcasts, &m.Snapshots, &m.Resyncs,
+			} {
+				if *dst, b, err = ReadInt(b); err != nil {
+					return nil, b, err
+				}
+			}
+			n, b, err := ReadCount(b, 8)
+			if err != nil {
+				return nil, b, err
+			}
+			if n > 0 {
+				m.SiteArrivals = make([]int64, n)
+				for i := range m.SiteArrivals {
+					if m.SiteArrivals[i], b, err = ReadInt(b); err != nil {
+						return nil, b, err
+					}
+				}
+			}
+			nf, b, err := ReadCount(b, 8)
+			if err != nil {
+				return nil, b, err
+			}
+			if nf > 0 {
+				m.Finished = make([]bool, nf)
+				for i := range m.Finished {
+					v, rest, err := ReadInt(b)
+					if err != nil {
+						return nil, rest, err
+					}
+					if v != 0 && v != 1 {
+						return nil, rest, fmt.Errorf("wire: snapshot finished flag %d", v)
+					}
+					m.Finished[i] = v == 1
+					b = rest
+				}
+			}
+			return m, b, nil
+		})
+}

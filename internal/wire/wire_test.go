@@ -107,6 +107,31 @@ func gen(r *rand.Rand, prototype proto.Message) proto.Message {
 			Config: r.Uint64(), Arrivals: r.Int63()}
 	case wire.Resync:
 		return wire.Resync{Round: r.Int63n(1 << 40), Arrivals: r.Int63()}
+	case proto.StateMsg:
+		return proto.StateMsg{Key: r.Int63n(64), A: r.Int63(), B: r.Int63(), F: r.NormFloat64()}
+	case wire.Logged:
+		inner := genInner(r)
+		if r.Intn(3) == 0 { // logged frames wrap multiplexer messages too
+			inner = boost.Msg{Copy: r.Intn(64), Inner: inner}
+		}
+		return wire.Logged{From: r.Intn(1<<20) - 1, Msg: inner}
+	case wire.SnapMeta:
+		m := wire.SnapMeta{Config: r.Uint64(), MessagesUp: r.Int63(), MessagesDown: r.Int63(),
+			WordsUp: r.Int63(), WordsDown: r.Int63(), Broadcasts: r.Int63(),
+			Snapshots: r.Int63n(1 << 30), Resyncs: r.Int63n(1 << 30)}
+		if n := r.Intn(5); n > 0 {
+			m.SiteArrivals = make([]int64, n)
+			for i := range m.SiteArrivals {
+				m.SiteArrivals[i] = r.Int63()
+			}
+		}
+		if n := r.Intn(5); n > 0 {
+			m.Finished = make([]bool, n)
+			for i := range m.Finished {
+				m.Finished[i] = r.Intn(2) == 1
+			}
+		}
+		return m
 	default:
 		panic("no generator for registered message type " + reflect.TypeOf(prototype).String())
 	}
@@ -131,6 +156,10 @@ func overheadBytes(m proto.Message) int {
 		return 8 // buffer count
 	case rank.DetSnapshotMsg:
 		return 16 // ε + tuple count
+	case wire.Logged:
+		return 1 + overheadBytes(msg.Msg) // inner tag
+	case wire.SnapMeta:
+		return 16 // site-arrivals count + finished count
 	default:
 		return 0
 	}
@@ -235,6 +264,15 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 	}
 	if _, _, err := wire.Decode(double); err == nil {
 		t.Error("nested multiplexer message did not error")
+	}
+	// A persistence record nested inside another is corruption too.
+	rec, err := wire.Append(nil,
+		wire.Logged{From: 0, Msg: wire.Logged{From: 1, Msg: count.UpdateMsg{N: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := wire.Decode(rec); err == nil {
+		t.Error("nested Logged record did not error")
 	}
 }
 

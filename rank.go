@@ -40,7 +40,7 @@ func NewRankTracker(opt Options) *RankTracker {
 			for i := range ps {
 				ps[i], coords[i] = rank.NewProtocol(cfg, root.Uint64())
 			}
-			t.eng, t.inj = mount(opt, boost.Wrap(ps))
+			t.mountCore(opt, boost.Wrap(ps))
 			t.rankFn = func(x float64) float64 {
 				ests := make([]float64, len(coords))
 				for i, c := range coords {
@@ -53,17 +53,17 @@ func NewRankTracker(opt Options) *RankTracker {
 			return t
 		}
 		p, coord := rank.NewProtocol(cfg, opt.Seed)
-		t.eng, t.inj = mount(opt, p)
+		t.mountCore(opt, p)
 		t.rankFn = coord.Rank
 		t.quantile = coord.Quantile
 	case AlgorithmDeterministic:
 		p, coord := rank.NewDetProtocol(opt.K, opt.Epsilon)
-		t.eng, t.inj = mount(opt, p)
+		t.mountCore(opt, p)
 		t.rankFn = coord.Rank
 		t.quantile = coord.Quantile
 	case AlgorithmSampling:
 		p, coord := sample.NewProtocol(sample.Config{K: opt.K, Eps: opt.Epsilon}, opt.Seed)
-		t.eng, t.inj = mount(opt, p)
+		t.mountCore(opt, p)
 		t.rankFn = coord.Rank
 		t.quantile = bisect(coord.Rank)
 	default:
@@ -150,4 +150,50 @@ func (t *RankTracker) Quantile(q, lo, hi float64) float64 {
 	var v float64
 	t.query(func() { v = t.quantile(q, lo, hi) })
 	return v
+}
+
+// CrashRestartCoordinator simulates a coordinator crash and durable
+// restart; see CountTracker.CrashRestartCoordinator. Requires
+// Options.Persist; incompatible with ConcurrentIngest and FaultPlan.
+func (t *RankTracker) CrashRestartCoordinator() error {
+	var rankFn func(x float64) float64
+	var quantile func(q, lo, hi float64) float64
+	var fresh proto.Coordinator
+	switch t.opt.Algorithm {
+	case AlgorithmRandomized:
+		cfg := rank.Config{K: t.opt.K, Eps: t.opt.Epsilon, Rescale: t.opt.Rescale}
+		if t.opt.Copies > 1 {
+			coords := make([]*rank.Coordinator, t.opt.Copies)
+			inner := make([]proto.Coordinator, t.opt.Copies)
+			for i := range coords {
+				coords[i] = rank.NewCoordinator(cfg)
+				inner[i] = coords[i]
+			}
+			fresh = boost.WrapCoordinators(inner)
+			rankFn = func(x float64) float64 {
+				ests := make([]float64, len(coords))
+				for i, c := range coords {
+					ests[i] = c.Rank(x)
+				}
+				return stats.Median(ests)
+			}
+			quantile = bisect(rankFn)
+		} else {
+			coord := rank.NewCoordinator(cfg)
+			fresh, rankFn, quantile = coord, coord.Rank, coord.Quantile
+		}
+	case AlgorithmDeterministic:
+		coord := rank.NewDetCoordinator(t.opt.K)
+		fresh, rankFn, quantile = coord, coord.Rank, coord.Quantile
+	case AlgorithmSampling:
+		coord := sample.NewCoordinator(sample.Config{K: t.opt.K, Eps: t.opt.Epsilon})
+		fresh, rankFn, quantile = coord, coord.Rank, bisect(coord.Rank)
+	default:
+		panic("disttrack: unknown Algorithm")
+	}
+	if _, err := t.crashRestartCoordinator(func() proto.Coordinator { return fresh }); err != nil {
+		return err
+	}
+	t.rankFn, t.quantile = rankFn, quantile
+	return nil
 }
