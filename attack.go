@@ -1,0 +1,198 @@
+package disttrack
+
+import (
+	"math"
+
+	"disttrack/internal/stats"
+)
+
+// AttackStrategy selects the adaptive adversary's arrival policy (see
+// Adversary).
+type AttackStrategy int
+
+const (
+	// AttackBoundaryCamp exploits answer-change detection: a silent
+	// arrival leaves the randomized tracker's answer bit-identical, while
+	// a sampled report always moves it, so the adversary knows the exact
+	// arrival on which its current victim site reported. It feeds one site
+	// until the answer moves, then rotates to the next — parking every
+	// site at n_i = n̄_i, where the estimator's unbiased −1 + 1/p
+	// correction becomes a systematic k·(1/p − 1) ≈ √k·ε_eff·n̄
+	// overestimate that holds at every instant.
+	AttackBoundaryCamp AttackStrategy = iota
+	// AttackThresholdLearn learns the typical silent-run length (≈ 1/p)
+	// from observed answer changes and tries to freeze every site just
+	// below its next report, ratcheting an undetected Θ(k/p) undercount.
+	// Sites whose report fires early are re-fed and re-frozen.
+	AttackThresholdLearn
+)
+
+// String names the strategy.
+func (s AttackStrategy) String() string {
+	switch s {
+	case AttackBoundaryCamp:
+		return "boundary-camp"
+	case AttackThresholdLearn:
+		return "threshold-learn"
+	default:
+		return "unknown"
+	}
+}
+
+// Adversary is a query-driven arrival generator: an adaptive adversary
+// that picks each arrival's site from the tracker's observed answers — the
+// adaptive-stream threat model the robust mode (Options.Robust) defends
+// against. It treats the tracker as a black box: its only input is the
+// answer sequence.
+type Adversary struct {
+	strategy AttackStrategy
+	k        int
+	rng      *stats.RNG
+
+	started bool
+	last    float64 // last observed answer
+	lastFed int     // site of the previous arrival
+	cur     int     // boundary-camp: the current victim site
+
+	// threshold-learn state: per-site silent-run counters plus the
+	// running mean of observed report gaps.
+	silent []int64
+	gapSum float64
+	gapN   int
+}
+
+// NewAdversary returns an adversary over k sites. The seed only breaks
+// ties; the strategies are deterministic given the answer sequence.
+func NewAdversary(strategy AttackStrategy, k int, seed uint64) *Adversary {
+	if k <= 0 {
+		panic("disttrack: NewAdversary needs k >= 1")
+	}
+	return &Adversary{
+		strategy: strategy,
+		k:        k,
+		rng:      stats.New(seed),
+		silent:   make([]int64, k),
+	}
+}
+
+// Next consumes the tracker's current answer and returns the site of the
+// next arrival. Call it before every Observe, passing the estimate taken
+// after the previous arrival.
+func (a *Adversary) Next(answer float64) int {
+	if a.started && answer != a.last {
+		a.noteChange()
+	}
+	a.last = answer
+	a.started = true
+	target := a.pick()
+	a.lastFed = target
+	a.silent[target]++
+	return target
+}
+
+// noteChange records that the previous arrival moved the answer — on the
+// non-robust tracker, proof that site lastFed just reported.
+func (a *Adversary) noteChange() {
+	switch a.strategy {
+	case AttackBoundaryCamp:
+		a.cur = (a.cur + 1) % a.k
+	case AttackThresholdLearn:
+		a.gapSum += float64(a.silent[a.lastFed])
+		a.gapN++
+		a.silent[a.lastFed] = 0
+	}
+}
+
+// pick chooses the next victim site.
+func (a *Adversary) pick() int {
+	switch a.strategy {
+	case AttackThresholdLearn:
+		// Freeze sites whose silent run is close to the learned report
+		// gap; keep feeding the least-advanced unfrozen site. Before any
+		// gap is observed the cap is infinite and this degenerates to
+		// round-robin by silent count.
+		cap := math.Inf(1)
+		if a.gapN > 0 {
+			cap = 2 * a.gapSum / float64(a.gapN)
+		}
+		best, bestAny := -1, 0
+		for i := 1; i < a.k; i++ {
+			if a.silent[i] < a.silent[bestAny] {
+				bestAny = i
+			}
+		}
+		for i := 0; i < a.k; i++ {
+			if float64(a.silent[i]) < cap && (best < 0 || a.silent[i] < a.silent[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return bestAny // everything frozen: push the least-advanced
+		}
+		return best
+	default:
+		return a.cur
+	}
+}
+
+// AttackOutcome reports one adversarial run's accuracy and cost.
+type AttackOutcome struct {
+	// Errs holds |estimate − n|/(ε·n) at the instants n/2 and n — the
+	// guarantee-test normalization, > 1 means the ε bound is violated.
+	Errs [2]float64
+	// Checks and Violations count the periodic ε-band checkpoints and how
+	// many of them were outside the band.
+	Checks, Violations int
+	// WorstErr is the largest normalized error seen at any checkpoint.
+	WorstErr float64
+	// Words and Messages are the run's total communication.
+	Words, Messages int64
+}
+
+// ViolationRate is Violations/Checks (0 for an empty run).
+func (o AttackOutcome) ViolationRate() float64 {
+	if o.Checks == 0 {
+		return 0
+	}
+	return float64(o.Violations) / float64(o.Checks)
+}
+
+// RunAttack drives an adaptive adversary against a count tracker built
+// from opt: every arrival's site is chosen from the previous Estimate
+// answer, and the estimate is checked against the true count at periodic
+// checkpoints. Deterministic given (opt, strategy, seed). The tracker is
+// closed before returning.
+func RunAttack(opt Options, strategy AttackStrategy, n int, seed uint64) AttackOutcome {
+	tr := NewCountTracker(opt)
+	defer tr.Close()
+	adv := NewAdversary(strategy, opt.K, seed)
+	checkEvery := n / 64
+	if checkEvery < 1 {
+		checkEvery = 1
+	}
+	var out AttackOutcome
+	ans := tr.Estimate()
+	for i := 1; i <= n; i++ {
+		tr.Observe(adv.Next(ans))
+		ans = tr.Estimate()
+		e := math.Abs(ans-float64(i)) / (opt.Epsilon * float64(i))
+		if i == n/2 {
+			out.Errs[0] = e
+		}
+		if i == n {
+			out.Errs[1] = e
+		}
+		if i%checkEvery == 0 {
+			out.Checks++
+			if e > 1 {
+				out.Violations++
+			}
+			if e > out.WorstErr {
+				out.WorstErr = e
+			}
+		}
+	}
+	m := tr.Metrics()
+	out.Words, out.Messages = m.Words, m.Messages
+	return out
+}

@@ -1,0 +1,184 @@
+package disttrack
+
+// The adversarial-robustness suite: statistical pins for the adaptive
+// attack harness (attack.go) and the robust mode (Options.Robust).
+//
+//   - Against the plain randomized tracker, both adaptive strategies must
+//     push the ε-band violation rate far above the protocol's δ = 0.1 —
+//     the attack is required to demonstrably break the oblivious
+//     guarantee (≥ 5× δ), otherwise the defense below is pinned against
+//     a strawman.
+//   - Against Options.Robust, the same attacks must collapse back to the
+//     oblivious failure budget: per-instant violations within the usual
+//     failBudget(seeds, δ), at a bounded constant-factor communication
+//     overhead over the plain oblivious protocol.
+//
+// The configuration (k = 256, n = 20000, ε = 0.1) sits in the regime
+// where the parking bias k·(1/p − 1) ≈ √k·ε_eff·n̄ is several times the
+// ε·n band, so a broken defense fails loudly, not marginally.
+
+import (
+	"testing"
+)
+
+const (
+	attackK     = 256
+	attackN     = 20000
+	attackEps   = 0.1
+	attackDelta = 0.1 // the randomized protocol's per-instant failure budget
+)
+
+func attackSeeds(t *testing.T) int {
+	if testing.Short() {
+		return 12
+	}
+	return 30
+}
+
+func attackOptions(robust bool, seed uint64) Options {
+	return Options{
+		K:         attackK,
+		Epsilon:   attackEps,
+		Algorithm: AlgorithmRandomized,
+		Robust:    robust,
+		Seed:      seed,
+	}
+}
+
+var attackStrategies = []AttackStrategy{AttackBoundaryCamp, AttackThresholdLearn}
+
+// TestAdaptiveAttackBreaksPlainTracker pins the attack's potency: on the
+// non-robust tracker both strategies must hold the answer outside the
+// ±ε·n band at well over 5× the oblivious failure budget. (Empirically
+// the rate is ≈ 0.9 — nearly every checkpoint violated — versus δ = 0.1.)
+func TestAdaptiveAttackBreaksPlainTracker(t *testing.T) {
+	for _, strat := range attackStrategies {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			t.Parallel()
+			seeds := attackSeeds(t)
+			rateSum := 0.0
+			for s := 0; s < seeds; s++ {
+				seed := uint64(1000 + s*7919)
+				out := RunAttack(attackOptions(false, seed), strat, attackN, seed)
+				rateSum += out.ViolationRate()
+			}
+			meanRate := rateSum / float64(seeds)
+			if meanRate < 5*attackDelta {
+				t.Errorf("%v: mean ε-violation rate %.2f under attack; want ≥ %.1f (5×δ) — the attack no longer breaks the plain tracker",
+					strat, meanRate, 5*attackDelta)
+			}
+		})
+	}
+}
+
+// TestRobustModeWithstandsAttack pins the defense: the same adaptive
+// strategies against Options.Robust must leave the answer inside the
+// ε band within the oblivious failure budget δ at both checked instants,
+// and the robust run's communication must stay a small constant factor
+// over the plain oblivious protocol's.
+func TestRobustModeWithstandsAttack(t *testing.T) {
+	// Plain oblivious baseline words at the same configuration, for the
+	// communication-overhead bound.
+	baseWords := meanWordsOpt(attackOptions(false, 0), attackN, 3)
+	for _, strat := range attackStrategies {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			t.Parallel()
+			seeds := attackSeeds(t)
+			var failures [2]int
+			worst := 0.0
+			wordSum := 0.0
+			for s := 0; s < seeds; s++ {
+				seed := uint64(1000 + s*7919)
+				out := RunAttack(attackOptions(true, seed), strat, attackN, seed)
+				for idx, e := range out.Errs {
+					if e > 1 {
+						failures[idx]++
+					}
+				}
+				if out.WorstErr > worst {
+					worst = out.WorstErr
+				}
+				wordSum += float64(out.Words)
+			}
+			budget := failBudget(seeds, attackDelta)
+			for idx, f := range failures {
+				if f > budget {
+					t.Errorf("instant %d: robust mode violated ε in %d of %d attacked seeds (budget %d, worst %.2f×ε·n)",
+						idx, f, seeds, budget, worst)
+				}
+			}
+			// Constant-factor communication: the boosted sampling rate and
+			// the per-round re-randomization together cost ≈ 2.2× here.
+			if ratio := wordSum / float64(seeds) / baseWords; ratio > 4 {
+				t.Errorf("robust attacked run used %.1f× the plain oblivious words; want ≤ 4×", ratio)
+			}
+		})
+	}
+}
+
+// TestRobustOptionValidation pins the facade's rejection of unsupported
+// robust combinations and acceptance of the supported one.
+func TestRobustOptionValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: did not panic", name)
+			}
+		}()
+		f()
+	}
+	base := Options{K: 2, Epsilon: 0.1, Robust: true}
+	for _, tc := range []struct {
+		name  string
+		build func()
+	}{
+		{"robust+deterministic", func() {
+			o := base
+			o.Algorithm = AlgorithmDeterministic
+			NewCountTracker(o)
+		}},
+		{"robust+sampling", func() {
+			o := base
+			o.Algorithm = AlgorithmSampling
+			NewCountTracker(o)
+		}},
+		{"robust+copies", func() {
+			o := base
+			o.Copies = 3
+			NewCountTracker(o)
+		}},
+		{"robust+frequency", func() {
+			NewFrequencyTracker(base)
+		}},
+		{"robust+rank", func() {
+			NewRankTracker(base)
+		}},
+	} {
+		mustPanic(tc.name, tc.build)
+	}
+	tr := NewCountTracker(base) // robust + randomized count: the supported mode
+	tr.Observe(0)
+	tr.Close()
+}
+
+// TestAdversaryDeterminism pins the harness itself: the same strategy,
+// seed, and answer sequence must reproduce the same arrival sequence, so
+// attack pins are replayable.
+func TestAdversaryDeterminism(t *testing.T) {
+	for _, strat := range attackStrategies {
+		a := NewAdversary(strat, 8, 42)
+		b := NewAdversary(strat, 8, 42)
+		ans := 0.0
+		for i := 0; i < 5000; i++ {
+			if a.Next(ans) != b.Next(ans) {
+				t.Fatalf("%v: diverged at step %d", strat, i)
+			}
+			if i%37 == 0 {
+				ans += 1.5 // periodic answer changes exercise noteChange
+			}
+		}
+	}
+}

@@ -119,6 +119,87 @@ func TestChaosEquivalence(t *testing.T) {
 	}
 }
 
+// TestChaosRobustEquivalence pins the robust mode's fault transparency:
+// masked drop/duplicate/reorder faults under the reliability sublayer must
+// leave the robust tracker's released answers bit-identical to a fault-free
+// run on both concurrent transports. The stream runs deep enough that the
+// sampling probability drops below 1, so the round-boundary
+// re-randomization traffic (the defense's extra AdjustMsg frames) also
+// rides through the fault layer.
+func TestChaosRobustEquivalence(t *testing.T) {
+	const robustN = 16000
+	plan := &FaultPlan{Seed: 23, Drop: 0.04, Duplicate: 0.04, Reorder: 0.15}
+	run := func(opt Options) chaosResult {
+		tr := NewCountTracker(opt)
+		defer tr.Close()
+		var res chaosResult
+		for i := 0; i < robustN; i++ {
+			tr.Observe(i % chaosK)
+			if (i+1)%2000 == 0 {
+				res.answers = append(res.answers, tr.Estimate())
+			}
+		}
+		res.answers = append(res.answers, tr.Estimate())
+		res.metrics, res.faults = tr.Metrics(), tr.FaultStats()
+		return res
+	}
+	for _, transport := range []Transport{TransportGoroutine, TransportTCP} {
+		transport := transport
+		t.Run(transport.String(), func(t *testing.T) {
+			t.Parallel()
+			opt := Options{K: chaosK, Epsilon: chaosEps, Seed: chaosSeed,
+				Robust: true, Transport: transport}
+			clean := run(opt)
+			opt.FaultPlan = plan
+			faulted := run(opt)
+
+			for i := range clean.answers {
+				if clean.answers[i] != faulted.answers[i] {
+					t.Errorf("answer %d: fault-free %v, under masked faults %v",
+						i, clean.answers[i], faulted.answers[i])
+				}
+			}
+			if clean.metrics.Arrivals != faulted.metrics.Arrivals {
+				t.Errorf("arrivals: fault-free %d, faulted %d",
+					clean.metrics.Arrivals, faulted.metrics.Arrivals)
+			}
+			f := faulted.faults
+			if f.Dropped == 0 || f.Duplicated == 0 || f.Reordered == 0 {
+				t.Fatalf("fault schedule fired nothing: %+v", f)
+			}
+			if faulted.metrics.Messages <= clean.metrics.Messages {
+				t.Errorf("recovery traffic not charged: messages %d vs %d",
+					faulted.metrics.Messages, clean.metrics.Messages)
+			}
+		})
+	}
+}
+
+// TestChaosRobustAttackKillRejoin runs the adaptive adversary against the
+// robust tracker while a site is killed and later rejoins: the attack and
+// the partition compound, and after the heal the trapped traffic drains and
+// the final released answer must still land within ε of the true count.
+func TestChaosRobustAttackKillRejoin(t *testing.T) {
+	for _, strategy := range []AttackStrategy{AttackBoundaryCamp, AttackThresholdLearn} {
+		strategy := strategy
+		t.Run(strategy.String(), func(t *testing.T) {
+			t.Parallel()
+			opt := Options{K: chaosK, Epsilon: chaosEps, Seed: chaosSeed,
+				Robust: true, Transport: TransportGoroutine,
+				FaultPlan: &FaultPlan{Seed: 5,
+					Kills: []SiteKill{{Site: 2, At: chaosN / 4, RejoinAt: chaosN / 2}}}}
+			out := RunAttack(opt, strategy, chaosN, 77)
+			if out.Errs[1] > 1 {
+				t.Errorf("final error %.3f·ε·n after heal, want within ε despite attack + kill/rejoin",
+					out.Errs[1])
+			}
+			if out.Checks == 0 {
+				t.Fatal("attack run made no checkpoints")
+			}
+		})
+	}
+}
+
 // TestChaosKillRejoin pins the facade-level partition lifecycle: a killed
 // site drops out of Metrics.LiveSites and its traffic is trapped; after
 // the scheduled rejoin the queries recover the ε guarantee over the full

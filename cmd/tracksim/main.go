@@ -47,6 +47,7 @@ import (
 	"disttrack/internal/persist"
 	"disttrack/internal/proto"
 	"disttrack/internal/rank"
+	"disttrack/internal/robust"
 	"disttrack/internal/runtime"
 	"disttrack/internal/runtime/tcp"
 	"disttrack/internal/sample"
@@ -65,6 +66,9 @@ func main() {
 			return
 		case "chaos":
 			chaosMain(os.Args[2:])
+			return
+		case "attack":
+			attackMain(os.Args[2:])
 			return
 		}
 	}
@@ -114,6 +118,8 @@ func singleProcessMain() {
 	transport := flag.String("transport", "sequential", "sequential | goroutine | tcp")
 	concurrent := flag.Bool("concurrent", false, "legacy alias for -transport goroutine")
 	copies := flag.Int("copies", 0, "median-boost copies (randomized algorithms)")
+	robustMode := flag.Bool("robust", false,
+		"adversarially robust count tracking: noised reports + gated releases (count/randomized only)")
 	producers := flag.Int("producers", 0,
 		"feed the stream from N concurrent goroutines via the ingestion frontend (0 = serial)")
 	ingestPolicy := flag.String("ingestpolicy", "block",
@@ -126,6 +132,9 @@ func singleProcessMain() {
 	tr := parseTransport(*transport)
 	if *concurrent && tr == disttrack.TransportSequential {
 		tr = disttrack.TransportGoroutine
+	}
+	if *robustMode && (*problem != "count" || algorithm != disttrack.AlgorithmRandomized || *copies > 0) {
+		fatalf("-robust needs -problem count -alg randomized (and no -copies)")
 	}
 
 	var faultPlan *disttrack.FaultPlan
@@ -166,9 +175,9 @@ func singleProcessMain() {
 	}
 
 	opt := disttrack.Options{K: *k, Epsilon: *eps, Algorithm: algorithm, Seed: *seed,
-		Rescale: *rescale, Transport: tr, Copies: *copies, FaultPlan: faultPlan}
-	fmt.Printf("problem=%s alg=%s k=%d eps=%g n=%d workload=%s transport=%s copies=%d\n",
-		*problem, algorithm, *k, *eps, *n, *wl, tr, *copies)
+		Rescale: *rescale, Transport: tr, Copies: *copies, Robust: *robustMode, FaultPlan: faultPlan}
+	fmt.Printf("problem=%s alg=%s k=%d eps=%g n=%d workload=%s transport=%s copies=%d robust=%t\n",
+		*problem, algorithm, *k, *eps, *n, *wl, tr, *copies, *robustMode)
 	if faultPlan != nil {
 		fmt.Printf("faults: %q\n", *faults)
 	}
@@ -389,6 +398,85 @@ func producerRun(opt disttrack.Options, problem string, n, producers int,
 	}
 }
 
+// attackMain runs the adaptive adversary side by side against the plain
+// randomized count tracker and the robust mode, printing ε-violation rates
+// and cost for both. With -check it exits non-zero unless the attack
+// demonstrably breaks the plain tracker while the robust mode withstands
+// it — the CI smoke for the adversarial-robustness contract.
+//
+//	go run ./cmd/tracksim attack -strategy boundary-camp -k 64 -n 20000
+//	go run ./cmd/tracksim attack -strategy threshold-learn -trials 16 -check
+func attackMain(args []string) {
+	fs := flag.NewFlagSet("attack", flag.ExitOnError)
+	strategyName := fs.String("strategy", "boundary-camp", "boundary-camp | threshold-learn")
+	k := fs.Int("k", 256, "number of sites")
+	eps := fs.Float64("eps", 0.1, "target relative error")
+	delta := fs.Float64("delta", 0.1, "target ε-violation probability")
+	n := fs.Int("n", 20000, "adversarial stream length")
+	trials := fs.Int("trials", 8, "independent trials per mode")
+	seed := fs.Uint64("seed", 1, "base RNG seed (trial t runs with seed+t)")
+	check := fs.Bool("check", false,
+		"exit non-zero unless the attack breaks plain mode (violation rate >= 5δ) while robust mode stays within δ at <= 4x the words")
+	fs.Parse(args)
+
+	var strategy disttrack.AttackStrategy
+	switch *strategyName {
+	case "boundary-camp":
+		strategy = disttrack.AttackBoundaryCamp
+	case "threshold-learn":
+		strategy = disttrack.AttackThresholdLearn
+	default:
+		fatalf("unknown strategy %q", *strategyName)
+	}
+
+	type tally struct {
+		rate, worst float64
+		words       int64
+	}
+	run := func(robustMode bool) tally {
+		var t tally
+		for i := 0; i < *trials; i++ {
+			opt := disttrack.Options{K: *k, Epsilon: *eps, Seed: *seed + uint64(i), Robust: robustMode}
+			out := disttrack.RunAttack(opt, strategy, *n, *seed+uint64(i)^0xa77ac)
+			t.rate += out.ViolationRate()
+			t.worst = math.Max(t.worst, out.WorstErr)
+			t.words += out.Words
+		}
+		t.rate /= float64(*trials)
+		t.words /= int64(*trials)
+		return t
+	}
+
+	fmt.Printf("adaptive adversary: strategy=%s k=%d eps=%g delta=%g n=%d trials=%d\n\n",
+		strategy, *k, *eps, *delta, *n, *trials)
+	plain := run(false)
+	robustT := run(true)
+	ratio := float64(robustT.words) / float64(max(plain.words, 1))
+	fmt.Printf("%8s  %16s  %18s  %10s\n", "mode", "ε-violation rate", "worst err (·ε·n)", "words/run")
+	fmt.Printf("%8s  %16.3f  %18.2f  %10d\n", "plain", plain.rate, plain.worst, plain.words)
+	fmt.Printf("%8s  %16.3f  %18.2f  %10d  (%.2f× plain)\n", "robust", robustT.rate, robustT.worst, robustT.words, ratio)
+
+	if *check {
+		ok := true
+		if plain.rate < 5**delta {
+			fmt.Printf("\nCHECK FAIL: attack did not break plain mode (rate %.3f < 5δ = %.3f)\n", plain.rate, 5**delta)
+			ok = false
+		}
+		if robustT.rate > *delta {
+			fmt.Printf("\nCHECK FAIL: robust mode violated ε more often than δ (rate %.3f > %.3f)\n", robustT.rate, *delta)
+			ok = false
+		}
+		if ratio > 4 {
+			fmt.Printf("\nCHECK FAIL: robust communication overhead %.2f× exceeds the 4× budget\n", ratio)
+			ok = false
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		fmt.Println("\nATTACK CHECK OK")
+	}
+}
+
 // distConfig is the protocol shape shared by serve and connect.
 type distConfig struct {
 	problem string
@@ -396,6 +484,7 @@ type distConfig struct {
 	k       int
 	eps     float64
 	rescale float64
+	robust  bool
 }
 
 func distFlags(fs *flag.FlagSet) *distConfig {
@@ -405,6 +494,8 @@ func distFlags(fs *flag.FlagSet) *distConfig {
 	fs.IntVar(&c.k, "k", 2, "number of site processes")
 	fs.Float64Var(&c.eps, "eps", 0.05, "target relative error")
 	fs.Float64Var(&c.rescale, "rescale", 0, "internal eps rescale (0 = paper default 3)")
+	fs.BoolVar(&c.robust, "robust", false,
+		"adversarially robust count tracking: noised reports + gated releases (count/randomized only)")
 	return c
 }
 
@@ -413,13 +504,28 @@ func distFlags(fs *flag.FlagSet) *distConfig {
 // instead of silently mis-tracking.
 func (c *distConfig) fingerprint() uint64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s/%s/%d/%g/%g", c.problem, c.alg, c.k, c.eps, c.rescale)
+	fmt.Fprintf(h, "%s/%s/%d/%g/%g/%t", c.problem, c.alg, c.k, c.eps, c.rescale, c.robust)
 	return h.Sum64()
+}
+
+// robustConfig maps the shared flags onto the robust protocol's config.
+// The zero Seed is fine for the coordinator role: the release-noise stream
+// only has to be reproducible across a crash-restart of the same process,
+// not secret from the sites.
+func (c *distConfig) robustConfig() robust.Config {
+	if c.problem != "count" || c.alg != "randomized" {
+		fatalf("-robust needs -problem count -alg randomized")
+	}
+	return robust.Config{K: c.k, Eps: c.eps, Rescale: c.rescale}
 }
 
 // coordinator builds the coordinator machine plus a report closure that is
 // safe to run on the serving loop.
 func (c *distConfig) coordinator() (proto.Coordinator, func()) {
+	if c.robust {
+		co := robust.NewCoordinator(c.robustConfig())
+		return co, func() { fmt.Printf("released n̂ = %.0f (round %d)\n", co.Estimate(), co.Round()) }
+	}
 	switch c.problem + "/" + c.alg {
 	case "count/randomized":
 		co := count.NewCoordinator(count.Config{K: c.k, Eps: c.eps, Rescale: c.rescale})
@@ -452,6 +558,9 @@ func (c *distConfig) coordinator() (proto.Coordinator, func()) {
 // site builds one site machine.
 func (c *distConfig) site(seed uint64) proto.Site {
 	rng := stats.New(seed)
+	if c.robust {
+		return robust.NewSite(c.robustConfig(), rng, rng.Split())
+	}
 	switch c.problem + "/" + c.alg {
 	case "count/randomized":
 		return count.NewSite(count.Config{K: c.k, Eps: c.eps, Rescale: c.rescale}, rng)
@@ -721,7 +830,9 @@ func chaosMain(args []string) {
 		sc.ProgressEvery = 1024
 		if *coordKill {
 			sc.AutoReconnect = true
-			sc.RedialAttempts = 400 // 20s at the default 50ms spacing
+			// ~45s of outage budget under the capped exponential backoff
+			// (50ms doubling to the 500ms cap, ±25% jitter).
+			sc.RedialAttempts = 100
 		}
 	}
 	var wg sync.WaitGroup
@@ -834,7 +945,7 @@ func chaosMain(args []string) {
 		fatalf("chaos: only %d rejoins recorded for %d kills", totalRejoins, *kills)
 	}
 	if cfg.problem == "count" && cfg.alg == "randomized" {
-		est := coord.(*count.Coordinator).Estimate()
+		est := coord.(interface{ Estimate() float64 }).Estimate()
 		rel := stats.RelErr(est, float64(truth))
 		fmt.Printf("estimate:   %.0f (rel err %.4f, ε %g)\n", est, rel, cfg.eps)
 		if rel > cfg.eps {

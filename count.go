@@ -3,8 +3,16 @@ package disttrack
 import (
 	"disttrack/internal/count"
 	"disttrack/internal/proto"
+	"disttrack/internal/robust"
 	"disttrack/internal/sample"
 )
+
+// robustConfig maps the facade options onto the robust protocol's config.
+// The seed rides along so a crash-restarted coordinator rebuilds the same
+// release-noise stream (robust.Config.Seed).
+func robustConfig(o Options) robust.Config {
+	return robust.Config{K: o.K, Eps: o.Epsilon, Rescale: o.Rescale, Seed: o.Seed}
+}
 
 // CountTracker continuously tracks n(t), the total number of elements
 // received across all sites (the paper's count-tracking problem, Section 2).
@@ -27,7 +35,11 @@ func NewCountTracker(opt Options) *CountTracker {
 	switch opt.Algorithm {
 	case AlgorithmRandomized:
 		cfg := count.Config{K: opt.K, Eps: opt.Epsilon, Rescale: opt.Rescale}
-		if opt.Copies > 1 {
+		if opt.Robust {
+			p, coord := robust.NewProtocol(robustConfig(opt))
+			t.mountCore(opt, p)
+			t.est = coord.Estimate
+		} else if opt.Copies > 1 {
 			p, coord := count.NewMedianProtocol(cfg, opt.Copies, opt.Seed)
 			t.mountCore(opt, p)
 			t.est = coord.Estimate
@@ -104,7 +116,10 @@ func (t *CountTracker) CrashRestartCoordinator() error {
 	switch t.opt.Algorithm {
 	case AlgorithmRandomized:
 		cfg := count.Config{K: t.opt.K, Eps: t.opt.Epsilon, Rescale: t.opt.Rescale}
-		if t.opt.Copies > 1 {
+		if t.opt.Robust {
+			coord := robust.NewCoordinator(robustConfig(t.opt))
+			fresh, est = coord, coord.Estimate
+		} else if t.opt.Copies > 1 {
 			coord := count.NewMedianCoordinator(cfg, t.opt.Copies)
 			fresh, est = coord, coord.Estimate
 		} else {

@@ -147,6 +147,16 @@ type Options struct {
 	// 0 or 1 means no boosting. Ignored by the deterministic and sampling
 	// algorithms, whose guarantees already hold at all instants.
 	Copies int
+	// Robust switches CountTracker to the adversarially robust variant of
+	// the randomized protocol (internal/robust, after arXiv 2311.00346):
+	// every communicated counter carries calibrated site-side noise and
+	// answers are published through a sparse-vector-style released
+	// estimate, so the ε guarantee survives an adaptive adversary that
+	// chooses arrivals after observing answers (see RunAttack for the
+	// attack this defends against). Communication stays within a constant
+	// factor of the oblivious √k/ε·logN bound. Requires
+	// AlgorithmRandomized and Copies <= 1; only CountTracker supports it.
+	Robust bool
 	// Rescale divides Epsilon inside randomized protocols to sharpen the
 	// success probability at proportional communication cost; 0 means the
 	// paper's constant (3). Set 1 for shape benchmarks where both
@@ -372,6 +382,12 @@ func (o Options) validate() {
 	}
 	if o.Transport < TransportSequential || o.Transport > TransportTCP {
 		panic("disttrack: unknown Options.Transport")
+	}
+	if o.Robust && o.Algorithm != AlgorithmRandomized {
+		panic("disttrack: Options.Robust requires AlgorithmRandomized (the deterministic and sampling baselines have no site-side sampling randomness for the robust mode to protect)")
+	}
+	if o.Robust && o.Copies > 1 {
+		panic("disttrack: Options.Robust is incompatible with Options.Copies > 1 (the robust tracker answers through its own noised release, not a median of copies)")
 	}
 	if o.SpaceProbeEvery < 0 {
 		panic("disttrack: negative Options.SpaceProbeEvery")

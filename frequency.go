@@ -26,6 +26,9 @@ type FrequencyTracker struct {
 // options.
 func NewFrequencyTracker(opt Options) *FrequencyTracker {
 	opt.validate()
+	if opt.Robust {
+		panic("disttrack: Options.Robust is only supported by CountTracker (robust frequency tracking is not implemented)")
+	}
 	t := &FrequencyTracker{opt: opt, k: opt.K}
 	switch opt.Algorithm {
 	case AlgorithmRandomized:

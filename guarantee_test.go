@@ -47,7 +47,12 @@ func failBudget(s int, delta float64) int {
 type guaranteeRun func(t *testing.T, alg Algorithm, seed uint64, k, n int, eps float64) [2]float64
 
 func runCountGuarantee(t *testing.T, alg Algorithm, seed uint64, k, n int, eps float64) [2]float64 {
-	tr := NewCountTracker(Options{K: k, Epsilon: eps, Algorithm: alg, Seed: seed})
+	return runCountGuaranteeOpt(Options{K: k, Epsilon: eps, Algorithm: alg, Seed: seed}, n)
+}
+
+func runCountGuaranteeOpt(opt Options, n int) [2]float64 {
+	k, eps := opt.K, opt.Epsilon
+	tr := NewCountTracker(opt)
 	defer tr.Close()
 	var errs [2]float64
 	for i := 0; i < n; i++ {
@@ -196,26 +201,62 @@ func TestEpsilonDeltaGuarantee(t *testing.T) {
 			})
 		}
 	}
+	// The robust mode's oblivious row: on a non-adversarial stream
+	// Options.Robust must keep the randomized δ = 0.1 guarantee. It gets
+	// its own k and n so the run reaches the p < 1 sampled regime (the
+	// boosted sampling rate keeps p = 1 exact until n̄ > 12·√k/(ε·ε_eff)).
+	t.Run("count/robust", func(t *testing.T) {
+		t.Parallel()
+		var failures [2]int
+		worst := 0.0
+		for s := 0; s < seeds; s++ {
+			opt := Options{K: 64, Epsilon: eps, Algorithm: AlgorithmRandomized,
+				Robust: true, Seed: uint64(1000 + s*7919)}
+			errs := runCountGuaranteeOpt(opt, 8000)
+			for idx, e := range errs {
+				if e > 1 {
+					failures[idx]++
+				}
+				if e > worst {
+					worst = e
+				}
+			}
+		}
+		budget := failBudget(seeds, 0.1)
+		for idx, f := range failures {
+			if f > budget {
+				t.Errorf("instant %d: robust ε bound violated in %d of %d seeds (budget %d, worst %.2f×ε·n)",
+					idx, f, seeds, budget, worst)
+			}
+		}
+	})
 }
 
-// words runs one seeded count stream and returns the total communication.
-func wordsFor(alg Algorithm, k, n int, eps float64, seed uint64) float64 {
-	tr := NewCountTracker(Options{K: k, Epsilon: eps, Algorithm: alg, Seed: seed})
+// wordsForOpt runs one seeded count stream over opt and returns the total
+// communication.
+func wordsForOpt(opt Options, n int, seed uint64) float64 {
+	opt.Seed = seed
+	tr := NewCountTracker(opt)
 	defer tr.Close()
-	per := n / k
-	for s := 0; s < k; s++ {
+	per := n / opt.K
+	for s := 0; s < opt.K; s++ {
 		tr.ObserveBatch(s, per)
 	}
 	return float64(tr.Metrics().Words)
 }
 
-// meanWords averages words over a few seeds.
-func meanWords(alg Algorithm, k, n int, eps float64, seeds int) float64 {
+// meanWordsOpt averages wordsForOpt over a few seeds.
+func meanWordsOpt(opt Options, n int, seeds int) float64 {
 	sum := 0.0
 	for s := 0; s < seeds; s++ {
-		sum += wordsFor(alg, k, n, eps, uint64(31+s))
+		sum += wordsForOpt(opt, n, uint64(31+s))
 	}
 	return sum / float64(seeds)
+}
+
+// meanWords averages words over a few seeds for a plain algorithm config.
+func meanWords(alg Algorithm, k, n int, eps float64, seeds int) float64 {
+	return meanWordsOpt(Options{K: k, Epsilon: eps, Algorithm: alg}, n, seeds)
 }
 
 // logFit least-squares-fits y ≈ a + b·log2(x) and returns the slope b and
@@ -277,6 +318,29 @@ func TestCommunicationScalesLogarithmicallyInN(t *testing.T) {
 			}
 		})
 	}
+	t.Run("robust", func(t *testing.T) {
+		t.Parallel()
+		// The robust mode pays an exact (p = 1, every arrival reported)
+		// prefix until n̄ > 12·√k/(ε·ε_eff) ≈ 3600 at this configuration,
+		// so the log-N shape is asserted from beyond that threshold.
+		rns := []int{4000, 16000, 64000, 256000}
+		opt := Options{K: k, Epsilon: eps, Algorithm: AlgorithmRandomized, Robust: true}
+		ys := make([]float64, len(rns))
+		for i, n := range rns {
+			ys[i] = meanWordsOpt(opt, n, runs)
+		}
+		slope, r2 := logFit(rns, ys)
+		if slope <= 0 {
+			t.Errorf("robust communication does not grow with log N: slope %.1f (words %v)", slope, ys)
+		}
+		if r2 < 0.7 {
+			t.Errorf("robust: poor log-N fit: R² = %.3f (words %v over N %v)", r2, ys, rns)
+		}
+		// N grew 64×; O(log N) growth is small past the exact prefix.
+		if ratio := ys[len(ys)-1] / ys[0]; ratio > 12 {
+			t.Errorf("robust communication grew %.1f× while N grew 64×; not O(log N) (words %v)", ratio, ys)
+		}
+	})
 }
 
 // TestCommunicationScalesInKAndEpsilon pins the k and 1/ε shapes: the
@@ -304,6 +368,15 @@ func TestCommunicationScalesInKAndEpsilon(t *testing.T) {
 		if rnd > 12 {
 			t.Errorf("randomized words grew %.1f× for 16× more sites; want ~√k (generous ≤12×)", rnd)
 		}
+		// The robust mode's report traffic is k-independent by design (the
+		// sampling boost scales with √k, so reports stay ≈ 12/(ε·ε_eff) per
+		// round) and only the per-round broadcast grows with k — strictly
+		// sublinear overall.
+		rob := meanWordsOpt(Options{K: hi, Epsilon: eps, Algorithm: AlgorithmRandomized, Robust: true}, n, runs) /
+			meanWordsOpt(Options{K: lo, Epsilon: eps, Algorithm: AlgorithmRandomized, Robust: true}, n, runs)
+		if rob > 12 {
+			t.Errorf("robust words grew %.1f× for 16× more sites; want sublinear (generous ≤12×)", rob)
+		}
 	})
 	t.Run("epsilon", func(t *testing.T) {
 		t.Parallel()
@@ -314,6 +387,16 @@ func TestCommunicationScalesInKAndEpsilon(t *testing.T) {
 			if ratio < 1.5 || ratio > 16 {
 				t.Errorf("%v: words grew %.1f× for 4× smaller ε; want ~linear in 1/ε (generous 1.5–16×)", alg, ratio)
 			}
+		}
+		// The robust mode's ε-dependence is ~1/ε² asymptotically (the
+		// sampling boost scales with ε·ε_eff); at this n the smaller ε
+		// mostly extends the exact p = 1 prefix, so the bounds are loose.
+		robOpt := func(e float64) Options {
+			return Options{K: k, Epsilon: e, Algorithm: AlgorithmRandomized, Robust: true}
+		}
+		ratio := meanWordsOpt(robOpt(eps/4), n, runs) / meanWordsOpt(robOpt(eps), n, runs)
+		if ratio < 1.2 || ratio > 40 {
+			t.Errorf("robust: words grew %.1f× for 4× smaller ε; want growth in 1/ε (generous 1.2–40×)", ratio)
 		}
 	})
 }

@@ -1,0 +1,468 @@
+// Package robust implements an adversarially robust mode for the
+// randomized count-tracking protocol, after Xiong, Zhu, Huang & Yi,
+// "Adversarially Robust Distributed Count Tracking via Partial
+// Differential Privacy" (arXiv 2311.00346).
+//
+// The threat model: an adaptive adversary chooses each arrival's site
+// after observing the coordinator's answers. Against the plain randomized
+// protocol (internal/count) this is fatal — any change in the answer
+// reveals that a site just reported, so the adversary can park every site
+// exactly at its last-reported value (n_i = n̄_i), turning the unbiased
+// −1 + 1/p correction into a systematic Θ(k/p) = Θ(√k·ε·n̄) overestimate
+// that holds at *every* instant, not with probability δ.
+//
+// The defense keeps the paper's unbiased skip-sampling core (which carries
+// the √k/ε·logN communication bound) and protects the part of the sites'
+// randomness that answers would otherwise expose:
+//
+//   - every communicated counter is perturbed site-side with two-sided
+//     geometric noise calibrated to the sampling probability (scale
+//     (1/p − 1)/2, the magnitude of the information an exposed report
+//     leaks), drawn from a dedicated seeded per-site RNG — so observing
+//     the answer no longer pins a site's true counter to its report;
+//   - the coordinator answers through a sparse-vector-style released
+//     estimate: the raw noised estimator is compared against a noised
+//     release gate, and the published answer moves only when the raw
+//     value has drifted past the gate — so answer *timing* carries only
+//     coarse, noise-masked information about which site reported when.
+//
+// Queries are pure reads of the released value: they draw no randomness
+// and mutate nothing, so the coordinator remains a deterministic function
+// of its delivered message sequence (the WAL/snapshot durability
+// contract) and the adversary gains nothing by querying more often.
+//
+// Communication is unchanged in cadence and word count — noise rides the
+// reports the base protocol was sending anyway — so the robust mode costs
+// a constant factor over the oblivious bound.
+package robust
+
+import (
+	"math"
+
+	"disttrack/internal/count"
+	"disttrack/internal/proto"
+	"disttrack/internal/rounds"
+	"disttrack/internal/stats"
+)
+
+// ReportMsg is a site's noised counter report: the base protocol's
+// UpdateMsg value plus calibrated two-sided geometric noise (1 word).
+type ReportMsg struct {
+	N int64
+}
+
+// Words implements proto.Message.
+func (ReportMsg) Words() int { return 1 }
+
+// AdjustMsg is a site's noised re-randomized n̄_i after a round boundary
+// (1 word). Zero keeps the base protocol's "no surviving update" meaning
+// and is therefore never noised.
+type AdjustMsg struct {
+	NBar int64
+}
+
+// Words implements proto.Message.
+func (AdjustMsg) Words() int { return 1 }
+
+// Config carries the robust protocol's parameters. K, Eps, and Rescale
+// have the base protocol's meaning (count.Config); Seed additionally
+// derives the coordinator's release-noise stream, so a coordinator
+// rebuilt from the same Config (crash-restart recovery) replays noise
+// bit-identically.
+type Config struct {
+	K       int
+	Eps     float64
+	Rescale float64
+	Seed    uint64
+}
+
+func (c Config) validate() {
+	if c.K <= 0 {
+		panic("robust: K must be positive")
+	}
+	if c.Eps <= 0 || c.Eps >= 1 {
+		panic("robust: Eps out of (0,1)")
+	}
+	if c.Rescale < 0 {
+		panic("robust: negative Rescale")
+	}
+}
+
+func (c Config) count() count.Config {
+	// The inner machine runs the base skip-sampling at the boosted rate;
+	// its built-in round-boundary adjustment is disabled because the
+	// robust site replaces it with a full re-randomization (see
+	// Site.Receive) — the thinning adjustment preserves adversary-planted
+	// report state in expectation, a full redraw forgets it.
+	return count.Config{K: c.K, Eps: c.sampleEps(), Rescale: 1, DisableAdjustment: true}
+}
+
+// effEps mirrors count.Config: the internal (rescaled) error parameter.
+func (c Config) effEps() float64 {
+	r := c.Rescale
+	if r == 0 {
+		r = 3
+	}
+	return c.Eps / r
+}
+
+// sampleEps returns the sampling-schedule error parameter: the base
+// protocol's ε_eff, tightened by min(1, ε·√k/12) in the small-√k·ε regime.
+// The tightening caps the adaptive adversary's remaining leverage: each
+// answer release lets it park at most one site at its report boundary
+// (bias ≈ 1/p per park, with ≈ 1/ε_eff parks available per round), so the
+// accumulated parking bias is ≈ (ε_s/ε_eff)·n̄/√k — the boost keeps that
+// below the ε band. Communication rises by the same constant factor (the
+// reports stay O(√k/ε_s) per round, preserving the logN shape).
+func (c Config) sampleEps() float64 {
+	e := c.effEps()
+	if boost := c.Eps * math.Sqrt(float64(c.K)) / 12; boost < 1 {
+		return e * boost
+	}
+	return e
+}
+
+// coordSeed keeps the coordinator's noise stream distinct from the site
+// RNG tree rooted at Seed.
+func (c Config) coordSeed() uint64 {
+	return c.Seed ^ 0x726f62757374 // "robust"
+}
+
+// noiseScale is the per-report noise calibration: (1/p − 1)/2, half the
+// expected gap a report's −1 + 1/p correction spans. At p = 1 every
+// arrival is reported exactly and there is no hidden randomness to
+// protect, so reports stay exact.
+func noiseScale(p float64) float64 {
+	if p >= 1 {
+		return 0
+	}
+	return (1/p - 1) / 2
+}
+
+// Site wraps the base protocol's site machine (internal/count.Site),
+// perturbing every outbound counter with calibrated noise from a
+// dedicated seeded RNG. Round traffic (doubling reports, broadcasts)
+// passes through untouched — it carries only the constant-factor n̄
+// tracking, which the robustness analysis treats as public.
+type Site struct {
+	cfg   Config
+	inner *count.Site
+	noise *stats.RNG
+	live  bool                // whether the coordinator holds a report of ours
+	cur   func(proto.Message) // the out of the call in progress
+	fwd   func(proto.Message) // prebuilt interceptor, no per-call closure
+}
+
+// NewSite returns a robust site: rng drives the base protocol's
+// skip-sampling, noise the report perturbation.
+func NewSite(cfg Config, rng, noise *stats.RNG) *Site {
+	cfg.validate()
+	s := &Site{cfg: cfg, inner: count.NewSite(cfg.count(), rng), noise: noise}
+	s.fwd = func(m proto.Message) {
+		switch msg := m.(type) {
+		case count.UpdateMsg:
+			s.live = true
+			s.cur(ReportMsg{N: msg.N + s.draw()})
+		case count.AdjustMsg:
+			if msg.NBar == 0 {
+				// "Treat as if no update was ever sent" must survive
+				// exactly; a noised zero would re-create a phantom update.
+				s.live = false
+				s.cur(AdjustMsg{})
+				return
+			}
+			s.live = true
+			s.cur(AdjustMsg{NBar: msg.NBar + s.draw()})
+		default:
+			s.cur(m)
+		}
+	}
+	return s
+}
+
+func (s *Site) draw() int64 {
+	return s.noise.TwoSidedGeometric(noiseScale(s.inner.P()))
+}
+
+// Arrive implements proto.Site.
+func (s *Site) Arrive(item int64, value float64, out func(proto.Message)) {
+	s.cur = out
+	s.inner.Arrive(item, value, s.fwd)
+	s.cur = nil
+}
+
+// ArriveBatch implements proto.BatchSite via the inner site's closed-form
+// gap skipping.
+func (s *Site) ArriveBatch(item int64, value float64, n int64, out func(proto.Message)) int64 {
+	s.cur = out
+	done := s.inner.ArriveBatch(item, value, n, s.fwd)
+	s.cur = nil
+	return done
+}
+
+// Receive implements proto.Site. When a round broadcast halves p, the
+// site performs a full re-randomization instead of the base protocol's
+// thinning adjustment: it redraws its report completely at the new p,
+// independent of the old one. The marginal law is the same ("as if it had
+// always been running at the new p": the last success among n_i fresh
+// Bernoulli(p) trials), but an adaptive adversary that parked this site
+// at a report boundary loses its plant — the thinning adjustment would
+// have preserved the planted bias in expectation across rounds.
+func (s *Site) Receive(m proto.Message, out func(proto.Message)) {
+	pOld := s.inner.P()
+	s.cur = out
+	s.inner.Receive(m, s.fwd)
+	if s.inner.P() < pOld {
+		s.rerandomize(out)
+	}
+	s.cur = nil
+}
+
+// rerandomize redraws the site's report at the current p: the new n̄_i is
+// n_i minus a fresh Geometric(p) trailing-failure gap, or no report at
+// all when every one of the n_i positions fails (v ≤ 0 ⟺ gap ≥ n_i, the
+// exact truncation). One message per site per halving — the same order as
+// the round broadcast that triggered it, so a constant-factor cost.
+func (s *Site) rerandomize(out func(proto.Message)) {
+	n := s.inner.LocalN()
+	v := int64(0)
+	if n > 0 {
+		v = n - s.noise.SkipGeometric(s.inner.P())
+	}
+	if v <= 0 {
+		if s.live {
+			s.live = false
+			out(AdjustMsg{})
+		}
+		return
+	}
+	s.live = true
+	out(AdjustMsg{NBar: v + s.draw()})
+}
+
+// SpaceWords implements proto.Site: the inner machine plus the noise RNG.
+func (s *Site) SpaceWords() int { return s.inner.SpaceWords() + 1 }
+
+// P exposes the current sampling probability (tests).
+func (s *Site) P() float64 { return s.inner.P() }
+
+// LocalN returns the site's true local count (test oracle).
+func (s *Site) LocalN() int64 { return s.inner.LocalN() }
+
+// Snapshot-record keys; 40+ is this package's reserved range (rounds owns
+// 1–2, freq 10+, rank 20+, sample 30+).
+const (
+	stateMeta = 40 // A = release-RNG state word, F = released answer
+	stateGate = 41 // F = current noised release gate
+)
+
+// Coordinator is the robust central machine: the base estimator over
+// noised per-site values, published through a sparse-vector-style
+// released answer. All release randomness is drawn inside Receive, never
+// on the query path.
+type Coordinator struct {
+	cfg   Config
+	rc    *rounds.Coordinator
+	vals  []int64 // last (noised) reported value per site
+	seen  []bool  // whether site i has a live report
+	sum   int64   // Σ vals over seen sites, maintained incrementally
+	nSeen int
+	p     float64
+	rng   *stats.RNG // release/gate noise; advanced only in Receive
+	// released is the answer Estimate serves; it trails the raw estimator
+	// by at most one release gate (≤ ε_eff·n̄/2 + release noise).
+	released float64
+	gate     float64 // current noised release threshold on |raw − released|
+}
+
+// NewCoordinator returns the robust coordinator. Equal Configs produce
+// coordinators with bit-identical noise streams.
+func NewCoordinator(cfg Config) *Coordinator {
+	cfg.validate()
+	c := &Coordinator{
+		cfg:  cfg,
+		rc:   rounds.NewCoordinator(cfg.K),
+		vals: make([]int64, cfg.K),
+		seen: make([]bool, cfg.K),
+		p:    1,
+		rng:  stats.New(cfg.coordSeed()),
+	}
+	c.gate = c.drawGate()
+	return c
+}
+
+// gap is the release granularity: half the per-instant error budget at
+// the current n̄, floored at 1 so the exact early regime still releases.
+func (c *Coordinator) gap() float64 {
+	g := c.cfg.effEps() * float64(c.rc.NBar()) / 2
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// drawGate draws the next noised release threshold: centered at half the
+// gap, Laplace-perturbed so the adversary cannot learn the exact trigger
+// point, and clamped to [gap/4, gap] so the released answer's staleness
+// stays deterministically bounded by one gap.
+func (c *Coordinator) drawGate() float64 {
+	g := c.gap()
+	t := g/2 + c.rng.Laplace(g/8)
+	if t < g/4 {
+		t = g / 4
+	}
+	if t > g {
+		t = g
+	}
+	return t
+}
+
+// raw is the base estimator over the noised reports:
+// Σ_{seen}(vals_i − 1 + 1/p).
+func (c *Coordinator) raw() float64 {
+	return float64(c.sum) + float64(c.nSeen)*(1/c.p-1)
+}
+
+func (c *Coordinator) set(from int, v int64) {
+	if from < 0 || from >= len(c.vals) {
+		return
+	}
+	if c.seen[from] {
+		c.sum -= c.vals[from]
+	} else {
+		c.seen[from] = true
+		c.nSeen++
+	}
+	c.vals[from] = v
+	c.sum += v
+}
+
+func (c *Coordinator) clear(from int) {
+	if from < 0 || from >= len(c.vals) || !c.seen[from] {
+		return
+	}
+	c.sum -= c.vals[from]
+	c.vals[from] = 0
+	c.seen[from] = false
+	c.nSeen--
+}
+
+// Receive implements proto.Coordinator.
+func (c *Coordinator) Receive(from int, m proto.Message, send func(int, proto.Message), broadcast func(proto.Message)) {
+	if c.rc.Deliver(from, m, broadcast) {
+		c.p = rounds.P(c.rc.NBar(), c.cfg.K, c.cfg.sampleEps())
+		c.maybeRelease()
+		return
+	}
+	switch msg := m.(type) {
+	case ReportMsg:
+		c.set(from, msg.N)
+	case AdjustMsg:
+		if msg.NBar == 0 {
+			c.clear(from)
+		} else {
+			c.set(from, msg.NBar)
+		}
+	default:
+		return // round traffic already consumed, or foreign message
+	}
+	c.maybeRelease()
+}
+
+// maybeRelease is the sparse-vector step: publish a fresh answer only
+// when the raw estimator has drifted past the current noised gate, then
+// redraw the gate. The published value itself carries clamped Laplace
+// noise so a release does not expose the raw estimator exactly.
+func (c *Coordinator) maybeRelease() {
+	raw := c.raw()
+	d := raw - c.released
+	if d < 0 {
+		d = -d
+	}
+	if d <= c.gate {
+		return
+	}
+	g := c.gap()
+	noise := c.rng.Laplace(g / 8)
+	if noise > g/2 {
+		noise = g / 2
+	}
+	if noise < -g/2 {
+		noise = -g / 2
+	}
+	c.released = raw + noise
+	c.gate = c.drawGate()
+}
+
+// Estimate returns the released answer: a pure read, no randomness
+// consumed, nothing mutated.
+func (c *Coordinator) Estimate() float64 { return c.released }
+
+// Raw exposes the unreleased noised estimator (test oracle).
+func (c *Coordinator) Raw() float64 { return c.raw() }
+
+// P exposes the coordinator's current sampling probability.
+func (c *Coordinator) P() float64 { return c.p }
+
+// Round returns the current round number.
+func (c *Coordinator) Round() int { return c.rc.Round() }
+
+// Resync implements proto.Resyncer: a rejoining site learns the current
+// round (and with it the sampling probability) immediately.
+func (c *Coordinator) Resync(emit func(proto.Message)) { c.rc.Resync(emit) }
+
+// SnapshotState implements proto.Snapshotter: the round component's
+// records, the release state (answer, gate, RNG position), then each live
+// report as the protocol's own ReportMsg.
+func (c *Coordinator) SnapshotState(emit func(from int, m proto.Message)) {
+	c.rc.SnapshotState(emit)
+	emit(-1, proto.StateMsg{Key: stateMeta, A: int64(c.rng.State()), F: c.released})
+	emit(-1, proto.StateMsg{Key: stateGate, F: c.gate})
+	for i, v := range c.vals {
+		if c.seen[i] {
+			emit(i, ReportMsg{N: v})
+		}
+	}
+}
+
+// RestoreState implements proto.Snapshotter: a pure state write — no
+// releases fire and no noise is drawn during restore, so recovery replays
+// bit-identically.
+func (c *Coordinator) RestoreState(from int, m proto.Message) {
+	if c.rc.RestoreState(from, m) {
+		c.p = rounds.P(c.rc.NBar(), c.cfg.K, c.cfg.sampleEps())
+		return
+	}
+	switch msg := m.(type) {
+	case proto.StateMsg:
+		switch msg.Key {
+		case stateMeta:
+			c.rng.Restore(uint64(msg.A))
+			c.released = msg.F
+		case stateGate:
+			c.gate = msg.F
+		}
+	case ReportMsg:
+		c.set(from, msg.N)
+	}
+}
+
+// SpaceWords implements proto.Coordinator: O(k) words.
+func (c *Coordinator) SpaceWords() int {
+	return c.rc.SpaceWords() + 2*len(c.vals) + 5
+}
+
+// NewProtocol assembles the robust protocol: per-site sampling and noise
+// RNGs split from cfg.Seed, the coordinator's release stream derived from
+// it independently.
+func NewProtocol(cfg Config) (proto.Protocol, *Coordinator) {
+	cfg.validate()
+	root := stats.New(cfg.Seed)
+	coord := NewCoordinator(cfg)
+	sites := make([]proto.Site, cfg.K)
+	for i := range sites {
+		rng := root.Split()
+		sites[i] = NewSite(cfg, rng, root.Split())
+	}
+	return proto.Protocol{Coord: coord, Sites: sites}, coord
+}

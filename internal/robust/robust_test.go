@@ -1,0 +1,232 @@
+package robust
+
+import (
+	"math"
+	"testing"
+
+	"disttrack/internal/count"
+	"disttrack/internal/proto"
+	"disttrack/internal/rounds"
+	"disttrack/internal/sim"
+	"disttrack/internal/stats"
+	"disttrack/internal/workload"
+)
+
+func TestRobustTracksObliviousStream(t *testing.T) {
+	// On an oblivious stream the robust mode must keep the base protocol's
+	// coverage: the released answer within the ε band at ~90% of instants
+	// (default rescale). The release gate and the report noise both live
+	// inside the ε_eff budget, so coverage should not degrade.
+	const k = 16
+	const eps = 0.1
+	const n = 40000
+	cfg := Config{K: k, Eps: eps, Seed: 42}
+	events := workload.Config{N: n, Placement: workload.RoundRobin(k)}.Events()
+	p, coord := NewProtocol(cfg)
+	h := sim.New(p)
+	bad := 0
+	h.Run(events, func(arrived int64) {
+		if stats.RelErr(coord.Estimate(), float64(arrived)) > eps {
+			bad++
+		}
+	})
+	if frac := float64(bad) / n; frac > 0.10 {
+		t.Errorf("%.1f%% of instants outside eps-band (budget 10%%)", 100*frac)
+	}
+}
+
+func TestReportsCarryNoise(t *testing.T) {
+	// Once p < 1, a robust site's reports must differ from the base
+	// protocol's: same sampling RNG, same arrivals, same broadcast — the
+	// only divergence is the calibrated two-sided geometric perturbation.
+	cfg := Config{K: 4, Eps: 0.1, Rescale: 1, Seed: 9}
+	rs := NewSite(cfg, stats.New(77), stats.New(88))
+	bs := count.NewSite(cfg.count(), stats.New(77))
+
+	// Drive both into the p < 1 regime with the same round broadcast.
+	bcast := rounds.BroadcastMsg{NBar: 10000} // p = 1/⌊ε_s·10000/2⌋₂ = 1/8
+	var robustOut, baseOut []int64
+	rs.Receive(bcast, func(m proto.Message) {
+		if r, ok := m.(ReportMsg); ok {
+			robustOut = append(robustOut, r.N)
+		}
+	})
+	bs.Receive(bcast, func(m proto.Message) {
+		if u, ok := m.(count.UpdateMsg); ok {
+			baseOut = append(baseOut, u.N)
+		}
+	})
+	if rs.P() >= 1 || rs.P() != bs.P() {
+		t.Fatalf("site p = %v (base %v), want equal and < 1", rs.P(), bs.P())
+	}
+	for i := 0; i < 200000; i++ {
+		rs.Arrive(0, 0, func(m proto.Message) {
+			if r, ok := m.(ReportMsg); ok {
+				robustOut = append(robustOut, r.N)
+			}
+		})
+		bs.Arrive(0, 0, func(m proto.Message) {
+			if u, ok := m.(count.UpdateMsg); ok {
+				baseOut = append(baseOut, u.N)
+			}
+		})
+	}
+	if len(robustOut) != len(baseOut) {
+		t.Fatalf("report cadence diverged: %d robust vs %d base reports", len(robustOut), len(baseOut))
+	}
+	if len(robustOut) == 0 {
+		t.Fatal("no reports emitted; test not exercising the noise path")
+	}
+	perturbed := 0
+	var noiseSum float64
+	for i := range robustOut {
+		d := robustOut[i] - baseOut[i]
+		if d != 0 {
+			perturbed++
+		}
+		noiseSum += float64(d)
+	}
+	if perturbed == 0 {
+		t.Fatal("no report was perturbed; noise is not being applied")
+	}
+	// Noise is mean-zero: the average perturbation over many reports must
+	// be small relative to its scale (1/p − 1)/2.
+	scale := noiseScale(rs.P())
+	if mean := noiseSum / float64(len(robustOut)); math.Abs(mean) > scale {
+		t.Errorf("mean perturbation %v too large for scale %v", mean, scale)
+	}
+}
+
+func TestReleaseStalenessBounded(t *testing.T) {
+	// The released answer may trail the raw noised estimator, but never by
+	// more than one release gap (the gate is clamped to [gap/4, gap]).
+	const k = 8
+	cfg := Config{K: k, Eps: 0.1, Seed: 3}
+	events := workload.Config{N: 30000, Placement: workload.RoundRobin(k)}.Events()
+	p, coord := NewProtocol(cfg)
+	h := sim.New(p)
+	h.Run(events, func(arrived int64) {
+		lag := math.Abs(coord.Raw() - coord.Estimate())
+		if gap := coord.gap(); lag > gap+1e-9 {
+			t.Fatalf("at n=%d release lag %v exceeds gap %v", arrived, lag, gap)
+		}
+	})
+}
+
+func TestEstimateIsPureRead(t *testing.T) {
+	// Queries must not consume randomness or mutate state: a run queried at
+	// every arrival ends bit-identical to one queried only at the end.
+	const k = 6
+	cfg := Config{K: k, Eps: 0.05, Seed: 17}
+	events := workload.Config{N: 20000, Placement: workload.RoundRobin(k)}.Events()
+
+	pa, ca := NewProtocol(cfg)
+	ha := sim.New(pa)
+	ha.Run(events, func(int64) { _ = ca.Estimate(); _ = ca.Estimate() })
+
+	pb, cb := NewProtocol(cfg)
+	hb := sim.New(pb)
+	hb.Run(events, nil)
+
+	if ca.Estimate() != cb.Estimate() {
+		t.Errorf("query-heavy run diverged: %v vs %v", ca.Estimate(), cb.Estimate())
+	}
+	if ca.rng.State() != cb.rng.State() {
+		t.Error("query-heavy run advanced the release RNG")
+	}
+	if am, bm := ha.Metrics(), hb.Metrics(); am != bm {
+		t.Errorf("metrics diverged: %+v vs %+v", am, bm)
+	}
+}
+
+// noop send/broadcast for hand-fed coordinator messages.
+func noSend(int, proto.Message) {}
+func noCast(proto.Message)      {}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	// Snapshot/restore must reproduce the coordinator exactly — including
+	// the release RNG position — so the restored coordinator's future
+	// releases replay bit-identically.
+	const k = 5
+	cfg := Config{K: k, Eps: 0.1, Seed: 23}
+	events := workload.Config{N: 15000, Placement: workload.RoundRobin(k)}.Events()
+	p, coord := NewProtocol(cfg)
+	h := sim.New(p)
+	h.Run(events, nil)
+
+	restored := NewCoordinator(cfg)
+	// Scramble the fresh coordinator's RNG so the test fails if the
+	// snapshot does not carry the stream position.
+	restored.rng.Uint64()
+	coord.SnapshotState(func(from int, m proto.Message) {
+		restored.RestoreState(from, m)
+	})
+
+	if restored.Estimate() != coord.Estimate() {
+		t.Fatalf("restored estimate %v != %v", restored.Estimate(), coord.Estimate())
+	}
+	if restored.Raw() != coord.Raw() {
+		t.Fatalf("restored raw %v != %v", restored.Raw(), coord.Raw())
+	}
+	if restored.P() != coord.P() || restored.Round() != coord.Round() {
+		t.Fatalf("restored round state (p=%v round=%d) != (p=%v round=%d)",
+			restored.P(), restored.Round(), coord.P(), coord.Round())
+	}
+	if restored.gate != coord.gate || restored.rng.State() != coord.rng.State() {
+		t.Fatal("restored release state (gate/RNG) differs")
+	}
+
+	// Feed both coordinators the same future messages (reports that force
+	// releases, plus a round report) and require identical answers — the
+	// restored release noise stream must match draw for draw.
+	base := coord.vals[0]
+	for i := 1; i <= 50; i++ {
+		m := ReportMsg{N: base + int64(i*500)}
+		coord.Receive(0, m, noSend, noCast)
+		restored.Receive(0, m, noSend, noCast)
+		if coord.Estimate() != restored.Estimate() {
+			t.Fatalf("step %d: restored coordinator diverged: %v vs %v",
+				i, restored.Estimate(), coord.Estimate())
+		}
+	}
+}
+
+func TestAdjustCancellationClearsSite(t *testing.T) {
+	// An inner AdjustMsg with NBar = 0 ("no surviving update") must pass
+	// through unnoised and clear the coordinator's per-site state, exactly
+	// like the base protocol treats it.
+	cfg := Config{K: 3, Eps: 0.1, Seed: 1}
+	c := NewCoordinator(cfg)
+	c.Receive(1, ReportMsg{N: 100}, noSend, noCast)
+	if c.nSeen != 1 || c.sum != 100 {
+		t.Fatalf("after report: nSeen=%d sum=%d", c.nSeen, c.sum)
+	}
+	c.Receive(1, AdjustMsg{}, noSend, noCast)
+	if c.nSeen != 0 || c.sum != 0 || c.seen[1] {
+		t.Fatalf("after zero adjust: nSeen=%d sum=%d seen=%v", c.nSeen, c.sum, c.seen[1])
+	}
+	// Out-of-range senders are dropped, not indexed.
+	c.Receive(-1, ReportMsg{N: 5}, noSend, noCast)
+	c.Receive(99, ReportMsg{N: 5}, noSend, noCast)
+	if c.nSeen != 0 {
+		t.Fatal("out-of-range report mutated state")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"zero K":      {K: 0, Eps: 0.1},
+		"eps zero":    {K: 2, Eps: 0},
+		"eps one":     {K: 2, Eps: 1},
+		"neg rescale": {K: 2, Eps: 0.1, Rescale: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewCoordinator did not panic", name)
+				}
+			}()
+			NewCoordinator(cfg)
+		}()
+	}
+}

@@ -1,0 +1,68 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRedialDelaySchedule pins the deterministic backoff shape: with the
+// jitter draw at its midpoint (factor exactly 1.0) the schedule doubles
+// from the base and parks at the cap.
+func TestRedialDelaySchedule(t *testing.T) {
+	const base, max = 50 * time.Millisecond, 500 * time.Millisecond
+	want := []time.Duration{
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		500 * time.Millisecond, // 800ms clamped to the cap
+		500 * time.Millisecond, // parked
+		500 * time.Millisecond,
+	}
+	for try, w := range want {
+		if got := redialDelay(base, max, try, 0.5); got != w {
+			t.Errorf("try %d: delay %v, want %v", try, got, w)
+		}
+	}
+}
+
+func TestRedialDelayJitterBounds(t *testing.T) {
+	const base, max = 50 * time.Millisecond, 500 * time.Millisecond
+	for try := 0; try < 8; try++ {
+		raw := redialDelay(base, max, try, 0.5)
+		lo := redialDelay(base, max, try, 0)
+		hi := redialDelay(base, max, try, 1-1e-12)
+		if lo != time.Duration(0.75*float64(raw)) {
+			t.Errorf("try %d: jitter floor %v, want 0.75×%v", try, lo, raw)
+		}
+		if hi < raw || hi >= time.Duration(1.25*float64(raw))+1 {
+			t.Errorf("try %d: jitter ceiling %v outside [%v, 1.25×%v)", try, hi, raw, raw)
+		}
+	}
+}
+
+func TestRedialDelayEdgeCases(t *testing.T) {
+	if d := redialDelay(0, time.Second, 3, 0.5); d != 0 {
+		t.Errorf("zero base: delay %v, want 0", d)
+	}
+	if d := redialDelay(-time.Second, time.Second, 3, 0.5); d != 0 {
+		t.Errorf("negative base: delay %v, want 0", d)
+	}
+	// No cap: pure doubling.
+	if d := redialDelay(50*time.Millisecond, 0, 10, 0.5); d != 51200*time.Millisecond {
+		t.Errorf("uncapped try 10: delay %v, want 51.2s", d)
+	}
+	// Cap below base clamps immediately.
+	if d := redialDelay(time.Second, 100*time.Millisecond, 0, 0.5); d != 100*time.Millisecond {
+		t.Errorf("cap below base: delay %v, want the cap", d)
+	}
+	// Monotone non-decreasing in the failure streak for a fixed draw.
+	prev := time.Duration(0)
+	for try := 0; try < 20; try++ {
+		d := redialDelay(50*time.Millisecond, 500*time.Millisecond, try, 0.25)
+		if d < prev {
+			t.Fatalf("schedule regressed at try %d: %v after %v", try, d, prev)
+		}
+		prev = d
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"disttrack/internal/persist"
 	"disttrack/internal/proto"
 	"disttrack/internal/runtime"
+	"disttrack/internal/stats"
 	"disttrack/internal/wire"
 )
 
@@ -1043,10 +1044,17 @@ type SiteConn struct {
 	ProgressEvery int64
 
 	// AutoReconnect turns on the reconnection loop: a failed send redials
-	// the server with a Rejoin handshake (RedialAttempts tries,
-	// RedialWait apart) and retransmits. Set before the first Arrive.
+	// the server with a Rejoin handshake (up to RedialAttempts tries) and
+	// retransmits. Consecutive failed dials back off exponentially from
+	// RedialWait up to RedialMaxWait, each wait jittered by a seeded
+	// ±25% factor so sites dropped by one coordinator crash do not redial
+	// in lockstep; a successful dial resets the schedule. The failure
+	// streak persists across reconnect calls, so Close's Done re-send
+	// loop continues the schedule instead of hammering a dead server.
+	// Set before the first Arrive.
 	AutoReconnect  bool
-	RedialWait     time.Duration // default DefaultRedialWait
+	RedialWait     time.Duration // backoff base; default DefaultRedialWait
+	RedialMaxWait  time.Duration // backoff cap; default DefaultRedialMaxWait
 	RedialAttempts int           // default DefaultRedialAttempts
 
 	mu       sync.Mutex // guards s, frame, conn, and conn writes
@@ -1056,6 +1064,11 @@ type SiteConn struct {
 	sendErr  error
 	rejoins  int64
 	resync   wire.Resync // last Resync received (rejoin handshakes)
+	// redialTry is the consecutive-failed-dial streak driving the backoff
+	// schedule; jitter is the seeded RNG behind the ±25% spread.
+	redialTry int
+	jitter    *stats.RNG
+
 	// closing flips once Close has sent the Done frame. From then on a
 	// failed reply to a late broadcast is best-effort (the server may
 	// legitimately have hung up already) and neither reconnects nor sets
@@ -1068,9 +1081,12 @@ type SiteConn struct {
 // DefaultProgressEvery is the Progress-frame cadence DialSite installs.
 const DefaultProgressEvery = 4096
 
-// Reconnection-loop defaults: up to 40 redials 50ms apart (~2s of outage).
+// Reconnection-loop defaults: up to 40 redials, exponentially backed off
+// from 50ms to a 500ms cap (roughly 18s of outage budget, most of it at
+// the cap).
 const (
 	DefaultRedialWait     = 50 * time.Millisecond
+	DefaultRedialMaxWait  = 500 * time.Millisecond
 	DefaultRedialAttempts = 40
 )
 
@@ -1119,8 +1135,34 @@ func newSiteConn(addr string, site, k int, config uint64, s proto.Site, conn net
 	return &SiteConn{site: site, k: k, config: config, addr: addr, s: s, conn: conn,
 		ProgressEvery:  DefaultProgressEvery,
 		RedialWait:     DefaultRedialWait,
+		RedialMaxWait:  DefaultRedialMaxWait,
 		RedialAttempts: DefaultRedialAttempts,
+		// Deterministic per-slot jitter stream: reproducible schedules in
+		// tests, decorrelated across the fleet's (site, config) pairs.
+		jitter: stats.New(uint64(site)*0x9e3779b97f4a7c15 ^ config ^ 0x72656469616c),
 	}
+}
+
+// redialDelay is the wait before a redial whose consecutive-failure streak
+// is try (0-based): exponential backoff from base, capped at max, scaled
+// by a jitter factor in [0.75, 1.25) derived from the uniform draw in
+// [0, 1). A non-positive base disables waiting (tests that hammer a local
+// listener on purpose).
+func redialDelay(base, max time.Duration, try int, jitter float64) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 0; i < try; i++ {
+		d *= 2
+		if max > 0 && d >= max {
+			break
+		}
+	}
+	if max > 0 && d > max {
+		d = max
+	}
+	return time.Duration((0.75 + jitter/2) * float64(d))
 }
 
 // dialRejoin performs one Rejoin handshake: dial, send the Rejoin frame,
@@ -1188,7 +1230,9 @@ func (sc *SiteConn) out(m proto.Message) {
 
 // reconnect re-establishes the connection with a Rejoin handshake; callers
 // hold sc.mu. The old reader exits on its own once the dead connection is
-// closed.
+// closed. The first dial of a fresh failure streak is immediate; each
+// failure then advances the persistent backoff schedule (see redialDelay),
+// which a successful dial resets.
 func (sc *SiteConn) reconnect() error {
 	sc.conn.Close()
 	attempts := sc.RedialAttempts
@@ -1197,14 +1241,18 @@ func (sc *SiteConn) reconnect() error {
 	}
 	var lastErr error
 	for try := 0; try < attempts; try++ {
-		if try > 0 && sc.RedialWait > 0 {
-			time.Sleep(sc.RedialWait)
+		if sc.redialTry > 0 {
+			if d := redialDelay(sc.RedialWait, sc.RedialMaxWait, sc.redialTry-1, sc.jitter.Float64()); d > 0 {
+				time.Sleep(d)
+			}
 		}
 		conn, rs, err := dialRejoin(sc.addr, sc.site, sc.k, sc.config, sc.arrivals)
 		if err != nil {
+			sc.redialTry++
 			lastErr = err
 			continue
 		}
+		sc.redialTry = 0
 		sc.conn = conn
 		sc.resync = rs
 		sc.rejoins++

@@ -1,0 +1,43 @@
+package stats
+
+import "math"
+
+// Laplace returns a sample from the Laplace (double-exponential)
+// distribution with mean 0 and the given scale parameter b: density
+// exp(-|x|/b)/2b, variance 2b². Non-positive scale returns 0, so callers
+// can pass a computed scale without guarding the degenerate case.
+//
+// Sampling is by inversion, so one Laplace call consumes exactly one
+// uniform draw (occasionally more, to reject the measure-zero endpoint
+// that would map to -Inf) — the property the robust coordinator's
+// checkpointing relies on.
+func (r *RNG) Laplace(scale float64) float64 {
+	if scale <= 0 {
+		return 0
+	}
+	u := r.Float64() - 0.5 // uniform in [-0.5, 0.5)
+	for u == -0.5 {
+		u = r.Float64() - 0.5
+	}
+	if u < 0 {
+		return scale * math.Log1p(2*u)
+	}
+	return -scale * math.Log1p(-2*u)
+}
+
+// TwoSidedGeometric returns a sample from the discrete Laplace
+// distribution with mean 0 and the given scale: the difference of two
+// i.i.d. geometric variables with success probability q = 1 − e^(−1/scale),
+// giving P[X = x] ∝ e^(−|x|/scale) on the integers and variance
+// 2e^(−1/scale)/(1 − e^(−1/scale))² ≈ 2·scale² for large scales. This is
+// the integer-valued noise the robust count protocol adds to communicated
+// counters (arXiv 2311.00346): counts stay integers on the wire, and the
+// tails match the continuous Laplace mechanism's. Non-positive scale
+// returns 0.
+func (r *RNG) TwoSidedGeometric(scale float64) int64 {
+	if scale <= 0 {
+		return 0
+	}
+	q := -math.Expm1(-1 / scale) // 1 − e^(−1/scale), in (0, 1) for finite scale
+	return r.SkipGeometric(q) - r.SkipGeometric(q)
+}

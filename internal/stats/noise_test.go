@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLaplaceMoments(t *testing.T) {
+	r := New(42)
+	const n = 200000
+	const scale = 5.0
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.Laplace(scale)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	// Std of the sample mean is sqrt(2)·scale/sqrt(n) ≈ 0.016; allow 6σ.
+	if math.Abs(mean) > 0.1 {
+		t.Errorf("Laplace mean = %v, want ≈ 0", mean)
+	}
+	if want := 2 * scale * scale; math.Abs(variance-want) > 0.1*want {
+		t.Errorf("Laplace variance = %v, want ≈ %v", variance, want)
+	}
+}
+
+func TestLaplaceSymmetry(t *testing.T) {
+	r := New(7)
+	pos := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Laplace(1) > 0 {
+			pos++
+		}
+	}
+	if frac := float64(pos) / n; math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("P[Laplace > 0] = %v, want ≈ 0.5", frac)
+	}
+}
+
+func TestLaplaceDegenerateScale(t *testing.T) {
+	r := New(1)
+	if x := r.Laplace(0); x != 0 {
+		t.Errorf("Laplace(0) = %v, want 0", x)
+	}
+	if x := r.Laplace(-3); x != 0 {
+		t.Errorf("Laplace(-3) = %v, want 0", x)
+	}
+}
+
+func TestTwoSidedGeometricMoments(t *testing.T) {
+	r := New(99)
+	const n = 200000
+	const scale = 8.0
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := float64(r.TwoSidedGeometric(scale))
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.2 {
+		t.Errorf("TwoSidedGeometric mean = %v, want ≈ 0", mean)
+	}
+	// Exact variance is 2e^(−1/s)/(1 − e^(−1/s))²; for s = 8 that is ≈ 124.7.
+	q := -math.Expm1(-1 / scale)
+	want := 2 * (1 - q) / (q * q)
+	if math.Abs(variance-want) > 0.1*want {
+		t.Errorf("TwoSidedGeometric variance = %v, want ≈ %v", variance, want)
+	}
+}
+
+func TestTwoSidedGeometricSymmetryAndDegenerate(t *testing.T) {
+	r := New(3)
+	pos, neg := 0, 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		switch x := r.TwoSidedGeometric(4); {
+		case x > 0:
+			pos++
+		case x < 0:
+			neg++
+		}
+	}
+	if diff := math.Abs(float64(pos-neg)) / n; diff > 0.01 {
+		t.Errorf("sign imbalance %v, want ≈ 0 (pos %d, neg %d)", diff, pos, neg)
+	}
+	if x := r.TwoSidedGeometric(0); x != 0 {
+		t.Errorf("TwoSidedGeometric(0) = %v, want 0", x)
+	}
+}
+
+func TestNoiseDeterminism(t *testing.T) {
+	a, b := New(1234), New(1234)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Laplace(3), b.Laplace(3); x != y {
+			t.Fatalf("Laplace stream diverged at %d: %v vs %v", i, x, y)
+		}
+		if x, y := a.TwoSidedGeometric(7), b.TwoSidedGeometric(7); x != y {
+			t.Fatalf("TwoSidedGeometric stream diverged at %d: %v vs %v", i, x, y)
+		}
+	}
+}
+
+func TestRNGStateRestore(t *testing.T) {
+	r := New(555)
+	for i := 0; i < 10; i++ {
+		r.Uint64()
+	}
+	saved := r.State()
+	want := make([]uint64, 20)
+	for i := range want {
+		want[i] = r.Uint64()
+	}
+	r.Restore(saved)
+	for i := range want {
+		if got := r.Uint64(); got != want[i] {
+			t.Fatalf("restored stream diverged at %d: %d vs %d", i, got, want[i])
+		}
+	}
+}

@@ -46,6 +46,16 @@ func (r *RNG) SplitInto(child *RNG) {
 	child.Uint64()
 }
 
+// State returns the generator's single state word so a coordinator
+// checkpoint can capture exactly where the stream is. Together with
+// Restore it makes an RNG snapshot-able: the stream continues
+// bit-identically from a restored state.
+func (r *RNG) State() uint64 { return r.state }
+
+// Restore rewinds (or fast-forwards) the generator to a state previously
+// returned by State.
+func (r *RNG) Restore(state uint64) { r.state = state }
+
 // Uint64 returns the next 64 uniformly random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

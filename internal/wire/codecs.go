@@ -8,6 +8,7 @@ import (
 	"disttrack/internal/freq"
 	"disttrack/internal/proto"
 	"disttrack/internal/rank"
+	"disttrack/internal/robust"
 	"disttrack/internal/rounds"
 	"disttrack/internal/sample"
 	"disttrack/internal/summary/gk"
@@ -37,6 +38,10 @@ const (
 	tagProgress        byte = 19
 	tagRejoin          byte = 20
 	tagResync          byte = 21
+	// 22–24 are the persistence frames (persist.go: tagState, tagLogged,
+	// tagSnapMeta).
+	tagRobustReport byte = 25
+	tagRobustAdjust byte = 26
 )
 
 // Hello is the handshake frame a site sends when its connection to the
@@ -437,6 +442,24 @@ func init() {
 			}
 			n, b, err := ReadInt(b)
 			return Rejoin{Site: int(site), K: int(k), Config: uint64(cfg), Arrivals: n}, b, err
+		})
+
+	Register(tagRobustReport, robust.ReportMsg{},
+		func(b []byte, m proto.Message) []byte {
+			return AppendInt(b, m.(robust.ReportMsg).N)
+		},
+		func(b []byte) (proto.Message, []byte, error) {
+			n, b, err := ReadInt(b)
+			return robust.ReportMsg{N: n}, b, err
+		})
+
+	Register(tagRobustAdjust, robust.AdjustMsg{},
+		func(b []byte, m proto.Message) []byte {
+			return AppendInt(b, m.(robust.AdjustMsg).NBar)
+		},
+		func(b []byte) (proto.Message, []byte, error) {
+			n, b, err := ReadInt(b)
+			return robust.AdjustMsg{NBar: n}, b, err
 		})
 
 	Register(tagResync, Resync{},

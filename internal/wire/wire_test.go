@@ -11,6 +11,7 @@ import (
 	"disttrack/internal/freq"
 	"disttrack/internal/proto"
 	"disttrack/internal/rank"
+	"disttrack/internal/robust"
 	"disttrack/internal/rounds"
 	"disttrack/internal/sample"
 	"disttrack/internal/summary/gk"
@@ -71,6 +72,10 @@ func gen(r *rand.Rand, prototype proto.Message) proto.Message {
 		return count.UpdateMsg{N: r.Int63()}
 	case count.AdjustMsg:
 		return count.AdjustMsg{NBar: r.Int63()}
+	case robust.ReportMsg:
+		return robust.ReportMsg{N: r.Int63() - r.Int63()} // noised counts go negative
+	case robust.AdjustMsg:
+		return robust.AdjustMsg{NBar: r.Int63() - r.Int63()}
 	case count.DetReportMsg:
 		return count.DetReportMsg{N: r.Int63()}
 	case count.CopyMsg:

@@ -86,6 +86,27 @@ func TestCoordinatorCrashRestartResume(t *testing.T) {
 			res.metrics = tr.Metrics()
 			return res
 		}},
+		{"count-robust", func(trp Transport, crash bool) result {
+			// The robust wrapper layers seeded noise (site report noise,
+			// coordinator release gate + release noise) over the randomized
+			// tracker; recovery must restore every RNG stream and the gate
+			// state bit-exactly or the released answers drift.
+			tr := NewCountTracker(Options{K: durK, Epsilon: durEps, Seed: durSeed,
+				Robust: true, Transport: trp, Persist: NewMemStore(), SnapshotEvery: 32})
+			defer tr.Close()
+			var res result
+			crashRun(t, tr, crash, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					tr.Observe(i % durK)
+					if i%500 == 0 {
+						res.answers = append(res.answers, tr.Estimate())
+					}
+				}
+			})
+			res.answers = append(res.answers, tr.Estimate())
+			res.metrics = tr.Metrics()
+			return res
+		}},
 		{"freq", func(trp Transport, crash bool) result {
 			tr := NewFrequencyTracker(Options{K: durK, Epsilon: durEps, Seed: durSeed,
 				Transport: trp, Persist: NewMemStore(), SnapshotEvery: 32})

@@ -29,6 +29,9 @@ type RankTracker struct {
 // NewRankTracker builds a rank tracker. It panics on invalid options.
 func NewRankTracker(opt Options) *RankTracker {
 	opt.validate()
+	if opt.Robust {
+		panic("disttrack: Options.Robust is only supported by CountTracker (robust rank tracking is not implemented)")
+	}
 	t := &RankTracker{opt: opt, k: opt.K}
 	switch opt.Algorithm {
 	case AlgorithmRandomized:

@@ -202,6 +202,26 @@ func runCountAlg(t *testing.T, alg Algorithm, tr Transport) runResult {
 	return res
 }
 
+func runCountRobust(t *testing.T, tr Transport) runResult {
+	t.Helper()
+	c := NewCountTracker(Options{K: indepK, Epsilon: indepEps, Seed: indepSeed,
+		Robust: true, Transport: tr})
+	defer c.Close()
+	tap := newDigestTap(indepK)
+	c.eng.SetTap(tap)
+	var res runResult
+	for i := 0; i < indepN; i++ {
+		c.Observe(i % indepK)
+		if i%777 == 0 {
+			res.answers = append(res.answers, c.Estimate())
+		}
+	}
+	res.answers = append(res.answers, c.Estimate())
+	res.metrics = c.Metrics()
+	res.linkSig, res.linkMsgs = tap.signature()
+	return res
+}
+
 // TestTransportIndependence pins the tentpole contract: all three trackers
 // times all three algorithms behave bit-identically on all three
 // transports — same query answers at every checkpoint, same message/word/
@@ -220,6 +240,14 @@ func TestTransportIndependence(t *testing.T) {
 			compareTransports(t, func(tr Transport) runResult { return runRank(t, alg, tr) })
 		})
 	}
+}
+
+// TestTransportIndependenceRobust pins the robust mode across transports:
+// every noise draw is seeded (per-site report noise, coordinator release
+// noise), so the noised message sequences, released answers, and Metrics
+// must be bit-identical on all three fabrics.
+func TestTransportIndependenceRobust(t *testing.T) {
+	compareTransports(t, func(tr Transport) runResult { return runCountRobust(t, tr) })
 }
 
 // TestTransportIndependenceBoosted covers the median-boosted multiplexer
