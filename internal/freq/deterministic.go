@@ -1,21 +1,60 @@
 package freq
 
 import (
+	"sync"
+
 	"disttrack/internal/proto"
 	"disttrack/internal/rounds"
 	"disttrack/internal/summary/spacesaving"
 )
 
 // DetReportMsg reports a SpaceSaving slot's state (3 words: slot, item,
-// count).
+// count). It travels as a pooled pointer message: boxing a value into the
+// proto.Message interface allocates per report, and reports are the
+// deterministic tracker's dominant traffic. Draw with NewDetReport; the
+// coordinator recycles the shell after copying it.
 type DetReportMsg struct {
 	Slot  int
 	Item  int64
 	Count int64
 }
 
-// Words implements proto.Message.
+// Words implements proto.Message (value receiver, so both the pooled
+// pointer form and plain values satisfy the interface).
 func (DetReportMsg) Words() int { return 3 }
+
+// detReportPool recycles report shells. A mutex-guarded stack rather than
+// sync.Pool: Put-ting into a sync.Pool boxes the pointer and allocates the
+// very shell the pool exists to avoid.
+var detReportPool struct {
+	mu   sync.Mutex
+	free []*DetReportMsg
+}
+
+// NewDetReport draws a report message from the shell pool (the wire decoder
+// uses it too, so decoded frames recycle the same shells).
+func NewDetReport(slot int, item, count int64) *DetReportMsg {
+	detReportPool.mu.Lock()
+	var r *DetReportMsg
+	if n := len(detReportPool.free); n > 0 {
+		r = detReportPool.free[n-1]
+		detReportPool.free = detReportPool.free[:n-1]
+		detReportPool.mu.Unlock()
+	} else {
+		detReportPool.mu.Unlock()
+		r = new(DetReportMsg)
+	}
+	r.Slot, r.Item, r.Count = slot, item, count
+	return r
+}
+
+// RecycleDetReport returns a delivered report's shell to the pool. Only the
+// final consumer may call it, exactly once, after its last read.
+func RecycleDetReport(r *DetReportMsg) {
+	detReportPool.mu.Lock()
+	detReportPool.free = append(detReportPool.free, r)
+	detReportPool.mu.Unlock()
+}
 
 // DetSite is the per-site half of the deterministic frequency baseline: the
 // optimal Θ(k/ε·logN) deterministic tracker of [29], realized as a
@@ -50,7 +89,7 @@ func NewDetSite(k int, eps float64) *DetSite {
 		eps:          eps,
 		rs:           rounds.NewSite(),
 		ss:           spacesaving.New(m),
-		lastReported: make(map[int]int64),
+		lastReported: make(map[int]int64, m),
 	}
 }
 
@@ -68,7 +107,7 @@ func (s *DetSite) threshold() int64 {
 func (s *DetSite) Arrive(item int64, value float64, out func(proto.Message)) {
 	c := s.ss.Add(item)
 	if c.Count >= s.lastReported[c.Slot]+s.threshold() {
-		out(DetReportMsg{Slot: c.Slot, Item: c.Item, Count: c.Count})
+		out(NewDetReport(c.Slot, c.Item, c.Count))
 		s.lastReported[c.Slot] = c.Count
 	}
 	s.rs.Arrive(out)
@@ -115,8 +154,9 @@ func (c *DetCoordinator) Receive(from int, m proto.Message, send func(int, proto
 	if c.rc.Deliver(from, m, broadcast) {
 		return
 	}
-	if r, ok := m.(DetReportMsg); ok {
-		c.slots[from][r.Slot] = r
+	if r, ok := m.(*DetReportMsg); ok {
+		c.slots[from][r.Slot] = *r
+		RecycleDetReport(r)
 	}
 }
 

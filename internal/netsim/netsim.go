@@ -37,6 +37,17 @@ type Cluster struct {
 func Start(p proto.Protocol) *Cluster {
 	c := &Cluster{Fabric: runtime.NewFabric(p)}
 	for i := range p.Sites {
+		i := i
+		// Site delivery enqueues on the coordinator mailbox; no flush hook —
+		// a mailbox put is already visible, there is nothing to coalesce.
+		c.BindSite(i, func(m proto.Message) {
+			c.CoordBox.Put(runtime.FromMsg{From: i, Msg: m})
+		}, nil)
+	}
+	c.BindCoord(func(to int, m proto.Message) {
+		c.SiteBoxes[to].Put(m)
+	}, nil)
+	for i := range p.Sites {
 		c.wg.Add(1)
 		go c.siteLoop(i)
 	}
@@ -45,21 +56,17 @@ func Start(p proto.Protocol) *Cluster {
 	return c
 }
 
-// siteLoop delivers site i's messages by enqueueing them on the
-// coordinator mailbox; everything else is the shared fabric loop.
+// siteLoop runs site i's delivery loop (drains coordinator messages in
+// batches; arrivals themselves are injected inline by Fabric.Arrive).
 func (c *Cluster) siteLoop(i int) {
 	defer c.wg.Done()
-	c.RunSiteLoop(i, func(m proto.Message) {
-		c.CoordBox.Put(runtime.FromMsg{From: i, Msg: m})
-	})
+	c.RunSiteLoop(i)
 }
 
-// coordLoop delivers coordinator messages straight into site mailboxes.
+// coordLoop runs the coordinator machine.
 func (c *Cluster) coordLoop() {
 	defer c.wg.Done()
-	c.RunCoordLoop(func(to int, m proto.Message) {
-		c.SiteBoxes[to].Put(m)
-	})
+	c.RunCoordLoop()
 }
 
 // Stop shuts down all goroutines. The cluster must be quiescent.

@@ -2,19 +2,59 @@ package rank
 
 import (
 	"math"
+	"sync"
 
 	"disttrack/internal/proto"
 	"disttrack/internal/rounds"
 	"disttrack/internal/summary/gk"
 )
 
-// DetSnapshotMsg ships a site's full GK summary snapshot.
+// DetSnapshotMsg ships a site's full GK summary snapshot. It travels as a
+// pooled pointer message (boxing the three-word value into proto.Message
+// allocates per snapshot): draw with NewDetSnapshot, and the coordinator
+// recycles the shell after taking ownership of the tuple storage.
 type DetSnapshotMsg struct {
 	Snap gk.Snapshot
 }
 
-// Words implements proto.Message.
+// Words implements proto.Message (value receiver, so both the pooled
+// pointer form and plain values satisfy the interface).
 func (m DetSnapshotMsg) Words() int { return m.Snap.Words() }
+
+// detSnapshotPool recycles message shells (the gk tuple storage inside has
+// its own pool, gk.SnapshotPool). Mutex-guarded stack rather than
+// sync.Pool, which would allocate the pointer box on Put.
+var detSnapshotPool struct {
+	mu   sync.Mutex
+	free []*DetSnapshotMsg
+}
+
+// NewDetSnapshot draws a snapshot message shell from the pool (the wire
+// decoder uses it too, so decoded frames recycle the same shells).
+func NewDetSnapshot(snap gk.Snapshot) *DetSnapshotMsg {
+	detSnapshotPool.mu.Lock()
+	var m *DetSnapshotMsg
+	if n := len(detSnapshotPool.free); n > 0 {
+		m = detSnapshotPool.free[n-1]
+		detSnapshotPool.free = detSnapshotPool.free[:n-1]
+		detSnapshotPool.mu.Unlock()
+	} else {
+		detSnapshotPool.mu.Unlock()
+		m = new(DetSnapshotMsg)
+	}
+	m.Snap = snap
+	return m
+}
+
+// RecycleDetSnapshot returns a delivered message's shell to the pool,
+// dropping its reference to the tuple storage (whose ownership moved to
+// the consumer). Only the final consumer may call it, exactly once.
+func RecycleDetSnapshot(m *DetSnapshotMsg) {
+	m.Snap = gk.Snapshot{}
+	detSnapshotPool.mu.Lock()
+	detSnapshotPool.free = append(detSnapshotPool.free, m)
+	detSnapshotPool.mu.Unlock()
+}
 
 // DetSite is the per-site half of the deterministic rank-tracking baseline
 // (Cormode et al. [6] style): a Greenwald–Khanna summary over the site's
@@ -62,7 +102,7 @@ func (s *DetSite) Arrive(item int64, value float64, out func(proto.Message)) {
 	s.g.Insert(value)
 	s.sinceReport++
 	if s.sinceReport >= s.threshold() {
-		out(DetSnapshotMsg{Snap: s.g.SnapshotInto(s.pool)})
+		out(NewDetSnapshot(s.g.SnapshotInto(s.pool)))
 		s.sinceReport = 0
 	}
 	s.rs.Arrive(out)
@@ -103,10 +143,11 @@ func (c *DetCoordinator) Receive(from int, m proto.Message, send func(int, proto
 	if c.rc.Deliver(from, m, broadcast) {
 		return
 	}
-	if sm, ok := m.(DetSnapshotMsg); ok {
+	if sm, ok := m.(*DetSnapshotMsg); ok {
 		old := c.snaps[from]
 		c.snaps[from] = sm.Snap
 		old.Release(c.pool)
+		RecycleDetSnapshot(sm)
 	}
 }
 

@@ -345,7 +345,7 @@ func TestDetSnapshotWordsMatchSummary(t *testing.T) {
 	var words []int
 	for i := 0; i < 100; i++ {
 		s.Arrive(0, float64(i), func(m proto.Message) {
-			if sm, ok := m.(DetSnapshotMsg); ok {
+			if sm, ok := m.(*DetSnapshotMsg); ok {
 				words = append(words, sm.Words())
 			}
 		})

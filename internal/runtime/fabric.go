@@ -8,16 +8,17 @@ import (
 )
 
 // Mailbox is an unbounded FIFO usable from multiple producers with one
-// consumer loop. Like the sequential harness's queue it is head-indexed:
-// popping advances head instead of re-slicing (which would strand the
-// backing array's prefix and re-allocate on every append/pop cycle), the
-// dead prefix is compacted when it dominates, and the offsets reset when
-// the queue drains.
+// consumer loop. Storage is a power-of-two ring: Put and Get are O(1) with
+// no compaction copies, the ring grows by doubling when full, and a drained
+// consumer can take every queued value in one critical section (GetBatch),
+// so a loop pays one lock/wakeup per run of traffic instead of one per
+// message.
 type Mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []any
-	head   int
+	ring   []any  // power-of-two capacity
+	head   uint64 // absolute pop counter; index = head & (len(ring)-1)
+	tail   uint64 // absolute push counter
 	closed bool
 }
 
@@ -28,61 +29,101 @@ func NewMailbox() *Mailbox {
 	return mb
 }
 
+// grow doubles the ring (initially to 64 slots), re-packing live entries
+// from the head. Caller holds mu.
+func (mb *Mailbox) grow() {
+	n := len(mb.ring) * 2
+	if n == 0 {
+		n = 64
+	}
+	next := make([]any, n)
+	live := mb.tail - mb.head
+	mask := uint64(len(mb.ring) - 1)
+	for i := uint64(0); i < live; i++ {
+		next[i] = mb.ring[(mb.head+i)&mask]
+	}
+	mb.ring = next
+	mb.head, mb.tail = 0, live
+}
+
 // Put enqueues v.
 func (mb *Mailbox) Put(v any) {
 	mb.mu.Lock()
-	mb.queue = append(mb.queue, v)
+	if mb.tail-mb.head == uint64(len(mb.ring)) {
+		mb.grow()
+	}
+	mb.ring[mb.tail&uint64(len(mb.ring)-1)] = v
+	mb.tail++
 	mb.mu.Unlock()
 	mb.cond.Signal()
 }
 
-// Get blocks until a value is available or the mailbox is closed.
+// PutAll enqueues every value of vs under one lock with one wakeup.
+func (mb *Mailbox) PutAll(vs []any) {
+	if len(vs) == 0 {
+		return
+	}
+	mb.mu.Lock()
+	for _, v := range vs {
+		if mb.tail-mb.head == uint64(len(mb.ring)) {
+			mb.grow()
+		}
+		mb.ring[mb.tail&uint64(len(mb.ring)-1)] = v
+		mb.tail++
+	}
+	mb.mu.Unlock()
+	mb.cond.Signal()
+}
+
+// Get blocks until a value is available or the mailbox is closed (a closed
+// mailbox still drains its queue before reporting false).
 func (mb *Mailbox) Get() (any, bool) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	for mb.head == len(mb.queue) && !mb.closed {
+	for mb.head == mb.tail && !mb.closed {
 		mb.cond.Wait()
 	}
-	if mb.head == len(mb.queue) {
+	if mb.head == mb.tail {
 		return nil, false
 	}
-	v := mb.queue[mb.head]
-	mb.queue[mb.head] = nil // drop the reference for the GC
+	i := mb.head & uint64(len(mb.ring)-1)
+	v := mb.ring[i]
+	mb.ring[i] = nil // drop the reference for the GC
 	mb.head++
-	switch {
-	case mb.head == len(mb.queue):
-		mb.queue = mb.queue[:0]
-		mb.head = 0
-	case mb.head >= 64 && mb.head*2 >= len(mb.queue):
-		n := copy(mb.queue, mb.queue[mb.head:])
-		mb.queue = mb.queue[:n]
-		mb.head = 0
-	}
 	return v, true
 }
 
-// Close wakes all blocked consumers; Get drains the remaining queue and
-// then reports false.
+// GetBatch blocks like Get, then drains every queued value into buf
+// (appended) in FIFO order — the batch-delivery path: one wakeup and one
+// lock round trip per run of traffic. It returns false only when the
+// mailbox is closed and empty.
+func (mb *Mailbox) GetBatch(buf []any) ([]any, bool) {
+	mb.mu.Lock()
+	for mb.head == mb.tail && !mb.closed {
+		mb.cond.Wait()
+	}
+	if mb.head == mb.tail {
+		mb.mu.Unlock()
+		return buf, false
+	}
+	mask := uint64(len(mb.ring) - 1)
+	for mb.head != mb.tail {
+		i := mb.head & mask
+		buf = append(buf, mb.ring[i])
+		mb.ring[i] = nil
+		mb.head++
+	}
+	mb.mu.Unlock()
+	return buf, true
+}
+
+// Close wakes all blocked consumers; Get/GetBatch drain the remaining queue
+// and then report false.
 func (mb *Mailbox) Close() {
 	mb.mu.Lock()
 	mb.closed = true
 	mb.mu.Unlock()
 	mb.cond.Broadcast()
-}
-
-// Arrival asks a site loop to feed one element to its machine.
-type Arrival struct {
-	Item  int64
-	Value float64
-}
-
-// Chunk asks a site loop to absorb up to Count identical arrivals via the
-// proto.BatchSite fast path, reporting how many it consumed on Done.
-type Chunk struct {
-	Item  int64
-	Value float64
-	Count int64
-	Done  chan int64
 }
 
 // FromMsg is a site->coordinator protocol message with its sender.
@@ -112,14 +153,16 @@ type HeldDown struct {
 // (internal/runtime/faulty) is the only implementation; a nil middleware
 // means direct delivery.
 //
-// Up/Down run on the sending loop's goroutine (site i's loop for Up(i,...),
-// the coordinator loop for Down) — per-link calls are serial. To deliver
-// immediately the middleware calls deliver; to hold the message it queues
-// the frame internally and parks its in-flight token (Fabric.Inflight.Park),
-// then releases later from Release (the barrier's idle hook) by unparking
-// the token and re-injecting through the owning loop's mailbox
-// (Fabric.ReleaseUp/ReleaseDown). Once the fabric is Closed, nothing may be
-// released — the loops that would carry it are gone (check Fabric.Closed).
+// Per-link calls are serial: Up(i, ...) runs under site i's injection mutex
+// (the injecting goroutine for arrival-triggered sends, site i's loop for
+// receive-triggered ones — never both at once), Down always on the
+// coordinator loop. To deliver immediately the middleware calls deliver; to
+// hold the message it queues the frame internally and parks its in-flight
+// token (Fabric.Inflight.Park), then releases later from Release (the
+// barrier's idle hook) by unparking the token and re-injecting through the
+// owning loop's mailbox (Fabric.ReleaseUp/ReleaseDown). Once the fabric is
+// Closed, nothing may be released — the loops that would carry it are gone
+// (check Fabric.Closed).
 type Middleware interface {
 	// Up intercepts a site->coordinator message already charged to the
 	// ledger; deliver carries it to the coordinator.
@@ -138,24 +181,35 @@ type Middleware interface {
 }
 
 // Fabric is the shared core of the concurrent transports (goroutine
-// mailboxes, TCP loopback): per-site injection mailboxes, the in-flight
-// counter that realizes the instant-communication quiescence barrier, the
-// cost ledger, and quiesce-time space probing. A transport embeds *Fabric,
-// launches its own delivery goroutines, and brackets every message it
-// carries with CountUp/CountDown so Arrive's barrier covers it.
+// mailboxes, TCP loopback): inline arrival injection, per-site delivery
+// mailboxes, the in-flight counter that realizes the instant-communication
+// quiescence barrier, the cost ledger, and quiesce-time space probing. A
+// transport embeds *Fabric, registers its per-site and coordinator delivery
+// (and optional flush) hooks with BindSite/BindCoord, launches its own
+// loops (RunSiteLoop/RunCoordLoop), and brackets every message it carries
+// with CountUp/CountDown so Arrive's barrier covers it.
+//
+// Arrivals take the zero-hop fast path: Arrive runs the site machine on the
+// injecting goroutine under that site's mutex, so a message-free arrival —
+// the overwhelmingly common case under the paper's protocols — costs a
+// mutex round trip and the barrier's atomics instead of two goroutine
+// wakeups. Site loops take the same mutex around delivery, which both
+// serializes access to the site machine (the socket transports have no
+// other happens-before edge between the injector and the site loop) and
+// keeps per-link middleware/tap calls serial.
 type Fabric struct {
 	p proto.Protocol
 
 	// SpaceProbeEvery controls how often space is sampled at quiescent
 	// instants (0 disables periodic probing; Probe still samples on
 	// demand). Probes happen after an injection quiesces, so they read
-	// protocol state race-free (the in-flight WaitGroup orders them after
+	// protocol state race-free (the in-flight barrier orders them after
 	// every handler).
 	SpaceProbeEvery int
 
-	// SiteBoxes[i] feeds site i's loop: *Arrival, *Chunk, or a
-	// proto.Message from the coordinator. CoordBox feeds the coordinator
-	// loop with FromMsg values.
+	// SiteBoxes[i] feeds site i's loop: a proto.Message from the
+	// coordinator or a fault-released *HeldUp. CoordBox feeds the
+	// coordinator loop with FromMsg values and fault-released *HeldDown.
 	SiteBoxes []*Mailbox
 	CoordBox  *Mailbox
 
@@ -167,6 +221,27 @@ type Fabric struct {
 
 	tap Tap
 	mw  Middleware
+
+	// siteMu[i] serializes site i's machine, its pending send buffer, and
+	// its middleware link between the injecting goroutine (inline Arrive)
+	// and the site's delivery loop.
+	siteMu []sync.Mutex
+
+	// Per-site send path, built by BindSite: siteOut brackets an emitted
+	// message with CountUp and routes it through the middleware to
+	// siteDeliver; siteFlush (optional) is the transport's coalescing
+	// boundary, called under siteMu after an injection or a delivered
+	// batch.
+	siteOut     []func(m proto.Message)
+	siteDeliver []func(m proto.Message)
+	siteFlush   []func()
+
+	// Coordinator send path, built by BindCoord (used by RunCoordLoop
+	// only — the coordinator machine never runs inline).
+	coordSend      func(to int, m proto.Message)
+	coordCast      func(m proto.Message)
+	coordDeliverTo []func(m proto.Message)
+	coordFlush     func()
 
 	// coordLog, when set, observes every coordinator-bound protocol
 	// message on the coordinator loop immediately before the coordinator
@@ -180,15 +255,6 @@ type Fabric struct {
 	// ingest frontend converts into a terminal error).
 	closed atomic.Bool
 
-	// arr and chunk are reusable injection boxes: the injector has at most
-	// one arrival (or chunk) outstanding — it waits for quiescence before
-	// the next — so the same heap value is recycled instead of boxing a
-	// fresh one per element. The mailbox handoff and the done channel
-	// order the field accesses.
-	arr       Arrival
-	chunk     Chunk
-	chunkDone chan int64
-
 	messagesUp, messagesDown int64
 	wordsUp, wordsDown       int64
 	broadcasts, arrivals     int64
@@ -198,28 +264,82 @@ type Fabric struct {
 	maxSiteSpace, maxCoordSpace int
 }
 
-// NewFabric validates the protocol and builds the shared core.
+// NewFabric validates the protocol and builds the shared core. The
+// transport must BindSite (for every site) and BindCoord before the first
+// arrival.
 func NewFabric(p proto.Protocol) *Fabric {
 	if p.Coord == nil || len(p.Sites) == 0 {
 		panic("runtime: protocol needs a coordinator and at least one site")
 	}
+	k := len(p.Sites)
 	f := &Fabric{
 		p:               p,
 		SpaceProbeEvery: 1024,
-		SiteBoxes:       make([]*Mailbox, len(p.Sites)),
+		SiteBoxes:       make([]*Mailbox, k),
 		CoordBox:        NewMailbox(),
-		chunkDone:       make(chan int64, 1),
+		siteMu:          make([]sync.Mutex, k),
+		siteOut:         make([]func(m proto.Message), k),
+		siteDeliver:     make([]func(m proto.Message), k),
+		siteFlush:       make([]func(), k),
 	}
 	for i := range f.SiteBoxes {
 		f.SiteBoxes[i] = NewMailbox()
 	}
 	f.Inflight.init()
-	f.chunk.Done = f.chunkDone
 	return f
 }
 
 // Protocol returns the mounted protocol.
 func (f *Fabric) Protocol() proto.Protocol { return f.p }
+
+// BindSite registers site i's transport delivery hook (carry one emitted
+// message to the coordinator: enqueue on the coordinator mailbox, encode a
+// frame, ...) and an optional flush hook marking the transport's coalescing
+// boundary — flush runs under site i's mutex after every inline injection
+// and after every delivered mailbox batch, so buffered frames are always on
+// the wire before the fabric settles or the loop blocks. Bind before the
+// first arrival.
+func (f *Fabric) BindSite(i int, deliver func(m proto.Message), flush func()) {
+	f.siteDeliver[i] = deliver
+	f.siteFlush[i] = flush
+	f.siteOut[i] = func(m proto.Message) {
+		f.CountUp(i, m)
+		if f.mw != nil {
+			f.mw.Up(i, m, deliver)
+			return
+		}
+		deliver(m)
+	}
+}
+
+// BindCoord registers the coordinator's transport delivery hook (carry one
+// message to one site) and an optional flush hook, called on the
+// coordinator loop after every delivered batch. Bind before the first
+// arrival.
+func (f *Fabric) BindCoord(deliver func(to int, m proto.Message), flush func()) {
+	f.coordFlush = flush
+	// One bound closure per destination, so the middleware path doesn't
+	// allocate a fresh capture per send.
+	f.coordDeliverTo = make([]func(m proto.Message), len(f.p.Sites))
+	for to := range f.coordDeliverTo {
+		to := to
+		f.coordDeliverTo[to] = func(m proto.Message) { deliver(to, m) }
+	}
+	f.coordSend = func(to int, m proto.Message) {
+		f.CountDown(to, m)
+		if f.mw != nil {
+			f.mw.Down(to, m, f.coordDeliverTo[to])
+			return
+		}
+		deliver(to, m)
+	}
+	f.coordCast = func(m proto.Message) {
+		f.CountBroadcast()
+		for s := range f.p.Sites {
+			f.coordSend(s, m)
+		}
+	}
+}
 
 // SetMiddleware installs the fault-injection middleware and hooks it into
 // the quiescence barrier. Install before the first arrival; a nil
@@ -251,9 +371,9 @@ func (f *Fabric) ChargeDown(msgs, words int64) {
 }
 
 // ReleaseUp re-injects a held site->coordinator message through site from's
-// loop, which will deliver it on its own goroutine (so the loop's delivery
-// resources are never shared across goroutines). The caller must have
-// unparked the message's token first.
+// loop, which will deliver it under the site's mutex (so the link's
+// delivery resources stay serialized). The caller must have unparked the
+// message's token first.
 func (f *Fabric) ReleaseUp(from int, m proto.Message) {
 	f.SiteBoxes[from].Put(&HeldUp{Msg: m})
 }
@@ -300,21 +420,40 @@ func (f *Fabric) CountBroadcast() {
 	atomic.AddInt64(&f.broadcasts, 1)
 }
 
-// Arrive implements Transport: it injects one element at site and blocks
-// until the whole system is quiescent again, matching the paper's model
-// where no element arrives while messages are outstanding. Under fault
-// middleware, "quiescent" means as quiet as the fault plan allows: frames
-// delayed across arrivals or trapped behind a partition stay in flight
-// inside the fault layer (Settle(false)); the full barrier behind Quiesce
-// settles them.
+// inject runs site machine work on the injecting goroutine under the
+// site's mutex, flushing the transport's pending frames before the lock is
+// released so the cascade the work triggered is actually on the wire when
+// the barrier starts settling it.
+func (f *Fabric) inject(site int, work func(out func(proto.Message)) int64) int64 {
+	mu := &f.siteMu[site]
+	mu.Lock()
+	n := work(f.siteOut[site])
+	if fl := f.siteFlush[site]; fl != nil {
+		fl()
+	}
+	mu.Unlock()
+	return n
+}
+
+// Arrive implements Transport: it injects one element at site — running the
+// site machine inline on the calling goroutine (the zero-hop fast path) —
+// and blocks until the whole system is quiescent again, matching the
+// paper's model where no element arrives while messages are outstanding.
+// Under fault middleware, "quiescent" means as quiet as the fault plan
+// allows: frames delayed across arrivals or trapped behind a partition stay
+// in flight inside the fault layer (Settle(false)); the full barrier behind
+// Quiesce settles them.
 func (f *Fabric) Arrive(site int, item int64, value float64) {
 	if f.closed.Load() {
 		panic("runtime: transport used after Close")
 	}
 	n := atomic.AddInt64(&f.arrivals, 1)
 	f.Inflight.Add(1)
-	f.arr.Item, f.arr.Value = item, value
-	f.SiteBoxes[site].Put(&f.arr)
+	f.inject(site, func(out func(proto.Message)) int64 {
+		f.p.Sites[site].Arrive(item, value, out)
+		return 1
+	})
+	f.Inflight.Done()
 	f.Inflight.Settle(false)
 	if f.SpaceProbeEvery > 0 && n%int64(f.SpaceProbeEvery) == 0 {
 		f.Probe()
@@ -322,20 +461,22 @@ func (f *Fabric) Arrive(site int, item int64, value float64) {
 }
 
 // ArriveBatch implements Transport: each chunk is absorbed up to the
-// site's next message via the proto.BatchSite fast path, then the
-// resulting cascade runs to quiescence before the rest of the run is fed —
-// so round broadcasts land between arrivals exactly as they would
-// element-at-a-time.
+// site's next message via the proto.BatchSite fast path (inline, like
+// Arrive), then the resulting cascade runs to quiescence before the rest of
+// the run is fed — so round broadcasts land between arrivals exactly as
+// they would element-at-a-time.
 func (f *Fabric) ArriveBatch(site int, item int64, value float64, count int64) {
 	if f.closed.Load() {
 		panic("runtime: transport used after Close")
 	}
 	every := int64(f.SpaceProbeEvery)
+	s := f.p.Sites[site]
 	for count > 0 {
 		f.Inflight.Add(1)
-		f.chunk.Item, f.chunk.Value, f.chunk.Count = item, value, count
-		f.SiteBoxes[site].Put(&f.chunk)
-		consumed := <-f.chunkDone
+		consumed := f.inject(site, func(out func(proto.Message)) int64 {
+			return proto.ArriveChunk(s, item, value, count, out)
+		})
+		f.Inflight.Done()
 		f.Inflight.Settle(false)
 		n := atomic.AddInt64(&f.arrivals, consumed)
 		count -= consumed
@@ -345,81 +486,78 @@ func (f *Fabric) ArriveBatch(site int, item int64, value float64, count int64) {
 	}
 }
 
-// RunSiteLoop runs site i's machine on the calling goroutine until the
-// site's mailbox closes: it consumes injected arrivals (*Arrival, *Chunk)
-// and coordinator messages (proto.Message), brackets every emitted message
-// with CountUp, and hands it to deliver — the only transport-specific step
-// (enqueue on the coordinator mailbox, write a frame to a socket, ...).
-func (f *Fabric) RunSiteLoop(i int, deliver func(m proto.Message)) {
+// RunSiteLoop runs site i's delivery loop on the calling goroutine until
+// the site's mailbox closes: it drains coordinator messages and
+// fault-released frames in batches (one wakeup per run), handles each under
+// the site's mutex, and flushes the transport's pending frames at the
+// batch edge — the coalescing boundary — before blocking again.
+func (f *Fabric) RunSiteLoop(i int) {
 	site := f.p.Sites[i]
 	box := f.SiteBoxes[i]
-	out := func(m proto.Message) {
-		f.CountUp(i, m)
-		if f.mw != nil {
-			f.mw.Up(i, m, deliver)
-			return
-		}
-		deliver(m)
-	}
+	out := f.siteOut[i]
+	deliver := f.siteDeliver[i]
+	flush := f.siteFlush[i]
+	mu := &f.siteMu[i]
+	var batch []any
 	for {
-		v, ok := box.Get()
+		var ok bool
+		batch, ok = box.GetBatch(batch[:0])
 		if !ok {
 			return
 		}
-		switch msg := v.(type) {
-		case *Arrival:
-			site.Arrive(msg.Item, msg.Value, out)
-		case *Chunk:
-			msg.Done <- proto.ArriveChunk(site, msg.Item, msg.Value, msg.Count, out)
-		case *HeldUp:
-			// A fault-released message: already charged, token already
-			// unparked and traveling with the delivery — the receiving loop
-			// retires it, not this one.
-			deliver(msg.Msg)
-			continue
-		case proto.Message:
-			site.Receive(msg, out)
+		mu.Lock()
+		for j, v := range batch {
+			batch[j] = nil // drop the reference for the GC
+			switch msg := v.(type) {
+			case *HeldUp:
+				// A fault-released message: already charged, token already
+				// unparked and traveling with the delivery — the receiving
+				// loop retires it, not this one.
+				deliver(msg.Msg)
+				continue
+			case proto.Message:
+				site.Receive(msg, out)
+			}
+			f.Inflight.Done()
 		}
-		f.Inflight.Done()
+		if flush != nil {
+			flush()
+		}
+		mu.Unlock()
 	}
 }
 
 // RunCoordLoop runs the coordinator machine on the calling goroutine until
-// the coordinator mailbox closes, consuming FromMsg values. Sends and
-// broadcasts are bracketed with CountDown/CountBroadcast; deliver carries
-// one message to one site.
-func (f *Fabric) RunCoordLoop(deliver func(to int, m proto.Message)) {
-	send := func(to int, m proto.Message) {
-		f.CountDown(to, m)
-		if f.mw != nil {
-			f.mw.Down(to, m, func(m proto.Message) { deliver(to, m) })
-			return
-		}
-		deliver(to, m)
-	}
-	broadcast := func(m proto.Message) {
-		f.CountBroadcast()
-		for s := range f.p.Sites {
-			send(s, m)
-		}
-	}
+// the coordinator mailbox closes, draining FromMsg values in batches.
+// Sends and broadcasts are bracketed with CountDown/CountBroadcast and
+// routed through the BindCoord delivery hook; the flush hook runs at every
+// batch edge.
+func (f *Fabric) RunCoordLoop() {
+	var batch []any
 	for {
-		v, ok := f.CoordBox.Get()
+		var ok bool
+		batch, ok = f.CoordBox.GetBatch(batch[:0])
 		if !ok {
 			return
 		}
-		switch cm := v.(type) {
-		case *HeldDown:
-			// A fault-released message; see RunSiteLoop's *HeldUp case.
-			deliver(cm.To, cm.Msg)
-			continue
-		case FromMsg:
-			if f.coordLog != nil {
-				f.coordLog(cm.From, cm.Msg)
+		for j, v := range batch {
+			batch[j] = nil // drop the reference for the GC
+			switch cm := v.(type) {
+			case *HeldDown:
+				// A fault-released message; see RunSiteLoop's *HeldUp case.
+				f.coordDeliverTo[cm.To](cm.Msg)
+				continue
+			case FromMsg:
+				if f.coordLog != nil {
+					f.coordLog(cm.From, cm.Msg)
+				}
+				f.p.Coord.Receive(cm.From, cm.Msg, f.coordSend, f.coordCast)
 			}
-			f.p.Coord.Receive(cm.From, cm.Msg, send, broadcast)
+			f.Inflight.Done()
 		}
-		f.Inflight.Done()
+		if f.coordFlush != nil {
+			f.coordFlush()
+		}
 	}
 }
 
@@ -431,9 +569,9 @@ func (f *Fabric) RunCoordLoop(deliver func(to int, m proto.Message)) {
 func (f *Fabric) Quiesce() { f.Inflight.Settle(true) }
 
 // Probe implements Transport. The fabric must be quiescent: the in-flight
-// WaitGroup then orders this read after every handler that touched
-// protocol state, so it is race-free even though the machines live on
-// other goroutines.
+// barrier then orders this read after every handler that touched protocol
+// state, so it is race-free even though the machines live on other
+// goroutines.
 func (f *Fabric) Probe() {
 	for _, s := range f.p.Sites {
 		if w := s.SpaceWords(); w > f.maxSiteSpace {

@@ -28,6 +28,99 @@ import (
 // construction); the accounting and estimates simply reflect whatever
 // interleaving the network produced.
 
+// outSeg is one pending run of encoded frames for a site connection,
+// referencing either the fanout's shared broadcast arena or the site's own
+// unicast arena by offsets (offsets, not slices, because the arenas may
+// reallocate while segments are pending).
+type outSeg struct {
+	shared     bool
+	start, end int
+}
+
+// fanoutWriter coalesces the serve loop's outbound frames: point-to-point
+// sends encode into a per-site arena, broadcasts encode once into a shared
+// arena that every live site's segment list references, and flush — called
+// at the serve loop's event edges — ships each dirty connection's pending
+// run in one syscall (a plain write when the run is contiguous, a vectored
+// net.Buffers write when broadcast and unicast segments interleave). The
+// serve loop is the only writer, so none of this needs a lock.
+type fanoutWriter struct {
+	conns  []net.Conn
+	shared []byte
+	uni    [][]byte
+	segs   [][]outSeg
+	dirty  []int
+	vec    net.Buffers
+}
+
+func newFanoutWriter(conns []net.Conn) *fanoutWriter {
+	return &fanoutWriter{
+		conns: conns,
+		uni:   make([][]byte, len(conns)),
+		segs:  make([][]outSeg, len(conns)),
+	}
+}
+
+func (w *fanoutWriter) frameOf(to int, sg outSeg) []byte {
+	if sg.shared {
+		return w.shared[sg.start:sg.end]
+	}
+	return w.uni[to][sg.start:sg.end]
+}
+
+// add records a pending segment for site to, merging contiguous runs from
+// the same arena so a burst of same-destination frames (a resync replay)
+// flushes as a single write.
+func (w *fanoutWriter) add(to int, sg outSeg) {
+	segs := w.segs[to]
+	if len(segs) == 0 {
+		w.dirty = append(w.dirty, to)
+	} else if last := &segs[len(segs)-1]; last.shared == sg.shared && last.end == sg.start {
+		last.end = sg.end
+		return
+	}
+	w.segs[to] = append(segs, sg)
+}
+
+// unicast encodes one frame for site to into its arena. Encoding failures
+// are ignored like the old per-message path ignored them: a message that
+// cannot be encoded cannot be helped, and the site's reader will report any
+// real connection trouble.
+func (w *fanoutWriter) unicast(to int, m proto.Message) {
+	start := len(w.uni[to])
+	buf, err := wire.AppendFrame(w.uni[to], m)
+	if err != nil {
+		return
+	}
+	w.uni[to] = buf
+	w.add(to, outSeg{start: start, end: len(buf)})
+}
+
+// flush ships every dirty connection's pending frames and resets the
+// arenas. Write errors are deliberately dropped, as the per-message sends
+// always were: a vanished site cannot be helped, and its reader reports the
+// loss to the serve loop.
+func (w *fanoutWriter) flush() {
+	for _, to := range w.dirty {
+		conn, segs := w.conns[to], w.segs[to]
+		if conn != nil {
+			if len(segs) == 1 {
+				conn.Write(w.frameOf(to, segs[0]))
+			} else {
+				w.vec = w.vec[:0]
+				for _, sg := range segs {
+					w.vec = append(w.vec, w.frameOf(to, sg))
+				}
+				w.vec.WriteTo(conn)
+			}
+		}
+		w.segs[to] = segs[:0]
+		w.uni[to] = w.uni[to][:0]
+	}
+	w.dirty = w.dirty[:0]
+	w.shared = w.shared[:0]
+}
+
 // Server hosts a protocol's coordinator half for k remote site processes.
 type Server struct {
 	// Coord is the coordinator state machine (required).
@@ -647,25 +740,43 @@ func (s *Server) Serve(ln net.Listener) (runtime.Metrics, error) {
 		}
 	}
 
+	// Outbound frames coalesce in the fanout writer and go on the wire at
+	// the serve loop's event edges (recv flushes before blocking for the
+	// next event): one Receive's cascade — replies, a round broadcast, a
+	// resync replay — rides one write per destination instead of one per
+	// message, and a broadcast is encoded once however many sites it
+	// reaches.
 	var frame []byte
+	w := newFanoutWriter(conns)
 	send := func(to int, m proto.Message) {
 		s.messagesDown++
 		s.wordsDown += int64(m.Words())
 		if conns[to] == nil {
 			return // recovered-finished slot: charged (ledger parity) but gone
 		}
-		var err error
-		frame, err = wire.AppendFrame(frame[:0], m)
-		if err == nil {
-			_, err = conns[to].Write(frame)
-		}
-		_ = err // a vanished site cannot be helped; its reader reports it
+		w.unicast(to, m)
 	}
 	broadcast := func(m proto.Message) {
 		s.broadcasts++
-		for to := range conns {
-			send(to, m)
+		start := len(w.shared)
+		buf, encErr := wire.AppendFrame(w.shared, m)
+		if encErr == nil {
+			w.shared = buf
 		}
+		sg := outSeg{shared: true, start: start, end: len(w.shared)}
+		for to := range conns {
+			s.messagesDown++
+			s.wordsDown += int64(m.Words())
+			if conns[to] == nil || encErr != nil {
+				continue
+			}
+			w.add(to, sg)
+		}
+	}
+	recv := func() any {
+		w.flush()
+		v, _ := box.Get()
+		return v
 	}
 
 	// finished settles a slot (Done applied, or declared lost); s.finished
@@ -692,7 +803,7 @@ func (s *Server) Serve(ln net.Listener) (runtime.Metrics, error) {
 	var stopErr error // set when Shutdown, Kill, or a store failure ends the loop early
 serve:
 	for remaining > 0 {
-		v, _ := box.Get()
+		v := recv()
 		switch ev := v.(type) {
 		case shutdownReq:
 			stopErr = ErrShutdown
@@ -820,6 +931,7 @@ serve:
 			}
 		}
 	}
+	w.flush() // ship whatever the final event left pending
 	// A resumed run can end before a recovered-finished site redials: its
 	// Done is durable from a previous incarnation, the crash ate its
 	// completion ack, and its slot has no connection for the teardown ack
@@ -842,7 +954,7 @@ serve:
 			})
 		linger:
 			for pending > 0 {
-				v, _ := box.Get()
+				v := recv()
 				switch ev := v.(type) {
 				case lingerTimeout, shutdownReq:
 					break linger
@@ -886,6 +998,7 @@ serve:
 				}
 			}
 			timer.Stop()
+			w.flush()
 		}
 	}
 	// Every site has finished (or a stop event landed): stop accepting
@@ -1057,9 +1170,11 @@ type SiteConn struct {
 	RedialMaxWait  time.Duration // backoff cap; default DefaultRedialMaxWait
 	RedialAttempts int           // default DefaultRedialAttempts
 
-	mu       sync.Mutex // guards s, frame, conn, and conn writes
+	mu       sync.Mutex // guards s, frame, pend, conn, and conn writes
 	conn     net.Conn
 	frame    []byte
+	pend     []byte // outbound frames coalesced until the section-end flush
+	pendDone bool   // pend contains the Done frame (full recovery on failure)
 	arrivals int64
 	sendErr  error
 	rejoins  int64
@@ -1196,36 +1311,60 @@ func dialRejoin(addr string, site, k int, config uint64, arrivals int64) (net.Co
 	return conn, rs, nil
 }
 
-// write ships one frame on the current connection; callers hold sc.mu.
-func (sc *SiteConn) write(m proto.Message) error {
-	var err error
-	sc.frame, err = wire.AppendFrame(sc.frame[:0], m)
-	if err == nil {
-		_, err = sc.conn.Write(sc.frame)
-	}
-	return err
-}
+// pendFlushCap bounds how many encoded bytes coalesce before out forces an
+// early flush mid-section.
+const pendFlushCap = 64 << 10
 
-// out ships one site message, driving the reconnection loop on failure;
-// callers hold sc.mu.
+// out queues one site message in the pending buffer; the section-end flush
+// (end of an Arrive/ArriveBatch call, end of one received broadcast's
+// handling) ships the whole run in one write. The Done frame flushes
+// immediately — Close's ack protocol needs it on the wire, not in a buffer.
+// Callers hold sc.mu.
 func (sc *SiteConn) out(m proto.Message) {
-	err := sc.write(m)
-	if err == nil {
+	var err error
+	sc.pend, err = wire.AppendFrame(sc.pend, m)
+	if err != nil {
+		if sc.sendErr == nil {
+			sc.sendErr = err
+		}
 		return
 	}
-	if sc.closing {
-		if _, isDone := m.(wire.Done); !isDone {
-			return // post-Done reply: best-effort once the run is winding down
-		}
+	if _, isDone := m.(wire.Done); isDone {
+		sc.pendDone = true
+		sc.flush()
+		return
 	}
-	if sc.AutoReconnect {
+	if len(sc.pend) >= pendFlushCap {
+		sc.flush()
+	}
+}
+
+// flush ships the pending frames, driving the reconnection loop on
+// failure: a rejoin re-establishes the connection and the whole pending
+// run is retransmitted (the protocols' absolute-state messages make a
+// possible duplicate prefix harmless, exactly as the old per-message
+// retransmit did). Once closing, a failed run without the Done frame is
+// best-effort — the server may legitimately have hung up already — and
+// neither reconnects nor sets sendErr. Callers hold sc.mu.
+func (sc *SiteConn) flush() {
+	if len(sc.pend) == 0 {
+		return
+	}
+	_, err := sc.conn.Write(sc.pend)
+	if err != nil && sc.closing && !sc.pendDone {
+		sc.pend = sc.pend[:0]
+		return
+	}
+	if err != nil && sc.AutoReconnect {
 		if err = sc.reconnect(); err == nil {
-			err = sc.write(m) // retransmit on the fresh connection
+			_, err = sc.conn.Write(sc.pend) // retransmit on the fresh connection
 		}
 	}
 	if err != nil && sc.sendErr == nil {
 		sc.sendErr = err
 	}
+	sc.pend = sc.pend[:0]
+	sc.pendDone = false
 }
 
 // reconnect re-establishes the connection with a Rejoin handshake; callers
@@ -1288,6 +1427,7 @@ func (sc *SiteConn) startReader(conn net.Conn) {
 			}
 			sc.mu.Lock()
 			sc.s.Receive(m, sc.out)
+			sc.flush()
 			sc.mu.Unlock()
 		}
 	}()
@@ -1324,6 +1464,7 @@ func (sc *SiteConn) Arrive(item int64, value float64) {
 	sc.arrivals++
 	sc.s.Arrive(item, value, sc.out)
 	sc.maybeProgress(prev)
+	sc.flush()
 	sc.mu.Unlock()
 }
 
@@ -1338,6 +1479,7 @@ func (sc *SiteConn) ArriveBatch(item int64, value float64, count int64) {
 		count -= done
 	}
 	sc.maybeProgress(prev)
+	sc.flush()
 	sc.mu.Unlock()
 }
 

@@ -38,6 +38,16 @@ type Loopback struct {
 	siteConns  []net.Conn // site-side (dialed) connection per site
 	coordConns []net.Conn // coordinator-side (accepted) connection per site
 
+	// Pending outbound frames, encoded back-to-back and written in one
+	// syscall at each flush boundary. sitePend[i] is guarded by the
+	// fabric's per-site injection mutex (appended by the inline injector
+	// or site i's loop, flushed by the fabric's flush hook under the same
+	// mutex); coordPend/coordDirty are only touched by the coordinator
+	// loop.
+	sitePend   [][]byte
+	coordPend  [][]byte
+	coordDirty []int
+
 	wg     sync.WaitGroup
 	closed atomic.Bool
 }
@@ -58,6 +68,8 @@ func StartLoopback(p proto.Protocol) (*Loopback, error) {
 		Fabric:     runtime.NewFabric(p),
 		siteConns:  make([]net.Conn, k),
 		coordConns: make([]net.Conn, k),
+		sitePend:   make([][]byte, k),
+		coordPend:  make([][]byte, k),
 	}
 
 	// Dial the site ends concurrently with accepting the coordinator ends;
@@ -118,6 +130,55 @@ func StartLoopback(p proto.Protocol) (*Loopback, error) {
 	}
 
 	for i := 0; i < k; i++ {
+		i := i
+		conn := c.siteConns[i]
+		// Site sends append frames to the connection's pending buffer; the
+		// fabric's flush hook — end of an inline injection or a delivered
+		// batch, always under the site mutex — puts them on the wire in one
+		// syscall.
+		c.BindSite(i,
+			func(m proto.Message) {
+				var err error
+				c.sitePend[i], err = wire.AppendFrame(c.sitePend[i], m)
+				if err != nil {
+					c.fail("site encode", err)
+				}
+			},
+			func() {
+				if len(c.sitePend[i]) == 0 {
+					return
+				}
+				if _, err := conn.Write(c.sitePend[i]); err != nil {
+					c.fail("site send", err)
+				}
+				c.sitePend[i] = c.sitePend[i][:0]
+			})
+	}
+	// Coordinator sends coalesce per destination connection; the flush hook
+	// runs at the coordinator loop's batch edges and walks only the dirty
+	// connections.
+	c.BindCoord(
+		func(to int, m proto.Message) {
+			if len(c.coordPend[to]) == 0 {
+				c.coordDirty = append(c.coordDirty, to)
+			}
+			var err error
+			c.coordPend[to], err = wire.AppendFrame(c.coordPend[to], m)
+			if err != nil {
+				c.fail("coord encode", err)
+			}
+		},
+		func() {
+			for _, to := range c.coordDirty {
+				if _, err := c.coordConns[to].Write(c.coordPend[to]); err != nil {
+					c.fail("coord send", err)
+				}
+				c.coordPend[to] = c.coordPend[to][:0]
+			}
+			c.coordDirty = c.coordDirty[:0]
+		})
+
+	for i := 0; i < k; i++ {
 		c.wg.Add(3)
 		go c.siteLoop(i)
 		go c.siteReader(i)
@@ -138,22 +199,12 @@ func (c *Loopback) fail(op string, err error) {
 	panic(fmt.Sprintf("tcp: transport %s: %v", op, err))
 }
 
-// siteLoop runs site i's machine via the shared fabric loop, delivering
-// every emitted message as one frame on the site's connection.
+// siteLoop runs site i's delivery loop via the shared fabric loop; emitted
+// frames coalesce in the connection's pending buffer until the batch-edge
+// flush (see StartLoopback's BindSite hooks).
 func (c *Loopback) siteLoop(i int) {
 	defer c.wg.Done()
-	conn := c.siteConns[i]
-	var frame []byte
-	c.RunSiteLoop(i, func(m proto.Message) {
-		var err error
-		frame, err = wire.AppendFrame(frame[:0], m)
-		if err == nil {
-			_, err = conn.Write(frame)
-		}
-		if err != nil {
-			c.fail("site send", err)
-		}
-	})
+	c.RunSiteLoop(i)
 }
 
 // siteReader decodes coordinator->site frames into site i's mailbox.
@@ -194,21 +245,12 @@ func (c *Loopback) coordReader(i int) {
 	}
 }
 
-// coordLoop runs the coordinator machine via the shared fabric loop,
-// delivering each message as one frame on the target site's connection.
+// coordLoop runs the coordinator machine via the shared fabric loop;
+// outbound frames coalesce per destination until the batch-edge flush (see
+// StartLoopback's BindCoord hooks).
 func (c *Loopback) coordLoop() {
 	defer c.wg.Done()
-	var frame []byte
-	c.RunCoordLoop(func(to int, m proto.Message) {
-		var err error
-		frame, err = wire.AppendFrame(frame[:0], m)
-		if err == nil {
-			_, err = c.coordConns[to].Write(frame)
-		}
-		if err != nil {
-			c.fail("coord send", err)
-		}
-	})
+	c.RunCoordLoop()
 }
 
 func (c *Loopback) closeConns() {

@@ -188,7 +188,11 @@ type SnapshotPool struct {
 }
 
 // get returns a length-n tuple slice, reusing a retired one when large
-// enough (a too-small retired slice is dropped to the GC).
+// enough (a too-small retired slice is dropped to the GC). Fresh
+// allocations take the next power of two of capacity: snapshot sizes grow
+// monotonically as a summary fills, so exact-size storage would be too
+// small for the very next snapshot and every get would miss — the headroom
+// keeps a retired slice reusable until sizes double.
 func (sp *SnapshotPool) get(n int) []SnapshotTuple {
 	if sp != nil {
 		sp.mu.Lock()
@@ -202,7 +206,11 @@ func (sp *SnapshotPool) get(n int) []SnapshotTuple {
 		}
 		sp.mu.Unlock()
 	}
-	return make([]SnapshotTuple, n)
+	c := 8
+	for c < n {
+		c *= 2
+	}
+	return make([]SnapshotTuple, n, c)
 }
 
 // Release retires the snapshot's tuple storage into pool. The snapshot must

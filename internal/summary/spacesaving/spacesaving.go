@@ -32,12 +32,15 @@ type Counter struct {
 type Summary struct {
 	capacity int
 	byItem   map[int64]*Counter
+	block    []Counter  // backing storage: all m counters in one allocation
 	slots    []*Counter // all allocated counters, by slot id
 	h        minHeap    // live counters ordered by Count
 	n        int64
 }
 
-// New returns a summary with m slots. It panics if m <= 0.
+// New returns a summary with m slots. It panics if m <= 0. All m counters
+// and both slot indexes are allocated up front in a handful of blocks, so
+// filling the summary performs no per-slot allocation.
 func New(m int) *Summary {
 	if m <= 0 {
 		panic("spacesaving: New with non-positive capacity")
@@ -45,6 +48,9 @@ func New(m int) *Summary {
 	return &Summary{
 		capacity: m,
 		byItem:   make(map[int64]*Counter, m),
+		block:    make([]Counter, m),
+		slots:    make([]*Counter, 0, m),
+		h:        make(minHeap, 0, m),
 	}
 }
 
@@ -58,7 +64,8 @@ func (s *Summary) Add(j int64) *Counter {
 		return c
 	}
 	if len(s.slots) < s.capacity {
-		c := &Counter{Slot: len(s.slots), Item: j, Count: 1}
+		c := &s.block[len(s.slots)]
+		c.Slot, c.Item, c.Count = len(s.slots), j, 1
 		s.slots = append(s.slots, c)
 		s.byItem[j] = c
 		heap.Push(&s.h, c)

@@ -226,9 +226,12 @@ func init() {
 			return freq.ResetMsg{}, b, nil
 		})
 
-	Register(tagFreqDetReport, freq.DetReportMsg{},
+	// Pooled pointer message: encode accepts *DetReportMsg (the form the
+	// protocol ships) and decode draws from the same shell pool the sites
+	// use, so a decoded frame's shell is recycled by the coordinator.
+	Register(tagFreqDetReport, &freq.DetReportMsg{},
 		func(b []byte, m proto.Message) []byte {
-			dm := m.(freq.DetReportMsg)
+			dm := m.(*freq.DetReportMsg)
 			return AppendInt(AppendInt(AppendInt(b, int64(dm.Slot)), dm.Item), dm.Count)
 		},
 		func(b []byte) (proto.Message, []byte, error) {
@@ -241,7 +244,10 @@ func init() {
 				return nil, b, err
 			}
 			cnt, b, err := ReadInt(b)
-			return freq.DetReportMsg{Slot: int(slot), Item: item, Count: cnt}, b, err
+			if err != nil {
+				return nil, b, err
+			}
+			return freq.NewDetReport(int(slot), item, cnt), b, nil
 		})
 
 	Register(tagRankSummary, rank.SummaryMsg{},
@@ -290,9 +296,10 @@ func init() {
 			return rank.SampleMsg{Chunk: chunk, Index: idx, Value: v}, b, err
 		})
 
-	Register(tagRankDetSnapshot, rank.DetSnapshotMsg{},
+	// Pooled pointer message, like tagFreqDetReport above.
+	Register(tagRankDetSnapshot, &rank.DetSnapshotMsg{},
 		func(b []byte, m proto.Message) []byte {
-			sn := m.(rank.DetSnapshotMsg).Snap
+			sn := m.(*rank.DetSnapshotMsg).Snap
 			b = AppendInt(b, sn.N)
 			b = AppendFloat(b, sn.Eps)
 			b = AppendInt(b, int64(len(sn.Tuples)))
@@ -328,7 +335,7 @@ func init() {
 					}
 				}
 			}
-			return rank.DetSnapshotMsg{Snap: gk.Snapshot{N: n, Eps: eps, Tuples: tuples}}, b, nil
+			return rank.NewDetSnapshot(gk.Snapshot{N: n, Eps: eps, Tuples: tuples}), b, nil
 		})
 
 	Register(tagSampleElement, sample.ElementMsg{},
@@ -474,6 +481,121 @@ func init() {
 			}
 			n, b, err := ReadInt(b)
 			return Resync{Round: round, Arrivals: n}, b, err
+		})
+
+	// Scratch decoders (wire.Decoder) for the fixed-width hot-path
+	// messages: decode into a reusable pointer box instead of boxing a
+	// fresh value per frame. All of them share the shape "reuse prev or
+	// allocate once, overwrite every field".
+	RegisterScratch(tagRoundsUp,
+		func(b []byte, prev proto.Message) (proto.Message, []byte, error) {
+			p, _ := prev.(*rounds.UpMsg)
+			if p == nil {
+				p = new(rounds.UpMsg)
+			}
+			var err error
+			p.N, b, err = ReadInt(b)
+			return p, b, err
+		})
+	RegisterScratch(tagRoundsBroadcast,
+		func(b []byte, prev proto.Message) (proto.Message, []byte, error) {
+			p, _ := prev.(*rounds.BroadcastMsg)
+			if p == nil {
+				p = new(rounds.BroadcastMsg)
+			}
+			var err error
+			p.NBar, b, err = ReadInt(b)
+			return p, b, err
+		})
+	RegisterScratch(tagCountUpdate,
+		func(b []byte, prev proto.Message) (proto.Message, []byte, error) {
+			p, _ := prev.(*count.UpdateMsg)
+			if p == nil {
+				p = new(count.UpdateMsg)
+			}
+			var err error
+			p.N, b, err = ReadInt(b)
+			return p, b, err
+		})
+	RegisterScratch(tagCountAdjust,
+		func(b []byte, prev proto.Message) (proto.Message, []byte, error) {
+			p, _ := prev.(*count.AdjustMsg)
+			if p == nil {
+				p = new(count.AdjustMsg)
+			}
+			var err error
+			p.NBar, b, err = ReadInt(b)
+			return p, b, err
+		})
+	RegisterScratch(tagFreqCounter,
+		func(b []byte, prev proto.Message) (proto.Message, []byte, error) {
+			p, _ := prev.(*freq.CounterMsg)
+			if p == nil {
+				p = new(freq.CounterMsg)
+			}
+			var err error
+			p.Item, b, err = ReadInt(b)
+			if err != nil {
+				return nil, b, err
+			}
+			p.Count, b, err = ReadInt(b)
+			return p, b, err
+		})
+	RegisterScratch(tagFreqSample,
+		func(b []byte, prev proto.Message) (proto.Message, []byte, error) {
+			p, _ := prev.(*freq.SampleMsg)
+			if p == nil {
+				p = new(freq.SampleMsg)
+			}
+			var err error
+			p.Item, b, err = ReadInt(b)
+			return p, b, err
+		})
+	RegisterScratch(tagRankSample,
+		func(b []byte, prev proto.Message) (proto.Message, []byte, error) {
+			p, _ := prev.(*rank.SampleMsg)
+			if p == nil {
+				p = new(rank.SampleMsg)
+			}
+			var err error
+			p.Chunk, b, err = ReadInt(b)
+			if err != nil {
+				return nil, b, err
+			}
+			p.Index, b, err = ReadInt(b)
+			if err != nil {
+				return nil, b, err
+			}
+			p.Value, b, err = ReadFloat(b)
+			return p, b, err
+		})
+	RegisterScratch(tagSampleElement,
+		func(b []byte, prev proto.Message) (proto.Message, []byte, error) {
+			p, _ := prev.(*sample.ElementMsg)
+			if p == nil {
+				p = new(sample.ElementMsg)
+			}
+			item, b, err := ReadInt(b)
+			if err != nil {
+				return nil, b, err
+			}
+			v, b, err := ReadFloat(b)
+			if err != nil {
+				return nil, b, err
+			}
+			lvl, b, err := ReadInt(b)
+			p.Item, p.Value, p.Level = item, v, int(lvl)
+			return p, b, err
+		})
+	RegisterScratch(tagSampleLevel,
+		func(b []byte, prev proto.Message) (proto.Message, []byte, error) {
+			p, _ := prev.(*sample.LevelMsg)
+			if p == nil {
+				p = new(sample.LevelMsg)
+			}
+			lvl, b, err := ReadInt(b)
+			p.Level = int(lvl)
+			return p, b, err
 		})
 }
 

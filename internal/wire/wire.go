@@ -44,6 +44,10 @@ type entry struct {
 	prototype proto.Message
 	enc       func(buf []byte, m proto.Message) []byte
 	dec       func(b []byte) (proto.Message, []byte, error)
+	// reuse, when registered, decodes into prev (a pointer-form message this
+	// hook previously returned for the same tag, or nil) instead of boxing a
+	// fresh value — the Decoder scratch path.
+	reuse func(b []byte, prev proto.Message) (proto.Message, []byte, error)
 }
 
 var (
@@ -92,6 +96,62 @@ func Decode(b []byte) (proto.Message, []byte, error) {
 		return nil, b, fmt.Errorf("%w: %d", ErrUnknownTag, b[0])
 	}
 	return e.dec(b[1:])
+}
+
+// RegisterScratch binds an optional scratch decoder to an already
+// registered tag: reuse decodes one message, writing into prev — a
+// pointer-form message the hook previously returned for this tag, or nil
+// on the first call — instead of boxing a fresh value. Called from init,
+// after the tag's Register.
+func RegisterScratch(tag byte,
+	reuse func(b []byte, prev proto.Message) (proto.Message, []byte, error)) {
+	e := byTag[tag]
+	if e == nil {
+		panic(fmt.Sprintf("wire: scratch decoder for unregistered tag %d", tag))
+	}
+	if e.reuse != nil {
+		panic(fmt.Sprintf("wire: scratch decoder for tag %d registered twice", tag))
+	}
+	e.reuse = reuse
+}
+
+// Decoder is Decode with a pooled scratch: for message types with a
+// scratch decoder (the fixed-width hot-path messages), it returns a
+// pointer-form message decoded into a per-tag reusable box, so a steady
+// decode stream performs zero allocations.
+//
+// The returned message is BORROWED: it is valid only until the next Decode
+// of the same tag on this Decoder. Use it on immediate-consumption paths —
+// decode, read the fields, move on. Paths that retain decoded messages
+// (the transport readers, whose mailboxes hold them until a loop drains
+// them) must keep using the plain Decode.
+//
+// Message types without a scratch decoder fall back to the plain decode of
+// a fresh (owned, value-form) message, so a Decoder is always safe to
+// point at a mixed frame stream. A Decoder is not safe for concurrent use.
+type Decoder struct {
+	scratch [256]proto.Message
+}
+
+// Decode decodes one message from the front of b; see Decoder for the
+// borrowed-result contract.
+func (d *Decoder) Decode(b []byte) (proto.Message, []byte, error) {
+	if len(b) == 0 {
+		return nil, b, ErrShort
+	}
+	e := byTag[b[0]]
+	if e == nil {
+		return nil, b, fmt.Errorf("%w: %d", ErrUnknownTag, b[0])
+	}
+	if e.reuse == nil {
+		return e.dec(b[1:])
+	}
+	m, rest, err := e.reuse(b[1:], d.scratch[e.tag])
+	if err != nil {
+		return nil, rest, err
+	}
+	d.scratch[e.tag] = m
+	return m, rest, nil
 }
 
 // Registered returns one prototype per registered message type, in tag

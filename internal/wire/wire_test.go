@@ -86,15 +86,15 @@ func gen(r *rand.Rand, prototype proto.Message) proto.Message {
 		return freq.SampleMsg{Item: r.Int63()}
 	case freq.ResetMsg:
 		return freq.ResetMsg{}
-	case freq.DetReportMsg:
-		return freq.DetReportMsg{Slot: r.Intn(1 << 16), Item: r.Int63(), Count: r.Int63n(1 << 30)}
+	case *freq.DetReportMsg:
+		return &freq.DetReportMsg{Slot: r.Intn(1 << 16), Item: r.Int63(), Count: r.Int63n(1 << 30)}
 	case rank.SummaryMsg:
 		return rank.SummaryMsg{Chunk: r.Int63n(1 << 30), Level: r.Intn(32),
 			Pos: r.Intn(1 << 20), Snap: genMergeSnapshot(r)}
 	case rank.SampleMsg:
 		return rank.SampleMsg{Chunk: r.Int63n(1 << 30), Index: r.Int63n(1 << 40), Value: r.NormFloat64()}
-	case rank.DetSnapshotMsg:
-		return rank.DetSnapshotMsg{Snap: genGKSnapshot(r)}
+	case *rank.DetSnapshotMsg:
+		return &rank.DetSnapshotMsg{Snap: genGKSnapshot(r)}
 	case sample.ElementMsg:
 		return sample.ElementMsg{Item: r.Int63(), Value: r.NormFloat64(), Level: r.Intn(60)}
 	case sample.LevelMsg:
@@ -159,7 +159,7 @@ func overheadBytes(m proto.Message) int {
 		return 8 + 1 + overheadBytes(msg.Inner)
 	case rank.SummaryMsg:
 		return 8 // buffer count
-	case rank.DetSnapshotMsg:
+	case *rank.DetSnapshotMsg:
 		return 16 // ε + tuple count
 	case wire.Logged:
 		return 1 + overheadBytes(msg.Msg) // inner tag
@@ -252,7 +252,7 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 		t.Error("oversized buffer count did not error")
 	}
 	// Truncations of every prefix length must error, not panic.
-	full, err := wire.Append(nil, freq.DetReportMsg{Slot: 1, Item: 2, Count: 3})
+	full, err := wire.Append(nil, &freq.DetReportMsg{Slot: 1, Item: 2, Count: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,6 +305,111 @@ func TestAppendZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("Append allocated %.1f times per run; want 0", allocs)
+	}
+}
+
+// TestDecoderScratchRoundTrip pins the scratch decoder's semantics: hot
+// messages decode into per-tag borrowed boxes (the pointee equals what was
+// encoded; a later decode of the same tag overwrites the earlier box), and
+// types without a scratch hook fall back to a fresh owned decode identical
+// to plain Decode.
+func TestDecoderScratchRoundTrip(t *testing.T) {
+	var dec wire.Decoder
+
+	buf, err := wire.Append(nil, rounds.UpMsg{N: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _, err := dec.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, ok := m1.(*rounds.UpMsg)
+	if !ok {
+		t.Fatalf("scratch decode returned %T; want *rounds.UpMsg", m1)
+	}
+	if p1.N != 41 {
+		t.Fatalf("decoded N = %d, want 41", p1.N)
+	}
+
+	// Same tag again: the borrowed box is overwritten in place.
+	buf, err = wire.Append(buf[:0], rounds.UpMsg{N: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := dec.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.(*rounds.UpMsg) != p1 {
+		t.Fatal("second decode of the same tag did not reuse the scratch box")
+	}
+	if p1.N != 42 {
+		t.Fatalf("scratch box holds N = %d after overwrite, want 42", p1.N)
+	}
+
+	// A type with no scratch hook falls back to the plain owned decode.
+	buf, err = wire.Append(buf[:0], wire.Done{Arrivals: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, _, err := dec.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := wire.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m3, want) {
+		t.Fatalf("fallback decode = %#v, want %#v", m3, want)
+	}
+}
+
+// TestDecoderZeroAlloc pins the scratch decoder's zero-allocation contract
+// on the hot-path message types: after the first pass warms the per-tag
+// boxes, a steady encode+decode stream never touches the heap.
+func TestDecoderZeroAlloc(t *testing.T) {
+	msgs := []proto.Message{
+		rounds.UpMsg{N: 12345},
+		rounds.BroadcastMsg{NBar: 500},
+		count.UpdateMsg{N: 99},
+		count.AdjustMsg{NBar: 200},
+		freq.CounterMsg{Item: 7, Count: 3},
+		freq.SampleMsg{Item: 7},
+		rank.SampleMsg{Chunk: 1, Index: 2, Value: 3.5},
+		sample.ElementMsg{Item: 1, Value: 2, Level: 3},
+		sample.LevelMsg{Level: 4},
+	}
+	buf := make([]byte, 0, 256)
+	var dec wire.Decoder
+	for _, m := range msgs { // warm the scratch boxes
+		b, err := wire.Append(buf[:0], m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := dec.Decode(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for _, m := range msgs {
+			var err error
+			buf, err = wire.Append(buf[:0], m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := dec.Decode(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Words() != m.Words() {
+				t.Fatalf("decoded %T words mismatch", m)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Decoder round trip allocated %.1f times per run; want 0", allocs)
 	}
 }
 

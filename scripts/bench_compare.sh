@@ -7,11 +7,13 @@
 #   scripts/bench_compare.sh OLD.json NEW.json [gate-regex] [threshold-pct]
 #
 # Prints old/new ns/op and the delta for every benchmark present in both
-# snapshots. Exits non-zero when any benchmark matching gate-regex (default:
-# the Observe/ObserveBatch ingestion suite) regresses by more than
-# threshold-pct percent ns/op (default 10). Uses `benchstat` for the pretty
-# report when it is installed; the gate itself has no dependencies beyond
-# POSIX sh + awk.
+# snapshots. Exits non-zero when any benchmark matching gate-regex regresses
+# by more than threshold-pct percent ns/op (default 10). The default gate
+# covers the ingestion suites (Observe*/RankObserve*, including the
+# ObserveTransport/ObserveBatchTransport cross-transport family), the
+# concurrent-ingest path (MultiProducerIngest*), the merge-tree suite, and
+# the wire codec round trip. Uses `benchstat` for the pretty report when it
+# is installed; the gate itself has no dependencies beyond POSIX sh + awk.
 set -eu
 
 if [ "$#" -lt 2 ]; then
@@ -20,7 +22,7 @@ if [ "$#" -lt 2 ]; then
 fi
 OLD="$1"
 NEW="$2"
-GATE="${3:-^Benchmark(Observe|RankObserve|Merge)}"
+GATE="${3:-^Benchmark(Observe|ObserveTransport|ObserveBatchTransport|RankObserve|MultiProducerIngest|Merge|WireRoundTrip)}"
 THRESHOLD="${4:-10}"
 
 # extract <file> — recover the raw `go test -bench` lines from the snapshot.
