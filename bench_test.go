@@ -570,6 +570,41 @@ func BenchmarkMultiProducerIngestFreq(b *testing.B) {
 	}
 }
 
+// --- E18: hierarchical fan-in (not a paper artifact): why the coordinator
+// tree exists. Per iteration one flat star and one square 2-level tree
+// (fan-out √k) ingest the same batch stream; rootmsgs is the tree root's
+// fan-in message count against the flat star's flatmsgs at the same k, and
+// fanin is their ratio. The flat root pays Ω(k) per round for broadcasts
+// alone, the tree root O(√k) children — the ratio widens with k (the ≥5×
+// margin at k=1024 is pinned in guarantee_test.go). ---
+
+func BenchmarkTreeFanIn(b *testing.B) {
+	// Same ε and N as the TestTreeRootFanInAcceptance pin, so the k=1024
+	// row here is the pinned ≥5× claim measured as a benchmark artifact.
+	const (
+		fanInEps = 0.1
+		fanInN   = 2 * benchN
+	)
+	for _, cfg := range []struct{ k, fanout int }{
+		{64, 8}, {256, 16}, {1024, 32}, {4096, 64},
+	} {
+		cfg := cfg
+		b.Run(bname("k", cfg.k), func(b *testing.B) {
+			var flat, tree Metrics
+			for i := 0; i < b.N; i++ {
+				seed := uint64(i + 1)
+				flat = metricsForOpt(Options{K: cfg.k, Epsilon: fanInEps,
+					Algorithm: AlgorithmRandomized}, fanInN, seed)
+				tree = metricsForOpt(Options{K: cfg.k, Epsilon: fanInEps,
+					Algorithm: AlgorithmRandomized, Topology: TopologyTree, Fanout: cfg.fanout}, fanInN, seed)
+			}
+			b.ReportMetric(float64(flat.Messages), "flatmsgs")
+			b.ReportMetric(float64(tree.LevelMessages[1]), "rootmsgs")
+			b.ReportMetric(float64(flat.Messages)/float64(tree.LevelMessages[1]), "fanin")
+		})
+	}
+}
+
 func bname(prefix string, v int) string {
 	return prefix + "=" + itoa(v)
 }

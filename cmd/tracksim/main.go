@@ -27,6 +27,18 @@
 //
 // The server prints running estimates as site traffic lands and a final
 // cost report once every site has finished.
+//
+// With -topology tree the deployment becomes a two-level coordinator tree:
+// the root serves one slot per aggregator shard, each aggregate process
+// runs the coordinator protocol over its shard's leaves and the site
+// protocol toward the root, and leaves connect to their shard's aggregator
+// (-site is the leaf's local index within the shard):
+//
+//	go run ./cmd/tracksim serve     -topology tree -fanout 2 -k 4 -addr :7077
+//	go run ./cmd/tracksim aggregate -topology tree -fanout 2 -k 4 -shard 0 -addr :7177 -parent localhost:7077
+//	go run ./cmd/tracksim aggregate -topology tree -fanout 2 -k 4 -shard 1 -addr :7178 -parent localhost:7077
+//	go run ./cmd/tracksim connect   -topology tree -fanout 2 -k 4 -shard 0 -site 0 -addr localhost:7177 -n 50000
+//	...
 package main
 
 import (
@@ -63,6 +75,9 @@ func main() {
 			return
 		case "connect":
 			connectMain(os.Args[2:])
+			return
+		case "aggregate":
+			aggregateMain(os.Args[2:])
 			return
 		case "chaos":
 			chaosMain(os.Args[2:])
@@ -126,6 +141,8 @@ func singleProcessMain() {
 		"full-buffer policy with -producers: block | drop")
 	faults := flag.String("faults", "",
 		"fault-injection spec, e.g. drop=0.02,dup=0.01,reorder=0.1,delay=0.05@8,seed=7,kill=1@5000:+3000")
+	topology := flag.String("topology", "flat", "flat | tree (two-level coordinator tree)")
+	fanout := flag.Int("fanout", 16, "leaf sites per aggregator shard (with -topology tree)")
 	flag.Parse()
 
 	algorithm := parseAlg(*alg)
@@ -176,8 +193,35 @@ func singleProcessMain() {
 
 	opt := disttrack.Options{K: *k, Epsilon: *eps, Algorithm: algorithm, Seed: *seed,
 		Rescale: *rescale, Transport: tr, Copies: *copies, Robust: *robustMode, FaultPlan: faultPlan}
+	switch *topology {
+	case "flat":
+	case "tree":
+		// Friendly flag errors for the combos Options.validate would reject.
+		if *robustMode {
+			fatalf("-robust is incompatible with -topology tree")
+		}
+		if *copies > 1 {
+			fatalf("-copies is incompatible with -topology tree")
+		}
+		if *faults != "" {
+			fatalf("-faults is incompatible with -topology tree (use `tracksim chaos -topology tree` for tree faults)")
+		}
+		if algorithm == disttrack.AlgorithmDeterministic && *problem != "count" {
+			fatalf("-topology tree supports -alg deterministic for -problem count only")
+		}
+		if *fanout < 2 || *k <= *fanout {
+			fatalf("-topology tree needs -fanout >= 2 and -k > -fanout (got k=%d fanout=%d)", *k, *fanout)
+		}
+		opt.Topology, opt.Fanout = disttrack.TopologyTree, *fanout
+	default:
+		fatalf("unknown topology %q", *topology)
+	}
 	fmt.Printf("problem=%s alg=%s k=%d eps=%g n=%d workload=%s transport=%s copies=%d robust=%t\n",
 		*problem, algorithm, *k, *eps, *n, *wl, tr, *copies, *robustMode)
+	if opt.Topology == disttrack.TopologyTree {
+		fmt.Printf("topology=tree fanout=%d (%d aggregator shards)\n",
+			*fanout, (*k+*fanout-1) / *fanout)
+	}
 	if faultPlan != nil {
 		fmt.Printf("faults: %q\n", *faults)
 	}
@@ -266,6 +310,11 @@ func singleProcessMain() {
 	fmt.Printf("\naccuracy: %d/%d checkpoints outside the ε-band (%.1f%%)\n",
 		bad, checks, 100*float64(bad)/float64(checks))
 	fmt.Printf("messages:   %d\n", metrics.Messages)
+	if metrics.Depth == 2 {
+		fmt.Printf("per-level:  leaf %d msgs (%d words), root %d msgs (%d words)\n",
+			metrics.LevelMessages[0], metrics.LevelWords[0],
+			metrics.LevelMessages[1], metrics.LevelWords[1])
+	}
 	fmt.Printf("words:      %d\n", metrics.Words)
 	fmt.Printf("broadcasts: %d\n", metrics.Broadcasts)
 	fmt.Printf("site space: %d words (high-water)\n", metrics.MaxSiteSpace)
@@ -477,26 +526,190 @@ func attackMain(args []string) {
 	}
 }
 
-// distConfig is the protocol shape shared by serve and connect.
+// distConfig is the protocol shape shared by serve, aggregate, and connect.
 type distConfig struct {
-	problem string
-	alg     string
-	k       int
-	eps     float64
-	rescale float64
-	robust  bool
+	problem  string
+	alg      string
+	k        int
+	eps      float64
+	rescale  float64
+	robust   bool
+	topology string
+	fanout   int
 }
 
 func distFlags(fs *flag.FlagSet) *distConfig {
 	c := &distConfig{}
 	fs.StringVar(&c.problem, "problem", "count", "count | freq | rank")
 	fs.StringVar(&c.alg, "alg", "randomized", "randomized | deterministic | sampling")
-	fs.IntVar(&c.k, "k", 2, "number of site processes")
+	fs.IntVar(&c.k, "k", 2, "number of site processes (with -topology tree: total leaf sites)")
 	fs.Float64Var(&c.eps, "eps", 0.05, "target relative error")
 	fs.Float64Var(&c.rescale, "rescale", 0, "internal eps rescale (0 = paper default 3)")
 	fs.BoolVar(&c.robust, "robust", false,
 		"adversarially robust count tracking: noised reports + gated releases (count/randomized only)")
+	fs.StringVar(&c.topology, "topology", "flat", "flat | tree (two-level coordinator tree)")
+	fs.IntVar(&c.fanout, "fanout", 16, "leaf sites per aggregator shard (with -topology tree)")
 	return c
+}
+
+// tree reports whether the deployment is the two-level coordinator tree.
+func (c *distConfig) tree() bool {
+	switch c.topology {
+	case "", "flat":
+		return false
+	case "tree":
+		return true
+	}
+	fatalf("unknown topology %q", c.topology)
+	panic("unreachable")
+}
+
+// checkTree validates the tree shape and the problem/alg combos that have
+// re-aggregation adapters, mirroring Options.validate on the facade.
+func (c *distConfig) checkTree() {
+	if !c.tree() {
+		return
+	}
+	if c.robust {
+		fatalf("-robust is incompatible with -topology tree")
+	}
+	if c.alg == "deterministic" && c.problem != "count" {
+		fatalf("-topology tree supports -alg deterministic for -problem count only")
+	}
+	if c.fanout < 2 {
+		fatalf("-fanout must be >= 2 (got %d)", c.fanout)
+	}
+	if c.groups() < 2 {
+		fatalf("-topology tree needs -k > -fanout (k=%d fanout=%d leaves a single shard; use -topology flat)",
+			c.k, c.fanout)
+	}
+}
+
+// groups is the number of aggregator shards: ceil(k / fanout).
+func (c *distConfig) groups() int { return (c.k + c.fanout - 1) / c.fanout }
+
+// groupSize is the number of leaf sites in shard g (the last shard may be
+// smaller).
+func (c *distConfig) groupSize(g int) int {
+	size := c.fanout
+	if rem := c.k - g*c.fanout; rem < size {
+		size = rem
+	}
+	return size
+}
+
+// levelEps is the per-level error budget: (1+ε)^(1/2)−1 for the threshold
+// protocols so the two levels compose to ε exactly. Sampling runs both
+// levels at the full ε — its error is driven by retained-sample size, and
+// the resampled feed keeps the root's sample uniform over the whole stream.
+func (c *distConfig) levelEps() float64 {
+	if c.alg == "sampling" {
+		return c.eps
+	}
+	return proto.SplitEps(c.eps, 2)
+}
+
+// groupConfig is the shape of shard g's child-facing protocol: the
+// aggregator plays coordinator over groupSize(g) leaves at the per-level ε.
+func (c *distConfig) groupConfig(g int) *distConfig {
+	gc := *c
+	gc.topology, gc.k, gc.eps = "flat", c.groupSize(g), c.levelEps()
+	return &gc
+}
+
+// rootConfig is the shape of the top-level protocol: one site slot per
+// aggregator shard.
+func (c *distConfig) rootConfig() *distConfig {
+	rc := *c
+	rc.topology, rc.k, rc.eps = "flat", c.groups(), c.levelEps()
+	return &rc
+}
+
+// fingerprintAt extends the flat fingerprint with the tree link identity:
+// level 1 is the aggregator→root link, level 0 shard g the leaf→aggregator
+// links of shard g. Hashing the link identity means a leaf pointed at the
+// wrong aggregator (or an aggregator claiming a mismatched shard) is
+// rejected at the handshake instead of silently mis-tracking.
+func (c *distConfig) fingerprintAt(level, shard int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%s/%d/%g/%g/%t/tree/%d/L%d/S%d",
+		c.problem, c.alg, c.k, c.eps, c.rescale, c.robust, c.fanout, level, shard)
+	return h.Sum64()
+}
+
+// aggregator builds shard g's child-facing machine — a proto.Aggregator
+// whose DrainFeed re-expresses absorbed leaf reports as virtual arrivals —
+// plus a report closure safe to run on the serving loop.
+func (c *distConfig) aggregator(g int) (proto.Aggregator, func()) {
+	gc := c.groupConfig(g)
+	switch c.problem + "/" + c.alg {
+	case "count/randomized":
+		a := count.NewAgg(count.NewCoordinator(count.Config{K: gc.k, Eps: gc.eps, Rescale: gc.rescale}))
+		return a, func() {
+			fmt.Printf("shard n̂ = %.0f (round %d, fed %d up)\n", a.Estimate(), a.Round(), a.Fed())
+		}
+	case "count/deterministic":
+		a := count.NewDetAgg(count.NewDetCoordinator(gc.k, gc.eps))
+		return a, func() { fmt.Printf("shard n̂ = %.0f\n", a.Estimate()) }
+	case "freq/randomized":
+		a := freq.NewAgg(freq.NewCoordinator(freq.Config{K: gc.k, Eps: gc.eps, Rescale: gc.rescale}))
+		return a, func() { fmt.Printf("shard f̂(0) = %.0f (round %d)\n", a.Estimate(0), a.Round()) }
+	case "rank/randomized":
+		a := rank.NewAgg(rank.NewCoordinator(rank.Config{K: gc.k, Eps: gc.eps, Rescale: gc.rescale}))
+		return a, func() { fmt.Printf("shard n̂ = rank(∞) = %.0f (round %d)\n", a.Rank(math.Inf(1)), a.Round()) }
+	case "count/sampling", "freq/sampling", "rank/sampling":
+		a := sample.NewAgg(sample.NewCoordinator(sample.Config{K: gc.k, Eps: gc.eps}))
+		return a, func() {
+			fmt.Printf("shard n̂ = %.0f, sample %d @ level %d\n", a.Count(), a.SampleLen(), a.Level())
+		}
+	}
+	fatalf("-topology tree: no re-aggregation adapter for %s/%s", c.problem, c.alg)
+	panic("unreachable")
+}
+
+// feedingCoord mounts a proto.Aggregator as a tcp.Server coordinator: each
+// Receive on the serving loop is one delivered child frame, so its return
+// is a quiescent instant — exactly when the Aggregator contract wants feed
+// decisions evaluated. Whatever DrainFeed emits flows up the parent link
+// as ordinary absolute-state arrivals.
+type feedingCoord struct {
+	agg  proto.Aggregator
+	feed func(item int64, value float64, count int64)
+}
+
+func (f *feedingCoord) Receive(from int, m proto.Message,
+	send func(to int, m proto.Message), broadcast func(proto.Message)) {
+	f.agg.Receive(from, m, send, broadcast)
+	f.agg.DrainFeed(f.feed)
+}
+
+func (f *feedingCoord) SpaceWords() int { return f.agg.SpaceWords() }
+
+func (f *feedingCoord) Round() int {
+	if rc, ok := f.agg.(interface{ Round() int }); ok {
+		return rc.Round()
+	}
+	return 0
+}
+
+// resyncCoord additionally forwards the optional Resyncer capability. It is
+// a distinct type built only when the inner aggregator actually has the
+// capability: a blind delegation would make the serve loop's type assertion
+// succeed on aggregators (count/deterministic) that cannot resync a
+// rejoining leaf.
+type resyncCoord struct {
+	feedingCoord
+	rs proto.Resyncer
+}
+
+func (f *resyncCoord) Resync(emit func(proto.Message)) { f.rs.Resync(emit) }
+
+func newFeedingCoord(agg proto.Aggregator, feed func(item int64, value float64, count int64)) proto.Coordinator {
+	fc := feedingCoord{agg: agg, feed: feed}
+	if rs, ok := agg.(proto.Resyncer); ok {
+		return &resyncCoord{feedingCoord: fc, rs: rs}
+	}
+	return &fc
 }
 
 // fingerprint hashes the protocol configuration; serve and connect must
@@ -601,20 +814,33 @@ func serveMain(args []string) {
 	if *snapEvery != 0 && *walDir == "" {
 		fatalf("-snapevery needs -wal")
 	}
+	cfg.checkTree()
 
-	coord, report := cfg.coordinator()
+	// With -topology tree this process is the root: it serves one slot per
+	// aggregator shard (each played by a tracksim aggregate process) at the
+	// per-level ε, and cannot tell an aggregator from a busy site.
+	shape, fingerprint := cfg, cfg.fingerprint()
+	if cfg.tree() {
+		shape, fingerprint = cfg.rootConfig(), cfg.fingerprintAt(1, 0)
+	}
+	coord, report := shape.coordinator()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatalf("listen %s: %v", *addr, err)
 	}
 	defer ln.Close()
-	fmt.Printf("coordinator: problem=%s alg=%s k=%d eps=%g listening on %s\n",
-		cfg.problem, cfg.alg, cfg.k, cfg.eps, ln.Addr())
+	if cfg.tree() {
+		fmt.Printf("root coordinator: problem=%s alg=%s k=%d fanout=%d eps=%g listening on %s for %d aggregator shards\n",
+			cfg.problem, cfg.alg, cfg.k, cfg.fanout, cfg.eps, ln.Addr(), shape.k)
+	} else {
+		fmt.Printf("coordinator: problem=%s alg=%s k=%d eps=%g listening on %s\n",
+			cfg.problem, cfg.alg, cfg.k, cfg.eps, ln.Addr())
+	}
 
 	srv := &tcp.Server{
 		Coord:       coord,
-		K:           cfg.k,
-		Config:      cfg.fingerprint(),
+		K:           shape.k,
+		Config:      fingerprint,
 		RejoinWait:  *rejoinWait,
 		ReportEvery: *reportEvery,
 		// Sites ship periodic Progress frames, so mid-run arrivals are live.
@@ -669,14 +895,25 @@ func serveMain(args []string) {
 		fmt.Fprintf(os.Stderr, "warning: %v\n", err)
 		fmt.Printf("\nrun ended with lost sites; partial final state:\n")
 	default:
-		fmt.Printf("\nall %d sites finished; final state:\n", cfg.k)
+		if cfg.tree() {
+			fmt.Printf("\nall %d aggregator shards finished; final state:\n", shape.k)
+		} else {
+			fmt.Printf("\nall %d sites finished; final state:\n", cfg.k)
+		}
 	}
 	report()
-	fmt.Printf("arrivals (from site Done frames): %d\n", m.Arrivals)
+	if cfg.tree() {
+		// Aggregators feed re-expressed (virtual) arrivals, so for the
+		// threshold protocols this is an ε-accurate image of the leaf total,
+		// not an exact ledger.
+		fmt.Printf("virtual arrivals (from shard Done frames): %d\n", m.Arrivals)
+	} else {
+		fmt.Printf("arrivals (from site Done frames): %d\n", m.Arrivals)
+	}
 	fmt.Printf("messages:   %d\n", m.Messages())
 	fmt.Printf("words:      %d\n", m.Words())
 	fmt.Printf("broadcasts: %d\n", m.Broadcasts)
-	fmt.Printf("live sites: %d of %d\n", m.LiveSites, cfg.k)
+	fmt.Printf("live sites: %d of %d\n", m.LiveSites, shape.k)
 	if *walDir != "" {
 		fmt.Printf("durability: %d snapshots, %d WAL frames replayed on start, %d resyncs served\n",
 			m.Snapshots, m.ReplayedFrames, m.Resyncs)
@@ -708,8 +945,9 @@ func streamOne(cfg *distConfig, sc *tcp.SiteConn, site, i int, items func(int) i
 func connectMain(args []string) {
 	fs := flag.NewFlagSet("connect", flag.ExitOnError)
 	cfg := distFlags(fs)
-	addr := fs.String("addr", "localhost:7077", "coordinator address")
-	site := fs.Int("site", 0, "this process's site index in [0, k)")
+	addr := fs.String("addr", "localhost:7077", "coordinator address (with -topology tree: this shard's aggregator)")
+	site := fs.Int("site", 0, "this process's site index in [0, k) (with -topology tree: local leaf index in [0, shard size))")
+	shard := fs.Int("shard", 0, "aggregator shard this leaf belongs to (with -topology tree)")
 	n := fs.Int("n", 100000, "elements to stream from this site")
 	seed := fs.Uint64("seed", 0, "site RNG seed (default: site index + 1)")
 	reconnect := fs.Bool("reconnect", true,
@@ -719,25 +957,47 @@ func connectMain(args []string) {
 	redialAttempts := fs.Int("redialattempts", tcp.DefaultRedialAttempts,
 		"reconnection attempts before giving up (with -reconnect); raise to ride out a coordinator restart")
 	fs.Parse(args)
-	if *site < 0 || *site >= cfg.k {
+	cfg.checkTree()
+
+	// The leaf's identity: who it dials, its slot there, the machine's shape,
+	// and the globally distinct stream offset (rank values must not collide
+	// across shards, so the stream is indexed by the global leaf number).
+	slotK, fingerprint, global := cfg.k, cfg.fingerprint(), *site
+	machineCfg := cfg
+	if cfg.tree() {
+		if *shard < 0 || *shard >= cfg.groups() {
+			fatalf("shard %d out of range [0, %d)", *shard, cfg.groups())
+		}
+		if *site < 0 || *site >= cfg.groupSize(*shard) {
+			fatalf("site %d out of range [0, %d) for shard %d", *site, cfg.groupSize(*shard), *shard)
+		}
+		machineCfg = cfg.groupConfig(*shard)
+		slotK, fingerprint = machineCfg.k, cfg.fingerprintAt(0, *shard)
+		global = *shard*cfg.fanout + *site
+	} else if *site < 0 || *site >= cfg.k {
 		fatalf("site %d out of range [0, %d)", *site, cfg.k)
 	}
 	if *seed == 0 {
-		*seed = uint64(*site) + 1
+		*seed = uint64(global) + 1
 	}
 
-	machine := cfg.site(*seed)
-	sc, err := tcp.DialSite(*addr, *site, cfg.k, cfg.fingerprint(), machine)
+	machine := machineCfg.site(*seed)
+	sc, err := tcp.DialSite(*addr, *site, slotK, fingerprint, machine)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	sc.AutoReconnect = *reconnect
 	sc.RedialWait, sc.RedialAttempts = *redialWait, *redialAttempts
-	fmt.Printf("site %d: connected to %s, streaming %d elements\n", *site, *addr, *n)
+	if cfg.tree() {
+		fmt.Printf("leaf %d (shard %d, slot %d): connected to %s, streaming %d elements\n",
+			global, *shard, *site, *addr, *n)
+	} else {
+		fmt.Printf("site %d: connected to %s, streaming %d elements\n", *site, *addr, *n)
+	}
 
 	items := workload.ZipfItems(1000, 1.1, stats.New(*seed^0xfeed))
 	for i := 0; i < *n; i++ {
-		streamOne(cfg, sc, *site, i, items)
+		streamOne(cfg, sc, global, i, items)
 	}
 	if err := sc.Close(); err != nil {
 		fatalf("site %d: %v", *site, err)
@@ -746,6 +1006,159 @@ func connectMain(args []string) {
 		fmt.Printf("site %d: survived %d connection drop(s) via rejoin\n", *site, r)
 	}
 	fmt.Printf("site %d: done, %d arrivals streamed\n", *site, sc.Arrivals())
+}
+
+// aggregateMain runs one interior tree node: the coordinator protocol over
+// this shard's leaves (a child-facing tcp.Server) and the site protocol
+// toward the root (a parent-facing tcp.SiteConn). Absorbed leaf reports are
+// re-expressed at quiescent instants — after each delivered child frame —
+// as ordinary absolute-state arrivals on the parent link, so the root
+// cannot tell an aggregator from a busy site.
+//
+// A crashed aggregator is replaced by rerunning the same command with
+// -rejoin: the replacement starts from fresh protocol state, reclaims the
+// shard's root slot through the rejoin handshake, and its leaves redial and
+// replay from 0. The protocols' absolute-state messages make the rebuilt
+// subtree reconverge exactly at the root with no double counting — the
+// subtree is the unit of recovery, which is also why aggregate has no -wal:
+// an aggregator's state is cheaper to rebuild from its children than to
+// persist.
+//
+//	go run ./cmd/tracksim aggregate -topology tree -fanout 2 -k 4 -shard 0 -addr :7177 -parent localhost:7077
+func aggregateMain(args []string) {
+	fs := flag.NewFlagSet("aggregate", flag.ExitOnError)
+	cfg := distFlags(fs)
+	addr := fs.String("addr", ":7177", "listen address for this shard's leaves")
+	parent := fs.String("parent", "localhost:7077", "root coordinator address")
+	shard := fs.Int("shard", 0, "this aggregator's shard index in [0, ceil(k/fanout))")
+	seed := fs.Uint64("seed", 0, "parent-facing site machine RNG seed (default: shard + 1)")
+	reportEvery := fs.Int64("report", 200, "print a shard estimate every N child frames (0 = never)")
+	rejoinWait := fs.Duration("rejoinwait", 10*time.Second,
+		"how long a crashed leaf's slot stays open for a rejoin before it is declared lost (0 = immediate loss)")
+	rejoin := fs.Bool("rejoin", false,
+		"this process replaces a crashed aggregator: reclaim the shard's root slot via the rejoin handshake (the shard's leaves must redial and replay from 0)")
+	reconnect := fs.Bool("reconnect", true,
+		"transparently redial the root (rejoin handshake) if the parent link drops mid-run")
+	redialWait := fs.Duration("redialwait", tcp.DefaultRedialWait,
+		"delay between parent reconnection attempts (with -reconnect)")
+	redialAttempts := fs.Int("redialattempts", tcp.DefaultRedialAttempts,
+		"parent reconnection attempts before giving up (with -reconnect)")
+	fs.Parse(args)
+	cfg.topology = "tree" // aggregate is meaningless in a flat star
+	cfg.checkTree()
+	if *shard < 0 || *shard >= cfg.groups() {
+		fatalf("shard %d out of range [0, %d)", *shard, cfg.groups())
+	}
+	if *seed == 0 {
+		*seed = uint64(*shard) + 1
+	}
+	size := cfg.groupSize(*shard)
+	agg, report := cfg.aggregator(*shard)
+
+	// Parent link first: the shard must hold (or reclaim) its root slot
+	// before absorbing leaf traffic it would have nowhere to feed.
+	parentSite := func() proto.Site { return cfg.rootConfig().site(*seed) }
+	var sc *tcp.SiteConn
+	var err error
+	if *rejoin {
+		var acked int64
+		sc, acked, err = rejoinLoop(*parent, *shard, cfg.groups(), cfg.fingerprintAt(1, 0), parentSite, *rejoinWait)
+		if err == nil {
+			fmt.Printf("aggregator %d: reclaimed root slot (root had acknowledged %d virtual arrivals); leaves must replay from 0\n",
+				*shard, acked)
+		}
+	} else {
+		sc, err = tcp.DialSite(*parent, *shard, cfg.groups(), cfg.fingerprintAt(1, 0), parentSite())
+	}
+	if err != nil {
+		fatalf("aggregator %d: parent %s: %v", *shard, *parent, err)
+	}
+	sc.AutoReconnect = *reconnect
+	sc.RedialWait, sc.RedialAttempts = *redialWait, *redialAttempts
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("listen %s: %v", *addr, err)
+	}
+	defer ln.Close()
+	fmt.Printf("aggregator: problem=%s alg=%s shard=%d of %d, listening on %s for %d leaves, feeding %s\n",
+		cfg.problem, cfg.alg, *shard, cfg.groups(), ln.Addr(), size, *parent)
+
+	srv := &tcp.Server{
+		Coord:       newFeedingCoord(agg, sc.ArriveBatch),
+		K:           size,
+		Config:      cfg.fingerprintAt(0, *shard),
+		RejoinWait:  *rejoinWait,
+		ReportEvery: *reportEvery,
+		Report: func(m runtime.Metrics) {
+			fmt.Printf("[%d leaf arrivals, %d fed up] ", m.Arrivals, sc.Arrivals())
+			report()
+		},
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		if sig, ok := <-sigc; ok {
+			fmt.Fprintf(os.Stderr, "\nreceived %v; shutting down gracefully\n", sig)
+			if !srv.Shutdown() {
+				os.Exit(1)
+			}
+		}
+	}()
+
+	m, err := srv.Serve(ln)
+	switch {
+	case err == tcp.ErrShutdown:
+		// Drop the root slot without a Done frame so a replacement
+		// `aggregate -rejoin` can reclaim it within the root's rejoin window.
+		sc.Abort()
+		fmt.Println("\nshut down before all leaves finished; root slot left open for an `aggregate -rejoin` replacement")
+		return
+	case err != nil:
+		sc.Abort()
+		fatalf("aggregator %d: %v", *shard, err)
+	}
+	// All leaves are done: seal the shard's contribution upward. Close sends
+	// Done with the fed virtual-arrival total and waits for the root's ack.
+	if cerr := sc.Close(); cerr != nil {
+		fatalf("aggregator %d: parent link: %v", *shard, cerr)
+	}
+	fmt.Printf("\nall %d leaves finished; shard final state:\n", size)
+	report()
+	fmt.Printf("leaf arrivals (from Done frames): %d\n", m.Arrivals)
+	fmt.Printf("fed upward: %d virtual arrivals\n", sc.Arrivals())
+	fmt.Printf("child messages: %d, words: %d\n", m.Messages(), m.Words())
+	if r := sc.Rejoins(); r > 0 {
+		fmt.Printf("parent link survived %d drop(s) via rejoin\n", r)
+	}
+	if srv.Rejoins > 0 {
+		fmt.Printf("recovered %d crashed-leaf connection(s) via rejoin\n", srv.Rejoins)
+	}
+	if srv.Rejects > 0 {
+		fmt.Printf("rejected %d stray connection(s) during handshake\n", srv.Rejects)
+	}
+}
+
+// rejoinLoop retries the rejoin handshake until the parent accepts it or
+// the window closes: a replacement dialing the instant after the crash can
+// race the parent noticing the dead connection. Each attempt gets a fresh
+// machine (a failed handshake may have partially resynced the previous
+// one). Returns the parent's last acknowledged arrival count for the slot.
+func rejoinLoop(addr string, slot, k int, config uint64, machine func() proto.Site,
+	window time.Duration) (*tcp.SiteConn, int64, error) {
+	deadline := time.Now().Add(window)
+	for {
+		sc, rsy, err := tcp.RejoinSite(addr, slot, k, config, 0, machine())
+		if err == nil {
+			return sc, rsy.Arrivals, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, 0, err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 }
 
 // chaosMain is the crash/rejoin soak: a full distributed deployment —
@@ -761,8 +1174,12 @@ func connectMain(args []string) {
 // store (snapshot + write-ahead-log replay) while every site rides the
 // outage through its reconnection loop.
 //
+// With -topology tree the kill schedule targets aggregators instead of
+// leaves, and the unit of recovery is the whole subtree (see chaosTree).
+//
 //	go run ./cmd/tracksim chaos -k 4 -n 50000 -kills 2 -seed 7
 //	go run ./cmd/tracksim chaos -k 4 -n 50000 -kills 1 -coordkill
+//	go run ./cmd/tracksim chaos -topology tree -fanout 4 -k 16 -n 20000 -kills 1
 func chaosMain(args []string) {
 	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
 	cfg := distFlags(fs)
@@ -774,6 +1191,17 @@ func chaosMain(args []string) {
 		"also crash the coordinator mid-run (abrupt, no final snapshot) and resume it from its durable store")
 	snapEvery := fs.Int64("snapevery", 32, "snapshot cadence in logged frames for the -coordkill store")
 	fs.Parse(args)
+	cfg.checkTree()
+	if cfg.tree() {
+		if *coordKill {
+			fatalf("-coordkill is a flat-star drill (it exercises the durable store); the tree drill kills aggregators")
+		}
+		if *kills < 0 || *kills > cfg.groups() {
+			fatalf("-kills %d out of range [0, %d] (tree kills target aggregator shards)", *kills, cfg.groups())
+		}
+		chaosTree(cfg, *n, *kills, *seed, *rejoinWait)
+		return
+	}
 	if *kills < 0 || *kills > cfg.k {
 		fatalf("-kills %d out of range [0, %d]", *kills, cfg.k)
 	}
@@ -950,6 +1378,208 @@ func chaosMain(args []string) {
 		fmt.Printf("estimate:   %.0f (rel err %.4f, ε %g)\n", est, rel, cfg.eps)
 		if rel > cfg.eps {
 			fatalf("chaos: estimate left the ε band after recovery")
+		}
+	}
+	fmt.Println("CHAOS OK")
+}
+
+// chaosTree is the tree variant of the chaos drill: a full two-level
+// deployment over loopback TCP — root, one aggregator server per shard,
+// fanout leaves each — where the seeded kill schedule targets aggregators.
+// A killed aggregator dies abruptly (its leaves' links collapse mid-stream)
+// and abandons its root slot without a Done; the replacement starts from
+// fresh protocol state, reclaims the slot through the rejoin handshake, and
+// the shard's leaves redial it and replay from 0. The protocols'
+// absolute-state messages make the rebuilt subtree reconverge exactly at
+// the root — the subtree is the unit of recovery — so the run must end with
+// every shard live, every kill recovered, and (for count/randomized) the ε
+// guarantee intact. Exits non-zero otherwise.
+//
+// The root's arrival ledger is NOT checked against the leaf truth: shards
+// feed re-expressed virtual arrivals, which for the threshold protocols are
+// an ε-accurate image of the leaf total, not an exact count.
+func chaosTree(cfg *distConfig, n, kills int, seed uint64, rejoinWait time.Duration) {
+	groups := cfg.groups()
+	rootCfg := cfg.rootConfig()
+	fpRoot := cfg.fingerprintAt(1, 0)
+	truth := int64(cfg.k) * int64(n)
+
+	coord, _ := rootCfg.coordinator()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	root := &tcp.Server{Coord: coord, K: groups, Config: fpRoot, RejoinWait: rejoinWait}
+	type served struct {
+		m   runtime.Metrics
+		err error
+	}
+	rres := make(chan served, 1)
+	go func() {
+		m, err := root.Serve(ln)
+		rres <- served{m, err}
+	}()
+	rootAddr := ln.Addr().String()
+
+	// The seeded schedule: shards 1..kills crash once, when their total leaf
+	// arrivals cross a point in the middle half of the shard's stream.
+	chaosRNG := stats.New(seed ^ 0x7ee)
+	killAt := make([]int64, groups) // 0 = never
+	for s := 1; s <= kills; s++ {
+		g := s % groups
+		killAt[g] = int64(cfg.groupSize(g)) * int64(n/4+chaosRNG.Intn(n/2))
+	}
+
+	fmt.Printf("chaos: problem=%s alg=%s k=%d fanout=%d (%d shards) eps=%g n=%d/leaf kills=%d seed=%d\n",
+		cfg.problem, cfg.alg, cfg.k, cfg.fanout, groups, cfg.eps, n, kills, seed)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for g := 0; g < groups; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			size := cfg.groupSize(g)
+			fpShard := cfg.fingerprintAt(0, g)
+			leafCfg := cfg.groupConfig(g)
+			for attempt := 1; ; attempt++ {
+				agg, _ := cfg.aggregator(g)
+
+				// Parent link first: dial on the first life, reclaim the
+				// abandoned slot on a rebuild.
+				var sc *tcp.SiteConn
+				var err error
+				freshSite := func() proto.Site { return rootCfg.site(uint64(g) + 1) }
+				if attempt == 1 {
+					sc, err = tcp.DialSite(rootAddr, g, groups, fpRoot, freshSite())
+				} else {
+					sc, _, err = rejoinLoop(rootAddr, g, groups, fpRoot, freshSite, rejoinWait)
+				}
+				if err != nil {
+					fatalf("chaos: aggregator %d: parent link: %v", g, err)
+				}
+				sc.ProgressEvery = 256
+
+				aln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					fatalf("chaos: aggregator %d: listen: %v", g, err)
+				}
+				asrv := &tcp.Server{
+					Coord:      newFeedingCoord(agg, sc.ArriveBatch),
+					K:          size,
+					Config:     fpShard,
+					RejoinWait: rejoinWait,
+				}
+				if killAt[g] > 0 && attempt == 1 {
+					// The serve loop trips its own kill once the shard's leaf
+					// arrivals cross the threshold (Report runs on the loop;
+					// Kill just posts an event).
+					trip, tripped := killAt[g], false
+					asrv.ReportEvery = 1
+					asrv.Report = func(m runtime.Metrics) {
+						if !tripped && m.Arrivals >= trip {
+							tripped = true
+							asrv.Kill()
+						}
+					}
+				}
+				sres := make(chan served, 1)
+				go func() {
+					m, err := asrv.Serve(aln)
+					sres <- served{m, err}
+				}()
+				aggAddr := aln.Addr().String()
+
+				// dead flags this aggregator life as over; streaming leaves
+				// abort so the whole subtree can restart together.
+				dead := make(chan struct{})
+				var lwg sync.WaitGroup
+				for l := 0; l < size; l++ {
+					lwg.Add(1)
+					go func(l int) {
+						defer lwg.Done()
+						global := g*cfg.fanout + l
+						leafSeed := uint64(global) + 1
+						items := workload.ZipfItems(1000, 1.1, stats.New(leafSeed^0xfeed))
+						lc, err := tcp.DialSite(aggAddr, l, size, fpShard, leafCfg.site(leafSeed))
+						if err != nil {
+							// The aggregator died during assembly; the rebuild
+							// respawns this leaf.
+							return
+						}
+						lc.ProgressEvery = 256
+						for i := 0; i < n; i++ {
+							select {
+							case <-dead:
+								lc.Abort()
+								return
+							default:
+							}
+							streamOne(cfg, lc, global, i, items)
+							// Pace slightly so the aggregator's serve loop
+							// keeps up — the kill trips from a Report on that
+							// loop, and an unbounded frame backlog would push
+							// the kill event past the end of the run (the
+							// same reason the -coordkill drill throttles).
+							if i%256 == 255 {
+								time.Sleep(time.Millisecond)
+							}
+						}
+						if err := lc.Close(); err != nil {
+							// The aggregator died under us mid-close; the
+							// rebuild replays this leaf from 0.
+							lc.Abort()
+						}
+					}(l)
+				}
+
+				sr := <-sres
+				close(dead)
+				lwg.Wait()
+				aln.Close()
+				if sr.err == tcp.ErrKilled {
+					// Crash: abandon the root slot without a Done so the
+					// replacement can reclaim it, then rebuild the subtree
+					// from scratch.
+					sc.Abort()
+					fmt.Printf("chaos: aggregator %d killed at %d leaf arrivals (life %d); rebuilding subtree\n",
+						g, sr.m.Arrivals, attempt)
+					continue
+				}
+				if sr.err != nil {
+					fatalf("chaos: aggregator %d: serve: %v", g, sr.err)
+				}
+				// All leaves done: seal the shard upward.
+				if err := sc.Close(); err != nil {
+					fatalf("chaos: aggregator %d: parent link: %v", g, err)
+				}
+				return
+			}
+		}(g)
+	}
+	wg.Wait()
+	sr := <-rres
+	if sr.err != nil {
+		fatalf("chaos: root serve: %v", sr.err)
+	}
+
+	fmt.Printf("\nchaos: run completed in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("virtual arrivals at root: %d (leaf truth %d)\n", sr.m.Arrivals, truth)
+	fmt.Printf("root messages: %d, words: %d\n", sr.m.Messages(), sr.m.Words())
+	fmt.Printf("live shards: %d of %d, aggregator rejoins: %d\n", sr.m.LiveSites, groups, root.Rejoins)
+	if sr.m.LiveSites != groups {
+		fatalf("chaos: %d shards still dark at run end", groups-sr.m.LiveSites)
+	}
+	if root.Rejoins < int64(kills) {
+		fatalf("chaos: only %d aggregator rejoins recorded for %d kills", root.Rejoins, kills)
+	}
+	if cfg.problem == "count" && cfg.alg == "randomized" {
+		est := coord.(interface{ Estimate() float64 }).Estimate()
+		rel := stats.RelErr(est, float64(truth))
+		fmt.Printf("estimate: %.0f (rel err %.4f, ε %g)\n", est, rel, cfg.eps)
+		if rel > cfg.eps {
+			fatalf("chaos: estimate left the ε band after subtree recovery")
 		}
 	}
 	fmt.Println("CHAOS OK")

@@ -35,7 +35,12 @@ func NewCountTracker(opt Options) *CountTracker {
 	switch opt.Algorithm {
 	case AlgorithmRandomized:
 		cfg := count.Config{K: opt.K, Eps: opt.Epsilon, Rescale: opt.Rescale}
-		if opt.Robust {
+		if opt.Topology == TopologyTree {
+			// Robust and Copies > 1 are rejected by Options.validate.
+			tp, coord := count.NewTreeProtocol(cfg, opt.Fanout, opt.Seed)
+			t.mountCoreTree(opt, tp)
+			t.est = coord.Estimate
+		} else if opt.Robust {
 			p, coord := robust.NewProtocol(robustConfig(opt))
 			t.mountCore(opt, p)
 			t.est = coord.Estimate
@@ -49,13 +54,28 @@ func NewCountTracker(opt Options) *CountTracker {
 			t.est = coord.Estimate
 		}
 	case AlgorithmDeterministic:
-		p, coord := count.NewDetProtocol(opt.K, opt.Epsilon)
-		t.mountCore(opt, p)
-		t.est = coord.Estimate
+		if opt.Topology == TopologyTree {
+			// The deterministic count reports merge by summation, so this
+			// baseline keeps its δ=0 guarantee through re-aggregation.
+			tp, coord := count.NewDetTreeProtocol(opt.K, opt.Epsilon, opt.Fanout)
+			t.mountCoreTree(opt, tp)
+			t.est = coord.Estimate
+		} else {
+			p, coord := count.NewDetProtocol(opt.K, opt.Epsilon)
+			t.mountCore(opt, p)
+			t.est = coord.Estimate
+		}
 	case AlgorithmSampling:
-		p, coord := sample.NewProtocol(sample.Config{K: opt.K, Eps: opt.Epsilon}, opt.Seed)
-		t.mountCore(opt, p)
-		t.est = coord.Count
+		scfg := sample.Config{K: opt.K, Eps: opt.Epsilon}
+		if opt.Topology == TopologyTree {
+			tp, coord := sample.NewTreeProtocol(scfg, opt.Fanout, opt.Seed)
+			t.mountCoreTree(opt, tp)
+			t.est = coord.Count
+		} else {
+			p, coord := sample.NewProtocol(scfg, opt.Seed)
+			t.mountCore(opt, p)
+			t.est = coord.Count
+		}
 	default:
 		panic("disttrack: unknown Algorithm")
 	}

@@ -130,6 +130,42 @@ func (t Transport) String() string {
 	}
 }
 
+// Topology selects the coordination structure between the K sites and the
+// query-answering coordinator.
+type Topology int
+
+const (
+	// TopologyFlat is the paper's star: every site talks directly to the
+	// coordinator. The zero value, and zero-cost — nothing changes on the
+	// flat path.
+	TopologyFlat Topology = iota
+	// TopologyTree shards the K sites into ⌈K/Fanout⌉ groups, each run by
+	// an aggregator that plays the coordinator-side protocol against its
+	// group and the site-side protocol against the root, re-expressing the
+	// absorbed reports as virtual arrivals. Queries are answered by the
+	// root; each level runs at the split error budget (1+ε)^(1/2)−1, so the
+	// compounded error stays within ε. The root's fan-in then scales with
+	// the number of groups instead of K — the hierarchy that takes k from
+	// dozens to thousands of sites. Requires Fanout >= 2 and K > Fanout,
+	// and a tracker/algorithm whose summaries re-aggregate (the randomized
+	// trackers, the sampling baseline, and the deterministic count
+	// baseline; the deterministic frequency/rank baselines have no merge
+	// path and are rejected).
+	TopologyTree
+)
+
+// String names the topology.
+func (t Topology) String() string {
+	switch t {
+	case TopologyFlat:
+		return "flat"
+	case TopologyTree:
+		return "tree"
+	default:
+		return "unknown"
+	}
+}
+
 // Options configures a tracker.
 type Options struct {
 	// K is the number of sites (required, >= 1).
@@ -165,6 +201,15 @@ type Options struct {
 	// Transport selects the message fabric; zero value is
 	// TransportSequential.
 	Transport Transport
+	// Topology selects the coordination structure; zero value is
+	// TopologyFlat (the paper's star). TopologyTree shards the sites under
+	// ⌈K/Fanout⌉ aggregators and answers queries at the root of the
+	// resulting two-level tree; every level runs on the transport selected
+	// above. See Topology for the compatibility rules.
+	Topology Topology
+	// Fanout is the number of sites per aggregator group; required (>= 2,
+	// < K) with TopologyTree and rejected otherwise.
+	Fanout int
 	// Concurrent is the legacy switch for TransportGoroutine, kept for
 	// compatibility. It applies whenever Transport holds its zero value
 	// (TransportSequential is the zero value, so Transport cannot override
@@ -383,6 +428,29 @@ func (o Options) validate() {
 	if o.Transport < TransportSequential || o.Transport > TransportTCP {
 		panic("disttrack: unknown Options.Transport")
 	}
+	if o.Topology < TopologyFlat || o.Topology > TopologyTree {
+		panic("disttrack: unknown Options.Topology")
+	}
+	if o.Topology == TopologyFlat && o.Fanout != 0 {
+		panic("disttrack: Options.Fanout requires Options.Topology == TopologyTree")
+	}
+	if o.Topology == TopologyTree {
+		if o.Fanout < 2 {
+			panic("disttrack: Options.Fanout must be >= 2 with TopologyTree (each aggregator needs a real group)")
+		}
+		if (o.K+o.Fanout-1)/o.Fanout < 2 {
+			panic(fmt.Sprintf("disttrack: TopologyTree depth is inconsistent with K: K=%d, Fanout=%d yields a single aggregator group — K must exceed Fanout (use TopologyFlat)", o.K, o.Fanout))
+		}
+		if o.Robust {
+			panic("disttrack: Options.Robust is incompatible with TopologyTree (the robust release calibrates noise against direct site reports; aggregated virtual arrivals would double-count it)")
+		}
+		if o.Copies > 1 {
+			panic("disttrack: Options.Copies > 1 is incompatible with TopologyTree (median boosting multiplexes one flat fabric; run boosted copies as separate trackers)")
+		}
+		if o.FaultPlan != nil {
+			panic("disttrack: Options.FaultPlan is incompatible with TopologyTree (in-process fault injection addresses flat-star links; use cmd/tracksim's distributed chaos mode for tree faults)")
+		}
+	}
 	if o.Robust && o.Algorithm != AlgorithmRandomized {
 		panic("disttrack: Options.Robust requires AlgorithmRandomized (the deterministic and sampling baselines have no site-side sampling randomness for the robust mode to protect)")
 	}
@@ -453,6 +521,17 @@ type Metrics struct {
 	// Resyncs counts the site resync replays served: rejoining sites
 	// brought to the coordinator's current round by replayed state.
 	Resyncs int64
+	// Depth is the coordination tree depth: 0 for the flat star, 2 for
+	// TopologyTree (sites → aggregators → root).
+	Depth int
+	// LevelMessages breaks Messages down per tree level with TopologyTree
+	// (all zero on the flat star): index 0 is the leaf level (site ↔
+	// aggregator traffic, summed over every group), index 1 the root level
+	// (aggregator ↔ root traffic — the root's fan-in, the quantity the
+	// hierarchy exists to shrink).
+	LevelMessages [2]int64
+	// LevelWords is the word-count breakdown matching LevelMessages.
+	LevelWords [2]int64
 }
 
 // metricsFrom converts the runtime seam's ledger into the public form.
@@ -537,6 +616,54 @@ func mount(o Options, p proto.Protocol) mounted {
 	return m
 }
 
+// mountTree places a proto.Tree on per-level fabrics of the selected
+// transport kind (runtime.NewTree). Persistence attaches to the root
+// fabric: the root coordinator is a pure function of its delivered
+// (from, msg) sequence whether the senders are real sites or aggregators,
+// so the flat star's WAL/snapshot machinery carries over unchanged.
+func mountTree(o Options, tp proto.Tree) mounted {
+	mk := func(p proto.Protocol) (runtime.Transport, error) {
+		switch o.transport() {
+		case TransportGoroutine:
+			c := netsim.Start(p)
+			if o.SpaceProbeEvery > 0 {
+				c.SpaceProbeEvery = o.SpaceProbeEvery
+			}
+			return c, nil
+		case TransportTCP:
+			c, err := tcp.StartLoopback(p)
+			if err != nil {
+				return nil, err
+			}
+			if o.SpaceProbeEvery > 0 {
+				c.SpaceProbeEvery = o.SpaceProbeEvery
+			}
+			return c, nil
+		default:
+			h := sim.New(p)
+			if o.SpaceProbeEvery > 0 {
+				h.SpaceProbeEvery = o.SpaceProbeEvery
+			}
+			return h, nil
+		}
+	}
+	tr, err := runtime.NewTree(tp, mk)
+	if err != nil {
+		panic(fmt.Sprintf("disttrack: mounting tree topology: %v", err))
+	}
+	m := mounted{}
+	if o.Persist != nil {
+		m.log = persist.NewLogger(o.Persist, tp.Root.Coord, int64(o.SnapshotEvery), nil)
+		tr.SetCoordLog(func(from int, msg proto.Message) {
+			if err := m.log.Log(from, msg); err != nil {
+				panic(fmt.Sprintf("disttrack: write-ahead log: %v", err))
+			}
+		})
+	}
+	m.eng = runtime.New(tr)
+	return m
+}
+
 // frontend starts the concurrent ingestion frontend over a mounted runtime
 // when the options ask for one; nil means the tracker stays single-feeder.
 func frontend(o Options, eng *runtime.Runtime) *ingest.Frontend {
@@ -579,6 +706,13 @@ func (c *core) mountCore(o Options, p proto.Protocol) {
 	c.eng, c.inj, c.log, c.seed = m.eng, m.inj, m.log, m.seed
 }
 
+// mountCoreTree mounts a tree assembly (TopologyTree) into the core.
+func (c *core) mountCoreTree(o Options, tp proto.Tree) {
+	c.opt = o
+	m := mountTree(o, tp)
+	c.eng, c.log = m.eng, m.log
+}
+
 // crashRestartCoordinator simulates a coordinator crash and durable restart
 // without losing the site machines (the in-process recovery drill, used by
 // the chaos tests; cmd/tracksim's serve -resume is the cross-process
@@ -598,6 +732,9 @@ func (c *core) crashRestartCoordinator(newCoord func() proto.Coordinator) (persi
 	}
 	if c.fe != nil || c.inj != nil {
 		return persist.Result{}, fmt.Errorf("disttrack: coordinator crash-restart is incompatible with ConcurrentIngest and FaultPlan")
+	}
+	if c.opt.Topology == TopologyTree {
+		return persist.Result{}, fmt.Errorf("disttrack: in-process coordinator crash-restart supports the flat star only; for trees, restart the root as its own process (cmd/tracksim aggregate/serve -resume)")
 	}
 	ledger := c.eng.Metrics() // quiesces first: the drill crashes at a clean instant
 	c.eng.Close()
@@ -672,13 +809,23 @@ func (c *core) Flush() error {
 // Metrics returns the accumulated communication and space costs.
 func (c *core) Metrics() Metrics {
 	var pm Metrics
+	read := func() {
+		pm = metricsFrom(c.eng.Metrics())
+		// Per-level breakdown when the transport is a tree (the eng.Metrics
+		// call above has already quiesced it, so the per-fabric reads are
+		// consistent).
+		if tt, ok := c.eng.Transport().(*runtime.Tree); ok {
+			leaf, root := tt.LevelMetrics()
+			pm.Depth = 2
+			pm.LevelMessages = [2]int64{leaf.Messages(), root.Messages()}
+			pm.LevelWords = [2]int64{leaf.Words(), root.Words()}
+		}
+	}
 	if c.fe != nil {
-		var m runtime.Metrics
-		c.fe.Query(func() { m = c.eng.Metrics() })
-		pm = metricsFrom(m)
+		c.fe.Query(read)
 		pm.Dropped = c.fe.Dropped()
 	} else {
-		pm = metricsFrom(c.eng.Metrics())
+		read()
 	}
 	// The in-process transports don't track durability themselves; the
 	// counters live on the core's logger and recovery state.

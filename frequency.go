@@ -51,17 +51,33 @@ func NewFrequencyTracker(opt Options) *FrequencyTracker {
 			t.fe = frontend(opt, t.eng)
 			return t
 		}
-		p, coord := freq.NewProtocol(cfg, opt.Seed)
-		t.mountCore(opt, p)
-		t.est = coord.Estimate
+		if opt.Topology == TopologyTree {
+			tp, coord := freq.NewTreeProtocol(cfg, opt.Fanout, opt.Seed)
+			t.mountCoreTree(opt, tp)
+			t.est = coord.Estimate
+		} else {
+			p, coord := freq.NewProtocol(cfg, opt.Seed)
+			t.mountCore(opt, p)
+			t.est = coord.Estimate
+		}
 	case AlgorithmDeterministic:
+		if opt.Topology == TopologyTree {
+			panic("disttrack: TopologyTree is incompatible with AlgorithmDeterministic frequency tracking (its SpaceSaving summaries have no merge path for re-aggregation); use AlgorithmRandomized, AlgorithmSampling, or TopologyFlat")
+		}
 		p, coord := freq.NewDetProtocol(opt.K, opt.Epsilon)
 		t.mountCore(opt, p)
 		t.est = coord.Estimate
 	case AlgorithmSampling:
-		p, coord := sample.NewProtocol(sample.Config{K: opt.K, Eps: opt.Epsilon}, opt.Seed)
-		t.mountCore(opt, p)
-		t.est = coord.Freq
+		scfg := sample.Config{K: opt.K, Eps: opt.Epsilon}
+		if opt.Topology == TopologyTree {
+			tp, coord := sample.NewTreeProtocol(scfg, opt.Fanout, opt.Seed)
+			t.mountCoreTree(opt, tp)
+			t.est = coord.Freq
+		} else {
+			p, coord := sample.NewProtocol(scfg, opt.Seed)
+			t.mountCore(opt, p)
+			t.est = coord.Freq
+		}
 	default:
 		panic("disttrack: unknown Algorithm")
 	}

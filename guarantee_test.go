@@ -70,9 +70,14 @@ func runCountGuaranteeOpt(opt Options, n int) [2]float64 {
 }
 
 func runFreqGuarantee(t *testing.T, alg Algorithm, seed uint64, k, n int, eps float64) [2]float64 {
-	items := workload.ZipfItems(1000, 1.1, stats.New(seed^0xf00d))
+	return runFreqGuaranteeOpt(Options{K: k, Epsilon: eps, Algorithm: alg, Seed: seed}, n)
+}
+
+func runFreqGuaranteeOpt(opt Options, n int) [2]float64 {
+	k, eps := opt.K, opt.Epsilon
+	items := workload.ZipfItems(1000, 1.1, stats.New(opt.Seed^0xf00d))
 	truth := map[int64]int64{}
-	tr := NewFrequencyTracker(Options{K: k, Epsilon: eps, Algorithm: alg, Seed: seed})
+	tr := NewFrequencyTracker(opt)
 	defer tr.Close()
 	var errs [2]float64
 	for i := 0; i < n; i++ {
@@ -101,8 +106,13 @@ func runFreqGuarantee(t *testing.T, alg Algorithm, seed uint64, k, n int, eps fl
 }
 
 func runRankGuarantee(t *testing.T, alg Algorithm, seed uint64, k, n int, eps float64) [2]float64 {
-	values := workload.PermValues(n, stats.New(seed^0xbeef))
-	tr := NewRankTracker(Options{K: k, Epsilon: eps, Algorithm: alg, Seed: seed})
+	return runRankGuaranteeOpt(Options{K: k, Epsilon: eps, Algorithm: alg, Seed: seed}, n)
+}
+
+func runRankGuaranteeOpt(opt Options, n int) [2]float64 {
+	k, eps := opt.K, opt.Epsilon
+	values := workload.PermValues(n, stats.New(opt.Seed^0xbeef))
+	tr := NewRankTracker(opt)
 	defer tr.Close()
 	// Fixed query points; truth is maintained incrementally.
 	qs := []float64{float64(n) / 4, float64(n) / 2, 3 * float64(n) / 4}
@@ -235,6 +245,13 @@ func TestEpsilonDeltaGuarantee(t *testing.T) {
 // wordsForOpt runs one seeded count stream over opt and returns the total
 // communication.
 func wordsForOpt(opt Options, n int, seed uint64) float64 {
+	return float64(metricsForOpt(opt, n, seed).Words)
+}
+
+// metricsForOpt runs one seeded count stream over opt (n arrivals spread
+// evenly over the k sites as per-site batches) and returns the facade
+// metrics.
+func metricsForOpt(opt Options, n int, seed uint64) Metrics {
 	opt.Seed = seed
 	tr := NewCountTracker(opt)
 	defer tr.Close()
@@ -242,7 +259,7 @@ func wordsForOpt(opt Options, n int, seed uint64) float64 {
 	for s := 0; s < opt.K; s++ {
 		tr.ObserveBatch(s, per)
 	}
-	return float64(tr.Metrics().Words)
+	return tr.Metrics()
 }
 
 // meanWordsOpt averages wordsForOpt over a few seeds.
@@ -399,4 +416,185 @@ func TestCommunicationScalesInKAndEpsilon(t *testing.T) {
 			t.Errorf("robust: words grew %.1f× for 4× smaller ε; want growth in 1/ε (generous 1.2–40×)", ratio)
 		}
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical (tree) rows.
+
+// TestEpsilonDeltaGuaranteeTree re-runs the ε/δ accuracy matrix over a
+// 2-level coordinator tree at k = 256, fan-out 16 (16 aggregator shards of
+// 16 leaves each). The randomized and deterministic assemblies split the
+// error budget multiplicatively across levels ((1+ε_level)² = 1+ε), so the
+// end-to-end band is the same ±ε·n as the flat star; the failure budgets:
+//
+//   - deterministic: δ = 0 — the aggregators feed their raw monotone
+//     reported sums, so the always-bound survives re-aggregation exactly.
+//   - randomized: δ = 0.1. The union bound over the 17 coordinators is
+//     covered by the Rescale=3 default (per-coordinator empirical rate is
+//     far below δ/17) plus the √G cancellation of the 16 shards'
+//     independent zero-mean estimate errors at the root's input.
+//   - sampling: the tree stacks two one-standard-deviation estimators
+//     (both levels run at full ε; see sample.NewTreeProtocol), so the
+//     combined σ is ~√2·ε·n and the honest constant is
+//     δ = P(|N(0,√2)| > 1) ≈ 0.48 — budgeted as 1/2.
+//
+// Deterministic frequency/rank are absent by design: their summaries have
+// no merge path and the facade rejects the combination (topology_test.go).
+func TestEpsilonDeltaGuaranteeTree(t *testing.T) {
+	const (
+		k      = 256
+		fanout = 16
+		n      = 8000
+		eps    = 0.1
+	)
+	problems := []struct {
+		name string
+		run  func(opt Options, n int) [2]float64
+		algs []Algorithm
+	}{
+		{"count", runCountGuaranteeOpt, []Algorithm{AlgorithmRandomized, AlgorithmDeterministic, AlgorithmSampling}},
+		{"freq", runFreqGuaranteeOpt, []Algorithm{AlgorithmRandomized, AlgorithmSampling}},
+		{"rank", runRankGuaranteeOpt, []Algorithm{AlgorithmRandomized, AlgorithmSampling}},
+	}
+	seeds := guaranteeSeeds(t)
+	for _, p := range problems {
+		for _, alg := range p.algs {
+			p, alg := p, alg
+			t.Run(p.name+"/"+alg.String(), func(t *testing.T) {
+				t.Parallel()
+				var failures [2]int
+				worst := 0.0
+				for s := 0; s < seeds; s++ {
+					opt := Options{
+						K: k, Epsilon: eps, Algorithm: alg, Seed: uint64(2000 + s*7919),
+						Topology: TopologyTree, Fanout: fanout,
+					}
+					errs := p.run(opt, n)
+					for idx, e := range errs {
+						if e > 1 {
+							failures[idx]++
+						}
+						if e > worst {
+							worst = e
+						}
+					}
+				}
+				switch alg {
+				case AlgorithmDeterministic:
+					if failures[0] != 0 || failures[1] != 0 {
+						t.Errorf("deterministic tree ε bound violated in %d+%d of %d seeds (worst %.2f×ε·n)",
+							failures[0], failures[1], seeds, worst)
+					}
+				default:
+					delta := 0.1
+					if alg == AlgorithmSampling {
+						delta = 0.5
+					}
+					budget := failBudget(seeds, delta)
+					for idx, f := range failures {
+						if f > budget {
+							t.Errorf("instant %d: tree ε bound violated in %d of %d seeds (budget %d, worst %.2f×ε·n)",
+								idx, f, seeds, budget, worst)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// treeOptK builds the randomized tree count options used by the fan-in
+// tests.
+func treeOptK(k, fanout int, eps float64) Options {
+	return Options{K: k, Epsilon: eps, Algorithm: AlgorithmRandomized,
+		Topology: TopologyTree, Fanout: fanout}
+}
+
+// meanRootMessages averages the root-level fan-in message count over a few
+// seeds.
+func meanRootMessages(opt Options, n, seeds int) float64 {
+	sum := 0.0
+	for s := 0; s < seeds; s++ {
+		sum += float64(metricsForOpt(opt, n, uint64(31+s)).LevelMessages[1])
+	}
+	return sum / float64(seeds)
+}
+
+// TestTreeRootFanInScaling pins the communication shape that justifies the
+// tree: the root's fan-in traffic follows the per-level bound
+// O(√f/ε·logN) (f children feeding it), not O(k). Square trees k = f²
+// make the contrast sharp — k grows 16× from f=8 to f=32 while the
+// per-level bound predicts ~√16 = 4× growth at the root.
+func TestTreeRootFanInScaling(t *testing.T) {
+	const (
+		eps  = 0.1
+		n    = 200000
+		runs = 3
+	)
+	fanouts := []int{8, 16, 32}
+	roots := make([]float64, len(fanouts))
+	for i, f := range fanouts {
+		roots[i] = meanRootMessages(treeOptK(f*f, f, eps), n, runs)
+	}
+	flatLo := float64(metricsForOpt(Options{K: fanouts[0] * fanouts[0], Epsilon: eps, Algorithm: AlgorithmRandomized}, n, 31).Messages)
+	flatHi := float64(metricsForOpt(Options{K: fanouts[2] * fanouts[2], Epsilon: eps, Algorithm: AlgorithmRandomized}, n, 31).Messages)
+	rootRatio := roots[2] / roots[0]
+	flatRatio := flatHi / flatLo
+	// ~√16 = 4× with 2× slack; anything O(k) would land near 16×.
+	if rootRatio > 8 {
+		t.Errorf("root fan-in grew %.1f× while k grew 16×; want ~√fanout growth ≤8× (root messages %v)", rootRatio, roots)
+	}
+	// The flat star's root pays Ω(k) per round (broadcasts alone); the tree
+	// root must grow strictly slower.
+	if 2*rootRatio > flatRatio {
+		t.Errorf("tree root fan-in grew %.1f× vs flat star's %.1f× over the same k range; want at most half (root messages %v)",
+			rootRatio, flatRatio, roots)
+	}
+}
+
+// TestTreeRootFanInAcceptance is the PR's headline pin: a 2-level tree at
+// k = 1024, fan-out 32 produces ε-correct answers on every transport while
+// the root's fan-in message count stays at least 5× below the flat star's
+// root at the same k.
+func TestTreeRootFanInAcceptance(t *testing.T) {
+	const (
+		k      = 1024
+		fanout = 32
+		eps    = 0.1
+		n      = 200000
+		seed   = 42
+	)
+	flat := metricsForOpt(Options{K: k, Epsilon: eps, Algorithm: AlgorithmRandomized}, n, seed)
+	transports := []Transport{TransportSequential, TransportGoroutine, TransportTCP}
+	if testing.Short() {
+		transports = transports[:1]
+	}
+	for _, tp := range transports {
+		tp := tp
+		t.Run(tp.String(), func(t *testing.T) {
+			opt := treeOptK(k, fanout, eps)
+			opt.Transport = tp
+			opt.Seed = seed
+			tr := NewCountTracker(opt)
+			defer tr.Close()
+			per := n / k
+			for s := 0; s < k; s++ {
+				tr.ObserveBatch(s, per)
+			}
+			truth := float64(per * k)
+			if got := tr.Estimate(); math.Abs(got-truth) > eps*truth {
+				t.Errorf("tree estimate %.0f outside ±ε·n of %.0f", got, truth)
+			}
+			m := tr.Metrics()
+			if m.Depth != 2 {
+				t.Fatalf("Depth = %d, want 2", m.Depth)
+			}
+			if 5*m.LevelMessages[1] > flat.Messages {
+				t.Errorf("root fan-in %d messages is not ≥5× below the flat star's %d at k=%d",
+					m.LevelMessages[1], flat.Messages, k)
+			}
+			t.Logf("root fan-in %d messages vs flat star %d (%.1f×)",
+				m.LevelMessages[1], flat.Messages, float64(flat.Messages)/float64(m.LevelMessages[1]))
+		})
+	}
 }

@@ -1,0 +1,139 @@
+package count
+
+// Hierarchical (tree) assemblies of the count trackers. An interior node
+// runs a full child-facing Coordinator over its shard of sites and feeds
+// the shard's running count upward as virtual arrivals, so the root-level
+// protocol tracks the tree's total exactly as it would track k real
+// streams. Every protocol message stays absolute-state, so the root remains
+// a pure function of its delivered (from, msg) sequence and the
+// persistence/Resync machinery applies unchanged at every level.
+
+import (
+	"disttrack/internal/proto"
+	"disttrack/internal/stats"
+)
+
+// Agg is the randomized tracker's aggregator: the child-facing Coordinator
+// plus a monotone feed ledger. The shard's true count is nondecreasing, so
+// the running maximum of the (ε-accurate at every quiescent instant)
+// estimate is itself ε-accurate — clamping to it is what makes an
+// estimate-driven feed sound under the no-retraction rule.
+type Agg struct {
+	*Coordinator
+	fed int64
+}
+
+// NewAgg wraps a child-facing coordinator as an aggregator.
+func NewAgg(c *Coordinator) *Agg { return &Agg{Coordinator: c} }
+
+// DrainFeed implements proto.Aggregator.
+func (a *Agg) DrainFeed(feed func(item int64, value float64, count int64)) {
+	if est := int64(a.Estimate()); est > a.fed {
+		feed(0, 0, est-a.fed)
+		a.fed = est
+	}
+}
+
+// Fed reports the virtual arrivals pushed upward so far (tests, recovery).
+func (a *Agg) Fed() int64 { return a.fed }
+
+// SeedFed primes the feed ledger after a coordinator recovery: everything
+// up to the recovered estimate has already been fed to the parent.
+func (a *Agg) SeedFed() { a.fed = int64(a.Estimate()) }
+
+// DetAgg is the deterministic tracker's aggregator. It feeds the raw
+// reported sum Σ n̄_i — a monotone integer that undercounts the shard by at
+// most a (1+ε_level) factor and never overcounts — so the deterministic
+// always-bound survives re-aggregation: the root's reported sum stays in
+// [n/Π(1+ε_level), n] and its midpoint correction keeps |est − n| ≤ εn.
+type DetAgg struct {
+	*DetCoordinator
+	fed int64
+}
+
+// NewDetAgg wraps a child-facing deterministic coordinator as an aggregator.
+func NewDetAgg(c *DetCoordinator) *DetAgg { return &DetAgg{DetCoordinator: c} }
+
+// DrainFeed implements proto.Aggregator.
+func (a *DetAgg) DrainFeed(feed func(item int64, value float64, count int64)) {
+	if a.sum > a.fed {
+		feed(0, 0, a.sum-a.fed)
+		a.fed = a.sum
+	}
+}
+
+// SeedFed primes the feed ledger after a coordinator recovery.
+func (a *DetAgg) SeedFed() { a.fed = a.sum }
+
+// treeShape returns the group count for k leaves at the given fanout.
+func treeShape(k, fanout int) int {
+	if fanout < 2 {
+		panic("count: tree fanout must be >= 2")
+	}
+	groups := (k + fanout - 1) / fanout
+	if groups < 2 {
+		panic("count: tree needs at least two groups (k must exceed fanout)")
+	}
+	return groups
+}
+
+// NewTreeProtocol assembles the randomized count tracker as a two-level
+// tree: k leaf sites sharded fanout-per-aggregator, each level running at
+// the split error budget proto.SplitEps(eps, 2). Returns the assembly and
+// the root coordinator (the query surface).
+func NewTreeProtocol(cfg Config, fanout int, seed uint64) (proto.Tree, *Coordinator) {
+	cfg.validate()
+	groups := treeShape(cfg.K, fanout)
+	eps := proto.SplitEps(cfg.Eps, 2)
+	root := stats.New(seed)
+	tr := proto.Tree{Fanout: fanout}
+	for g := 0; g < groups; g++ {
+		size := fanout
+		if rem := cfg.K - g*fanout; rem < size {
+			size = rem
+		}
+		gcfg := Config{K: size, Eps: eps, Rescale: cfg.Rescale, DisableAdjustment: cfg.DisableAdjustment}
+		sites := make([]proto.Site, size)
+		for i := range sites {
+			sites[i] = NewSite(gcfg, root.Split())
+		}
+		tr.Groups = append(tr.Groups, proto.Protocol{Coord: NewAgg(NewCoordinator(gcfg)), Sites: sites})
+	}
+	rcfg := Config{K: groups, Eps: eps, Rescale: cfg.Rescale, DisableAdjustment: cfg.DisableAdjustment}
+	rootCoord := NewCoordinator(rcfg)
+	rsites := make([]proto.Site, groups)
+	for i := range rsites {
+		rsites[i] = NewSite(rcfg, root.Split())
+	}
+	tr.Root = proto.Protocol{Coord: rootCoord, Sites: rsites}
+	return tr, rootCoord
+}
+
+// NewDetTreeProtocol assembles the deterministic count tracker as a
+// two-level tree. The deterministic baseline's reports merge by summation,
+// so it keeps its δ = 0 guarantee through re-aggregation (unlike the
+// frequency/rank deterministic baselines, whose summaries have no merge
+// path).
+func NewDetTreeProtocol(k int, eps float64, fanout int) (proto.Tree, *DetCoordinator) {
+	groups := treeShape(k, fanout)
+	leps := proto.SplitEps(eps, 2)
+	tr := proto.Tree{Fanout: fanout}
+	for g := 0; g < groups; g++ {
+		size := fanout
+		if rem := k - g*fanout; rem < size {
+			size = rem
+		}
+		sites := make([]proto.Site, size)
+		for i := range sites {
+			sites[i] = NewDetSite(leps)
+		}
+		tr.Groups = append(tr.Groups, proto.Protocol{Coord: NewDetAgg(NewDetCoordinator(size, leps)), Sites: sites})
+	}
+	rootCoord := NewDetCoordinator(groups, leps)
+	rsites := make([]proto.Site, groups)
+	for i := range rsites {
+		rsites[i] = NewDetSite(leps)
+	}
+	tr.Root = proto.Protocol{Coord: rootCoord, Sites: rsites}
+	return tr, rootCoord
+}

@@ -9,6 +9,8 @@
 // every message cascade to quiescence before the next element arrives.
 package proto
 
+import "math"
+
 // Message is one unit of communication. Words reports its size in the
 // paper's word-based accounting: any integer less than N, an element, a
 // counter value, or a level tag is one word. The envelope (sender identity)
@@ -155,3 +157,67 @@ type Protocol struct {
 
 // K returns the number of sites.
 func (p Protocol) K() int { return len(p.Sites) }
+
+// Aggregator is the coordinator half of an interior tree node: it runs the
+// coordinator-side protocol against its children (the embedded Coordinator
+// contract, including the optional Resyncer/Snapshotter capabilities) and
+// re-expresses the absorbed child reports as virtual arrivals for the
+// site-side protocol it plays against its parent.
+//
+// DrainFeed is called by the hosting topology at quiescent instants — after
+// an arrival's (or batch's) cascade has fully settled — never mid-cascade.
+// That timing is what keeps a tree deterministic across transports: the
+// aggregator's state at a quiescent instant is a pure function of the set
+// of messages delivered, independent of their interleaving across child
+// links, so the feed decisions (and with them every message above this
+// node) replay bit-identically on every fabric. feed(item, value, count)
+// injects count identical virtual arrivals into the parent-facing site;
+// implementations must only ever add mass (arrivals cannot be retracted),
+// so estimate-driven feeds clamp to their running maximum.
+type Aggregator interface {
+	Coordinator
+	DrainFeed(feed func(item int64, value float64, count int64))
+}
+
+// Tree is a two-level protocol assembly ready to be mounted on a tree
+// topology: the leaf sites are sharded into Groups (each an independent
+// protocol instance whose Coord must implement Aggregator), and Root is an
+// ordinary protocol with one site per group — the aggregators' parent-facing
+// halves — whose coordinator answers queries for the whole tree.
+type Tree struct {
+	// Groups holds one child-facing protocol per aggregator; leaf sites are
+	// assigned contiguously, Fanout per group (the last group may be
+	// smaller).
+	Groups []Protocol
+	// Root is the top-level protocol: K() == len(Groups) sites fed by the
+	// aggregators' virtual arrivals.
+	Root Protocol
+	// Fanout is the number of leaf sites per group.
+	Fanout int
+}
+
+// Leaves returns the total number of leaf sites.
+func (t Tree) Leaves() int {
+	n := 0
+	for _, g := range t.Groups {
+		n += g.K()
+	}
+	return n
+}
+
+// GroupOf maps a global leaf index to its (group, within-group site) pair.
+func (t Tree) GroupOf(leaf int) (group, idx int) {
+	return leaf / t.Fanout, leaf % t.Fanout
+}
+
+// SplitEps divides a tracker's error budget ε across the levels of a tree
+// so the compounded error stays within ε: each level runs at
+// x = (1+ε)^(1/levels) − 1, which makes the worst-case multiplicative
+// blow-up Π(1+x) = 1+ε exactly, and (since x ≤ ε/levels by concavity) keeps
+// the additive sum Σx ≤ ε for the underestimate side.
+func SplitEps(eps float64, levels int) float64 {
+	if levels <= 1 {
+		return eps
+	}
+	return math.Pow(1+eps, 1/float64(levels)) - 1
+}

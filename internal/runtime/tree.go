@@ -1,0 +1,247 @@
+package runtime
+
+// Tree is the hierarchical topology: leaf sites are sharded across
+// independent group fabrics whose coordinators are proto.Aggregators, and a
+// root fabric hosts the top-level protocol whose "sites" are the
+// aggregators' parent-facing halves. Each level is an ordinary Transport —
+// any of the three fabrics, chosen by the factory — so per-link FIFO, the
+// quiescence barrier, cost accounting, and the fault middleware seam all
+// come for free at every level.
+//
+// The topology preserves the instant-communication model level by level:
+// an Arrive first runs the leaf's cascade to quiescence inside its group,
+// then drains the group's aggregator (proto.Aggregator.DrainFeed) into the
+// root fabric as virtual arrivals, each of which again runs to quiescence.
+// Draining only at these quiescent instants is what keeps a tree
+// deterministic across transports: the aggregator's state is then a pure
+// function of the set of messages its group delivered, independent of their
+// interleaving across child links.
+
+import (
+	"fmt"
+
+	"disttrack/internal/proto"
+)
+
+// Tree mounts a proto.Tree on per-level transports and presents the whole
+// assembly as one Transport addressed by global leaf index.
+type Tree struct {
+	tp     proto.Tree
+	groups []Transport
+	root   Transport
+	aggs   []proto.Aggregator
+	feeds  []func(item int64, value float64, count int64)
+}
+
+// NewTree builds one transport per group plus one for the root via mk (the
+// per-level fabric factory: sim, netsim, or tcp loopback). Every group
+// coordinator must implement proto.Aggregator.
+func NewTree(tp proto.Tree, mk func(p proto.Protocol) (Transport, error)) (*Tree, error) {
+	if len(tp.Groups) < 2 {
+		return nil, fmt.Errorf("runtime: tree needs at least two groups, got %d", len(tp.Groups))
+	}
+	if tp.Root.K() != len(tp.Groups) {
+		return nil, fmt.Errorf("runtime: root has %d sites for %d groups", tp.Root.K(), len(tp.Groups))
+	}
+	t := &Tree{tp: tp}
+	for g, gp := range tp.Groups {
+		agg, ok := gp.Coord.(proto.Aggregator)
+		if !ok {
+			closeAll(t.groups)
+			return nil, fmt.Errorf("runtime: group %d coordinator (%T) does not implement proto.Aggregator", g, gp.Coord)
+		}
+		tr, err := mk(gp)
+		if err != nil {
+			closeAll(t.groups)
+			return nil, fmt.Errorf("runtime: mounting group %d: %w", g, err)
+		}
+		t.groups = append(t.groups, tr)
+		t.aggs = append(t.aggs, agg)
+	}
+	rt, err := mk(tp.Root)
+	if err != nil {
+		closeAll(t.groups)
+		return nil, fmt.Errorf("runtime: mounting root: %w", err)
+	}
+	t.root = rt
+	t.feeds = make([]func(item int64, value float64, count int64), len(tp.Groups))
+	for g := range t.feeds {
+		g := g
+		t.feeds[g] = func(item int64, value float64, count int64) {
+			t.root.ArriveBatch(g, item, value, count)
+		}
+	}
+	return t, nil
+}
+
+func closeAll(ts []Transport) {
+	for _, tr := range ts {
+		tr.Quiesce()
+		tr.Close()
+	}
+}
+
+// drain releases group g's aggregator feed into the root fabric. The group
+// must be quiescent (its last Arrive has returned), which also gives this
+// goroutine a happens-before edge over the group coordinator's state — the
+// same barrier argument that makes Fabric.Probe race-free.
+func (t *Tree) drain(g int) {
+	t.aggs[g].DrainFeed(t.feeds[g])
+}
+
+// Arrive implements Transport: site is the global leaf index.
+func (t *Tree) Arrive(site int, item int64, value float64) {
+	g, idx := t.tp.GroupOf(site)
+	t.groups[g].Arrive(idx, item, value)
+	t.drain(g)
+}
+
+// ArriveBatch implements Transport. The whole batch is absorbed by the leaf
+// level (with its own per-chunk quiescence choreography) before the
+// aggregator drains once: a batch is one quiescent window, so the feed is
+// coarser than element-at-a-time draining but happens at an equally valid
+// quiescent instant — both schedules keep every level's guarantee, and a
+// fixed call pattern replays identically on every transport.
+func (t *Tree) ArriveBatch(site int, item int64, value float64, count int64) {
+	g, idx := t.tp.GroupOf(site)
+	t.groups[g].ArriveBatch(idx, item, value, count)
+	t.drain(g)
+}
+
+// Quiesce implements Transport, settling level by level: each group's full
+// barrier, then its residual feed, then the root's barrier.
+func (t *Tree) Quiesce() {
+	for g, tr := range t.groups {
+		tr.Quiesce()
+		t.drain(g)
+	}
+	t.root.Quiesce()
+}
+
+// Probe implements Transport (the tree must be quiescent).
+func (t *Tree) Probe() {
+	for _, tr := range t.groups {
+		tr.Probe()
+	}
+	t.root.Probe()
+}
+
+// Metrics implements Transport, composing the per-level ledgers into one
+// tree-wide view: message/word/broadcast counts sum across every fabric,
+// Arrivals counts real (leaf) arrivals only, MaxSiteSpace is the leaf
+// high-water mark, and MaxCoordSpace is the largest single coordinator
+// state in the tree (interior or root — the aggregators' parent-facing site
+// state is folded in as interior-node memory). Durability counters come
+// from the root fabric, where the persistence hook attaches.
+func (t *Tree) Metrics() Metrics {
+	leaf, root := t.LevelMetrics()
+	m := Metrics{
+		MessagesUp:     leaf.MessagesUp + root.MessagesUp,
+		MessagesDown:   leaf.MessagesDown + root.MessagesDown,
+		WordsUp:        leaf.WordsUp + root.WordsUp,
+		WordsDown:      leaf.WordsDown + root.WordsDown,
+		Broadcasts:     leaf.Broadcasts + root.Broadcasts,
+		Arrivals:       leaf.Arrivals,
+		MaxSiteSpace:   leaf.MaxSiteSpace,
+		MaxCoordSpace:  leaf.MaxCoordSpace,
+		LiveSites:      leaf.LiveSites,
+		Snapshots:      root.Snapshots,
+		ReplayedFrames: root.ReplayedFrames,
+		Resyncs:        root.Resyncs,
+	}
+	if s := root.MaxCoordSpace + root.MaxSiteSpace; s > m.MaxCoordSpace {
+		m.MaxCoordSpace = s
+	}
+	return m
+}
+
+// LevelMetrics returns the per-level ledgers: leaf is the sum over the
+// group fabrics (real arrivals, site↔aggregator traffic), root the top
+// fabric alone (virtual arrivals, aggregator↔root traffic — the root
+// coordinator's fan-in, the quantity hierarchy exists to shrink).
+func (t *Tree) LevelMetrics() (leaf, root Metrics) {
+	for _, tr := range t.groups {
+		gm := tr.Metrics()
+		leaf.MessagesUp += gm.MessagesUp
+		leaf.MessagesDown += gm.MessagesDown
+		leaf.WordsUp += gm.WordsUp
+		leaf.WordsDown += gm.WordsDown
+		leaf.Broadcasts += gm.Broadcasts
+		leaf.Arrivals += gm.Arrivals
+		leaf.LiveSites += gm.LiveSites
+		if gm.MaxSiteSpace > leaf.MaxSiteSpace {
+			leaf.MaxSiteSpace = gm.MaxSiteSpace
+		}
+		if gm.MaxCoordSpace > leaf.MaxCoordSpace {
+			leaf.MaxCoordSpace = gm.MaxCoordSpace
+		}
+	}
+	root = t.root.Metrics()
+	return leaf, root
+}
+
+// shiftTap renumbers one fabric's links into the tree-wide link space.
+type shiftTap struct {
+	tap  Tap
+	base int
+}
+
+func (s shiftTap) Up(from int, m proto.Message) { s.tap.Up(s.base+from, m) }
+func (s shiftTap) Down(to int, m proto.Message) { s.tap.Down(s.base+to, m) }
+
+// SetTap implements Transport. The tree-wide link space is: links 0..L-1
+// are the leaf links in global leaf order, links L..L+G-1 the root links of
+// groups 0..G-1 (L = leaves, G = groups). Install before the first arrival.
+func (t *Tree) SetTap(tap Tap) {
+	leaves := t.tp.Leaves()
+	for g, tr := range t.groups {
+		if tap == nil {
+			tr.SetTap(nil)
+			continue
+		}
+		tr.SetTap(shiftTap{tap: tap, base: g * t.tp.Fanout})
+	}
+	if tap == nil {
+		t.root.SetTap(nil)
+		return
+	}
+	t.root.SetTap(shiftTap{tap: tap, base: leaves})
+}
+
+// coordLogger is the concrete hook every fabric exposes for the durability
+// layer (not part of the Transport interface).
+type coordLogger interface {
+	SetCoordLog(fn func(from int, m proto.Message))
+}
+
+// SetCoordLog installs the durability layer's write-ahead hook on the root
+// fabric: the root coordinator — the tree's query surface — is a pure
+// function of its delivered (from, msg) sequence whether those messages
+// come from real sites or aggregators, so the flat star's WAL/snapshot
+// machinery applies to it unchanged. Panics if the root fabric doesn't
+// expose the hook.
+func (t *Tree) SetCoordLog(fn func(from int, m proto.Message)) {
+	cl, ok := t.root.(coordLogger)
+	if !ok {
+		panic(fmt.Sprintf("runtime: root transport %T has no coordinator log hook", t.root))
+	}
+	cl.SetCoordLog(fn)
+}
+
+// Group exposes level-0 fabric g (tests, per-edge middleware installation).
+func (t *Tree) Group(g int) Transport { return t.groups[g] }
+
+// Root exposes the top-level fabric.
+func (t *Tree) Root() Transport { return t.root }
+
+// Groups returns the number of aggregators.
+func (t *Tree) Groups() int { return len(t.groups) }
+
+// Close implements Transport, tearing down leaves first so no residual
+// group traffic wants a root that is already gone.
+func (t *Tree) Close() {
+	for _, tr := range t.groups {
+		tr.Close()
+	}
+	t.root.Close()
+}

@@ -1,0 +1,97 @@
+package sample
+
+// Hierarchical (tree) assembly of the sampling tracker. Every element the
+// child-facing coordinator accepts into its retained sample was kept with
+// probability 2^−L (L = the coordinator's level at accept time), so feeding
+// it upward as 2^L identical virtual arrivals is an unbiased re-expression
+// of the shard's stream: the parent-facing site then subsamples that stream
+// exactly as it would subsample real arrivals. Weighting by the element's
+// own geometric level instead would bias the feed upward — the level tag is
+// conditioned on having reached L, not on the acceptance probability.
+
+import (
+	"disttrack/internal/proto"
+	"disttrack/internal/stats"
+)
+
+type pendingElem struct {
+	item   int64
+	value  float64
+	weight int64
+}
+
+// Agg is the sampler's aggregator: the child-facing Coordinator plus the
+// accepted-element feed buffer. Pending elements are captured in Receive
+// and released at the next quiescent instant; between two drains only one
+// leaf arrives (the hosting topology's single-feeder contract), so the
+// captured order follows a single FIFO child link and is deterministic
+// across transports.
+type Agg struct {
+	*Coordinator
+	pending []pendingElem
+}
+
+// NewAgg wraps a child-facing coordinator as an aggregator.
+func NewAgg(c *Coordinator) *Agg { return &Agg{Coordinator: c} }
+
+// Receive implements proto.Coordinator, capturing accepted elements at
+// their accept-time weight.
+func (a *Agg) Receive(from int, m proto.Message, send func(int, proto.Message), broadcast func(proto.Message)) {
+	levelBefore := a.level
+	a.Coordinator.Receive(from, m, send, broadcast)
+	if em, ok := m.(ElementMsg); ok && em.Level >= levelBefore {
+		a.pending = append(a.pending, pendingElem{
+			item: em.Item, value: em.Value, weight: int64(1) << uint(levelBefore),
+		})
+	}
+}
+
+// DrainFeed implements proto.Aggregator.
+func (a *Agg) DrainFeed(feed func(item int64, value float64, count int64)) {
+	for _, e := range a.pending {
+		feed(e.item, e.value, e.weight)
+	}
+	a.pending = a.pending[:0]
+}
+
+// SeedFed primes the aggregator after a coordinator recovery: restored
+// elements were fed before the crash, so the buffer starts empty.
+func (a *Agg) SeedFed() { a.pending = a.pending[:0] }
+
+// NewTreeProtocol assembles the sampling tracker as a two-level tree. The
+// sample baseline's error is driven by the retained-sample size, not a
+// per-level ε, so both levels run at the full ε budget and the root's
+// sample (of the aggregators' unbiased virtual streams) keeps the flat
+// star's guarantee up to the feed-quantization noise of the shard levels.
+func NewTreeProtocol(cfg Config, fanout int, seed uint64) (proto.Tree, *Coordinator) {
+	cfg.validate()
+	if fanout < 2 {
+		panic("sample: tree fanout must be >= 2")
+	}
+	groups := (cfg.K + fanout - 1) / fanout
+	if groups < 2 {
+		panic("sample: tree needs at least two groups (k must exceed fanout)")
+	}
+	root := stats.New(seed)
+	tr := proto.Tree{Fanout: fanout}
+	for g := 0; g < groups; g++ {
+		size := fanout
+		if rem := cfg.K - g*fanout; rem < size {
+			size = rem
+		}
+		gcfg := Config{K: size, Eps: cfg.Eps, SampleSize: cfg.SampleSize}
+		sites := make([]proto.Site, size)
+		for i := range sites {
+			sites[i] = NewSite(root.Split())
+		}
+		tr.Groups = append(tr.Groups, proto.Protocol{Coord: NewAgg(NewCoordinator(gcfg)), Sites: sites})
+	}
+	rcfg := Config{K: groups, Eps: cfg.Eps, SampleSize: cfg.SampleSize}
+	rootCoord := NewCoordinator(rcfg)
+	rsites := make([]proto.Site, groups)
+	for i := range rsites {
+		rsites[i] = NewSite(root.Split())
+	}
+	tr.Root = proto.Protocol{Coord: rootCoord, Sites: rsites}
+	return tr, rootCoord
+}

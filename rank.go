@@ -55,20 +55,38 @@ func NewRankTracker(opt Options) *RankTracker {
 			t.fe = frontend(opt, t.eng)
 			return t
 		}
-		p, coord := rank.NewProtocol(cfg, opt.Seed)
-		t.mountCore(opt, p)
-		t.rankFn = coord.Rank
-		t.quantile = coord.Quantile
+		if opt.Topology == TopologyTree {
+			tp, coord := rank.NewTreeProtocol(cfg, opt.Fanout, opt.Seed)
+			t.mountCoreTree(opt, tp)
+			t.rankFn = coord.Rank
+			t.quantile = coord.Quantile
+		} else {
+			p, coord := rank.NewProtocol(cfg, opt.Seed)
+			t.mountCore(opt, p)
+			t.rankFn = coord.Rank
+			t.quantile = coord.Quantile
+		}
 	case AlgorithmDeterministic:
+		if opt.Topology == TopologyTree {
+			panic("disttrack: TopologyTree is incompatible with AlgorithmDeterministic rank tracking (its Greenwald-Khanna snapshots have no merge path for re-aggregation); use AlgorithmRandomized, AlgorithmSampling, or TopologyFlat")
+		}
 		p, coord := rank.NewDetProtocol(opt.K, opt.Epsilon)
 		t.mountCore(opt, p)
 		t.rankFn = coord.Rank
 		t.quantile = coord.Quantile
 	case AlgorithmSampling:
-		p, coord := sample.NewProtocol(sample.Config{K: opt.K, Eps: opt.Epsilon}, opt.Seed)
-		t.mountCore(opt, p)
-		t.rankFn = coord.Rank
-		t.quantile = bisect(coord.Rank)
+		scfg := sample.Config{K: opt.K, Eps: opt.Epsilon}
+		if opt.Topology == TopologyTree {
+			tp, coord := sample.NewTreeProtocol(scfg, opt.Fanout, opt.Seed)
+			t.mountCoreTree(opt, tp)
+			t.rankFn = coord.Rank
+			t.quantile = bisect(coord.Rank)
+		} else {
+			p, coord := sample.NewProtocol(scfg, opt.Seed)
+			t.mountCore(opt, p)
+			t.rankFn = coord.Rank
+			t.quantile = bisect(coord.Rank)
+		}
 	default:
 		panic("disttrack: unknown Algorithm")
 	}

@@ -22,7 +22,7 @@ if [ "$#" -lt 2 ]; then
 fi
 OLD="$1"
 NEW="$2"
-GATE="${3:-^Benchmark(Observe|ObserveTransport|ObserveBatchTransport|RankObserve|MultiProducerIngest|Merge|WireRoundTrip)}"
+GATE="${3:-^Benchmark(Observe|ObserveTransport|ObserveBatchTransport|RankObserve|MultiProducerIngest|Merge|WireRoundTrip|TreeFanIn)}"
 THRESHOLD="${4:-10}"
 
 # extract <file> — recover the raw `go test -bench` lines from the snapshot.

@@ -242,6 +242,134 @@ func TestTransportIndependence(t *testing.T) {
 	}
 }
 
+// Tree-topology independence: a 2-level tree mounts one fabric per group
+// plus one for the root, all of the selected transport kind. The tree link
+// space is leaves 0..k-1 then root links k..k+groups-1 (see
+// runtime.Tree.SetTap), so the digest tap covers every edge of the tree —
+// the virtual-arrival re-aggregation must replay bit-identically on every
+// fabric, level by level.
+const (
+	treeK      = 8
+	treeFanout = 4
+	treeGroups = (treeK + treeFanout - 1) / treeFanout
+)
+
+func treeOpts(alg Algorithm, tr Transport) Options {
+	return Options{K: treeK, Epsilon: indepEps, Seed: indepSeed, Algorithm: alg,
+		Transport: tr, Topology: TopologyTree, Fanout: treeFanout}
+}
+
+func runTreeCount(t *testing.T, alg Algorithm, tr Transport) runResult {
+	t.Helper()
+	c := NewCountTracker(treeOpts(alg, tr))
+	defer c.Close()
+	tap := newDigestTap(treeK + treeGroups)
+	c.eng.SetTap(tap)
+	var res runResult
+	for i := 0; i < indepN; i++ {
+		c.Observe(i % treeK)
+		if i%777 == 0 {
+			res.answers = append(res.answers, c.Estimate())
+		}
+	}
+	res.answers = append(res.answers, c.Estimate())
+	res.metrics = c.Metrics()
+	res.linkSig, res.linkMsgs = tap.signature()
+	return res
+}
+
+func runTreeFreq(t *testing.T, alg Algorithm, tr Transport) runResult {
+	t.Helper()
+	f := NewFrequencyTracker(treeOpts(alg, tr))
+	defer f.Close()
+	tap := newDigestTap(treeK + treeGroups)
+	f.eng.SetTap(tap)
+	items := workload.ZipfItems(200, 1.2, stats.New(99))
+	var res runResult
+	for i := 0; i < indepN; i++ {
+		f.Observe(i%treeK, items(i))
+		if i%777 == 0 {
+			res.answers = append(res.answers, f.Estimate(0))
+		}
+	}
+	for _, j := range []int64{0, 1, 7, 50, 199} {
+		res.answers = append(res.answers, f.Estimate(j))
+	}
+	res.metrics = f.Metrics()
+	res.linkSig, res.linkMsgs = tap.signature()
+	return res
+}
+
+func runTreeRank(t *testing.T, alg Algorithm, tr Transport) runResult {
+	t.Helper()
+	r := NewRankTracker(treeOpts(alg, tr))
+	defer r.Close()
+	tap := newDigestTap(treeK + treeGroups)
+	r.eng.SetTap(tap)
+	values := workload.PermValues(indepN, stats.New(17))
+	var res runResult
+	for i := 0; i < indepN; i++ {
+		r.Observe(i%treeK, values(i))
+		if i%777 == 0 {
+			res.answers = append(res.answers, r.Rank(float64(indepN)/2))
+		}
+	}
+	for _, q := range []float64{0.25, 0.5, 0.75} {
+		res.answers = append(res.answers, r.Rank(q*indepN))
+	}
+	res.answers = append(res.answers, r.Quantile(0.5, 0, indepN))
+	res.metrics = r.Metrics()
+	res.linkSig, res.linkMsgs = tap.signature()
+	return res
+}
+
+// compareTransportsTree is compareTransports minus the coordinator-space
+// high-water mark: the root fabric is fed through the batch path (virtual
+// arrivals arrive as runs), whose probe instants legitimately differ
+// between the sequential and concurrent fabrics — the same documented
+// cadence difference TestTransportIndependenceBatched excludes. Everything
+// else — per-link sequences, per-level counters, answers — must match
+// exactly.
+func compareTransportsTree(t *testing.T, run func(Transport) runResult) {
+	t.Helper()
+	base := run(TransportSequential)
+	if base.metrics.Messages == 0 || base.metrics.Arrivals == 0 {
+		t.Fatal("baseline run exchanged no messages")
+	}
+	for _, tr := range allTransports[1:] {
+		got := run(tr)
+		b, g := base, got
+		b.metrics.MaxCoordSpace, g.metrics.MaxCoordSpace = 0, 0
+		if what, ok := equalResults(b, g); !ok {
+			t.Errorf("transport %v diverged from sequential in %s:\nseq: %+v\ngot: %+v",
+				tr, what, base.metrics, got.metrics)
+		}
+	}
+}
+
+// TestTransportIndependenceTree extends the tentpole contract to the
+// 2-level tree topology: identical per-link FNV message sequences on every
+// edge (site↔aggregator and aggregator↔root), identical Metrics including
+// the per-level counters, and identical query answers across
+// sequential/goroutine/tcp.
+func TestTransportIndependenceTree(t *testing.T) {
+	t.Run("count/randomized", func(t *testing.T) {
+		compareTransportsTree(t, func(tr Transport) runResult { return runTreeCount(t, AlgorithmRandomized, tr) })
+	})
+	t.Run("count/deterministic", func(t *testing.T) {
+		compareTransportsTree(t, func(tr Transport) runResult { return runTreeCount(t, AlgorithmDeterministic, tr) })
+	})
+	t.Run("count/sampling", func(t *testing.T) {
+		compareTransportsTree(t, func(tr Transport) runResult { return runTreeCount(t, AlgorithmSampling, tr) })
+	})
+	t.Run("freq/randomized", func(t *testing.T) {
+		compareTransportsTree(t, func(tr Transport) runResult { return runTreeFreq(t, AlgorithmRandomized, tr) })
+	})
+	t.Run("rank/randomized", func(t *testing.T) {
+		compareTransportsTree(t, func(tr Transport) runResult { return runTreeRank(t, AlgorithmRandomized, tr) })
+	})
+}
+
 // TestTransportIndependenceRobust pins the robust mode across transports:
 // every noise draw is seeded (per-site report noise, coordinator release
 // noise), so the noised message sequences, released answers, and Metrics
