@@ -47,6 +47,7 @@ import (
 	"hash/fnv"
 	"math"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -63,6 +64,7 @@ import (
 	"disttrack/internal/runtime"
 	"disttrack/internal/runtime/tcp"
 	"disttrack/internal/sample"
+	"disttrack/internal/serve"
 	"disttrack/internal/stats"
 	"disttrack/internal/workload"
 )
@@ -84,6 +86,9 @@ func main() {
 			return
 		case "attack":
 			attackMain(os.Args[2:])
+			return
+		case "loadgen":
+			loadgenMain(os.Args[2:])
 			return
 		}
 	}
@@ -807,14 +812,45 @@ func serveMain(args []string) {
 		"snapshot cadence in logged coordinator frames (0 = default 4096; needs -wal)")
 	resume := fs.Bool("resume", false,
 		"recover coordinator state from -wal (snapshot + log replay) before accepting sites")
+	httpAddr := fs.String("http", "",
+		"serve the HTTP/JSON query API + Prometheus /metrics on this address (e.g. :8080); empty = off")
+	local := fs.Bool("local", false,
+		"host the tracker in this process (no site processes): ingest and queries both run over -http")
+	transport := fs.String("transport", "goroutine",
+		"in-process transport with -local: sequential | goroutine | tcp")
+	seed := fs.Uint64("seed", 1, "site RNG seed with -local")
+	quantLo := fs.Float64("quantlo", 0,
+		"lower bound of the /v1/quantile bisection domain (rank deployments)")
+	quantHi := fs.Float64("quanthi", 1e12,
+		"upper bound of the /v1/quantile bisection domain (rank deployments)")
 	fs.Parse(args)
 	if *resume && *walDir == "" {
 		fatalf("-resume needs -wal")
+	}
+	if *snapEvery < 0 {
+		fatalf("-snapevery must be >= 0 (got %d; 0 = default cadence)", *snapEvery)
 	}
 	if *snapEvery != 0 && *walDir == "" {
 		fatalf("-snapevery needs -wal")
 	}
 	cfg.checkTree()
+	if *walDir != "" && cfg.tree() {
+		// The root's WAL would capture aggregator estimate-deltas while a
+		// crashed aggregator rejoins by replaying absolute state from zero —
+		// a recovery would double-count every shard that outlived the crash.
+		fatalf("-wal is incompatible with -topology tree: the subtree is the unit of recovery " +
+			"(aggregators replay absolute state on rejoin; a root WAL would double-count it)")
+	}
+	if *local {
+		if *resume {
+			fatalf("-resume applies to distributed serve (-local builds a fresh tracker; point -wal at an empty directory)")
+		}
+		if *httpAddr == "" {
+			fatalf("-local needs -http (the HTTP API is its only ingest and query surface)")
+		}
+		serveLocal(cfg, *httpAddr, *transport, *seed, *walDir, *snapEvery, *quantLo, *quantHi)
+		return
+	}
 
 	// With -topology tree this process is the root: it serves one slot per
 	// aggregator shard (each played by a tracksim aggregate process) at the
@@ -861,6 +897,30 @@ func serveMain(args []string) {
 		}
 	}
 
+	// The serving surface: queries route onto the serve loop via Inspect,
+	// so they read the coordinator at frame boundaries, concurrently with
+	// live site ingestion.
+	backend := &distBackend{srv: srv}
+	if *httpAddr != "" {
+		topo := "flat"
+		if cfg.tree() {
+			topo = "tree"
+		}
+		api := &serve.Server{
+			Backend: distFuncs(shape, coord, backend, *quantLo, *quantHi),
+			Info: serve.Info{Problem: cfg.problem, Algorithm: cfg.alg, Transport: "tcp",
+				Topology: topo, K: cfg.k, Epsilon: cfg.eps},
+		}
+		hsrv := &http.Server{Addr: *httpAddr, Handler: api.Handler()}
+		go func() {
+			if err := hsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "http: %v\n", err)
+			}
+		}()
+		defer hsrv.Close()
+		fmt.Printf("HTTP query API + /metrics on %s\n", *httpAddr)
+	}
+
 	// SIGINT/SIGTERM shut down gracefully: the serve loop drains what it
 	// already received, writes a final snapshot, and syncs the WAL, so a
 	// later serve -resume picks up exactly where this one stopped.
@@ -879,6 +939,7 @@ func serveMain(args []string) {
 	}()
 
 	m, err := srv.Serve(ln)
+	backend.finish(m) // the loop is gone; queries now read the final state directly
 	switch {
 	case err == tcp.ErrShutdown:
 		fmt.Printf("\nshut down before all sites finished; coordinator state sealed")

@@ -489,6 +489,12 @@ type Metrics struct {
 	// Words is the total communication volume in words (any integer < N or
 	// one element = one word).
 	Words int64
+	// MessagesUp and MessagesDown split Messages by direction: up is
+	// site → coordinator report traffic, down the coordinator's round
+	// announcements and broadcast legs back to the sites.
+	MessagesUp, MessagesDown int64
+	// WordsUp and WordsDown split Words the same way.
+	WordsUp, WordsDown int64
 	// Broadcasts counts coordinator broadcast operations.
 	Broadcasts int64
 	// Arrivals is the number of elements observed.
@@ -539,6 +545,10 @@ func metricsFrom(m runtime.Metrics) Metrics {
 	return Metrics{
 		Messages:       m.Messages(),
 		Words:          m.Words(),
+		MessagesUp:     m.MessagesUp,
+		MessagesDown:   m.MessagesDown,
+		WordsUp:        m.WordsUp,
+		WordsDown:      m.WordsDown,
 		Broadcasts:     m.Broadcasts,
 		Arrivals:       m.Arrivals,
 		MaxSiteSpace:   m.MaxSiteSpace,
@@ -820,17 +830,20 @@ func (c *core) Metrics() Metrics {
 			pm.LevelMessages = [2]int64{leaf.Messages(), root.Messages()}
 			pm.LevelWords = [2]int64{leaf.Words(), root.Words()}
 		}
+		// The in-process transports don't track durability themselves; the
+		// counter lives on the core's logger. Read it inside the quiescent
+		// window so the snapshot count is coherent with the ledger it
+		// describes (outside it, the drainer may be mid-snapshot and the
+		// count would describe a different instant than the arrivals).
+		if c.log != nil {
+			pm.Snapshots = c.log.Snapshots()
+		}
 	}
 	if c.fe != nil {
 		c.fe.Query(read)
 		pm.Dropped = c.fe.Dropped()
 	} else {
 		read()
-	}
-	// The in-process transports don't track durability themselves; the
-	// counters live on the core's logger and recovery state.
-	if c.log != nil {
-		pm.Snapshots = c.log.Snapshots()
 	}
 	pm.ReplayedFrames = c.replayed
 	return pm

@@ -251,6 +251,63 @@ func TestConcurrentIngestQueriesDuringLoad(t *testing.T) {
 	}
 }
 
+// TestConcurrentMetricsDuringIngest is the regression test for the
+// query-path race fixed in the serving PR: Metrics() readers run flat out
+// against live producers on a persisting tracker, so the Snapshots counter
+// (previously a plain int64 in the WAL logger, torn under -race) and the
+// message/word counters are read while the owning loop is mid-snapshot.
+// Monotonicity of Arrivals and Snapshots across reads pins that every read
+// sees a coherent quiescent instant, and -race must stay silent.
+func TestConcurrentMetricsDuringIngest(t *testing.T) {
+	const n = 20000
+	tr := NewCountTracker(Options{K: ingestK, Epsilon: ingestEps, Seed: 12,
+		ConcurrentIngest: true, Persist: NewMemStore(), SnapshotEvery: 3})
+	defer tr.Close()
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var lastArrivals, lastSnapshots int64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m := tr.Metrics()
+				if m.Arrivals < lastArrivals {
+					t.Errorf("Arrivals went backwards: %d then %d", lastArrivals, m.Arrivals)
+				}
+				if m.Snapshots < lastSnapshots {
+					t.Errorf("Snapshots went backwards: %d then %d", lastSnapshots, m.Snapshots)
+				}
+				lastArrivals, lastSnapshots = m.Arrivals, m.Snapshots
+				if est := tr.Estimate(); est < 0 || est > 1.5*n {
+					t.Errorf("mid-load estimate %.0f implausible", est)
+				}
+			}
+		}()
+	}
+	feedStriped(ingestProducers, n, func(i int) { tr.Observe(i % ingestK) })
+	close(stop)
+	readers.Wait()
+
+	tr.Flush()
+	m := tr.Metrics()
+	if m.Arrivals != n {
+		t.Errorf("arrivals = %d, want %d", m.Arrivals, n)
+	}
+	if m.Snapshots == 0 {
+		t.Error("persisting tracker recorded no snapshots")
+	}
+	if got := tr.Estimate(); stats.RelErr(got, n) > ingestEps {
+		t.Errorf("final estimate %.0f outside the ε band around %d", got, n)
+	}
+}
+
 // TestConcurrentIngestDropPolicy pins the IngestDrop accounting at the
 // facade: with the drainer provably stalled (a query holds the feed mutex
 // open for the duration of the observes), a tiny buffer must shed load, and

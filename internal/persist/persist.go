@@ -41,6 +41,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"disttrack/internal/proto"
 	"disttrack/internal/wire"
@@ -92,7 +93,10 @@ type Logger struct {
 	snap  proto.Snapshotter // nil when coord can't snapshot (WAL-only mode)
 	every int64
 	since int64 // frames appended since the last snapshot
-	count int64 // snapshots taken over the store's lifetime (seeded on resume)
+	// count is the number of snapshots taken over the store's lifetime
+	// (seeded on resume). Atomic: Snapshots() is read from serving/query
+	// goroutines while the owning loop is mid-Snapshot.
+	count atomic.Int64
 	// meta, when set, supplies the host's cost ledger for snapshot headers
 	// (the distributed server resumes its Resync bookkeeping from it).
 	meta func() wire.SnapMeta
@@ -115,11 +119,12 @@ func NewLogger(store Store, coord proto.Coordinator, every int64, meta func() wi
 
 // SeedSnapshots primes the lifetime snapshot counter after a resume, so
 // Snapshots() continues the pre-crash count.
-func (l *Logger) SeedSnapshots(n int64) { l.count = n }
+func (l *Logger) SeedSnapshots(n int64) { l.count.Store(n) }
 
 // Snapshots returns the number of snapshots taken over the store's
-// lifetime, including any taken before a resume.
-func (l *Logger) Snapshots() int64 { return l.count }
+// lifetime, including any taken before a resume. Safe to call from any
+// goroutine.
+func (l *Logger) Snapshots() int64 { return l.count.Load() }
 
 // Log durably appends one coordinator-bound frame, snapshotting first when
 // the cadence is due. It must be called BEFORE the coordinator applies the
@@ -156,7 +161,7 @@ func (l *Logger) Snapshot() error {
 	if l.meta != nil {
 		meta = l.meta()
 	}
-	meta.Snapshots = l.count + 1
+	meta.Snapshots = l.count.Load() + 1
 	blob, err := wire.AppendFrame(l.buf[:0], meta)
 	if err != nil {
 		return fmt.Errorf("persist: encode snapshot header: %w", err)
@@ -174,7 +179,7 @@ func (l *Logger) Snapshot() error {
 	if err := l.store.WriteSnapshot(blob); err != nil {
 		return fmt.Errorf("persist: install snapshot: %w", err)
 	}
-	l.count++
+	l.count.Add(1)
 	l.since = 0
 	return nil
 }

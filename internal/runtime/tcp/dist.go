@@ -222,6 +222,12 @@ type Server struct {
 	// so Shutdown and Kill can signal the loop from other goroutines.
 	box *runtime.Mailbox
 
+	// loopDone is closed when Serve returns, after the post-run drain has
+	// applied every queued frame. Inspect selects on it so an inspectReq
+	// stranded by teardown (posted after the drain emptied the box) fails
+	// over instead of blocking forever.
+	loopDone chan struct{}
+
 	// serving gates rejoin handoffs from handshake goroutines into the
 	// serve loop's mailbox, so a Rejoin landing during teardown is closed
 	// instead of stranded.
@@ -264,6 +270,15 @@ type (
 	killReq     struct{}
 )
 
+// inspectReq asks the serve loop to run fn on the loop goroutine — the
+// serving surface's way to query the coordinator and read the cost ledger
+// at an instant when no frame is mid-application. done is closed after fn
+// returns.
+type inspectReq struct {
+	fn   func(runtime.Metrics)
+	done chan struct{}
+}
+
 // ErrShutdown is returned by Serve when Shutdown stopped it before every
 // site finished; ErrKilled likewise for Kill.
 var (
@@ -285,6 +300,31 @@ func (s *Server) Shutdown() bool { return s.signal(shutdownReq{}) }
 // kill, simulating a coordinator crash for chaos drills. Serve returns
 // ErrKilled.
 func (s *Server) Kill() bool { return s.signal(killReq{}) }
+
+// Inspect runs fn on the serve loop at an instant when no frame is
+// mid-application, handing it the server's cost ledger; fn may also safely
+// query s.Coord (exactly like Report callbacks). It blocks until fn has
+// run and reports true, or reports false without running fn when no serve
+// loop is available (before Serve is serving, or once the loop has shut
+// down and drained — after which the coordinator is no longer mutated, so
+// callers may read it directly). Safe to call from any goroutine.
+func (s *Server) Inspect(fn func(runtime.Metrics)) bool {
+	if !s.serving.Load() {
+		return false
+	}
+	// serving was set after box and loopDone, so the load above ordered
+	// both reads.
+	req := inspectReq{fn: fn, done: make(chan struct{})}
+	s.box.Put(req)
+	select {
+	case <-req.done:
+		return true
+	case <-s.loopDone:
+		// Teardown raced the Put: the drain already emptied the box, nobody
+		// will run fn. The loop is gone, which is exactly what false means.
+		return false
+	}
+}
 
 func (s *Server) signal(ev any) bool {
 	if !s.serving.Load() {
@@ -676,6 +716,8 @@ func (s *Server) Serve(ln net.Listener) (runtime.Metrics, error) {
 	}
 	box := runtime.NewMailbox()
 	s.box = box
+	s.loopDone = make(chan struct{})
+	defer close(s.loopDone) // after the final drain: no more Coord mutations
 	s.hsConns = map[net.Conn]struct{}{}
 	s.serving.Store(true)
 	defer s.serving.Store(false)
@@ -865,6 +907,12 @@ serve:
 				declareLost(ev.site)
 			}
 			continue
+		case inspectReq:
+			// On the loop: no frame is mid-application, so fn may query the
+			// coordinator and the ledger coherently.
+			ev.fn(s.metrics())
+			close(ev.done)
+			continue
 		}
 		cm := v.(runtime.FromMsg)
 		if s.log != nil && cm.Msg != nil {
@@ -961,6 +1009,9 @@ serve:
 				case killReq:
 					stopErr = ErrKilled
 					break linger
+				case inspectReq:
+					ev.fn(s.metrics())
+					close(ev.done)
 				case rejoinReq:
 					if !s.finished[ev.site] {
 						ev.conn.Close()
@@ -1063,6 +1114,13 @@ serve:
 			if rj, isRejoin := v.(rejoinReq); isRejoin {
 				rj.conn.Close() // a rejoin that raced run end
 				atomic.AddInt64(&s.Rejects, 1)
+			}
+			if iq, isInspect := v.(inspectReq); isInspect {
+				// An inspection that raced run end still gets an answer; the
+				// frames drained so far are applied, the rest follow before
+				// loopDone closes.
+				iq.fn(s.metrics())
+				close(iq.done)
 			}
 			continue
 		}

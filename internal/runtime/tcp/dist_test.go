@@ -272,3 +272,92 @@ func TestServeReportsRunningArrivals(t *testing.T) {
 		t.Errorf("every mid-run report saw Arrivals = 0; Progress frames are not reaching the ledger")
 	}
 }
+
+// TestInspectDuringServe pins the serving surface's query seam: Inspect
+// runs its closure on the serve loop concurrently with live ingestion (so
+// it may query the coordinator coherently), the ledger it hands over is
+// monotone, and once Serve has returned Inspect refuses — at which point
+// the coordinator is quiescent and direct reads are safe.
+func TestInspectDuringServe(t *testing.T) {
+	cfg := count.Config{K: 1, Eps: 0.1}
+	coord := count.NewCoordinator(cfg)
+	srv := &tcp.Server{Coord: coord, K: 1}
+	if srv.Inspect(func(runtime.Metrics) {}) {
+		t.Fatal("Inspect succeeded before Serve started")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type served struct {
+		m   runtime.Metrics
+		err error
+	}
+	res := make(chan served, 1)
+	go func() {
+		m, err := srv.Serve(ln)
+		res <- served{m, err}
+	}()
+
+	const n = 5000
+	sc, err := tcp.DialSite(ln.Addr().String(), 0, 1, 0, count.NewSite(cfg, stats.New(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.ProgressEvery = 64
+
+	// Inspectors hammer the loop while the site streams: arrivals must be
+	// monotone and the coordinator must answer estimates without tearing.
+	stop := make(chan struct{})
+	var ig sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		ig.Add(1)
+		go func() {
+			defer ig.Done()
+			var last int64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ok := srv.Inspect(func(m runtime.Metrics) {
+					if m.Arrivals < last {
+						t.Errorf("arrivals went backwards: %d then %d", last, m.Arrivals)
+					}
+					last = m.Arrivals
+					if est := coord.Estimate(); est < 0 {
+						t.Errorf("negative estimate %g", est)
+					}
+				})
+				if !ok {
+					return // loop gone; the run is over
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < n; i++ {
+		sc.Arrive(0, 0)
+	}
+	if err := sc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sr := <-res
+	close(stop)
+	ig.Wait()
+	if sr.err != nil {
+		t.Fatalf("serve: %v", sr.err)
+	}
+	if sr.m.Arrivals != n {
+		t.Errorf("final arrivals = %d, want %d", sr.m.Arrivals, n)
+	}
+	if srv.Inspect(func(runtime.Metrics) {}) {
+		t.Error("Inspect succeeded after Serve returned")
+	}
+	// With the loop gone, direct reads are the documented fallback.
+	if est := coord.Estimate(); est < (1-3*cfg.Eps)*n || est > (1+3*cfg.Eps)*n {
+		t.Errorf("final estimate %g outside the 3ε band around %d", est, n)
+	}
+}

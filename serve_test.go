@@ -1,0 +1,303 @@
+package disttrack
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"disttrack/internal/serve"
+	"disttrack/internal/stats"
+)
+
+// countAPI wires a CountTracker behind the serving surface exactly the way
+// cmd/tracksim's -local mode does.
+func countAPI(t *testing.T, opt Options) (*CountTracker, *httptest.Server) {
+	t.Helper()
+	tr := NewCountTracker(opt)
+	t.Cleanup(func() { tr.Close() })
+	api := &serve.Server{
+		Backend: serve.Funcs{
+			CountFn: func() (float64, error) { return tr.Estimate(), nil },
+			ObserveFn: func(site int, _ int64, _ float64, n int64) error {
+				tr.ObserveBatch(site, int(n))
+				return nil
+			},
+			FlushFn: tr.Flush,
+			SnapshotFn: func() (serve.Snapshot, error) {
+				m := tr.Metrics()
+				return serve.Snapshot{Arrivals: m.Arrivals, MessagesUp: m.MessagesUp,
+					WordsUp: m.WordsUp, LiveSites: m.LiveSites, Snapshots: m.Snapshots}, nil
+			},
+		},
+		Info: serve.Info{Problem: "count", K: opt.K, Epsilon: opt.Epsilon},
+	}
+	ts := httptest.NewServer(api.Handler())
+	t.Cleanup(ts.Close)
+	return tr, ts
+}
+
+func httpGetDoc(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return doc
+}
+
+func httpPostOK(t *testing.T, url, body string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, b)
+	}
+	io.Copy(io.Discard, resp.Body)
+}
+
+// scrapeArrivals pulls one /metrics exposition and returns the arrivals
+// sample, checking every line is parseable Prometheus text along the way.
+func scrapeArrivals(t *testing.T, base string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrivals float64
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		if line[:sp] == "disttrack_arrivals_total" {
+			arrivals, _ = strconv.ParseFloat(line[sp+1:], 64)
+		}
+	}
+	return arrivals
+}
+
+// TestHTTPServeCountUnderLoad is the end-to-end serving test: an HTTP API
+// over a live tracker takes concurrent mixed ingest+query traffic on every
+// transport and both topologies, every answer stays within ε of the
+// acknowledged total after a flush barrier, and /metrics arrivals are
+// monotone across scrapes. The root package's race CI lane runs this under
+// -race, which is the airtightness check for queries racing ingestion.
+func TestHTTPServeCountUnderLoad(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Options
+	}{
+		{"sequential-flat", Options{K: 8, Epsilon: 0.1, Seed: 7, Transport: TransportSequential, ConcurrentIngest: true}},
+		{"goroutine-flat", Options{K: 8, Epsilon: 0.1, Seed: 7, Transport: TransportGoroutine, ConcurrentIngest: true}},
+		{"tcp-flat", Options{K: 8, Epsilon: 0.1, Seed: 7, Transport: TransportTCP, ConcurrentIngest: true}},
+		{"goroutine-tree", Options{K: 8, Epsilon: 0.1, Seed: 7, Transport: TransportGoroutine,
+			Topology: TopologyTree, Fanout: 2, ConcurrentIngest: true}},
+		{"tcp-tree", Options{K: 8, Epsilon: 0.1, Seed: 7, Transport: TransportTCP,
+			Topology: TopologyTree, Fanout: 2, ConcurrentIngest: true}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			_, ts := countAPI(t, tc.opt)
+			const (
+				writers   = 4
+				readers   = 2
+				perWriter = 150
+				batch     = 5
+			)
+			var written int64
+			var wWG, rWG sync.WaitGroup
+			stop := make(chan struct{})
+			for r := 0; r < readers; r++ {
+				rWG.Add(1)
+				go func() {
+					defer rWG.Done()
+					var lastScrape float64
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						doc := httpGetDoc(t, ts.URL+"/v1/count")
+						if est := doc["estimate"].(float64); est < 0 {
+							t.Errorf("negative estimate %g", est)
+						}
+						if a := scrapeArrivals(t, ts.URL); a < lastScrape {
+							t.Errorf("arrivals not monotone: %g then %g", lastScrape, a)
+						} else {
+							lastScrape = a
+						}
+					}
+				}()
+			}
+			for w := 0; w < writers; w++ {
+				wWG.Add(1)
+				go func(w int) {
+					defer wWG.Done()
+					for i := 0; i < perWriter; i++ {
+						httpPostOK(t, ts.URL+"/v1/observe",
+							fmt.Sprintf(`{"site":%d,"count":%d}`, (w+i)%tc.opt.K, batch))
+						atomic.AddInt64(&written, batch)
+					}
+				}(w)
+			}
+			// Writers finish first; then the readers stop so the final
+			// flush+assert below sees no in-flight traffic.
+			wWG.Wait()
+			close(stop)
+			rWG.Wait()
+
+			httpPostOK(t, ts.URL+"/v1/flush", "")
+			total := float64(atomic.LoadInt64(&written))
+			doc := httpGetDoc(t, ts.URL+"/v1/count")
+			est := doc["estimate"].(float64)
+			if math.Abs(est-total) > tc.opt.Epsilon*total {
+				t.Errorf("estimate %g outside ε band around %g", est, total)
+			}
+			if a := scrapeArrivals(t, ts.URL); a != total {
+				t.Errorf("arrivals_total = %g after flush, want %g", a, total)
+			}
+		})
+	}
+}
+
+// TestHTTPServeRankAndFreq covers the remaining query surface end to end:
+// rank and quantile answers against a rank tracker, and frequency answers
+// against a freq tracker, all through HTTP with concurrent ingestion.
+func TestHTTPServeRankAndFreq(t *testing.T) {
+	t.Run("rank", func(t *testing.T) {
+		const n = 4000
+		opt := Options{K: 4, Epsilon: 0.1, Seed: 3, Transport: TransportGoroutine, ConcurrentIngest: true}
+		tr := NewRankTracker(opt)
+		defer tr.Close()
+		api := &serve.Server{
+			Backend: serve.Funcs{
+				RankFn: func(x float64) (float64, error) { return tr.Rank(x), nil },
+				QuantileFn: func(phi float64) (float64, error) {
+					v := tr.Quantile(phi, 0, n)
+					if math.IsNaN(v) {
+						return 0, fmt.Errorf("empty")
+					}
+					return v, nil
+				},
+				ObserveFn: func(site int, _ int64, value float64, _ int64) error {
+					tr.Observe(site, value)
+					return nil
+				},
+				FlushFn: tr.Flush,
+			},
+			Info: serve.Info{Problem: "rank", K: opt.K, Epsilon: opt.Epsilon},
+		}
+		ts := httptest.NewServer(api.Handler())
+		defer ts.Close()
+
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < n; i += 4 {
+					httpPostOK(t, ts.URL+"/v1/observe",
+						fmt.Sprintf(`{"site":%d,"value":%d}`, i%opt.K, i))
+				}
+			}(w)
+		}
+		wg.Wait()
+		httpPostOK(t, ts.URL+"/v1/flush", "")
+
+		doc := httpGetDoc(t, fmt.Sprintf("%s/v1/rank?value=%d", ts.URL, n/2))
+		if r := doc["rank"].(float64); math.Abs(r-n/2) > opt.Epsilon*n {
+			t.Errorf("rank(%d) = %g, want within ε·n of %d", n/2, r, n/2)
+		}
+		doc = httpGetDoc(t, ts.URL+"/v1/quantile?phi=0.5")
+		// A value whose rank is n/2 must itself sit within ε·n of the median
+		// value, since values here are 0..n-1 with rank(v) = v.
+		if v := doc["value"].(float64); math.Abs(v-n/2) > 2*opt.Epsilon*n {
+			t.Errorf("quantile(0.5) = %g, want near %d", v, n/2)
+		}
+	})
+	t.Run("freq", func(t *testing.T) {
+		const n = 4000
+		opt := Options{K: 4, Epsilon: 0.1, Seed: 3, Transport: TransportGoroutine, ConcurrentIngest: true}
+		tr := NewFrequencyTracker(opt)
+		defer tr.Close()
+		api := &serve.Server{
+			Backend: serve.Funcs{
+				FreqFn: func(item int64) (float64, error) { return tr.Estimate(item), nil },
+				ObserveFn: func(site int, item int64, _ float64, c int64) error {
+					tr.ObserveBatch(site, item, int(c))
+					return nil
+				},
+				FlushFn: tr.Flush,
+			},
+			Info: serve.Info{Problem: "freq", K: opt.K, Epsilon: opt.Epsilon},
+		}
+		ts := httptest.NewServer(api.Handler())
+		defer ts.Close()
+
+		// Item 0 takes half the stream; the rest spreads over 50 items.
+		truth0 := 0
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := stats.New(uint64(w) + 11)
+				local0 := 0
+				for i := w; i < n; i += 4 {
+					item := int64(0)
+					if rng.Bernoulli(0.5) {
+						item = int64(rng.Intn(50)) + 1
+					} else {
+						local0++
+					}
+					httpPostOK(t, ts.URL+"/v1/observe",
+						fmt.Sprintf(`{"site":%d,"item":%d}`, i%opt.K, item))
+				}
+				mu.Lock()
+				truth0 += local0
+				mu.Unlock()
+			}(w)
+		}
+		wg.Wait()
+		httpPostOK(t, ts.URL+"/v1/flush", "")
+
+		doc := httpGetDoc(t, ts.URL+"/v1/freq?item=0")
+		if f := doc["estimate"].(float64); math.Abs(f-float64(truth0)) > opt.Epsilon*n {
+			t.Errorf("freq(0) = %g, want within ε·n of %d", f, truth0)
+		}
+	})
+}
